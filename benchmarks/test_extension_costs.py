@@ -1,0 +1,138 @@
+"""Model-extension ablations: the write-cost (12) and penalty (11) terms.
+
+The paper's base experiments set delta and gamma to zero; these benches
+exercise the extensions and verify their economics:
+
+* **delta (updates):** charging each write once per replica makes heavy
+  replication progressively less attractive — the general bound rises with
+  the write rate, and the replica-constrained bound rises faster (it keeps
+  more replicas).
+* **gamma (late-access penalty):** pricing best-effort misses makes the LP
+  buy extra coverage once the penalty exceeds the marginal storage cost —
+  the bound interpolates smoothly between "ignore misses" and "cover
+  everything".
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.report import render_series_table
+from repro.core.bounds import compute_lower_bound
+from repro.core.classes import get_class
+from repro.core.costs import CostModel
+from repro.core.goals import QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.topology.generators import as_level_topology
+from repro.workload.demand import DemandMatrix
+from repro.workload.generators import synthetic_workload, WorkloadSpec
+
+from benchmarks.conftest import TLAT_MS, write_report
+
+NUM_NODES = 12
+NUM_INTERVALS = 6
+NUM_OBJECTS = 24
+
+
+def build_problem(write_fraction: float, costs: CostModel):
+    topo = as_level_topology(num_nodes=NUM_NODES, seed=4)
+    spec = WorkloadSpec(
+        num_nodes=NUM_NODES,
+        num_objects=NUM_OBJECTS,
+        counts=np.full(NUM_OBJECTS, 400),
+        populations=topo.populations,
+        write_fraction=write_fraction,
+        seed=3,
+        name=f"rw-{write_fraction}",
+    )
+    trace = synthetic_workload(spec)
+    demand = DemandMatrix.from_trace(trace, num_intervals=NUM_INTERVALS)
+    return MCPerfProblem(
+        topology=topo,
+        demand=demand,
+        goal=QoSGoal(tlat_ms=TLAT_MS, fraction=0.9),
+        costs=costs,
+        warmup_intervals=1,
+    )
+
+
+def run_write_cost():
+    rows = []
+    series = {"general": [], "replica-constrained": []}
+    for write_fraction in [0.0, 0.2, 0.4]:
+        problem = build_problem(write_fraction, CostModel(alpha=1.0, beta=1.0, delta=0.05))
+        row = [f"{write_fraction:.0%}"]
+        for cls in ["general", "replica-constrained"]:
+            result = compute_lower_bound(
+                problem, get_class(cls).properties, do_rounding=False
+            )
+            value = result.lp_cost if result.feasible else None
+            row.append(round(value) if value is not None else None)
+            series[cls].append(value)
+        rows.append(row)
+    return rows, series
+
+
+def test_write_cost_extension(benchmark):
+    rows, series = benchmark.pedantic(run_write_cost, rounds=1, iterations=1)
+    table = render_series_table(
+        "Extension (12): bounds vs write fraction (delta = 0.05)",
+        ["writes", "general", "replica-constrained"],
+        rows,
+    )
+    write_report("extension_writes", table)
+
+    general = series["general"]
+    rc = series["replica-constrained"]
+    assert all(v is not None for v in general + rc)
+    # More writes -> more update traffic per replica -> higher bounds.
+    assert general == sorted(general)
+    assert rc == sorted(rc)
+    # The replica-heavy class pays more for the same write-rate increase.
+    assert (rc[-1] - rc[0]) >= (general[-1] - general[0]) - 1e-6
+
+
+def run_gamma_sweep():
+    topo = as_level_topology(num_nodes=NUM_NODES, seed=4)
+    spec = WorkloadSpec(
+        num_nodes=NUM_NODES,
+        num_objects=NUM_OBJECTS,
+        counts=np.full(NUM_OBJECTS, 400),
+        populations=topo.populations,
+        seed=3,
+        name="gamma",
+    )
+    trace = synthetic_workload(spec)
+    demand = DemandMatrix.from_trace(trace, num_intervals=NUM_INTERVALS)
+    rows = []
+    bounds = []
+    for gamma in [0.0, 0.001, 0.01, 0.1]:
+        problem = MCPerfProblem(
+            topology=topo,
+            demand=demand,
+            goal=QoSGoal(tlat_ms=TLAT_MS, fraction=0.8),
+            costs=CostModel(alpha=1.0, beta=1.0, gamma=gamma),
+            warmup_intervals=1,
+        )
+        result = compute_lower_bound(problem, do_rounding=False)
+        rows.append(
+            [f"{gamma:g}", round(result.lp_cost) if result.feasible else None]
+        )
+        bounds.append(result.lp_cost)
+    return rows, bounds
+
+
+def test_gamma_penalty_extension(benchmark):
+    rows, bounds = benchmark.pedantic(run_gamma_sweep, rounds=1, iterations=1)
+    table = render_series_table(
+        "Extension (11): general bound vs miss penalty gamma (80% QoS goal)",
+        ["gamma", "bound"],
+        rows,
+    )
+    write_report("extension_gamma", table)
+
+    assert all(b is not None for b in bounds)
+    # Penalizing best-effort misses can only raise the total bound,
+    # monotonically in gamma.
+    assert bounds == sorted(bounds)
+    assert bounds[-1] > bounds[0]

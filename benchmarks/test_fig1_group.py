@@ -1,0 +1,53 @@
+"""Figure 1 (right): per-class lower bounds vs QoS goal, GROUP workload.
+
+Paper's conclusions reproduced here:
+
+* the replica-constrained bound nearly overlaps the general bound (every
+  object is popular, so a uniform replication factor wastes nothing);
+* the storage-constrained, caching and cooperative-caching bounds overlap
+  each other well above the replica-constrained bound (the storage
+  constraint is their shared limiting factor).
+"""
+
+from repro.analysis.plot import ascii_chart
+from repro.analysis.report import render_csv, render_sweep_table
+from repro.analysis.sweep import qos_sweep
+from repro.core.classes import FIGURE1_CLASSES
+
+from benchmarks.conftest import GROUP_LEVELS, write_report
+
+
+def test_fig1_group_bounds(benchmark, group_problem):
+    sweep = benchmark.pedantic(
+        qos_sweep,
+        args=(group_problem,),
+        kwargs={"levels": GROUP_LEVELS, "classes": FIGURE1_CLASSES},
+        rounds=1,
+        iterations=1,
+    )
+
+    table = render_sweep_table(
+        sweep, title="Figure 1 (GROUP): lower bound per heuristic class vs QoS goal"
+    )
+    chart = ascii_chart(
+        {cls: sweep.series(cls) for cls in sweep.classes},
+        x_labels=[f"{lvl:.3%}".rstrip("0%") + "%" for lvl in sweep.levels],
+        title="cost vs QoS (GROUP)",
+    )
+    write_report("fig1_group", table + "\n\n" + chart + "\n\n" + render_csv(sweep))
+
+    level = GROUP_LEVELS[0]
+    general = sweep.bound("general", level)
+    sc = sweep.bound("storage-constrained", level)
+    rc = sweep.bound("replica-constrained", level)
+    coop = sweep.bound("cooperative-caching", level)
+    caching = sweep.bound("caching", level)
+    assert general and sc and rc and coop and caching
+
+    # Replica-constrained nearly overlaps the general bound.
+    assert rc <= 1.35 * general
+    # Storage-constrained / caching / cooperative caching overlap each other
+    # well above the replica-constrained bound.
+    assert sc >= 1.5 * rc
+    assert abs(coop - sc) <= 0.15 * sc
+    assert abs(caching - sc) <= 0.25 * sc

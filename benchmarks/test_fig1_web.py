@@ -1,0 +1,52 @@
+"""Figure 1 (left): per-class lower bounds vs QoS goal, WEB workload.
+
+Paper's conclusions reproduced here:
+
+* the storage-constrained bound is the cheapest restricted class;
+* the replica-constrained bound is substantially above it (the heavy tail
+  forces unpopular objects to carry as many replicas as popular ones);
+* caching classes are costliest and stop being feasible beyond a QoS level
+  ("local caching cannot even achieve a QoS goal above 99%").
+"""
+
+from repro.analysis.plot import ascii_chart
+from repro.analysis.report import render_csv, render_sweep_table
+from repro.analysis.sweep import qos_sweep
+from repro.core.classes import FIGURE1_CLASSES
+
+from benchmarks.conftest import WEB_LEVELS, write_report
+
+
+def test_fig1_web_bounds(benchmark, web_problem):
+    sweep = benchmark.pedantic(
+        qos_sweep,
+        args=(web_problem,),
+        kwargs={"levels": WEB_LEVELS, "classes": FIGURE1_CLASSES},
+        rounds=1,
+        iterations=1,
+    )
+
+    table = render_sweep_table(
+        sweep, title="Figure 1 (WEB): lower bound per heuristic class vs QoS goal"
+    )
+    chart = ascii_chart(
+        {cls: sweep.series(cls) for cls in sweep.classes},
+        x_labels=[f"{lvl:.3%}".rstrip("0%") + "%" for lvl in sweep.levels],
+        title="cost vs QoS (WEB)",
+    )
+    write_report("fig1_web", table + "\n\n" + chart + "\n\n" + render_csv(sweep))
+
+    base_level = WEB_LEVELS[1]  # 95%, the paper's first x-axis point
+    general = sweep.bound("general", base_level)
+    sc = sweep.bound("storage-constrained", base_level)
+    rc = sweep.bound("replica-constrained", base_level)
+    caching = sweep.bound("caching", base_level)
+    assert general and sc and rc and caching
+
+    # Shape assertions (who wins, by roughly what factor):
+    assert general < sc < rc, "WEB: storage-constrained must beat replica-constrained"
+    assert caching >= sc, "caching is never cheaper than its storage-constrained superclass"
+    # Caching's curve must end before the sweep does (paper: can't exceed 99%).
+    assert sweep.max_feasible_level("caching") < WEB_LEVELS[-1]
+    # All restricted classes sit meaningfully above the general bound.
+    assert sc >= 1.5 * general

@@ -1,0 +1,113 @@
+"""Figure 2 (left): deployed-heuristic cost vs the class bound, WEB.
+
+For each QoS level the chosen heuristic (greedy global placement, the
+storage-constrained recommendation for WEB) is sized to the smallest
+capacity that meets the per-user goal in simulation, and its provisioned
+cost is compared against the storage-constrained lower bound.  LRU caching —
+the "obvious" heuristic — is sized the same way for comparison; the paper
+reports it costs up to 7.5x more and cannot reach high QoS levels at all.
+"""
+
+import pytest
+
+from repro.analysis.report import render_series_table
+from repro.core.bounds import compute_lower_bound
+from repro.core.classes import get_class
+from repro.heuristics.caching import LRUCaching
+from repro.heuristics.greedy_global import GreedyGlobalPlacement
+from repro.simulator.metrics import heuristic_cost
+from repro.simulator.sizing import min_capacity_for_goal
+
+from benchmarks.conftest import (
+    NUM_INTERVALS,
+    TLAT_MS,
+    WARMUP_INTERVALS,
+    make_problem,
+    write_report,
+)
+
+LEVELS = [0.90, 0.95]
+INFEASIBLE_LEVEL = 0.99  # LRU cannot reach this on the WEB trace
+
+
+def _size_and_cost(make, topology, trace, level):
+    interval_s = trace.duration_s / NUM_INTERVALS
+    sizing = min_capacity_for_goal(
+        make,
+        topology,
+        trace,
+        tlat_ms=TLAT_MS,
+        fraction=level,
+        warmup_s=WARMUP_INTERVALS * interval_s,
+        cost_interval_s=interval_s,
+    )
+    if not sizing.feasible:
+        return None, None
+    cost = heuristic_cost(
+        sizing.result,
+        mode="sc",
+        num_nodes=topology.num_nodes - 1,
+        num_intervals=NUM_INTERVALS,
+        capacity=sizing.value,
+    )
+    return sizing.value, cost.total
+
+
+def run_fig2_web(topology, web_trace, web_demand):
+    interval_s = web_trace.duration_s / NUM_INTERVALS
+    rows = []
+    results = {}
+    for level in LEVELS + [INFEASIBLE_LEVEL]:
+        problem = make_problem(topology, web_demand, level)
+        bound = compute_lower_bound(
+            problem, get_class("storage-constrained").properties, do_rounding=False
+        )
+        greedy_cap, greedy_cost = _size_and_cost(
+            lambda c: GreedyGlobalPlacement(c, period_s=interval_s, tlat_ms=TLAT_MS),
+            topology,
+            web_trace,
+            level,
+        )
+        lru_cap, lru_cost = _size_and_cost(
+            lambda c: LRUCaching(c), topology, web_trace, level
+        )
+        rows.append(
+            [
+                f"{level:.2%}",
+                bound.lp_cost if bound.feasible else None,
+                greedy_cap,
+                greedy_cost,
+                lru_cap,
+                lru_cost,
+            ]
+        )
+        results[level] = (bound, greedy_cost, lru_cost)
+    return rows, results
+
+
+def test_fig2_web(benchmark, topology, web_trace, web_demand):
+    rows, results = benchmark.pedantic(
+        run_fig2_web,
+        args=(topology, web_trace, web_demand),
+        rounds=1,
+        iterations=1,
+    )
+    table = render_series_table(
+        "Figure 2 (WEB): storage-constrained bound vs deployed heuristics",
+        ["QoS", "SC bound", "greedy cap", "greedy cost", "LRU cap", "LRU cost"],
+        rows,
+    )
+    write_report("fig2_web", table)
+
+    for level in LEVELS:
+        bound, greedy_cost, lru_cost = results[level]
+        assert bound.feasible
+        assert greedy_cost is not None, f"greedy global must meet {level:.2%}"
+        # No deployed class member may beat its class bound.
+        assert greedy_cost >= bound.lp_cost - 1e-6
+        if lru_cost is not None:
+            # LRU (the "obvious" heuristic) is never the cheaper choice.
+            assert lru_cost >= greedy_cost
+    # The paper's headline: caching cannot reach the high QoS level at all.
+    _b, _g, lru_high = results[INFEASIBLE_LEVEL]
+    assert lru_high is None

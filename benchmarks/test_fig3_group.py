@@ -1,0 +1,68 @@
+"""Figure 3 (right): deployment-scenario bounds on the reduced topology, GROUP.
+
+Paper's conclusion reproduced: on the reduced topology the storage-
+constrained, replica-constrained and caching bounds are all low and close
+to each other — so caching, being the best-understood heuristic, becomes
+the most appealing choice (a different conclusion than Figure 1's).
+"""
+
+from repro.analysis.report import render_series_table
+from repro.analysis.sweep import qos_sweep
+from repro.core.classes import get_class
+from repro.core.costs import CostModel
+from repro.core.deployment import FIGURE3_CLASSES, _reactive_variant, plan_deployment
+from repro.core.goals import QoSGoal
+
+from benchmarks.conftest import TLAT_MS, WARMUP_INTERVALS, write_report
+
+LEVELS = [0.90, 0.95]
+ZETA = 3000.0
+
+
+def run_fig3_group(topology, demand):
+    plan = plan_deployment(
+        topology,
+        demand,
+        QoSGoal(tlat_ms=TLAT_MS, fraction=LEVELS[0]),
+        costs=CostModel.deployment_defaults(zeta=ZETA),
+        do_rounding=False,
+        warmup_intervals=WARMUP_INTERVALS,
+    )
+    assert plan.feasible, plan.reason
+    classes = [_reactive_variant(get_class(n)) for n in FIGURE3_CLASSES]
+    sweep = qos_sweep(plan.phase2_problem, levels=LEVELS, classes=classes)
+    return plan, sweep
+
+
+def test_fig3_group(benchmark, topology, group_demand):
+    plan, sweep = benchmark.pedantic(
+        run_fig3_group, args=(topology, group_demand), rounds=1, iterations=1
+    )
+
+    rows = []
+    for level in LEVELS:
+        rows.append(
+            [f"{level:.2%}"] + [sweep.bound(cls, level) for cls in sweep.classes]
+        )
+    table = render_series_table(
+        f"Figure 3 (GROUP): bounds on the {len(plan.open_nodes)}-node deployed "
+        f"topology (opened: {sorted(plan.open_nodes)})",
+        ["QoS"] + list(sweep.classes),
+        rows,
+    )
+    write_report("fig3_group", table)
+
+    level = LEVELS[1]
+    reactive = sweep.bound("reactive", level)
+    bounds = {
+        cls: sweep.bound(cls, level)
+        for cls in ("storage-constrained", "replica-constrained", "caching")
+    }
+    assert reactive and all(bounds.values())
+
+    # All three class bounds are low and close to each other (within ~35% of
+    # the reactive bound) — the paper's "pick caching, it's well understood".
+    for cls, value in bounds.items():
+        assert value <= 1.35 * reactive, f"{cls} not close to the reactive bound"
+    spread = max(bounds.values()) / min(bounds.values())
+    assert spread <= 1.25

@@ -1,0 +1,76 @@
+"""Figure 3 (left): deployment-scenario bounds on the reduced topology, WEB.
+
+Phase 1 picks the deployment sites (node-opening cost in the objective);
+phase 2 recomputes class bounds on the reduced system where every site's
+accesses route through its assigned node, with all classes reactive.
+
+Paper's conclusions reproduced: storage-constrained remains the right
+choice for WEB; the replica-constrained class becomes dramatically worse on
+the reduced topology (a multiple of storage-constrained), and caching sits
+just above storage-constrained.
+"""
+
+import dataclasses
+
+from repro.analysis.report import render_series_table
+from repro.analysis.sweep import qos_sweep
+from repro.core.costs import CostModel
+from repro.core.deployment import FIGURE3_CLASSES, plan_deployment
+from repro.core.goals import QoSGoal
+
+from benchmarks.conftest import TLAT_MS, WARMUP_INTERVALS, write_report
+
+LEVELS = [0.90, 0.95]
+ZETA = 3000.0
+
+
+def run_fig3(topology, demand, base_level):
+    plan = plan_deployment(
+        topology,
+        demand,
+        QoSGoal(tlat_ms=TLAT_MS, fraction=base_level),
+        costs=CostModel.deployment_defaults(zeta=ZETA),
+        do_rounding=False,
+        warmup_intervals=WARMUP_INTERVALS,
+    )
+    assert plan.feasible, plan.reason
+    # Phase-2 sweep over the Figure-3 classes (reactive variants).
+    from repro.core.deployment import _reactive_variant
+    from repro.core.classes import get_class
+
+    classes = [_reactive_variant(get_class(n)) for n in FIGURE3_CLASSES]
+    sweep = qos_sweep(plan.phase2_problem, levels=LEVELS, classes=classes)
+    return plan, sweep
+
+
+def test_fig3_web(benchmark, topology, web_demand):
+    plan, sweep = benchmark.pedantic(
+        run_fig3, args=(topology, web_demand, LEVELS[0]), rounds=1, iterations=1
+    )
+
+    rows = []
+    for level in LEVELS:
+        rows.append(
+            [f"{level:.2%}"] + [sweep.bound(cls, level) for cls in sweep.classes]
+        )
+    table = render_series_table(
+        f"Figure 3 (WEB): bounds on the {len(plan.open_nodes)}-node deployed topology "
+        f"(opened: {sorted(plan.open_nodes)})",
+        ["QoS"] + list(sweep.classes),
+        rows,
+    )
+    write_report("fig3_web", table)
+
+    level = LEVELS[1]
+    reactive = sweep.bound("reactive", level)
+    sc = sweep.bound("storage-constrained", level)
+    rc = sweep.bound("replica-constrained", level)
+    caching = sweep.bound("caching", level)
+    assert reactive and sc and rc and caching
+
+    # Storage-constrained is the right choice; replica-constrained collapses
+    # on the reduced topology (the paper's changed conclusion vs Figure 1).
+    assert sc < rc
+    assert rc >= 2.0 * sc
+    assert caching >= sc - 1e-6
+    assert caching <= 1.5 * sc  # caching tracks its SC superclass here

@@ -1,0 +1,89 @@
+"""§4.3 / Appendix B ablation: the evaluation interval and the bound.
+
+With storage priced per unit time, solving at a finer evaluation interval
+yields an equal or lower bound (Theorem 2's direction: a bound at delta
+covers heuristics evaluated at >= 2*delta).  This bench sweeps the interval
+granularity on a fixed trace and verifies monotonicity, plus Theorem 3's
+per-access interval selection on the trace's inter-access gaps.
+"""
+
+import dataclasses
+
+from repro.analysis.report import render_series_table
+from repro.core.bounds import compute_lower_bound
+from repro.core.costs import CostModel
+from repro.core.goals import QoSGoal
+from repro.core.intervals import bound_applies, per_access_interval
+from repro.core.problem import MCPerfProblem
+from repro.workload.demand import DemandMatrix
+
+from benchmarks.conftest import TLAT_MS, write_report
+
+INTERVALS = [2, 4, 8, 16]
+
+
+def run_interval_sweep(topology, web_trace):
+    rows = []
+    bounds = []
+    for count in INTERVALS:
+        demand = DemandMatrix.from_trace(web_trace, num_intervals=count)
+        # Price storage per unit time: alpha scales with interval length so
+        # different granularities are comparable.
+        alpha = web_trace.duration_s / count / 3600.0
+        problem = MCPerfProblem(
+            topology=topology,
+            demand=demand,
+            goal=QoSGoal(tlat_ms=TLAT_MS, fraction=0.9),
+            costs=CostModel(alpha=alpha, beta=1.0),
+            # No warm-up here: masking one interval would hide a different
+            # demand share at each granularity and confound the comparison.
+            warmup_intervals=0,
+        )
+        result = compute_lower_bound(problem, do_rounding=False)
+        rows.append(
+            [
+                count,
+                round(web_trace.duration_s / count / 3600.0, 2),
+                round(result.lp_cost) if result.feasible else None,
+                round(result.solve_seconds, 2),
+            ]
+        )
+        bounds.append(result.lp_cost if result.feasible else None)
+    return rows, bounds
+
+
+def test_interval_granularity(benchmark, topology, web_trace):
+    rows, bounds = benchmark.pedantic(
+        run_interval_sweep, args=(topology, web_trace), rounds=1, iterations=1
+    )
+    table = render_series_table(
+        "General lower bound vs evaluation-interval granularity (WEB, 90% QoS)",
+        ["intervals", "delta_hours", "bound", "solve_s"],
+        rows,
+    )
+    write_report("interval_ablation", table)
+
+    present = [b for b in bounds if b is not None]
+    assert len(present) == len(bounds), "all granularities must be feasible"
+    # Finer granularity (more intervals) never raises the bound; allow a
+    # small tolerance for warm-up masking differences across bucketings.
+    for coarse, fine in zip(bounds, bounds[1:]):
+        assert fine <= coarse * 1.05
+
+
+def test_theorem3_interval_selection(benchmark, web_trace):
+    delta = benchmark.pedantic(
+        per_access_interval, args=(web_trace,), rounds=1, iterations=1
+    )
+    assert delta > 0
+    # The chosen delta bounds every heuristic whose period is itself, or at
+    # least twice it (Theorem 2's applicability test).
+    assert bound_applies(delta, 2 * delta)
+    assert bound_applies(delta, delta)
+    write_report(
+        "theorem3_interval",
+        f"Theorem-3 evaluation interval for the WEB trace: {delta:.3g}s "
+        f"({web_trace.duration_s / delta:.3g} intervals per day; the paper "
+        f"solves at 1h for tractability and Theorem 2 says which heuristics "
+        f"that coarser bound still covers)",
+    )

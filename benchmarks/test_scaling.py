@@ -1,0 +1,82 @@
+"""§5 scaling claim: solve time grows manageably with |N|·|I|·|K|.
+
+The paper reports CPLEX runtimes from under a minute to ~12 hours at full
+scale, and rounding in seconds even for large systems.  This bench sweeps
+the problem size and records LP solve time and rounding time, asserting the
+off-line method stays tractable (and that rounding stays much cheaper than
+solving).
+"""
+
+import time
+
+from repro.analysis.report import render_series_table
+from repro.core.bounds import compute_lower_bound
+from repro.core.classes import get_class
+from repro.core.costs import CostModel
+from repro.core.goals import QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.topology.generators import as_level_topology
+from repro.workload.demand import DemandMatrix
+from repro.workload.generators import web_workload
+
+from benchmarks.conftest import TLAT_MS, write_report
+
+SIZES = [
+    # (nodes, intervals, objects, requests_scale)
+    (8, 4, 20, 0.02),
+    (12, 6, 40, 0.04),
+    (16, 8, 60, 0.08),
+    (20, 8, 80, 0.15),
+]
+
+
+def run_scaling():
+    rows = []
+    for nodes, intervals, objects, scale in SIZES:
+        topo = as_level_topology(num_nodes=nodes, seed=2)
+        trace = web_workload(
+            num_nodes=nodes,
+            num_objects=objects,
+            populations=topo.populations,
+            requests_scale=scale,
+            seed=1,
+        )
+        demand = DemandMatrix.from_trace(trace, num_intervals=intervals)
+        problem = MCPerfProblem(
+            topology=topo,
+            demand=demand,
+            goal=QoSGoal(tlat_ms=TLAT_MS, fraction=0.9),
+            costs=CostModel.paper_defaults(),
+            warmup_intervals=1,
+        )
+        result = compute_lower_bound(
+            problem, get_class("storage-constrained").properties, do_rounding=True
+        )
+        rows.append(
+            [
+                nodes * intervals * objects,
+                result.num_variables,
+                result.num_constraints,
+                round(result.solve_seconds, 3),
+                round(result.round_seconds, 3),
+                result.feasible,
+            ]
+        )
+    return rows
+
+
+def test_scaling(benchmark):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    table = render_series_table(
+        "LP solve / rounding time vs problem size (storage-constrained class)",
+        ["N*I*K", "variables", "rows", "solve_s", "round_s", "feasible"],
+        rows,
+    )
+    write_report("scaling", table)
+
+    assert all(row[5] for row in rows), "all sizes must be solvable"
+    # The method stays tractable at the largest bench size.
+    assert rows[-1][3] < 60.0, "LP solve exceeded a minute at bench scale"
+    # Problem size grows monotonically across the sweep.
+    sizes = [row[0] for row in rows]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,47 @@
+"""Table 3: heuristic classes as combinations of heuristic properties.
+
+Regenerates the classification table programmatically from the registry and
+checks the property combinations against the paper's rows.
+"""
+
+from repro.core.classes import STANDARD_CLASSES, render_table3, table3
+
+from benchmarks.conftest import write_report
+
+
+def test_table3(benchmark):
+    rows = benchmark.pedantic(table3, rounds=1, iterations=1)
+    write_report("table3", render_table3())
+
+    by_name = {r["class"]: r for r in rows}
+
+    # Paper row: storage constrained heuristics — SC, global/global, multi.
+    row = by_name["storage-constrained"]
+    assert (row["SC"], row["Route"], row["Know"], row["Hist"], row["React"]) == (
+        "uniform", "global", "global", "all", "",
+    )
+    # Paper row: replica constrained heuristics — RC, global/global, multi.
+    row = by_name["replica-constrained"]
+    assert (row["RC"], row["Route"], row["Know"], row["Hist"]) == (
+        "uniform", "global", "global", "all",
+    )
+    # Paper row: decentralized storage constrained w/ local routing.
+    row = by_name["decentralized-local-routing"]
+    assert (row["SC"], row["Route"], row["Know"], row["React"]) == (
+        "uniform", "local", "local", "",
+    )
+    # Paper row: local caching — SC, local/local, single, reactive.
+    row = by_name["caching"]
+    assert (row["SC"], row["Route"], row["Know"], row["Hist"], row["React"]) == (
+        "uniform", "local", "local", "1", "yes",
+    )
+    # Paper row: cooperative caching — SC, global/global, single, reactive.
+    row = by_name["cooperative-caching"]
+    assert (row["Route"], row["Know"], row["Hist"], row["React"]) == (
+        "global", "global", "1", "yes",
+    )
+    # Paper rows: prefetching variants are the proactive versions.
+    assert by_name["caching-prefetch"]["React"] == ""
+    assert by_name["cooperative-caching-prefetch"]["React"] == ""
+    # Every registered class appears exactly once.
+    assert len(rows) == len(STANDARD_CLASSES)

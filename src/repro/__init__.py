@@ -1,0 +1,103 @@
+"""repro — reproduction of *Choosing Replica Placement Heuristics for
+Wide-Area Systems* (Karlsson & Karamanolis, ICDCS 2004).
+
+The package derives per-class lower bounds on replication cost for a given
+system topology, workload and latency performance goal, and validates them
+against trace-driven simulations of actual placement heuristics.
+
+Quickstart::
+
+    from repro import (
+        MCPerfProblem, QoSGoal, compute_lower_bound, get_class,
+        as_level_topology, web_workload, DemandMatrix,
+    )
+
+    topo = as_level_topology(num_nodes=10, seed=1)
+    trace = web_workload(num_nodes=10, num_objects=50, requests_scale=0.01)
+    problem = MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix.from_trace(trace, num_intervals=8),
+        goal=QoSGoal(tlat_ms=150.0, fraction=0.99),
+    )
+    general = compute_lower_bound(problem)
+    caching = compute_lower_bound(problem, get_class("caching").properties)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from repro.core import (
+    AverageLatencyGoal,
+    CostModel,
+    DeploymentPlan,
+    FIGURE1_CLASSES,
+    Formulation,
+    GoalScope,
+    HeuristicClass,
+    HeuristicProperties,
+    Knowledge,
+    LowerBoundResult,
+    MCPerfProblem,
+    QoSGoal,
+    ReplicaConstraint,
+    RoundingResult,
+    Routing,
+    STANDARD_CLASSES,
+    SelectionReport,
+    StorageConstraint,
+    build_formulation,
+    compute_lower_bound,
+    get_class,
+    plan_deployment,
+    render_table3,
+    round_solution,
+    select_heuristic,
+    table3,
+)
+from repro.topology import Topology, as_level_topology
+from repro.workload import (
+    DemandMatrix,
+    Request,
+    Trace,
+    group_workload,
+    web_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AverageLatencyGoal",
+    "CostModel",
+    "DeploymentPlan",
+    "DemandMatrix",
+    "FIGURE1_CLASSES",
+    "Formulation",
+    "GoalScope",
+    "HeuristicClass",
+    "HeuristicProperties",
+    "Knowledge",
+    "LowerBoundResult",
+    "MCPerfProblem",
+    "QoSGoal",
+    "ReplicaConstraint",
+    "Request",
+    "RoundingResult",
+    "Routing",
+    "STANDARD_CLASSES",
+    "SelectionReport",
+    "StorageConstraint",
+    "Topology",
+    "Trace",
+    "as_level_topology",
+    "build_formulation",
+    "compute_lower_bound",
+    "get_class",
+    "group_workload",
+    "plan_deployment",
+    "render_table3",
+    "round_solution",
+    "select_heuristic",
+    "table3",
+    "web_workload",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Analysis helpers: QoS sweeps, tables and ASCII plots for the figures."""
+
+from repro.analysis.sweep import SweepResult, qos_sweep
+from repro.analysis.report import render_csv, render_series_table, render_sweep_table
+from repro.analysis.plot import ascii_chart
+from repro.analysis.sensitivity import (
+    SensitivityPoint,
+    SensitivityReport,
+    cost_ratio_sensitivity,
+    qos_sensitivity,
+    recommendation_stability,
+    threshold_sensitivity,
+)
+
+__all__ = [
+    "SweepResult",
+    "qos_sweep",
+    "render_sweep_table",
+    "render_series_table",
+    "render_csv",
+    "ascii_chart",
+    "SensitivityPoint",
+    "SensitivityReport",
+    "threshold_sensitivity",
+    "qos_sensitivity",
+    "cost_ratio_sensitivity",
+    "recommendation_stability",
+]

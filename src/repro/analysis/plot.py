@@ -1,0 +1,67 @@
+"""Minimal ASCII line charts for terminal-rendered figures.
+
+The benchmark harness prints each figure's series both as a table and as a
+small ASCII chart, so the reproduced shape (who wins, where curves end) is
+visible directly in the bench output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Optional[float]]],
+    x_labels: Sequence[str],
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Plot several named series (None = missing point) on one char canvas."""
+    if height < 3 or width < 10:
+        raise ValueError("chart too small")
+    values = [v for pts in series.values() for v in pts if v is not None]
+    if not values:
+        return f"{title}\n(no feasible points)"
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        hi = lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    num_x = max(len(pts) for pts in series.values())
+    if num_x < 1:
+        return f"{title}\n(empty series)"
+
+    def col(i: int) -> int:
+        return int(i * (width - 1) / max(num_x - 1, 1))
+
+    def row(v: float) -> int:
+        frac = (v - lo) / (hi - lo)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    legend = []
+    for s_idx, (name, pts) in enumerate(series.items()):
+        mark = _MARKERS[s_idx % len(_MARKERS)]
+        legend.append(f"{mark}={name}")
+        for i, v in enumerate(pts):
+            if v is None:
+                continue
+            canvas[row(v)][col(i)] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:12.0f} ┤" + "".join(canvas[0]))
+    for r in range(1, height - 1):
+        lines.append(" " * 12 + " │" + "".join(canvas[r]))
+    lines.append(f"{lo:12.0f} ┤" + "".join(canvas[height - 1]))
+    labels = " " * 14
+    for i, lab in enumerate(x_labels[:num_x]):
+        pos = 14 + col(i)
+        if pos >= len(labels):
+            labels = labels.ljust(pos) + str(lab)
+    lines.append(labels)
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Rendering sweep results as tables (the figures' data, in text form)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.sweep import SweepResult
+
+
+def _fmt_level(level: float) -> str:
+    pct = level * 100.0
+    text = f"{pct:.3f}".rstrip("0").rstrip(".")
+    return f"{text}%"
+
+
+def _fmt_cost(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    if value >= 10_000:
+        return f"{value / 1000:.1f}k"
+    return f"{value:.0f}"
+
+
+def render_sweep_table(
+    sweep: SweepResult,
+    title: str = "",
+    feasible_costs: bool = False,
+) -> str:
+    """An ASCII table: rows = classes, columns = QoS levels.
+
+    With ``feasible_costs`` the rounded feasible cost is shown next to each
+    bound as ``bound/feasible``.
+    """
+    headers = ["class"] + [_fmt_level(level) for level in sweep.levels]
+    rows: List[List[str]] = []
+    for cls in sweep.classes:
+        row = [cls]
+        for level in sweep.levels:
+            cell = _fmt_cost(sweep.bound(cls, level))
+            if feasible_costs:
+                cell += "/" + _fmt_cost(sweep.feasible_cost(cls, level))
+            row.append(cell)
+        rows.append(row)
+    widths = [
+        max(len(headers[col]), max(len(r[col]) for r in rows)) for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_csv(sweep: SweepResult) -> str:
+    """CSV rows ``class,level,bound,feasible_cost`` (empty = infeasible)."""
+    lines = ["class,qos_level,lower_bound,feasible_cost"]
+    for cls in sweep.classes:
+        for level in sweep.levels:
+            bound = sweep.bound(cls, level)
+            feas = sweep.feasible_cost(cls, level)
+            lines.append(
+                f"{cls},{level},"
+                f"{'' if bound is None else f'{bound:.3f}'},"
+                f"{'' if feas is None else f'{feas:.3f}'}"
+            )
+    return "\n".join(lines)
+
+
+def render_series_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Generic ASCII table used by the Figure-2/3 benches."""
+    text_rows = [[("—" if v is None else (f"{v:.0f}" if isinstance(v, float) else str(v))) for v in row] for row in rows]
+    widths = [
+        max(len(str(columns[c])), max((len(r[c]) for r in text_rows), default=0))
+        for c in range(len(columns))
+    ]
+    lines = [title] if title else []
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

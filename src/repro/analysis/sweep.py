@@ -1,0 +1,124 @@
+"""QoS-goal sweeps: the x-axis of Figures 1–3.
+
+A sweep fixes the system and workload, varies the QoS fraction (the paper
+plots 95 % … 99.999 %), and computes each class's lower bound at every
+level.  Infeasible points (class cannot meet the goal) are recorded as such
+— those are the early curve endpoints in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.bounds import LowerBoundResult, compute_lower_bound
+from repro.core.classes import FIGURE1_CLASSES, HeuristicClass, get_class
+from repro.core.goals import QoSGoal
+from repro.core.problem import MCPerfProblem
+
+#: The QoS levels the paper sweeps in Figures 1-3.
+PAPER_QOS_LEVELS: List[float] = [0.95, 0.99, 0.999, 0.9999, 0.99999]
+
+
+@dataclass
+class SweepResult:
+    """Per-(class, QoS level) bounds for one system + workload."""
+
+    levels: List[float]
+    classes: List[str]
+    results: Dict[str, Dict[float, LowerBoundResult]] = field(default_factory=dict)
+
+    def bound(self, cls: str, level: float) -> Optional[float]:
+        result = self.results.get(cls, {}).get(level)
+        return result.lp_cost if result is not None and result.feasible else None
+
+    def feasible_cost(self, cls: str, level: float) -> Optional[float]:
+        result = self.results.get(cls, {}).get(level)
+        return result.feasible_cost if result is not None and result.feasible else None
+
+    def series(self, cls: str) -> List[Optional[float]]:
+        """Bound per level (None where the class cannot meet the goal)."""
+        return [self.bound(cls, level) for level in self.levels]
+
+    def max_feasible_level(self, cls: str) -> Optional[float]:
+        feasible = [lvl for lvl in self.levels if self.bound(cls, lvl) is not None]
+        return max(feasible) if feasible else None
+
+    def crossover(self, cls_a: str, cls_b: str) -> Optional[float]:
+        """The first sweep level where the cheaper of two classes flips.
+
+        Returns the level at which the ordering of ``cls_a`` vs ``cls_b``
+        differs from the ordering at the first level where both are
+        feasible; None if they never flip (or never coexist).  A class
+        becoming infeasible while the other stays feasible also counts as a
+        flip — that's the "curve ends" crossover the paper's figures show.
+        """
+        baseline: Optional[int] = None
+        for level in self.levels:
+            a = self.bound(cls_a, level)
+            b = self.bound(cls_b, level)
+            if a is None and b is None:
+                continue
+            if a is None or b is None:
+                order = 1 if a is None else -1  # infeasible side "costs more"
+            else:
+                order = 0 if abs(a - b) <= 1e-9 else (-1 if a < b else 1)
+            if baseline is None:
+                if order != 0:
+                    baseline = order
+                continue
+            if order != 0 and order != baseline:
+                return level
+        return None
+
+
+def qos_sweep(
+    problem: MCPerfProblem,
+    levels: Optional[Sequence[float]] = None,
+    classes: Optional[Sequence[object]] = None,
+    do_rounding: bool = False,
+    run_length: bool = False,
+    backend: str = "scipy",
+    reuse_formulation: bool = True,
+) -> SweepResult:
+    """Compute class bounds across QoS levels (the Figure-1 computation).
+
+    ``problem.goal`` supplies the latency threshold and scope; its fraction
+    is replaced by each sweep level in turn.  By default each class's
+    formulation is built once and re-targeted per level via
+    :meth:`~repro.core.formulation.Formulation.set_qos_fraction`, which
+    skips the model-assembly cost at every level after the first.
+    """
+    if not isinstance(problem.goal, QoSGoal):
+        raise TypeError("qos_sweep needs a QoSGoal problem")
+    levels = list(levels) if levels is not None else list(PAPER_QOS_LEVELS)
+    if classes is None:
+        chosen = [get_class(n) for n in FIGURE1_CLASSES]
+    else:
+        chosen = [c if isinstance(c, HeuristicClass) else get_class(str(c)) for c in classes]
+
+    from repro.core.formulation import build_formulation
+
+    sweep = SweepResult(levels=levels, classes=[c.name for c in chosen])
+    for cls in chosen:
+        per_level: Dict[float, LowerBoundResult] = {}
+        form = (
+            build_formulation(problem, cls.properties) if reuse_formulation else None
+        )
+        for level in levels:
+            goal = dataclasses.replace(problem.goal, fraction=level)
+            leveled = dataclasses.replace(problem, goal=goal)
+            if form is not None:
+                form.set_qos_fraction(level)
+                leveled = form.problem
+            per_level[level] = compute_lower_bound(
+                leveled,
+                cls.properties,
+                do_rounding=do_rounding,
+                run_length=run_length,
+                backend=backend,
+                formulation=form,
+            )
+        sweep.results[cls.name] = per_level
+    return sweep

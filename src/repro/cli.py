@@ -1,0 +1,354 @@
+"""Command-line interface for the replica-placement analysis toolkit.
+
+Gives system designers the paper's workflow without writing Python::
+
+    repro topology --nodes 20 --seed 2 -o topo.json
+    repro workload web --nodes 20 --objects 80 --scale 0.1 -o trace.json
+    repro bounds    -t topo.json -w trace.json --qos 0.95 --class caching
+    repro select    -t topo.json -w trace.json --qos 0.95
+    repro deploy    -t topo.json -w trace.json --qos 0.95 --zeta 3000
+    repro simulate  -t topo.json -w trace.json --heuristic lru --capacity 20
+
+Every subcommand prints a human-readable report; ``--json`` switches to a
+machine-readable dump.  Entry point: ``python -m repro.cli`` (also installed
+as ``repro`` via the console-script hook).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.bounds import compute_lower_bound
+from repro.core.classes import STANDARD_CLASSES, get_class, render_table3
+from repro.core.costs import CostModel
+from repro.core.deployment import plan_deployment
+from repro.core.goals import GoalScope, QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.core.selection import select_heuristic
+from repro.heuristics import (
+    CooperativeLRUCaching,
+    GreedyGlobalPlacement,
+    LFUCaching,
+    LRUCaching,
+    QiuGreedyPlacement,
+    RandomPlacement,
+)
+from repro.simulator.engine import simulate
+from repro.topology.generators import as_level_topology
+from repro.topology.io import load_topology, save_topology
+from repro.workload.demand import DemandMatrix
+from repro.workload.generators import group_workload, web_workload
+from repro.workload.io import load_trace, save_trace
+from repro.workload.stats import characterize
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Replica-placement heuristic selection (Karlsson & Karamanolis, ICDCS 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topo = sub.add_parser("topology", help="generate an AS-level topology")
+    topo.add_argument("--nodes", type=int, default=20)
+    topo.add_argument("--seed", type=int, default=0)
+    topo.add_argument("--skew", type=float, default=0.8, help="population skew")
+    topo.add_argument("-o", "--output", required=True)
+
+    wl = sub.add_parser("workload", help="generate a WEB or GROUP trace")
+    wl.add_argument("kind", choices=["web", "group"])
+    wl.add_argument("--nodes", type=int, default=20)
+    wl.add_argument("--objects", type=int, default=80)
+    wl.add_argument("--scale", type=float, default=0.1)
+    wl.add_argument("--seed", type=int, default=0)
+    wl.add_argument("--topology", help="take site populations from this topology")
+    wl.add_argument("-o", "--output", required=True)
+
+    def problem_args(p):
+        p.add_argument("-t", "--topology", required=True)
+        p.add_argument("-w", "--workload", required=True)
+        p.add_argument("--qos", type=float, default=0.95, help="QoS fraction")
+        p.add_argument("--tlat", type=float, default=150.0, help="latency threshold (ms)")
+        p.add_argument("--intervals", type=int, default=8)
+        p.add_argument("--warmup", type=int, default=1)
+        p.add_argument(
+            "--scope",
+            choices=[s.value for s in GoalScope],
+            default=GoalScope.PER_USER.value,
+        )
+        p.add_argument("--alpha", type=float, default=1.0)
+        p.add_argument("--beta", type=float, default=1.0)
+        p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    bounds = sub.add_parser("bounds", help="compute a class's lower bound")
+    problem_args(bounds)
+    bounds.add_argument(
+        "--class",
+        dest="cls",
+        default="general",
+        choices=sorted(STANDARD_CLASSES),
+    )
+    bounds.add_argument("--no-rounding", action="store_true")
+
+    select = sub.add_parser("select", help="run the §6.1 selection methodology")
+    problem_args(select)
+    select.add_argument("--classes", nargs="*", default=None)
+    select.add_argument("--no-rounding", action="store_true")
+
+    deploy = sub.add_parser("deploy", help="run the §6.2 deployment methodology")
+    problem_args(deploy)
+    deploy.add_argument("--zeta", type=float, default=3000.0, help="node-opening cost")
+    deploy.add_argument("--max-nodes", type=int, default=None)
+
+    sim = sub.add_parser("simulate", help="replay the trace against a heuristic")
+    problem_args(sim)
+    sim.add_argument(
+        "--heuristic",
+        required=True,
+        choices=["lru", "lfu", "coop-lru", "greedy-global", "qiu", "random"],
+    )
+    sim.add_argument("--capacity", type=int, default=10, help="cache capacity (objects)")
+    sim.add_argument("--replicas", type=int, default=2, help="replicas per object")
+    sim.add_argument("--period", type=float, default=None, help="placement period (s)")
+
+    sweep = sub.add_parser("sweep", help="Figure-1 style QoS sweep of class bounds")
+    problem_args(sweep)
+    sweep.add_argument(
+        "--levels", nargs="+", type=float, default=[0.9, 0.95, 0.99],
+        help="QoS fractions to sweep",
+    )
+    sweep.add_argument("--classes", nargs="*", default=None)
+    sweep.add_argument("--csv", help="also write the sweep as CSV to this path")
+
+    sub.add_parser("classes", help="print the Table-3 class registry")
+    return parser
+
+
+def _load_problem(args) -> tuple:
+    topology = load_topology(args.topology)
+    trace = load_trace(args.workload)
+    demand = DemandMatrix.from_trace(trace, num_intervals=args.intervals)
+    problem = MCPerfProblem(
+        topology=topology,
+        demand=demand,
+        goal=QoSGoal(tlat_ms=args.tlat, fraction=args.qos, scope=GoalScope(args.scope)),
+        costs=CostModel(alpha=args.alpha, beta=args.beta),
+        warmup_intervals=args.warmup,
+    )
+    return topology, trace, demand, problem
+
+
+def _cmd_topology(args) -> int:
+    topo = as_level_topology(
+        num_nodes=args.nodes, seed=args.seed, population_skew=args.skew
+    )
+    save_topology(topo, args.output)
+    print(f"wrote {topo} to {args.output}")
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    populations = None
+    if args.topology:
+        populations = load_topology(args.topology).populations
+    maker = web_workload if args.kind == "web" else group_workload
+    trace = maker(
+        num_nodes=args.nodes,
+        num_objects=args.objects,
+        populations=populations,
+        requests_scale=args.scale,
+        seed=args.seed,
+    )
+    save_trace(trace, args.output)
+    print(f"wrote {characterize(trace)} to {args.output}")
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    _topo, _trace, _demand, problem = _load_problem(args)
+    cls = get_class(args.cls)
+    result = compute_lower_bound(
+        problem, cls.properties, do_rounding=not args.no_rounding
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "class": cls.name,
+                    "feasible": result.feasible,
+                    "lower_bound": result.lp_cost,
+                    "feasible_cost": result.feasible_cost,
+                    "gap": result.gap,
+                    "reason": result.reason,
+                    "solve_seconds": result.solve_seconds,
+                }
+            )
+        )
+    else:
+        print(str(result))
+        if not result.feasible:
+            return 1
+    return 0
+
+
+def _cmd_select(args) -> int:
+    _topo, _trace, _demand, problem = _load_problem(args)
+    report = select_heuristic(
+        problem, classes=args.classes, do_rounding=not args.no_rounding
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "recommended": report.recommended,
+                    "near_optimal": report.near_optimal,
+                    "general_bound": report.general.lp_cost,
+                    "bounds": {
+                        name: report.bound(name) for name in report.results
+                    },
+                    "infeasible": report.infeasible,
+                }
+            )
+        )
+    else:
+        print(report.render())
+    return 0 if report.recommended else 1
+
+
+def _cmd_deploy(args) -> int:
+    topology, _trace, demand, problem = _load_problem(args)
+    plan = plan_deployment(
+        topology,
+        demand,
+        problem.goal,
+        costs=problem.costs.with_zeta(args.zeta),
+        max_nodes=args.max_nodes,
+        warmup_intervals=args.warmup,
+        do_rounding=False,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "feasible": plan.feasible,
+                    "open_nodes": plan.open_nodes,
+                    "assignment": plan.assignment.tolist() if plan.assignment is not None else None,
+                    "recommended": plan.recommended,
+                    "reason": plan.reason,
+                }
+            )
+        )
+    else:
+        print(plan.render())
+    return 0 if plan.feasible else 1
+
+
+def _make_heuristic(args, trace):
+    period = args.period if args.period is not None else trace.duration_s / args.intervals
+    if args.heuristic == "lru":
+        return LRUCaching(args.capacity)
+    if args.heuristic == "lfu":
+        return LFUCaching(args.capacity)
+    if args.heuristic == "coop-lru":
+        return CooperativeLRUCaching(args.capacity)
+    if args.heuristic == "greedy-global":
+        return GreedyGlobalPlacement(args.capacity, period_s=period, tlat_ms=args.tlat)
+    if args.heuristic == "qiu":
+        return QiuGreedyPlacement(args.replicas, period_s=period, tlat_ms=args.tlat)
+    if args.heuristic == "random":
+        return RandomPlacement(args.replicas, period_s=period)
+    raise ValueError(f"unknown heuristic {args.heuristic!r}")
+
+
+def _cmd_simulate(args) -> int:
+    topology, trace, _demand, _problem = _load_problem(args)
+    heuristic = _make_heuristic(args, trace)
+    interval_s = trace.duration_s / args.intervals
+    result = simulate(
+        topology,
+        trace,
+        heuristic,
+        tlat_ms=args.tlat,
+        warmup_s=args.warmup * interval_s,
+        cost_interval_s=interval_s,
+        alpha=args.alpha,
+        beta=args.beta,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "heuristic": result.heuristic,
+                    "total_cost": result.total_cost,
+                    "storage_cost": result.storage_cost,
+                    "creation_cost": result.creation_cost,
+                    "qos": result.qos,
+                    "min_node_qos": result.min_node_qos,
+                    "meets_goal": result.meets(args.qos),
+                }
+            )
+        )
+    else:
+        print(str(result))
+        verdict = "meets" if result.meets(args.qos) else "MISSES"
+        print(f"-> {verdict} the {args.qos:.3%} per-user goal")
+    return 0 if result.meets(args.qos) else 1
+
+
+def _cmd_sweep(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.report import render_csv, render_sweep_table
+    from repro.analysis.sweep import qos_sweep
+
+    _topo, _trace, _demand, problem = _load_problem(args)
+    sweep = qos_sweep(problem, levels=args.levels, classes=args.classes)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "levels": sweep.levels,
+                    "bounds": {
+                        cls: sweep.series(cls) for cls in sweep.classes
+                    },
+                }
+            )
+        )
+    else:
+        print(render_sweep_table(sweep, title="Lower bound per class vs QoS goal"))
+    if args.csv:
+        Path(args.csv).write_text(render_csv(sweep) + "\n")
+        print(f"\nwrote CSV to {args.csv}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "topology": _cmd_topology,
+        "workload": _cmd_workload,
+        "bounds": _cmd_bounds,
+        "select": _cmd_select,
+        "deploy": _cmd_deploy,
+        "simulate": _cmd_simulate,
+        "sweep": _cmd_sweep,
+        "classes": lambda a: (print(render_table3()), 0)[1],
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output was piped to a consumer that closed early (e.g. `| head`).
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""MC-PERF core — the paper's contribution.
+
+Formulates the *minimal replication cost for performance* problem as an
+LP/IP, constrains it per heuristic class, derives per-class lower bounds
+(LP relaxation) and close-to-tight feasible costs (greedy rounding), and
+wraps the two methodologies of §6: heuristic selection for an existing
+infrastructure and two-phase infrastructure deployment.
+"""
+
+from repro.core.costs import CostModel
+from repro.core.goals import AverageLatencyGoal, GoalScope, QoSGoal
+from repro.core.problem import MCPerfProblem, PlacementInstance
+from repro.core.properties import (
+    HeuristicProperties,
+    Knowledge,
+    ReplicaConstraint,
+    Routing,
+    StorageConstraint,
+)
+from repro.core.formulation import Formulation, build_formulation, compute_allowed_create
+from repro.core.evaluate import (
+    CostBreakdown,
+    average_latency_by_scope,
+    coverage_matrix,
+    creations_from_store,
+    meets_goal,
+    qos_by_scope,
+    solution_cost,
+)
+from repro.core.rounding import RoundingResult, round_solution
+from repro.core.rounding_avg import round_average_latency
+from repro.core.verify import PlacementReport, verify_placement
+from repro.core.bounds import LowerBoundResult, compute_lower_bound
+from repro.core.exact import ExactBoundResult, compute_exact_bound
+from repro.core.classes import (
+    FIGURE1_CLASSES,
+    STANDARD_CLASSES,
+    HeuristicClass,
+    get_class,
+    render_table3,
+    table3,
+)
+from repro.core.intervals import (
+    IntervalPlan,
+    bound_applies,
+    interaction_matrix,
+    interval_for_period,
+    per_access_interval,
+    plan_intervals,
+)
+from repro.core.selection import SelectionReport, select_heuristic
+from repro.core.deployment import DeploymentPlan, plan_deployment
+from repro.core.adaptive import (
+    AdaptivePlacement,
+    TimelinePoint,
+    default_factories,
+    selection_timeline,
+)
+
+__all__ = [
+    "CostModel",
+    "QoSGoal",
+    "AverageLatencyGoal",
+    "GoalScope",
+    "MCPerfProblem",
+    "PlacementInstance",
+    "HeuristicProperties",
+    "StorageConstraint",
+    "ReplicaConstraint",
+    "Routing",
+    "Knowledge",
+    "Formulation",
+    "build_formulation",
+    "compute_allowed_create",
+    "CostBreakdown",
+    "coverage_matrix",
+    "creations_from_store",
+    "qos_by_scope",
+    "average_latency_by_scope",
+    "meets_goal",
+    "solution_cost",
+    "RoundingResult",
+    "round_solution",
+    "round_average_latency",
+    "PlacementReport",
+    "verify_placement",
+    "LowerBoundResult",
+    "compute_lower_bound",
+    "ExactBoundResult",
+    "compute_exact_bound",
+    "HeuristicClass",
+    "STANDARD_CLASSES",
+    "FIGURE1_CLASSES",
+    "get_class",
+    "table3",
+    "render_table3",
+    "IntervalPlan",
+    "bound_applies",
+    "interval_for_period",
+    "interaction_matrix",
+    "per_access_interval",
+    "plan_intervals",
+    "SelectionReport",
+    "select_heuristic",
+    "DeploymentPlan",
+    "plan_deployment",
+    "AdaptivePlacement",
+    "TimelinePoint",
+    "default_factories",
+    "selection_timeline",
+]

@@ -1,0 +1,251 @@
+"""On-line adaptive heuristic selection (the paper's §7 future work).
+
+The paper closes with: "Currently, we are investigating on-line approaches
+to dynamically adapt the placement heuristic to changing systems and
+workloads."  This module implements that extension on top of the bound
+machinery:
+
+* :func:`selection_timeline` — the *analysis* view: slide a window over the
+  demand matrix and re-run the §6.1 selection per window, exposing when the
+  recommended class flips (e.g. a workload drifting from WEB-like to
+  GROUP-like popularity).
+* :class:`AdaptivePlacement` — the *actuation* view: a simulator heuristic
+  that periodically rebuilds an MC-PERF problem from the demand it has
+  observed, recomputes the class bounds, and hot-swaps its inner heuristic
+  to a member of the newly recommended class (replicas are adopted by the
+  successor, so switching pays only the reconciliation cost).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.classes import HeuristicClass, get_class
+from repro.core.costs import CostModel
+from repro.core.goals import QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.core.selection import SelectionReport, select_heuristic
+from repro.heuristics.base import PlacementHeuristic
+from repro.workload.demand import DemandMatrix
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class TimelinePoint:
+    """The selection outcome for one sliding window."""
+
+    start_interval: int
+    end_interval: int  # exclusive
+    recommended: Optional[str]
+    bounds: Dict[str, Optional[float]]
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.start_interval}, {self.end_interval}): "
+            f"{self.recommended or 'none feasible'}"
+        )
+
+
+def selection_timeline(
+    problem: MCPerfProblem,
+    window: int,
+    step: Optional[int] = None,
+    classes: Optional[Sequence[object]] = None,
+    backend: str = "scipy",
+) -> List[TimelinePoint]:
+    """Re-run the selection methodology over sliding demand windows.
+
+    Parameters
+    ----------
+    problem:
+        The full-horizon problem; its demand matrix is windowed.
+    window:
+        Window length in evaluation intervals.
+    step:
+        Window stride (defaults to ``window`` — disjoint windows).
+    classes:
+        Candidate classes (defaults to the Figure-1 set).
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1 interval")
+    step = step if step is not None else window
+    if step < 1:
+        raise ValueError("step must be positive")
+    demand = problem.demand
+    points: List[TimelinePoint] = []
+    start = 0
+    while start < demand.num_intervals:
+        end = min(start + window, demand.num_intervals)
+        windowed = DemandMatrix(
+            reads=demand.reads[:, start:end, :].copy(),
+            writes=demand.writes[:, start:end, :].copy(),
+            interval_s=demand.interval_s,
+        )
+        sub = dataclasses.replace(
+            problem, demand=windowed, warmup_intervals=0
+        )
+        report = select_heuristic(
+            sub, classes=classes, do_rounding=False, backend=backend
+        )
+        points.append(
+            TimelinePoint(
+                start_interval=start,
+                end_interval=end,
+                recommended=report.recommended,
+                bounds={name: report.bound(name) for name in report.results},
+            )
+        )
+        if end >= demand.num_intervals:
+            break
+        start += step
+    return points
+
+
+#: Factory signature: given the simulation context, build a heuristic.
+HeuristicFactory = Callable[[object], PlacementHeuristic]
+
+
+def default_factories(
+    capacity: int, replicas: int, period_s: float, tlat_ms: float
+) -> Dict[str, HeuristicFactory]:
+    """Reasonable class -> concrete-heuristic factories for actuation."""
+    from repro.heuristics.caching import LRUCaching
+    from repro.heuristics.greedy_global import GreedyGlobalPlacement
+    from repro.heuristics.qiu import QiuGreedyPlacement
+
+    return {
+        "storage-constrained": lambda ctx: GreedyGlobalPlacement(
+            capacity, period_s=period_s, tlat_ms=tlat_ms
+        ),
+        "replica-constrained": lambda ctx: QiuGreedyPlacement(
+            replicas, period_s=period_s, tlat_ms=tlat_ms
+        ),
+        "caching": lambda ctx: LRUCaching(capacity),
+    }
+
+
+class AdaptivePlacement(PlacementHeuristic):
+    """A heuristic-of-heuristics that re-selects its class on line.
+
+    Every ``reselect_every`` periods it builds an MC-PERF problem from the
+    last ``window`` periods of *observed* demand, runs the bound-based
+    selection over its candidate classes, and — if the recommendation
+    changed — swaps the inner heuristic (the successor adopts the current
+    replicas via :meth:`~repro.heuristics.base.PlacementHeuristic.on_adopt`).
+
+    Parameters
+    ----------
+    factories:
+        Mapping from class name to a heuristic factory; the candidate set.
+    goal:
+        The QoS goal selection optimizes for.
+    period_s:
+        Planning period (shared with the inner heuristics).
+    window / reselect_every:
+        Sliding-window length and re-selection cadence, in periods.
+    initial:
+        Class to start with (defaults to the first factory key).
+    """
+
+    clairvoyant = False
+
+    def __init__(
+        self,
+        factories: Dict[str, HeuristicFactory],
+        goal: QoSGoal,
+        period_s: float,
+        window: int = 4,
+        reselect_every: int = 2,
+        initial: Optional[str] = None,
+        costs: Optional[CostModel] = None,
+    ):
+        if not factories:
+            raise ValueError("need at least one heuristic factory")
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        if window < 1 or reselect_every < 1:
+            raise ValueError("window and reselect_every must be >= 1")
+        unknown = [name for name in factories if name not in _known_class_names()]
+        if unknown:
+            raise KeyError(f"unknown heuristic classes: {unknown}")
+        self.factories = dict(factories)
+        self.goal = goal
+        self.period_s = period_s
+        self.window = window
+        self.reselect_every = reselect_every
+        self.costs = costs or CostModel.paper_defaults()
+        self.initial = initial or next(iter(factories))
+        if self.initial not in factories:
+            raise KeyError(f"initial class {self.initial!r} has no factory")
+        self.current_class: str = self.initial
+        self.switches: List[tuple] = []
+        self._inner: Optional[PlacementHeuristic] = None
+        self._observed: List[np.ndarray] = []
+
+    # The simulator reads routing per request; delegate to the inner choice.
+    @property
+    def routing(self) -> str:  # type: ignore[override]
+        return self._inner.routing if self._inner is not None else "global"
+
+    def describe(self) -> str:
+        return f"Adaptive(current={self.current_class}, window={self.window})"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_start(self, ctx) -> None:
+        self.current_class = self.initial
+        self.switches = []
+        self._observed = []
+        self._inner = self.factories[self.current_class](ctx)
+        self._inner.on_start(ctx)
+
+    def _reselect(self, index: int, ctx) -> None:
+        recent = self._observed[-self.window :]
+        if not recent:
+            return
+        reads = np.stack(recent, axis=1)  # (N, W, K)
+        if reads.sum() <= 0:
+            return
+        demand = DemandMatrix(reads=reads, interval_s=self.period_s)
+        problem = MCPerfProblem(
+            topology=ctx.topology,
+            demand=demand,
+            goal=self.goal,
+            costs=self.costs,
+        )
+        classes = [get_class(name) for name in self.factories]
+        report = select_heuristic(problem, classes=classes, do_rounding=False)
+        choice = report.recommended
+        if choice is None or choice == self.current_class:
+            return
+        logger.info(
+        "adaptive: switching %s -> %s at period %d", self.current_class, choice, index
+        )
+        self.switches.append((index, self.current_class, choice))
+        self.current_class = choice
+        self._inner = self.factories[choice](ctx)
+        self._inner.on_adopt(ctx)
+
+    def on_interval(self, index, ctx, past_demand, next_demand) -> None:
+        if index > 0:
+            self._observed.append(past_demand.copy())
+        if index > 0 and index % self.reselect_every == 0:
+            self._reselect(index, ctx)
+        assert self._inner is not None
+        self._inner.on_interval(index, ctx, past_demand, next_demand)
+
+    def on_access(self, request, served_ms, ctx) -> None:
+        assert self._inner is not None
+        self._inner.on_access(request, served_ms, ctx)
+
+
+def _known_class_names() -> set:
+    from repro.core.classes import STANDARD_CLASSES
+
+    return set(STANDARD_CLASSES)

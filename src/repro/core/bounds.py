@@ -1,0 +1,156 @@
+"""Lower-bound computation (§5).
+
+:func:`compute_lower_bound` is the paper's core operation: build the MC-PERF
+LP for a heuristic class, solve the relaxation (the *lower bound*), and run
+the rounding algorithm (the *feasible cost* demonstrating tightness).
+
+A class that cannot meet the performance goal at any cost — e.g. local
+caching above 99 % QoS on the WEB workload — yields ``feasible=False``.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.formulation import Formulation, build_formulation
+from repro.core.problem import MCPerfProblem
+from repro.core.properties import HeuristicProperties
+from repro.core.rounding import RoundingResult, round_solution
+from repro.lp.solution import SolveStatus
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class LowerBoundResult:
+    """A class's lower bound on an MC-PERF instance.
+
+    Attributes
+    ----------
+    feasible:
+        Whether the class can meet the performance goal at all.
+    lp_cost:
+        The LP-relaxation optimum — the lower bound (None when infeasible).
+    feasible_cost:
+        Cost of the rounded integral solution (None if rounding skipped or
+        the class is infeasible).
+    gap:
+        Relative rounding gap ``(feasible_cost - lp_cost) / lp_cost``; the
+        paper reports this stays within ~10 %.
+    """
+
+    properties: HeuristicProperties
+    feasible: bool
+    lp_cost: Optional[float] = None
+    feasible_cost: Optional[float] = None
+    rounding: Optional[RoundingResult] = None
+    status: str = ""
+    reason: str = ""
+    solve_seconds: float = 0.0
+    round_seconds: float = 0.0
+    num_variables: int = 0
+    num_constraints: int = 0
+    store_lp: Optional[np.ndarray] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def gap(self) -> Optional[float]:
+        if self.lp_cost is None or self.feasible_cost is None or self.lp_cost <= 0:
+            return None
+        return (self.feasible_cost - self.lp_cost) / self.lp_cost
+
+    def __str__(self) -> str:
+        if not self.feasible:
+            return f"[{self.properties.describe()}] cannot meet the goal ({self.reason})"
+        lp = f"{self.lp_cost:.1f}" if self.lp_cost is not None else "n/a"
+        feas = f"{self.feasible_cost:.1f}" if self.feasible_cost is not None else "n/a"
+        return f"[{self.properties.describe()}] bound={lp} feasible={feas}"
+
+
+def compute_lower_bound(
+    problem: MCPerfProblem,
+    properties: Optional[HeuristicProperties] = None,
+    do_rounding: bool = True,
+    run_length: bool = False,
+    backend: str = "scipy",
+    keep_store: bool = False,
+    formulation: Optional[Formulation] = None,
+) -> LowerBoundResult:
+    """Lower bound (and rounded feasible cost) for one heuristic class.
+
+    Parameters
+    ----------
+    problem:
+        System + workload + goal + costs.
+    properties:
+        Class properties; None computes the general lower bound.
+    do_rounding:
+        Also produce a feasible integral cost: the Appendix-C greedy
+        rounding for QoS goals, the add-then-trim constructor
+        (:mod:`repro.core.rounding_avg`) for average-latency goals.
+    run_length:
+        Use run-length rounding (faster, slightly costlier solutions).
+    backend:
+        LP backend (``"scipy"`` or ``"simplex"``).
+    keep_store:
+        Retain the fractional LP store matrix on the result.
+    formulation:
+        Reuse a pre-built formulation (must match problem/properties).
+    """
+    props = properties or HeuristicProperties()
+    form = formulation or build_formulation(problem, props)
+    result = LowerBoundResult(
+        properties=props,
+        feasible=False,
+        num_variables=form.lp.num_variables,
+        num_constraints=form.lp.num_constraints,
+    )
+    if form.structurally_infeasible:
+        result.status = "structurally-infeasible"
+        result.reason = form.infeasible_reason
+        logger.debug("class %s structurally infeasible: %s", props.describe(), result.reason)
+        return result
+
+    t0 = time.perf_counter()
+    solution = form.lp.solve(backend=backend)
+    result.solve_seconds = time.perf_counter() - t0
+    result.status = solution.status.value
+
+    if solution.status is SolveStatus.INFEASIBLE:
+        result.reason = "LP relaxation infeasible: the class cannot meet the goal"
+        return result
+    if solution.status is not SolveStatus.OPTIMAL:
+        result.reason = f"LP solve failed: {solution.message}"
+        return result
+
+    result.feasible = True
+    result.lp_cost = form.bound_cost(solution)
+    logger.debug(
+        "bound[%s] = %.3f (%d vars, %d rows, %.2fs)",
+        props.describe(), result.lp_cost, result.num_variables,
+        result.num_constraints, result.solve_seconds,
+    )
+    if keep_store:
+        result.store_lp = form.store_array(solution.values)
+
+    from repro.core.goals import QoSGoal
+
+    if do_rounding:
+        t0 = time.perf_counter()
+        if isinstance(problem.goal, QoSGoal):
+            rounding = round_solution(form, solution, run_length=run_length)
+        else:
+            from repro.core.rounding_avg import round_average_latency
+
+            rounding = round_average_latency(form, solution)
+        result.round_seconds = time.perf_counter() - t0
+        result.rounding = rounding
+        result.feasible_cost = rounding.total_cost
+        if not rounding.feasible:
+            result.extras["rounding_infeasible"] = True
+    return result

@@ -1,0 +1,232 @@
+"""The heuristic-class registry (Table 3).
+
+Each :class:`HeuristicClass` is a named combination of heuristic properties
+plus the literature examples the paper cites for it.  The registry mirrors
+Table 3 row by row; :func:`table3` renders it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.properties import (
+    HeuristicProperties,
+    Knowledge,
+    ReplicaConstraint,
+    Routing,
+    StorageConstraint,
+)
+
+
+@dataclass(frozen=True)
+class HeuristicClass:
+    """A named class of placement heuristics."""
+
+    name: str
+    properties: HeuristicProperties
+    description: str
+    examples: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.properties.describe()}"
+
+
+GENERAL = HeuristicClass(
+    name="general",
+    properties=HeuristicProperties(),
+    description="Any conceivable placement heuristic (the general lower bound).",
+)
+
+STORAGE_CONSTRAINED = HeuristicClass(
+    name="storage-constrained",
+    properties=HeuristicProperties(storage_constraint=StorageConstraint.UNIFORM),
+    description=(
+        "Centralized heuristics using a fixed, uniform amount of storage per "
+        "node; global routing and knowledge, full history."
+    ),
+    examples=("Dowdy & Foster file assignment [3]", "Kangasharju greedy global [4]"),
+)
+
+STORAGE_CONSTRAINED_PER_NODE = HeuristicClass(
+    name="storage-constrained-per-node",
+    properties=HeuristicProperties(storage_constraint=StorageConstraint.PER_NODE),
+    description=(
+        "Storage-constrained variant where capacities differ per node "
+        "(bigger caches on strategic nodes) but are fixed over time."
+    ),
+    examples=("Kangasharju heterogeneous caches [4]",),
+)
+
+REPLICA_CONSTRAINED = HeuristicClass(
+    name="replica-constrained",
+    properties=HeuristicProperties(replica_constraint=ReplicaConstraint.UNIFORM),
+    description=(
+        "Centralized heuristics placing the same fixed number of replicas of "
+        "every object; global routing and knowledge."
+    ),
+    examples=("Qiu/Padmanabhan/Voelker k-median placement [11]",),
+)
+
+REPLICA_CONSTRAINED_PER_OBJECT = HeuristicClass(
+    name="replica-constrained-per-object",
+    properties=HeuristicProperties(replica_constraint=ReplicaConstraint.PER_OBJECT),
+    description=(
+        "Replica-constrained variant with a per-object replication factor "
+        "(more replicas for popular objects), fixed over time."
+    ),
+    examples=("popularity-proportional replication [3, 11]",),
+)
+
+DECENTRALIZED_LOCAL_ROUTING = HeuristicClass(
+    name="decentralized-local-routing",
+    properties=HeuristicProperties(
+        storage_constraint=StorageConstraint.UNIFORM,
+        routing=Routing.LOCAL,
+        knowledge=Knowledge.LOCAL,
+    ),
+    description=(
+        "Decentralized storage-constrained heuristics with local routing: "
+        "placement from local activity over the full history; misses go to "
+        "the origin."
+    ),
+    examples=("CDN edge placement [4]", "RaDaR [12]"),
+)
+
+CACHING = HeuristicClass(
+    name="caching",
+    properties=HeuristicProperties(
+        storage_constraint=StorageConstraint.UNIFORM,
+        routing=Routing.LOCAL,
+        knowledge=Knowledge.LOCAL,
+        history_window=1,
+        reactive=True,
+    ),
+    description=(
+        "Plain local caching (e.g. LRU): reacts only to the last local "
+        "access; misses go to the origin."
+    ),
+    examples=("LRU caching [14]",),
+)
+
+COOPERATIVE_CACHING = HeuristicClass(
+    name="cooperative-caching",
+    properties=HeuristicProperties(
+        storage_constraint=StorageConstraint.UNIFORM,
+        routing=Routing.GLOBAL,
+        knowledge=Knowledge.GLOBAL,
+        history_window=1,
+        reactive=True,
+    ),
+    description=(
+        "Cooperative caching: nodes know nearby caches' contents and fetch "
+        "from them; placement still reacts to the previous interval only."
+    ),
+    examples=("hierarchical cooperative caching [7]",),
+)
+
+CACHING_PREFETCH = HeuristicClass(
+    name="caching-prefetch",
+    properties=HeuristicProperties(
+        storage_constraint=StorageConstraint.UNIFORM,
+        routing=Routing.LOCAL,
+        knowledge=Knowledge.LOCAL,
+        history_window=1,
+        reactive=False,
+    ),
+    description="Local caching with prefetching (proactive single-interval history).",
+    examples=("caching with prefetching [14]",),
+)
+
+COOPERATIVE_CACHING_PREFETCH = HeuristicClass(
+    name="cooperative-caching-prefetch",
+    properties=HeuristicProperties(
+        storage_constraint=StorageConstraint.UNIFORM,
+        routing=Routing.GLOBAL,
+        knowledge=Knowledge.GLOBAL,
+        history_window=1,
+        reactive=False,
+    ),
+    description="Cooperative caching with prefetching.",
+    examples=("global-memory cooperative prefetching [19]",),
+)
+
+REACTIVE = HeuristicClass(
+    name="reactive",
+    properties=HeuristicProperties(reactive=True),
+    description=(
+        "Any reactive heuristic: placement only of objects accessed in past "
+        "intervals (the Figure-3 'reactive bound')."
+    ),
+)
+
+#: Table 3 of the paper, in row order, plus the general and reactive bounds.
+STANDARD_CLASSES: Dict[str, HeuristicClass] = {
+    c.name: c
+    for c in (
+        GENERAL,
+        STORAGE_CONSTRAINED,
+        STORAGE_CONSTRAINED_PER_NODE,
+        REPLICA_CONSTRAINED,
+        REPLICA_CONSTRAINED_PER_OBJECT,
+        DECENTRALIZED_LOCAL_ROUTING,
+        CACHING,
+        COOPERATIVE_CACHING,
+        CACHING_PREFETCH,
+        COOPERATIVE_CACHING_PREFETCH,
+        REACTIVE,
+    )
+}
+
+#: The classes plotted in Figure 1 of the paper.
+FIGURE1_CLASSES: List[str] = [
+    "general",
+    "storage-constrained",
+    "replica-constrained",
+    "decentralized-local-routing",
+    "caching",
+    "cooperative-caching",
+]
+
+
+def get_class(name: str) -> HeuristicClass:
+    """Look a class up by name; raises ``KeyError`` with suggestions."""
+    try:
+        return STANDARD_CLASSES[name]
+    except KeyError:
+        known = ", ".join(sorted(STANDARD_CLASSES))
+        raise KeyError(f"unknown heuristic class {name!r}; known classes: {known}") from None
+
+
+def table3() -> List[dict]:
+    """The Table-3 rows: class name, property flags and examples."""
+    rows = []
+    for cls in STANDARD_CLASSES.values():
+        p = cls.properties
+        rows.append(
+            {
+                "class": cls.name,
+                "SC": p.storage_constraint.value if p.storage_constraint.value != "none" else "",
+                "RC": p.replica_constraint.value if p.replica_constraint.value != "none" else "",
+                "Route": p.routing.value,
+                "Know": p.knowledge.value,
+                "Hist": "all" if p.history_window is None else str(p.history_window),
+                "React": "yes" if p.reactive else "",
+                "examples": "; ".join(cls.examples),
+            }
+        )
+    return rows
+
+
+def render_table3() -> str:
+    """ASCII rendering of Table 3."""
+    rows = table3()
+    headers = ["class", "SC", "RC", "Route", "Know", "Hist", "React", "examples"]
+    widths = {h: max(len(h), max(len(str(r[h])) for r in rows)) for h in headers}
+    lines = [
+        " | ".join(h.ljust(widths[h]) for h in headers),
+        "-+-".join("-" * widths[h] for h in headers),
+    ]
+    for r in rows:
+        lines.append(" | ".join(str(r[h]).ljust(widths[h]) for h in headers))
+    return "\n".join(lines)

@@ -1,0 +1,241 @@
+"""Evaluating placement solutions against an MC-PERF instance.
+
+Shared between the rounding algorithm (which must verify feasibility and
+price candidate roundings) and the bound/selection drivers (which report the
+cost of the feasible solution).  Cost accounting follows the paper:
+
+* storage alpha per object-interval — or, under a storage/replica
+  constraint, alpha on the *provisioned* capacity with the Figure-5
+  adjustments (every node padded to the max capacity ``cmax``; every object
+  padded to the max replica count);
+* creation beta per replica created (store rising 0 -> 1), including the
+  Figure-5 capacity-fill creation adjustments;
+* optional gamma late-access penalties, delta write costs and zeta node
+  costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.costs import CostModel
+from repro.core.goals import AverageLatencyGoal, GoalScope, PerformanceGoal, QoSGoal
+from repro.core.problem import PlacementInstance
+from repro.core.properties import (
+    HeuristicProperties,
+    ReplicaConstraint,
+    StorageConstraint,
+)
+
+
+def creations_from_store(
+    store: np.ndarray, initial: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Per-(ns, i, k) replica creations implied by a store matrix.
+
+    ``create[ns, i, k] = max(0, store[ns, i, k] - store[ns, i-1, k])`` with
+    the initial placement as interval −1 (constraint (3)/(4)).  Works for
+    fractional matrices too (used when pricing roundings).
+    """
+    prev = np.zeros_like(store)
+    prev[:, 1:, :] = store[:, :-1, :]
+    if initial is not None:
+        prev[:, 0, :] = initial
+    return np.maximum(store - prev, 0.0)
+
+
+def coverage_matrix(instance: PlacementInstance, store: np.ndarray) -> np.ndarray:
+    """Per-(nd, i, k) covered fraction ``min(1, sum of reachable stores)``.
+
+    Origin-covered demanders are fully covered.  Fractional stores yield the
+    LP's fractional coverage, integral stores the 0/1 coverage.
+    """
+    cov = np.einsum("ds,sik->dik", instance.reach.astype(float), store)
+    cov = np.minimum(cov, 1.0)
+    cov[instance.origin_covers.astype(bool), :, :] = 1.0
+    return cov
+
+
+def qos_by_scope(
+    instance: PlacementInstance, goal: QoSGoal, store: np.ndarray
+) -> Dict[object, float]:
+    """Achieved covered-read fraction per goal-scope key."""
+    cov = coverage_matrix(instance, store)
+    reads = instance.qos_reads()
+    out: Dict[object, float] = {}
+    scope = goal.scope
+    if scope is GoalScope.OVERALL:
+        denom = reads.sum()
+        out["all"] = float((reads * cov).sum() / denom) if denom > 0 else 1.0
+    elif scope is GoalScope.PER_USER:
+        for nd in range(instance.num_demanders):
+            denom = reads[nd].sum()
+            if denom > 0:
+                out[nd] = float((reads[nd] * cov[nd]).sum() / denom)
+    elif scope is GoalScope.PER_OBJECT:
+        for k in range(instance.num_objects):
+            denom = reads[:, :, k].sum()
+            if denom > 0:
+                out[("k", k)] = float((reads[:, :, k] * cov[:, :, k]).sum() / denom)
+    else:  # PER_USER_OBJECT
+        for nd in range(instance.num_demanders):
+            for k in range(instance.num_objects):
+                denom = reads[nd, :, k].sum()
+                if denom > 0:
+                    out[(nd, k)] = float(
+                        (reads[nd, :, k] * cov[nd, :, k]).sum() / denom
+                    )
+    return out
+
+
+def meets_goal(
+    instance: PlacementInstance,
+    goal: PerformanceGoal,
+    store: np.ndarray,
+    tol: float = 1e-9,
+) -> bool:
+    """Whether an (integral) store matrix satisfies the performance goal.
+
+    For the average-latency goal, each read is routed to the best servable
+    replica (or the origin) — the optimal routing, matching constraint (8).
+    """
+    if isinstance(goal, QoSGoal):
+        achieved = qos_by_scope(instance, goal, store)
+        return all(v >= goal.fraction - tol for v in achieved.values())
+    lat = average_latency_by_scope(instance, goal, store)
+    return all(v <= goal.tavg_ms + tol for v in lat.values())
+
+
+def average_latency_by_scope(
+    instance: PlacementInstance, goal: AverageLatencyGoal, store: np.ndarray
+) -> Dict[object, float]:
+    """Mean read latency per scope key under best-replica routing."""
+    reads = instance.qos_reads()
+    nd_count, intervals, objects = reads.shape
+    holders = store > 0.5
+    lat_num: Dict[object, float] = {}
+    lat_den: Dict[object, float] = {}
+
+    def scope_key(nd: int, k: int):
+        scope = goal.scope
+        if scope is GoalScope.PER_USER:
+            return nd
+        if scope is GoalScope.OVERALL:
+            return "all"
+        if scope is GoalScope.PER_OBJECT:
+            return ("k", k)
+        return (nd, k)
+
+    for nd in range(nd_count):
+        servable = np.nonzero(instance.serve[nd])[0]
+        base = float(instance.origin_latency[nd])
+        for k in range(objects):
+            col = reads[nd, :, k]
+            for i in np.nonzero(col)[0]:
+                best = base
+                for ns in servable:
+                    if holders[ns, i, k]:
+                        best = min(best, float(instance.latency[nd, ns]))
+                key = scope_key(nd, k)
+                lat_num[key] = lat_num.get(key, 0.0) + best * float(col[i])
+                lat_den[key] = lat_den.get(key, 0.0) + float(col[i])
+    return {key: lat_num[key] / lat_den[key] for key in lat_den}
+
+
+@dataclass
+class CostBreakdown:
+    """Itemized replication cost of a concrete placement."""
+
+    storage: float = 0.0
+    creation: float = 0.0
+    penalty: float = 0.0
+    writes: float = 0.0
+    opening: float = 0.0
+    adjustments: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return self.storage + self.creation + self.penalty + self.writes + self.opening
+
+    def __str__(self) -> str:
+        parts = [f"storage={self.storage:.1f}", f"creation={self.creation:.1f}"]
+        for name, value in (
+            ("penalty", self.penalty),
+            ("writes", self.writes),
+            ("opening", self.opening),
+        ):
+            if value:
+                parts.append(f"{name}={value:.1f}")
+        return f"total={self.total:.1f} ({', '.join(parts)})"
+
+
+def solution_cost(
+    instance: PlacementInstance,
+    props: HeuristicProperties,
+    costs: CostModel,
+    store: np.ndarray,
+    goal: Optional[PerformanceGoal] = None,
+    count_opening: bool = False,
+) -> CostBreakdown:
+    """Cost of a store matrix under the class's accounting (Figure 5 bottom).
+
+    ``store`` may be fractional (pricing LP points) or integral (feasible
+    solutions); the SC/RC capacity paddings follow the paper's rounding-
+    algorithm adjustments.
+    """
+    out = CostBreakdown()
+    create = creations_from_store(store, instance.initial_store)
+    total_create = float(create.sum())
+    intervals = store.shape[1]
+    active = np.nonzero(instance.qos_reads().sum(axis=(0, 1)) > 0)[0]
+
+    sc = props.storage_constraint
+    rc = props.replica_constraint
+    per_node_interval = store.sum(axis=2)  # (Ns, I) objects stored
+    per_object_interval = store.sum(axis=0)  # (I, K) replicas of each object
+
+    if sc is StorageConstraint.UNIFORM:
+        cmax = float(per_node_interval.max()) if per_node_interval.size else 0.0
+        out.storage = costs.alpha * cmax * store.shape[0] * intervals
+        fill = float(np.maximum(cmax - per_node_interval.max(axis=1), 0.0).sum())
+        out.creation = costs.beta * (total_create + fill)
+        out.adjustments["sc_capacity_fill"] = costs.beta * fill
+    elif sc is StorageConstraint.PER_NODE:
+        caps = per_node_interval.max(axis=1) if per_node_interval.size else np.zeros(0)
+        out.storage = costs.alpha * intervals * float(caps.sum())
+        out.creation = costs.beta * total_create
+    elif rc is ReplicaConstraint.UNIFORM:
+        act = per_object_interval[:, active] if len(active) else per_object_interval
+        rmax = float(act.max()) if act.size else 0.0
+        out.storage = costs.alpha * intervals * len(active) * rmax
+        fill = float(np.maximum(rmax - act.max(axis=0), 0.0).sum()) if act.size else 0.0
+        out.creation = costs.beta * (total_create + fill)
+        out.adjustments["rc_replica_fill"] = costs.beta * fill
+    elif rc is ReplicaConstraint.PER_OBJECT:
+        act = per_object_interval[:, active] if len(active) else per_object_interval
+        reps = act.max(axis=0) if act.size else np.zeros(0)
+        out.storage = costs.alpha * intervals * float(reps.sum())
+        out.creation = costs.beta * total_create
+    else:
+        out.storage = costs.alpha * float(store.sum())
+        out.creation = costs.beta * total_create
+
+    if costs.delta > 0:
+        writes_per_ik = instance.writes.sum(axis=0)
+        out.writes = costs.delta * float((writes_per_ik * per_object_interval).sum())
+
+    if costs.gamma > 0 and isinstance(goal, QoSGoal):
+        cov = coverage_matrix(instance, store)
+        pen = np.maximum(instance.origin_latency - goal.tlat_ms, 0.0)
+        out.penalty = costs.gamma * float(
+            (instance.qos_reads() * (1.0 - cov) * pen[:, None, None]).sum()
+        )
+
+    if count_opening and costs.zeta > 0:
+        used = (store.sum(axis=(1, 2)) > 1e-9).sum()
+        out.opening = costs.zeta * float(used)
+
+    return out

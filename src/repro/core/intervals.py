@@ -1,0 +1,99 @@
+"""Evaluation-interval theory (§4.3, Appendix B).
+
+The evaluation interval Δ is the granularity at which MC-PERF lets placement
+change.  The appendix proves:
+
+* **Theorem 2** — a bound computed with interval Δ is also a lower bound for
+  any heuristic whose evaluation period Δ′ satisfies Δ′ ≥ 2Δ (or Δ′ = Δ).
+  Hence a heuristic with period P is bounded by solving at Δ = P/2.
+* **Theorem 3** — for heuristics evaluated on *every access*, it suffices to
+  use Δ = m1/2, where m1 is the minimum inter-access time among interacting
+  nodes, or even Δ = m1 when no inter-access gap falls inside (m1, 2·m1).
+* **Lemma 1** — nodes n and m interact only when ``A[n][m] = dist ∨ know``
+  is set, so m1 is computed per sphere of interaction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.workload.stats import min_interarrival
+from repro.workload.trace import Trace
+
+
+def bound_applies(delta_bound_s: float, delta_heuristic_s: float) -> bool:
+    """Theorem 2: does a bound computed at ``delta_bound_s`` apply to a
+    heuristic evaluated every ``delta_heuristic_s``?"""
+    if delta_bound_s <= 0 or delta_heuristic_s <= 0:
+        raise ValueError("intervals must be positive")
+    return (
+        math.isclose(delta_heuristic_s, delta_bound_s, rel_tol=1e-12)
+        or delta_heuristic_s >= 2.0 * delta_bound_s
+    )
+
+
+def interval_for_period(period_s: float) -> float:
+    """Δ for heuristics evaluated every ``period_s``: half the smallest period."""
+    if period_s <= 0:
+        raise ValueError("period must be positive")
+    return period_s / 2.0
+
+
+def interaction_matrix(dist: np.ndarray, know: np.ndarray) -> np.ndarray:
+    """Lemma 1: ``A = dist OR know`` — which node pairs can affect each other."""
+    dist = np.asarray(dist)
+    know = np.asarray(know)
+    if dist.shape != know.shape:
+        raise ValueError("dist and know must have the same shape")
+    return ((dist.astype(bool)) | (know.astype(bool))).astype(np.int8)
+
+
+def per_access_interval(
+    trace: Trace, interaction: Optional[np.ndarray] = None
+) -> float:
+    """Theorem 3: the Δ bounding heuristics evaluated after every access.
+
+    ``Δ = m1/2`` when some inter-access gap lies in (m1, 2·m1); otherwise
+    Δ = m1 (no gaps would straddle the finer intervals, so the coarser Δ is
+    equally tight and cheaper to solve).
+    """
+    m1, m2 = min_interarrival(trace, interaction)
+    if math.isinf(m1):
+        return trace.duration_s  # at most one access: one interval suffices
+    if 2.0 * m1 >= m2:
+        return m1 / 2.0
+    return m1
+
+
+@dataclass(frozen=True)
+class IntervalPlan:
+    """A chosen evaluation interval and the resulting discretization."""
+
+    delta_s: float
+    num_intervals: int
+    duration_s: float
+
+    @property
+    def solves_per_day(self) -> float:
+        return 86_400.0 / self.delta_s
+
+
+def plan_intervals(duration_s: float, delta_s: float, cap: Optional[int] = None) -> IntervalPlan:
+    """Discretize a trace extent into evaluation intervals of length Δ.
+
+    ``cap`` optionally coarsens Δ so the interval count stays tractable (the
+    paper uses 1-hour intervals "to keep the computational complexity
+    reasonable" even though caching would warrant much finer ones; Theorem 2
+    tells which heuristics the coarser bound still covers).
+    """
+    if duration_s <= 0 or delta_s <= 0:
+        raise ValueError("duration and delta must be positive")
+    count = max(1, math.ceil(duration_s / delta_s))
+    if cap is not None and count > cap:
+        count = cap
+        delta_s = duration_s / count
+    return IntervalPlan(delta_s=delta_s, num_intervals=count, duration_s=duration_s)

@@ -1,0 +1,289 @@
+"""The MC-PERF problem specification (§3).
+
+:class:`MCPerfProblem` bundles a topology, a demand matrix, a performance
+goal and a cost model.  For each heuristic class (its routing/knowledge
+properties), :meth:`MCPerfProblem.instance` lowers the specification into a
+:class:`PlacementInstance` — the rectangular demanders×storers view the
+formulation, the rounding algorithm and the evaluators all consume:
+
+* *demanders* are topology sites with users (always all sites);
+* *storers* are the sites replicas may be placed on — all sites except the
+  origin by default, or an explicit subset in the deployment scenario
+  (§6.2), where each user site is *assigned* to one open node and all its
+  accesses route through that node.
+
+The origin (headquarters) permanently stores every object: it serves misses,
+covers demanders within the latency threshold for free, and is excluded from
+placement cost (``origin_free=True``, the paper's case-study setting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.costs import CostModel
+from repro.core.goals import AverageLatencyGoal, PerformanceGoal, QoSGoal
+from repro.core.properties import HeuristicProperties, Routing, knowledge_matrix
+from repro.topology.graph import Topology
+from repro.workload.demand import DemandMatrix
+
+
+@dataclass
+class PlacementInstance:
+    """The lowered demanders×storers instance consumed by the formulation.
+
+    Attributes
+    ----------
+    reads / writes:
+        ``(Nd, I, K)`` demand counts (demanders are topology sites).
+    reach:
+        ``(Nd, Ns)`` binary: demander nd is served within Tlat by a replica
+        on storer ns, under the class's routing knowledge
+        (``serve & (latency <= tlat)``).
+    serve:
+        ``(Nd, Ns)`` binary fetch matrix without the latency threshold:
+        which storers may serve nd at all (routing knowledge (18)/(19)).
+        The average-latency goal routes over this matrix.
+    origin_covers:
+        ``(Nd,)`` binary: the origin alone serves nd within Tlat (free
+        coverage).
+    latency:
+        ``(Nd, Ns)`` effective access latency (ms) from demander to storer —
+        used by the average-latency goal and the gamma penalty.
+    origin_latency:
+        ``(Nd,)`` effective latency to the origin (miss path).
+    know:
+        ``(Ns, Nd)`` sphere-of-knowledge matrix for the create fixing.
+    storer_ids:
+        Topology node ids of the storers (length Ns).
+    initial_store:
+        Optional ``(Ns, K)`` binary initial placement (constraint (4)
+        default: empty).
+    interval_s:
+        Evaluation-interval length in seconds.
+    """
+
+    reads: np.ndarray
+    writes: np.ndarray
+    reach: np.ndarray
+    serve: np.ndarray
+    origin_covers: np.ndarray
+    latency: np.ndarray
+    origin_latency: np.ndarray
+    know: np.ndarray
+    storer_ids: np.ndarray
+    interval_s: float
+    initial_store: Optional[np.ndarray] = None
+    warmup_intervals: int = 0
+
+    def qos_reads(self) -> np.ndarray:
+        """Reads that count toward the performance goal (warm-up excluded).
+
+        Warm-up reads still drive activity history and knowledge — they are
+        only excluded from the goal's numerator and denominator.
+        """
+        if self.warmup_intervals <= 0:
+            return self.reads
+        masked = self.reads.copy()
+        masked[:, : self.warmup_intervals, :] = 0.0
+        return masked
+
+    @property
+    def num_demanders(self) -> int:
+        return self.reads.shape[0]
+
+    @property
+    def num_intervals(self) -> int:
+        return self.reads.shape[1]
+
+    @property
+    def num_objects(self) -> int:
+        return self.reads.shape[2]
+
+    @property
+    def num_storers(self) -> int:
+        return int(self.reach.shape[1])
+
+    def reads_per_demander(self) -> np.ndarray:
+        return self.reads.sum(axis=(1, 2))
+
+
+@dataclass
+class MCPerfProblem:
+    """System + workload + performance goal + cost model.
+
+    Attributes
+    ----------
+    topology:
+        The wide-area system; ``topology.origin`` is the headquarters.
+    demand:
+        Per-(site, interval, object) read/write counts.
+    goal:
+        :class:`~repro.core.goals.QoSGoal` or
+        :class:`~repro.core.goals.AverageLatencyGoal`.
+    costs:
+        Unit costs (paper defaults: alpha = beta = 1, rest 0).
+    origin_free:
+        When True (paper case study) the origin stores all objects at no
+        cost and is not a placement site.
+    storage_nodes:
+        Restrict placement to these topology nodes (deployment scenario
+        phase 2); default: every node.
+    assignment:
+        Per-site assigned access node (topology ids).  When set, every
+        access from site ``s`` routes through ``assignment[s]`` — the §6.2
+        semantics.  Requires ``storage_nodes`` to contain every assigned
+        node.
+    initial_placement:
+        Optional ``(N, K)`` binary initial replica placement (relaxes
+        constraint (4)).
+    warmup_intervals:
+        Exclude reads in the first intervals from the performance goal's
+        accounting (they still warm activity history).  An extension over
+        the paper: at a coarse evaluation interval, reactive classes are
+        otherwise capped by cold-start misses in interval 0 (nothing may be
+        placed before the first access), hiding the cost differences the
+        figures study.  Storage/creation cost is still charged from
+        interval 0.
+    """
+
+    topology: Topology
+    demand: DemandMatrix
+    goal: PerformanceGoal
+    costs: CostModel = field(default_factory=CostModel.paper_defaults)
+    origin_free: bool = True
+    storage_nodes: Optional[Sequence[int]] = None
+    assignment: Optional[np.ndarray] = None
+    initial_placement: Optional[np.ndarray] = None
+    warmup_intervals: int = 0
+
+    def __post_init__(self) -> None:
+        n = self.topology.num_nodes
+        if self.demand.num_nodes != n:
+            raise ValueError(
+                f"demand has {self.demand.num_nodes} nodes, topology has {n}"
+            )
+        if not isinstance(self.goal, (QoSGoal, AverageLatencyGoal)):
+            raise TypeError("goal must be a QoSGoal or AverageLatencyGoal")
+        if self.storage_nodes is not None:
+            self.storage_nodes = [int(s) for s in self.storage_nodes]
+            for s in self.storage_nodes:
+                if not 0 <= s < n:
+                    raise ValueError(f"storage node {s} out of range")
+            if len(set(self.storage_nodes)) != len(self.storage_nodes):
+                raise ValueError("storage_nodes contains duplicates")
+        if self.assignment is not None:
+            self.assignment = np.asarray(self.assignment, dtype=np.int64)
+            if self.assignment.shape != (n,):
+                raise ValueError("assignment must map every topology node")
+            allowed = set(
+                self.storage_nodes if self.storage_nodes is not None else range(n)
+            )
+            if self.origin_free:
+                # Users may also be assigned directly to the headquarters.
+                allowed.add(self.topology.origin)
+            for nd, a in enumerate(self.assignment):
+                if int(a) not in allowed:
+                    raise ValueError(
+                        f"site {nd} assigned to {a}, which is not a storage node"
+                    )
+        if self.initial_placement is not None:
+            self.initial_placement = np.asarray(self.initial_placement)
+            if self.initial_placement.shape != (n, self.demand.num_objects):
+                raise ValueError("initial_placement must be (nodes, objects)")
+        if not 0 <= self.warmup_intervals < self.demand.num_intervals:
+            raise ValueError(
+                "warmup_intervals must be in [0, num_intervals); got "
+                f"{self.warmup_intervals} of {self.demand.num_intervals}"
+            )
+
+    # -- lowering -----------------------------------------------------------
+
+    @property
+    def tlat_ms(self) -> float:
+        return self.goal.tlat_ms
+
+    def storer_ids(self) -> np.ndarray:
+        """Topology ids of placement sites (origin excluded when free)."""
+        nodes = (
+            list(self.storage_nodes)
+            if self.storage_nodes is not None
+            else list(self.topology.nodes())
+        )
+        if self.origin_free and self.topology.origin in nodes:
+            nodes = [s for s in nodes if s != self.topology.origin]
+        return np.asarray(nodes, dtype=np.int64)
+
+    def instance(self, properties: Optional[HeuristicProperties] = None) -> PlacementInstance:
+        """Lower to the demanders×storers view under a class's routing/knowledge."""
+        props = properties or HeuristicProperties()
+        topo = self.topology
+        lat = topo.latency
+        origin = topo.origin
+        tlat = self.tlat_ms
+        nd_count = topo.num_nodes
+        storers = self.storer_ids()
+        ns_count = len(storers)
+
+        if self.assignment is not None:
+            # §6.2 semantics: all accesses of site nd go through a = assignment[nd].
+            assigned = self.assignment
+            base = lat[np.arange(nd_count), assigned]  # nd -> its access node
+            eff_lat = base[:, None] + lat[np.ix_(assigned, storers)]
+            origin_lat = base + lat[assigned, origin]
+            if props.routing is Routing.LOCAL:
+                serve = (storers[None, :] == assigned[:, None]).astype(np.int8)
+            else:
+                serve = np.ones((nd_count, ns_count), dtype=np.int8)
+        else:
+            assigned = None
+            eff_lat = lat[:, storers].copy()
+            origin_lat = lat[:, origin].copy()
+            if props.routing is Routing.LOCAL:
+                # A site is served only by its own replica store.
+                serve = (storers[None, :] == np.arange(nd_count)[:, None]).astype(np.int8)
+            else:
+                serve = np.ones((nd_count, ns_count), dtype=np.int8)
+        reach = (serve & (eff_lat <= tlat)).astype(np.int8)
+
+        if self.origin_free:
+            origin_covers = (origin_lat <= tlat).astype(np.int8)
+        else:
+            origin_covers = np.zeros(nd_count, dtype=np.int8)
+
+        know = knowledge_matrix(
+            props,
+            num_storers=ns_count,
+            num_demanders=nd_count,
+            assignment=assigned,
+            storer_ids=storers,
+        )
+
+        initial = None
+        if self.initial_placement is not None:
+            initial = self.initial_placement[storers].astype(np.int8)
+
+        return PlacementInstance(
+            reads=self.demand.reads,
+            writes=self.demand.writes,
+            reach=reach,
+            serve=serve,
+            origin_covers=origin_covers,
+            latency=eff_lat,
+            origin_latency=origin_lat,
+            know=know,
+            storer_ids=storers,
+            interval_s=self.demand.interval_s,
+            initial_store=initial,
+            warmup_intervals=self.warmup_intervals,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MCPerfProblem(nodes={self.topology.num_nodes}, "
+            f"intervals={self.demand.num_intervals}, "
+            f"objects={self.demand.num_objects}, goal={self.goal.describe()!r})"
+        )

@@ -1,0 +1,174 @@
+"""Heuristic properties (§4.1, Table 2).
+
+Each property restricts the feasible placements of MC-PERF to those a class
+of heuristics could produce; combinations of properties define classes
+(Table 3, :mod:`repro.core.classes`).  Properties map onto the formulation
+as follows:
+
+==================  =========================================================
+storage constraint  capacity variable(s) + rows (16)/(16a); storage is
+                    charged at provisioned capacity (see DESIGN.md §5)
+replica constraint  replica-count variable(s) + rows (17)/(17a)
+routing knowledge   shapes the reach matrix used by covered rows (18)/(19)
+global/local know   shapes the sphere-of-knowledge used by the create fixing
+activity history    window of past intervals feeding the create fixing (20)
+reactive            shifts the history window to strictly-past intervals
+                    (20a)/(21)
+==================  =========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+class StorageConstraint(str, enum.Enum):
+    """Constraint (16): fixed storage per node across intervals."""
+
+    NONE = "none"
+    UNIFORM = "uniform"  # (16): same capacity on every node
+    PER_NODE = "per_node"  # (16a): per-node capacity, fixed over time
+
+
+class ReplicaConstraint(str, enum.Enum):
+    """Constraint (17): fixed number of replicas per object across intervals."""
+
+    NONE = "none"
+    UNIFORM = "uniform"  # (17): same replica count for every object
+    PER_OBJECT = "per_object"  # (17a): per-object count, fixed over time
+
+
+class Routing(str, enum.Enum):
+    """Routing knowledge: where can a node fetch/serve replicas from."""
+
+    GLOBAL = "global"  # knows contents of every node (cooperative/centralized)
+    LOCAL = "local"  # knows only its own contents; misses go to the origin
+
+
+class Knowledge(str, enum.Enum):
+    """Whose activity informs a node's placement decisions."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+
+
+@dataclass(frozen=True)
+class HeuristicProperties:
+    """A point in the property space of §4.1.
+
+    The default (all unset) is the *general* bound — any conceivable
+    placement heuristic.
+
+    Attributes
+    ----------
+    storage_constraint / replica_constraint:
+        Fixed-resource constraints (16)/(17) and their variants.
+    routing:
+        Routing knowledge (18)/(19).  ``GLOBAL`` fetches from any node within
+        the latency threshold; ``LOCAL`` serves only from local storage (plus
+        the origin, which is always fetchable).
+    knowledge:
+        Sphere of knowledge for placement decisions (matrix ``know``).
+    history_window:
+        Activity-history length in intervals (constraint (20)); ``None``
+        means unbounded history (all past intervals), 1 means only the
+        current (proactive) or previous (reactive) interval.
+    reactive:
+        Reactive placement (20a): only objects accessed *before* the current
+        interval may be placed.  Proactive (False) heuristics may also place
+        objects accessed during the current interval (prefetching bound).
+    """
+
+    storage_constraint: StorageConstraint = StorageConstraint.NONE
+    replica_constraint: ReplicaConstraint = ReplicaConstraint.NONE
+    routing: Routing = Routing.GLOBAL
+    knowledge: Knowledge = Knowledge.GLOBAL
+    history_window: Optional[int] = None
+    reactive: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "storage_constraint", StorageConstraint(self.storage_constraint))
+        object.__setattr__(self, "replica_constraint", ReplicaConstraint(self.replica_constraint))
+        object.__setattr__(self, "routing", Routing(self.routing))
+        object.__setattr__(self, "knowledge", Knowledge(self.knowledge))
+        if self.history_window is not None and self.history_window < 1:
+            raise ValueError("history_window must be >= 1 (or None for unbounded)")
+
+    @property
+    def is_general(self) -> bool:
+        """True when no property restricts the solution space."""
+        return (
+            self.storage_constraint is StorageConstraint.NONE
+            and self.replica_constraint is ReplicaConstraint.NONE
+            and self.routing is Routing.GLOBAL
+            and self.knowledge is Knowledge.GLOBAL
+            and self.history_window is None
+            and not self.reactive
+        )
+
+    @property
+    def restricts_creation(self) -> bool:
+        """True when Know/Hist/React fix any create variables."""
+        return (
+            self.knowledge is not Knowledge.GLOBAL
+            or self.history_window is not None
+            or self.reactive
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.storage_constraint is not StorageConstraint.NONE:
+            parts.append(f"SC({self.storage_constraint.value})")
+        if self.replica_constraint is not ReplicaConstraint.NONE:
+            parts.append(f"RC({self.replica_constraint.value})")
+        parts.append(f"route={self.routing.value}")
+        parts.append(f"know={self.knowledge.value}")
+        hist = "all" if self.history_window is None else str(self.history_window)
+        parts.append(f"hist={hist}")
+        parts.append("reactive" if self.reactive else "proactive")
+        return ", ".join(parts)
+
+
+GENERAL = HeuristicProperties()
+
+
+def knowledge_matrix(
+    props: HeuristicProperties,
+    num_storers: int,
+    num_demanders: int,
+    assignment: Optional[np.ndarray] = None,
+    storer_ids: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """The ``know[ns, nd]`` matrix: storer ``ns`` sees activity of demander ``nd``.
+
+    With global knowledge every storer sees everyone.  With local knowledge a
+    storer sees only its own site's users — or, in the deployment scenario
+    where users of closed sites are assigned to open nodes, the users
+    assigned to it.
+
+    Parameters
+    ----------
+    assignment:
+        Optional per-demander assigned storage node (topology node ids).
+    storer_ids:
+        Topology node ids of the storers, used to match assignments and the
+        identity when demanders and storers share the topology.
+    """
+    if props.knowledge is Knowledge.GLOBAL:
+        return np.ones((num_storers, num_demanders), dtype=np.int8)
+    know = np.zeros((num_storers, num_demanders), dtype=np.int8)
+    ids = storer_ids if storer_ids is not None else np.arange(num_storers)
+    if assignment is not None:
+        for nd in range(num_demanders):
+            matches = np.nonzero(ids == assignment[nd])[0]
+            for ns in matches:
+                know[ns, nd] = 1
+    else:
+        for ns, node_id in enumerate(ids):
+            if 0 <= node_id < num_demanders:
+                know[ns, int(node_id)] = 1
+    return know

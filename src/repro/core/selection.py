@@ -1,0 +1,146 @@
+"""The heuristic-selection methodology (§6.1).
+
+Given a system, workload and performance goal, compute the general lower
+bound and the bounds of every candidate heuristic class, then recommend the
+class with the lowest bound.  The recommendation is qualified exactly as the
+paper prescribes: if the best class's bound is close to the general bound,
+no heuristic can do significantly better; otherwise the report flags that
+classes outside the candidate set might be worth considering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.bounds import LowerBoundResult, compute_lower_bound
+from repro.core.classes import FIGURE1_CLASSES, HeuristicClass, get_class
+from repro.core.problem import MCPerfProblem
+
+
+@dataclass
+class SelectionReport:
+    """Ranked per-class bounds plus the recommendation."""
+
+    problem: MCPerfProblem
+    general: LowerBoundResult
+    results: Dict[str, LowerBoundResult] = field(default_factory=dict)
+    recommended: Optional[str] = None
+    near_optimal: bool = False
+    comparable: List[str] = field(default_factory=list)
+    infeasible: List[str] = field(default_factory=list)
+
+    def bound(self, name: str) -> Optional[float]:
+        result = self.results.get(name)
+        return result.lp_cost if result and result.feasible else None
+
+    def ranking(self) -> List[str]:
+        """Feasible classes from cheapest to most expensive bound."""
+        feasible = [
+            (name, r.lp_cost) for name, r in self.results.items() if r.feasible
+        ]
+        feasible.sort(key=lambda item: (item[1], item[0]))
+        return [name for name, _cost in feasible]
+
+    def render(self) -> str:
+        lines = [
+            f"Heuristic selection for: {self.problem.goal.describe()}",
+            f"  general lower bound: "
+            + (f"{self.general.lp_cost:.1f}" if self.general.feasible else "infeasible"),
+            "",
+            f"{'class':34s} {'bound':>12s} {'feasible cost':>14s} {'vs general':>11s}",
+        ]
+        general = self.general.lp_cost if self.general.feasible else None
+        for name in self.ranking():
+            r = self.results[name]
+            rel = (
+                f"{r.lp_cost / general:7.2f}x"
+                if general and general > 0 and r.lp_cost is not None
+                else "    n/a"
+            )
+            feas = f"{r.feasible_cost:12.1f}" if r.feasible_cost is not None else " " * 12
+            lines.append(f"{name:34s} {r.lp_cost:12.1f} {feas:>14s} {rel:>11s}")
+        for name in self.infeasible:
+            lines.append(f"{name:34s} {'cannot meet goal':>12s}")
+        lines.append("")
+        if self.recommended:
+            qualifier = (
+                "no heuristic can be significantly better"
+                if self.near_optimal
+                else "consider classes outside the candidate set too"
+            )
+            lines.append(f"Recommended class: {self.recommended} ({qualifier})")
+            if self.comparable:
+                lines.append(
+                    "Comparable alternatives: " + ", ".join(self.comparable)
+                )
+        else:
+            lines.append("No candidate class can meet the goal.")
+        return "\n".join(lines)
+
+
+def select_heuristic(
+    problem: MCPerfProblem,
+    classes: Optional[Sequence[object]] = None,
+    near_optimal_factor: float = 1.5,
+    comparable_factor: float = 1.1,
+    do_rounding: bool = True,
+    run_length: bool = False,
+    backend: str = "scipy",
+) -> SelectionReport:
+    """Run the §6.1 methodology and return a :class:`SelectionReport`.
+
+    Parameters
+    ----------
+    problem:
+        The MC-PERF instance.
+    classes:
+        Candidate classes — names or :class:`HeuristicClass` objects;
+        defaults to the Figure-1 set (minus the general bound, which is
+        always computed).
+    near_optimal_factor:
+        A recommendation within this factor of the general bound is flagged
+        "no heuristic can be significantly better".
+    comparable_factor:
+        Classes within this factor of the best bound are reported as
+        comparable alternatives.
+    """
+    if classes is None:
+        names = [n for n in FIGURE1_CLASSES if n != "general"]
+        candidates = [get_class(n) for n in names]
+    else:
+        candidates = [
+            c if isinstance(c, HeuristicClass) else get_class(str(c)) for c in classes
+        ]
+
+    general = compute_lower_bound(
+        problem, None, do_rounding=do_rounding, run_length=run_length, backend=backend
+    )
+    report = SelectionReport(problem=problem, general=general)
+
+    for cls in candidates:
+        result = compute_lower_bound(
+            problem,
+            cls.properties,
+            do_rounding=do_rounding,
+            run_length=run_length,
+            backend=backend,
+        )
+        report.results[cls.name] = result
+        if not result.feasible:
+            report.infeasible.append(cls.name)
+
+    ranking = report.ranking()
+    if ranking:
+        best = ranking[0]
+        report.recommended = best
+        best_cost = report.results[best].lp_cost or 0.0
+        if general.feasible and general.lp_cost and general.lp_cost > 0:
+            report.near_optimal = best_cost <= near_optimal_factor * general.lp_cost
+        report.comparable = [
+            name
+            for name in ranking[1:]
+            if (report.results[name].lp_cost or float("inf"))
+            <= comparable_factor * best_cost
+        ]
+    return report

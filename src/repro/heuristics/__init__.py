@@ -1,0 +1,38 @@
+"""Deployed placement heuristics (§6 evaluation).
+
+Concrete heuristics from each Table-3 class, driven by the trace simulator
+in :mod:`repro.simulator`:
+
+* :class:`~repro.heuristics.caching.LRUCaching` /
+  :class:`~repro.heuristics.caching.LFUCaching` — plain local caching.
+* :class:`~repro.heuristics.cooperative.CooperativeLRUCaching` —
+  cooperative caching with duplicate avoidance.
+* :class:`~repro.heuristics.greedy_global.GreedyGlobalPlacement` —
+  storage-constrained centralized greedy (the WEB recommendation).
+* :class:`~repro.heuristics.qiu.QiuGreedyPlacement` — replica-constrained
+  greedy (the GROUP recommendation).
+* :class:`~repro.heuristics.prefetch.PrefetchCaching` /
+  :class:`~repro.heuristics.prefetch.CooperativePrefetchCaching` —
+  clairvoyant prefetching variants.
+* :class:`~repro.heuristics.random_placement.RandomPlacement` — baseline.
+"""
+
+from repro.heuristics.base import PlacementHeuristic
+from repro.heuristics.caching import LFUCaching, LRUCaching
+from repro.heuristics.cooperative import CooperativeLRUCaching
+from repro.heuristics.greedy_global import GreedyGlobalPlacement
+from repro.heuristics.prefetch import CooperativePrefetchCaching, PrefetchCaching
+from repro.heuristics.qiu import QiuGreedyPlacement
+from repro.heuristics.random_placement import RandomPlacement
+
+__all__ = [
+    "PlacementHeuristic",
+    "LRUCaching",
+    "LFUCaching",
+    "CooperativeLRUCaching",
+    "GreedyGlobalPlacement",
+    "QiuGreedyPlacement",
+    "PrefetchCaching",
+    "CooperativePrefetchCaching",
+    "RandomPlacement",
+]

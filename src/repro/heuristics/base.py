@@ -1,0 +1,85 @@
+"""The placement-heuristic interface driven by the simulator.
+
+A heuristic reacts to two kinds of events:
+
+* ``on_access`` — fired for every request, *after* the request was served
+  (caching heuristics place/evict here; the paper's per-access evaluation).
+* ``on_interval`` — fired at each period boundary for periodic heuristics
+  (centralized placement algorithms), with the demand observed in past
+  periods and, for clairvoyant/proactive variants, the next period's demand.
+
+Each heuristic declares its ``routing`` scope — ``"local"`` (serve from own
+storage, miss to origin) or ``"global"`` (serve from any replica within the
+threshold) — which the simulator uses to decide whether a request was served
+within the latency threshold.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.engine import SimulationContext
+    from repro.workload.trace import Request
+
+
+class PlacementHeuristic(abc.ABC):
+    """Base class for placement heuristics."""
+
+    #: Routing scope: "local" or "global".
+    routing: str = "global"
+    #: Period between on_interval invocations; None = per-access only.
+    period_s: Optional[float] = None
+    #: Whether on_interval receives the coming period's demand (prefetching).
+    clairvoyant: bool = False
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def on_start(self, ctx: "SimulationContext") -> None:
+        """Called once before the trace starts."""
+
+    def on_adopt(self, ctx: "SimulationContext") -> None:
+        """Called when this heuristic takes over mid-run (adaptive selection).
+
+        The replica state may already hold objects placed by a predecessor;
+        heuristics that track their own metadata (e.g. caches) should adopt
+        or evict them here.  The default just (re-)initializes.
+        """
+        self.on_start(ctx)
+
+    def on_interval(
+        self,
+        index: int,
+        ctx: "SimulationContext",
+        past_demand: np.ndarray,
+        next_demand: Optional[np.ndarray],
+    ) -> None:
+        """Called at each period boundary (periodic heuristics only).
+
+        Parameters
+        ----------
+        index:
+            The period that is about to begin (0-based).
+        past_demand:
+            ``(N, K)`` read counts of the period that just ended (zeros for
+            index 0).
+        next_demand:
+            ``(N, K)`` read counts of the coming period — only provided when
+            the heuristic declares itself ``clairvoyant``.
+        """
+
+    def on_access(self, request: "Request", served_ms: float, ctx: "SimulationContext") -> None:
+        """Called after every request is served.
+
+        ``served_ms`` is the latency the request experienced under this
+        heuristic's routing scope.
+        """
+
+    def describe(self) -> str:
+        """Human-readable parameterization (for reports)."""
+        return self.name

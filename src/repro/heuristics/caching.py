@@ -1,0 +1,107 @@
+"""Local caching heuristics (LRU / LFU).
+
+The paper's default comparison heuristic: every node runs an independent
+fixed-capacity cache, reacts to each local access, and sends misses to the
+origin.  Class-wise this is *caching* in Table 3 — storage-constrained,
+local routing, local knowledge, single-interval history, reactive.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+from repro.heuristics.base import PlacementHeuristic
+
+
+class LRUCaching(PlacementHeuristic):
+    """Per-node LRU caches of a fixed capacity (objects).
+
+    Capacity 0 disables caching entirely (every read goes to the origin).
+    """
+
+    routing = "local"
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._lru: List[OrderedDict] = []
+
+    def describe(self) -> str:
+        return f"LRU(capacity={self.capacity})"
+
+    def on_start(self, ctx) -> None:
+        self._lru = [OrderedDict() for _ in range(ctx.num_nodes)]
+
+    def on_adopt(self, ctx) -> None:
+        """Adopt replicas left by a predecessor, evicting beyond capacity."""
+        self.on_start(ctx)
+        for node in range(ctx.num_nodes):
+            if node == ctx.topology.origin:
+                continue
+            for obj in sorted(ctx.state.contents(node)):
+                if self.capacity and len(self._lru[node]) < self.capacity:
+                    self._lru[node][obj] = True
+                else:
+                    ctx.drop_replica(node, obj)
+
+    def on_access(self, request, served_ms, ctx) -> None:
+        if self.capacity == 0:
+            return
+        node = request.node
+        cache = self._lru[node]
+        if request.obj in cache:
+            cache.move_to_end(request.obj)
+            return
+        # Miss: fetch from the origin and insert, evicting the LRU victim.
+        if len(cache) >= self.capacity:
+            victim, _ = cache.popitem(last=False)
+            ctx.drop_replica(node, victim)
+        cache[request.obj] = True
+        ctx.create_replica(node, request.obj)
+
+
+class LFUCaching(PlacementHeuristic):
+    """Per-node LFU caches (evict the least-frequently-used object).
+
+    Frequency counts persist across evictions (perfect LFU), which models
+    the strongest member of the frequency-based caching family.
+    """
+
+    routing = "local"
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._counts: List[Dict[int, int]] = []
+        self._cached: List[set] = []
+
+    def describe(self) -> str:
+        return f"LFU(capacity={self.capacity})"
+
+    def on_start(self, ctx) -> None:
+        self._counts = [dict() for _ in range(ctx.num_nodes)]
+        self._cached = [set() for _ in range(ctx.num_nodes)]
+
+    def on_access(self, request, served_ms, ctx) -> None:
+        node, obj = request.node, request.obj
+        counts = self._counts[node]
+        counts[obj] = counts.get(obj, 0) + 1
+        if self.capacity == 0:
+            return
+        cached = self._cached[node]
+        if obj in cached:
+            return
+        if len(cached) < self.capacity:
+            cached.add(obj)
+            ctx.create_replica(node, obj)
+            return
+        # Evict the coldest cached object if the newcomer is warmer.
+        victim = min(cached, key=lambda k: (counts.get(k, 0), k))
+        if counts.get(victim, 0) < counts[obj]:
+            cached.discard(victim)
+            ctx.drop_replica(node, victim)
+            cached.add(obj)
+            ctx.create_replica(node, obj)

@@ -1,0 +1,70 @@
+"""Cooperative caching.
+
+Like local caching, but nodes know what nearby nodes store and can serve
+reads from any replica within the latency threshold (global routing).  The
+insertion policy avoids duplicating an object that is already available
+nearby — the defining optimization of cooperative schemes [7, 19].
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from repro.heuristics.base import PlacementHeuristic
+
+
+class CooperativeLRUCaching(PlacementHeuristic):
+    """LRU caches with cooperative lookup and duplicate avoidance.
+
+    On a miss the object is inserted locally only if no replica is already
+    reachable within ``dedupe_tlat_ms`` (defaults to the simulation's
+    threshold at ``on_start``); remote hits refresh nothing.
+    """
+
+    routing = "global"
+
+    def __init__(self, capacity: int, dedupe: bool = True):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self.dedupe = dedupe
+        self._lru: List[OrderedDict] = []
+        self._tlat_ms = 0.0
+
+    def describe(self) -> str:
+        return f"CoopLRU(capacity={self.capacity}, dedupe={self.dedupe})"
+
+    def on_start(self, ctx) -> None:
+        self._lru = [OrderedDict() for _ in range(ctx.num_nodes)]
+        self._tlat_ms = ctx.tlat_ms
+
+    def on_adopt(self, ctx) -> None:
+        """Adopt predecessor replicas, evicting beyond capacity."""
+        self.on_start(ctx)
+        for node in range(ctx.num_nodes):
+            if node == ctx.topology.origin:
+                continue
+            for obj in sorted(ctx.state.contents(node)):
+                if self.capacity and len(self._lru[node]) < self.capacity:
+                    self._lru[node][obj] = True
+                else:
+                    ctx.drop_replica(node, obj)
+
+    def on_access(self, request, served_ms, ctx) -> None:
+        if self.capacity == 0:
+            return
+        node, obj = request.node, request.obj
+        cache = self._lru[node]
+        if obj in cache:
+            cache.move_to_end(obj)
+            return
+        if self.dedupe and ctx.state.covered(node, obj, self._tlat_ms, scope="global"):
+            # A nearby replica already serves this node within the threshold;
+            # don't burn local capacity on a duplicate.
+            return
+        if len(cache) >= self.capacity:
+            victim, _ = cache.popitem(last=False)
+            ctx.drop_replica(node, victim)
+        cache[obj] = True
+        ctx.create_replica(node, obj)

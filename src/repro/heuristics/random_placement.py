@@ -1,0 +1,77 @@
+"""Random placement baseline.
+
+Places a fixed number of replicas of each object on uniformly random nodes
+at the start of each period.  Exists as the sanity baseline every informed
+heuristic should beat.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.heuristics.base import PlacementHeuristic
+
+
+class RandomPlacement(PlacementHeuristic):
+    """Period-wise uniform-random replica placement.
+
+    Parameters
+    ----------
+    replicas_per_object:
+        Replicas of each active object per period.
+    period_s:
+        Re-placement period; replicas persist within a period.
+    reshuffle:
+        Re-draw locations each period (True) or keep the initial draw.
+    seed:
+        RNG seed (deterministic baselines make benchmarks reproducible).
+    """
+
+    routing = "global"
+
+    def __init__(
+        self,
+        replicas_per_object: int,
+        period_s: float = 3600.0,
+        reshuffle: bool = False,
+        seed: int = 0,
+    ):
+        if replicas_per_object < 0:
+            raise ValueError("replicas_per_object must be non-negative")
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.replicas = replicas_per_object
+        self.period_s = period_s
+        self.reshuffle = reshuffle
+        self.seed = seed
+        self._rng: Optional[np.random.Generator] = None
+        self._placed_once = False
+
+    def describe(self) -> str:
+        return f"Random(R={self.replicas}, reshuffle={self.reshuffle})"
+
+    def on_start(self, ctx) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._placed_once = False
+
+    def on_interval(self, index, ctx, past_demand, next_demand) -> None:
+        if self.replicas == 0:
+            return
+        if self._placed_once and not self.reshuffle:
+            return
+        num_nodes = ctx.num_nodes
+        candidates = [ns for ns in range(num_nodes) if ns != ctx.topology.origin]
+        draw = min(self.replicas, len(candidates))
+        targets = [set() for _ in range(num_nodes)]
+        for k in range(ctx.num_objects):
+            for ns in self._rng.choice(candidates, size=draw, replace=False):
+                targets[int(ns)].add(k)
+        for ns in candidates:
+            current: Set[int] = ctx.state.contents(ns)
+            for obj in current - targets[ns]:
+                ctx.drop_replica(ns, obj)
+            for obj in targets[ns] - current:
+                ctx.create_replica(ns, obj)
+        self._placed_once = True

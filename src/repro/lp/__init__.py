@@ -1,0 +1,45 @@
+"""Linear-programming substrate.
+
+A small, self-contained LP modeling layer used by the MC-PERF formulation in
+:mod:`repro.core`.  It provides:
+
+* :class:`~repro.lp.expr.LinExpr` — sparse linear expressions with operator
+  overloading, for ergonomic model building.
+* :class:`~repro.lp.model.LinearProgram` — a named-variable LP model with both
+  an expression-based and a fast array-based constraint interface.
+* :class:`~repro.lp.solution.LPSolution` — solved values, objective and status.
+* :func:`~repro.lp.scipy_backend.solve_with_scipy` — the production backend,
+  built on ``scipy.optimize.linprog`` (HiGHS).
+* :func:`~repro.lp.simplex.solve_with_simplex` — a pure-Python two-phase dense
+  simplex used for differential testing and for environments without scipy.
+* :func:`~repro.lp.validate.check_solution` — an independent feasibility
+  checker used by tests and by the rounding algorithm.
+
+The paper used CPLEX; any exact LP solver produces the same optimum, so the
+choice of backend does not affect the reproduced results (see DESIGN.md).
+"""
+
+from repro.lp.expr import LinExpr
+from repro.lp.model import Constraint, LinearProgram, Sense, Variable
+from repro.lp.solution import LPSolution, SolveStatus
+from repro.lp.scipy_backend import solve_with_scipy
+from repro.lp.simplex import SimplexError, solve_with_simplex
+from repro.lp.branch_bound import IPResult, solve_integer
+from repro.lp.validate import ValidationReport, check_solution
+
+__all__ = [
+    "LinExpr",
+    "LinearProgram",
+    "Variable",
+    "Constraint",
+    "Sense",
+    "LPSolution",
+    "SolveStatus",
+    "solve_with_scipy",
+    "solve_with_simplex",
+    "SimplexError",
+    "check_solution",
+    "ValidationReport",
+    "IPResult",
+    "solve_integer",
+]

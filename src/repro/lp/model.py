@@ -1,0 +1,266 @@
+"""LP model container.
+
+:class:`LinearProgram` holds variables (with bounds and objective
+coefficients) and constraints (as sparse rows), and hands the assembled
+matrices to a solver backend.  Two construction styles are supported:
+
+* expression based — readable, for small/structural constraints::
+
+      x = lp.var("x", ub=1.0, obj=2.0)
+      lp.add(x.expr() + y.expr() <= 1, name="pick-one")
+
+* array based — fast, for the bulk of MC-PERF's O(N*I*K) rows::
+
+      lp.add_row([ix, iy], [1.0, 1.0], "<=", 1.0, name="pick-one")
+
+Variables are continuous; MC-PERF's integrality is recovered by the rounding
+algorithm in :mod:`repro.core.rounding`, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.lp.expr import ConstraintSpec, LinExpr
+from repro.lp.solution import LPSolution
+
+
+class Sense(str, enum.Enum):
+    """Constraint sense."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+    @staticmethod
+    def parse(value: "Sense | str") -> "Sense":
+        if isinstance(value, Sense):
+            return value
+        try:
+            return Sense(value)
+        except ValueError as exc:
+            raise ValueError(f"unknown constraint sense: {value!r}") from exc
+
+
+@dataclass
+class Variable:
+    """A model variable: bounds, objective coefficient and a debug name."""
+
+    index: int
+    name: str
+    lower: float = 0.0
+    upper: Optional[float] = None
+    objective: float = 0.0
+
+    def expr(self, coeff: float = 1.0) -> LinExpr:
+        """The expression ``coeff * self``."""
+        return LinExpr.term(self.index, coeff)
+
+
+@dataclass
+class Constraint:
+    """A sparse constraint row ``sum(coeffs * x[indices]) sense rhs``."""
+
+    name: str
+    indices: Sequence[int]
+    coeffs: Sequence[float]
+    sense: Sense
+    rhs: float
+
+    def activity(self, values) -> float:
+        return sum(c * float(values[i]) for i, c in zip(self.indices, self.coeffs))
+
+    def satisfied(self, values, tol: float = 1e-6) -> bool:
+        act = self.activity(values)
+        if self.sense is Sense.LE:
+            return act <= self.rhs + tol
+        if self.sense is Sense.GE:
+            return act >= self.rhs - tol
+        return abs(act - self.rhs) <= tol
+
+
+@dataclass
+class LinearProgram:
+    """A minimization LP over continuous bounded variables."""
+
+    name: str = "lp"
+    variables: List[Variable] = field(default_factory=list)
+    constraints: List[Constraint] = field(default_factory=list)
+    _names: Dict[str, int] = field(default_factory=dict)
+
+    # -- variables ---------------------------------------------------------
+
+    def var(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: Optional[float] = None,
+        obj: float = 0.0,
+    ) -> Variable:
+        """Add a variable and return its handle.
+
+        Names must be unique; they exist for debugging and solution lookup.
+        """
+        if name in self._names:
+            raise ValueError(f"duplicate variable name: {name!r}")
+        if upper is not None and upper < lower:
+            raise ValueError(f"variable {name!r}: upper {upper} < lower {lower}")
+        v = Variable(index=len(self.variables), name=name, lower=lower, upper=upper, objective=obj)
+        self.variables.append(v)
+        self._names[name] = v.index
+        return v
+
+    def var_block(
+        self,
+        prefix: str,
+        count: int,
+        lower: float = 0.0,
+        upper: Optional[float] = None,
+        obj: float = 0.0,
+    ) -> range:
+        """Add ``count`` homogeneous variables named ``prefix[j]``; return their index range.
+
+        The bulk path for MC-PERF's store/create/covered blocks.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        start = len(self.variables)
+        for j in range(count):
+            name = f"{prefix}[{j}]"
+            if name in self._names:
+                raise ValueError(f"duplicate variable name: {name!r}")
+            v = Variable(index=start + j, name=name, lower=lower, upper=upper, objective=obj)
+            self.variables.append(v)
+            self._names[name] = v.index
+        return range(start, start + count)
+
+    def variable_by_name(self, name: str) -> Variable:
+        return self.variables[self._names[name]]
+
+    def set_objective(self, index: int, coeff: float) -> None:
+        self.variables[index].objective = float(coeff)
+
+    def add_objective(self, index: int, coeff: float) -> None:
+        self.variables[index].objective += float(coeff)
+
+    def set_bounds(self, index: int, lower: float = 0.0, upper: Optional[float] = None) -> None:
+        if upper is not None and upper < lower:
+            raise ValueError(f"variable {index}: upper {upper} < lower {lower}")
+        v = self.variables[index]
+        v.lower = lower
+        v.upper = upper
+
+    def fix(self, index: int, value: float) -> None:
+        """Fix a variable to a constant (used for Know/Hist/React fixings)."""
+        self.set_bounds(index, value, value)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    # -- constraints -------------------------------------------------------
+
+    def add(self, spec: ConstraintSpec, name: str = "") -> Constraint:
+        """Add a constraint produced by comparing :class:`LinExpr` objects."""
+        if not isinstance(spec, ConstraintSpec):
+            raise TypeError(
+                "add() expects a comparison of LinExpr objects, e.g. lp.add(x <= 1)"
+            )
+        indices = list(spec.expr.terms.keys())
+        coeffs = [spec.expr.terms[i] for i in indices]
+        return self.add_row(indices, coeffs, spec.sense, spec.rhs, name=name)
+
+    def add_row(
+        self,
+        indices: Sequence[int],
+        coeffs: Sequence[float],
+        sense: "Sense | str",
+        rhs: float,
+        name: str = "",
+    ) -> Constraint:
+        """Add a sparse constraint row directly (fast path)."""
+        if len(indices) != len(coeffs):
+            raise ValueError("indices and coeffs must have the same length")
+        nvar = len(self.variables)
+        for i in indices:
+            if not 0 <= i < nvar:
+                raise IndexError(f"constraint references unknown variable index {i}")
+        con = Constraint(
+            name=name or f"c{len(self.constraints)}",
+            indices=list(indices),
+            coeffs=[float(c) for c in coeffs],
+            sense=Sense.parse(sense),
+            rhs=float(rhs),
+        )
+        self.constraints.append(con)
+        return con
+
+    # -- assembly ----------------------------------------------------------
+
+    def to_arrays(self):
+        """Assemble ``(c, A_ub, b_ub, A_eq, b_eq, bounds)`` as scipy-ready data.
+
+        ``A_ub``/``A_eq`` are returned as ``scipy.sparse.csr_matrix`` (or None
+        when there are no rows of that kind).  ``>=`` rows are negated into
+        ``<=`` form.
+        """
+        import numpy as np
+        from scipy import sparse
+
+        n = len(self.variables)
+        c = np.array([v.objective for v in self.variables], dtype=float)
+        bounds = [(v.lower, v.upper) for v in self.variables]
+
+        ub_rows, eq_rows = [], []
+        for con in self.constraints:
+            if con.sense is Sense.EQ:
+                eq_rows.append(con)
+            else:
+                ub_rows.append(con)
+
+        def build(rows, flip_ge: bool):
+            if not rows:
+                return None, None
+            data, indices, indptr, rhs = [], [], [0], []
+            for con in rows:
+                flip = flip_ge and con.sense is Sense.GE
+                for i, coeff in zip(con.indices, con.coeffs):
+                    indices.append(i)
+                    data.append(-coeff if flip else coeff)
+                indptr.append(len(data))
+                rhs.append(-con.rhs if flip else con.rhs)
+            mat = sparse.csr_matrix(
+                (np.array(data, dtype=float), np.array(indices), np.array(indptr)),
+                shape=(len(rows), n),
+            )
+            return mat, np.array(rhs, dtype=float)
+
+        a_ub, b_ub = build(ub_rows, flip_ge=True)
+        a_eq, b_eq = build(eq_rows, flip_ge=False)
+        return c, a_ub, b_ub, a_eq, b_eq, bounds
+
+    # -- solving -----------------------------------------------------------
+
+    def solve(self, backend: str = "scipy", **kwargs) -> LPSolution:
+        """Solve the LP with the chosen backend (``"scipy"`` or ``"simplex"``)."""
+        if backend == "scipy":
+            from repro.lp.scipy_backend import solve_with_scipy
+
+            return solve_with_scipy(self, **kwargs)
+        if backend == "simplex":
+            from repro.lp.simplex import solve_with_simplex
+
+            return solve_with_simplex(self, **kwargs)
+        raise ValueError(f"unknown LP backend: {backend!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearProgram(name={self.name!r}, vars={len(self.variables)}, "
+            f"constraints={len(self.constraints)})"
+        )

@@ -1,0 +1,99 @@
+"""Production LP backend built on ``scipy.optimize.linprog`` (HiGHS).
+
+The paper solved its LP relaxations with CPLEX.  HiGHS is likewise an exact
+(to tolerance) simplex/interior-point solver, so the computed lower bounds are
+identical up to numerical tolerance — the substitution is documented in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.lp.solution import LPSolution, SolveStatus
+
+_STATUS_MAP = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ERROR,  # iteration limit
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+def solve_with_scipy(model, method: str = "highs", **options) -> LPSolution:
+    """Solve a :class:`repro.lp.model.LinearProgram` with scipy/HiGHS.
+
+    Parameters
+    ----------
+    model:
+        The LP to solve (minimization).
+    method:
+        scipy ``linprog`` method; ``"highs"`` picks the best HiGHS variant.
+    options:
+        Extra options forwarded to ``linprog`` (e.g. ``presolve=False``).
+    """
+    c, a_ub, b_ub, a_eq, b_eq, bounds = model.to_arrays()
+    if len(c) == 0:
+        return LPSolution(
+            status=SolveStatus.OPTIMAL, objective=0.0, values=np.zeros(0), backend="scipy"
+        )
+    result = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method=method,
+        options=options or None,
+    )
+    status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+    values = result.x if result.x is not None else np.zeros(len(c))
+    duals = _extract_duals(model, result) if status is SolveStatus.OPTIMAL else None
+    return LPSolution(
+        status=status,
+        objective=float(result.fun) if result.fun is not None else float("nan"),
+        values=np.asarray(values, dtype=float),
+        backend="scipy",
+        message=str(result.message),
+        duals=duals,
+    )
+
+
+def _extract_duals(model, result) -> "np.ndarray | None":
+    """Map HiGHS marginals back to model row order.
+
+    ``to_arrays`` splits rows into inequality/equality groups (negating
+    ``>=`` rows into ``<=`` form); the duals are re-interleaved here and
+    sign-corrected so every entry means d objective / d rhs of the
+    *original* row.
+    """
+    from repro.lp.model import Sense
+
+    ineq = getattr(result, "ineqlin", None)
+    eq = getattr(result, "eqlin", None)
+    ineq_marg = getattr(ineq, "marginals", None) if ineq is not None else None
+    eq_marg = getattr(eq, "marginals", None) if eq is not None else None
+    duals = np.zeros(len(model.constraints))
+    ub_at = 0
+    eq_at = 0
+    for row, con in enumerate(model.constraints):
+        if con.sense is Sense.EQ:
+            if eq_marg is None:
+                return None
+            duals[row] = float(eq_marg[eq_at])
+            eq_at += 1
+        else:
+            if ineq_marg is None:
+                return None
+            value = float(ineq_marg[ub_at])
+            ub_at += 1
+            # A >= row was negated into <= form: rhs' = -rhs, so the
+            # sensitivity to the original rhs flips sign.
+            duals[row] = -value if con.sense is Sense.GE else value
+    # scipy reports d fun / d b_ub with marginals <= 0 for binding <= rows;
+    # after the GE flip, duals of >= rows are >= 0 (more requirement costs
+    # more), matching the shadow-price convention used by callers.
+    return duals

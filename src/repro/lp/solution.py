@@ -1,0 +1,72 @@
+"""Solved-LP result object."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+
+class SolveStatus(str, enum.Enum):
+    """Outcome of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass
+class LPSolution:
+    """Values and metadata from a solver backend.
+
+    Attributes
+    ----------
+    status:
+        Terminal status of the solve.
+    objective:
+        Objective value at the returned point (only meaningful when
+        :attr:`status` is :data:`SolveStatus.OPTIMAL`).
+    values:
+        Variable values in model index order (numpy array or list).
+    backend:
+        Which backend produced the solution (``"scipy"`` / ``"simplex"``).
+    message:
+        Backend-specific diagnostic text.
+    """
+
+    status: SolveStatus
+    objective: float = float("nan")
+    values: Sequence[float] = field(default_factory=list)
+    backend: str = ""
+    message: str = ""
+    #: Per-constraint dual values (model row order; d objective / d rhs).
+    #: None when the backend does not provide duals.
+    duals: Optional[Sequence[float]] = None
+    _name_index: Optional[Dict[str, int]] = None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+    def value(self, index: int) -> float:
+        return float(self.values[index])
+
+    def by_name(self, model, name: str) -> float:
+        """Look a value up by variable name (convenience for tests/examples)."""
+        return float(self.values[model.variable_by_name(name).index])
+
+    def require_optimal(self) -> "LPSolution":
+        """Raise if the solve did not reach optimality; return self otherwise."""
+        if not self.is_optimal:
+            raise RuntimeError(
+                f"LP solve failed: status={self.status.value} message={self.message!r}"
+            )
+        return self
+
+    def __repr__(self) -> str:
+        obj = f"{self.objective:.6g}" if self.is_optimal else "n/a"
+        return (
+            f"LPSolution(status={self.status.value}, objective={obj}, "
+            f"nvars={len(self.values)}, backend={self.backend!r})"
+        )

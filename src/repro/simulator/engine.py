@@ -1,0 +1,262 @@
+"""The trace-replay engine.
+
+Replays a request trace in time order against a placement heuristic:
+
+1. At each period boundary (for periodic heuristics), fire
+   ``on_interval`` with the demand of the closed period (and the coming
+   period's demand for clairvoyant heuristics).
+2. For each request, measure the latency under the heuristic's routing
+   scope *before* letting the heuristic react (a cache miss is a miss even
+   though the object is inserted right after), count it against the QoS
+   goal, then fire ``on_access``.
+
+Costs accrue in :class:`~repro.simulator.state.ReplicaState` with the same
+units as the MC-PERF objective, so simulated costs are directly comparable
+to the computed lower bounds (Figure 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.heuristics.base import PlacementHeuristic
+from repro.simulator.state import ReplicaState
+from repro.topology.graph import Topology
+from repro.workload.trace import Trace
+
+
+@dataclass
+class SimulationResult:
+    """Measured cost and QoS of a deployed heuristic on a trace."""
+
+    heuristic: str
+    storage_cost: float
+    creation_cost: float
+    update_cost: float
+    creations: int
+    reads: int
+    covered_reads: int
+    qos_per_node: Dict[int, float] = field(default_factory=dict)
+    peak_occupancy: Optional[np.ndarray] = None
+    max_replicas_per_object: Optional[np.ndarray] = None
+    mean_latency_ms: float = 0.0
+
+    @property
+    def total_cost(self) -> float:
+        return self.storage_cost + self.creation_cost + self.update_cost
+
+    @property
+    def qos(self) -> float:
+        """Overall covered-read fraction."""
+        return self.covered_reads / self.reads if self.reads else 1.0
+
+    @property
+    def min_node_qos(self) -> float:
+        """Worst per-node QoS — what a per-user goal is judged on."""
+        return min(self.qos_per_node.values()) if self.qos_per_node else 1.0
+
+    def meets(self, fraction: float, per_user: bool = True) -> bool:
+        level = self.min_node_qos if per_user else self.qos
+        return level >= fraction - 1e-12
+
+    def __str__(self) -> str:
+        return (
+            f"{self.heuristic}: cost={self.total_cost:.1f} "
+            f"(storage={self.storage_cost:.1f}, creation={self.creation_cost:.1f}), "
+            f"QoS={self.qos:.5f} (worst node {self.min_node_qos:.5f})"
+        )
+
+
+class SimulationContext:
+    """What heuristics see while the trace plays."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        trace: Trace,
+        state: ReplicaState,
+        tlat_ms: float,
+        assignment: Optional[np.ndarray] = None,
+    ):
+        self.topology = topology
+        self.trace = trace
+        self.state = state
+        self.tlat_ms = tlat_ms
+        self.assignment = assignment
+        self.now_s = 0.0
+
+    @property
+    def num_nodes(self) -> int:
+        return self.topology.num_nodes
+
+    @property
+    def num_objects(self) -> int:
+        return self.trace.num_objects
+
+    def create_replica(self, node: int, obj: int) -> bool:
+        return self.state.create(node, obj, self.now_s)
+
+    def drop_replica(self, node: int, obj: int) -> bool:
+        return self.state.drop(node, obj, self.now_s)
+
+    def holds(self, node: int, obj: int) -> bool:
+        return self.state.holds(node, obj)
+
+
+class Simulator:
+    """Replays a trace against one heuristic.
+
+    Parameters
+    ----------
+    topology / trace:
+        The system and workload.
+    heuristic:
+        The placement heuristic under test.
+    tlat_ms:
+        Latency threshold for QoS accounting.
+    alpha / beta / delta:
+        Storage, creation and per-replica update-message unit costs (match
+        the bound's cost model; delta implements extension (12)).
+    cost_interval_s:
+        Wall time worth one storage-cost unit (paper: 1 hour).
+    warmup_s:
+        Requests before this time do not count toward QoS (they still warm
+        caches and accrue cost) — pair with the bound's ``warmup_intervals``.
+    assignment:
+        Optional per-site access node (deployment scenario §6.2): a request
+        from site s is served through ``assignment[s]``; latency is the
+        user-to-assigned-node leg plus the serving leg.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        trace: Trace,
+        heuristic: PlacementHeuristic,
+        tlat_ms: float,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        delta: float = 0.0,
+        cost_interval_s: float = 3600.0,
+        warmup_s: float = 0.0,
+        assignment: Optional[np.ndarray] = None,
+    ):
+        if trace.num_nodes > topology.num_nodes:
+            raise ValueError("trace references more nodes than the topology has")
+        self.topology = topology
+        self.trace = trace
+        self.heuristic = heuristic
+        self.tlat_ms = tlat_ms
+        self.warmup_s = warmup_s
+        self.assignment = assignment
+        self.state = ReplicaState(
+            topology,
+            trace.num_objects,
+            alpha=alpha,
+            beta=beta,
+            delta=delta,
+            interval_s=cost_interval_s,
+        )
+        self.ctx = SimulationContext(topology, trace, self.state, tlat_ms, assignment)
+
+    # -- serving --------------------------------------------------------------
+
+    def _served_latency(self, node: int, obj: int) -> float:
+        """Latency experienced by a request under the heuristic's routing."""
+        scope = self.heuristic.routing
+        if self.assignment is None:
+            return self.state.best_latency(node, obj, scope)
+        access = int(self.assignment[node])
+        leg = float(self.topology.latency[node][access])
+        return leg + self.state.best_latency(access, obj, scope)
+
+    # -- driving -----------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        trace = self.trace
+        heuristic = self.heuristic
+        period = heuristic.period_s
+        demands: Optional[np.ndarray] = None
+        if period is not None:
+            num_periods = max(1, int(np.ceil(trace.duration_s / period)))
+            demands = np.zeros((num_periods, trace.num_nodes, trace.num_objects))
+            for req in trace.requests:
+                if not req.is_write:
+                    p = min(int(req.time_s / period), num_periods - 1)
+                    demands[p, req.node, req.obj] += 1
+
+        heuristic.on_start(self.ctx)
+
+        reads = 0
+        covered = 0
+        lat_sum = 0.0
+        per_node_reads: Dict[int, int] = {}
+        per_node_covered: Dict[int, int] = {}
+        next_boundary = 0.0
+        period_index = 0
+
+        for req in trace.requests:
+            while period is not None and req.time_s >= next_boundary:
+                past = (
+                    demands[period_index - 1]
+                    if period_index > 0
+                    else np.zeros((trace.num_nodes, trace.num_objects))
+                )
+                nxt = (
+                    demands[period_index]
+                    if heuristic.clairvoyant and period_index < len(demands)
+                    else None
+                )
+                self.ctx.now_s = next_boundary
+                heuristic.on_interval(period_index, self.ctx, past, nxt)
+                period_index += 1
+                next_boundary += period
+
+            self.ctx.now_s = req.time_s
+            if not req.is_write:
+                latency = self._served_latency(req.node, req.obj)
+                if req.time_s >= self.warmup_s:
+                    reads += 1
+                    lat_sum += latency
+                    per_node_reads[req.node] = per_node_reads.get(req.node, 0) + 1
+                    if latency <= self.tlat_ms:
+                        covered += 1
+                        per_node_covered[req.node] = per_node_covered.get(req.node, 0) + 1
+            else:
+                latency = 0.0
+                self.state.record_write(req.obj)
+            heuristic.on_access(req, latency, self.ctx)
+
+        self.ctx.now_s = trace.duration_s
+        self.state.finalize(trace.duration_s)
+
+        qos_per_node = {
+            n: per_node_covered.get(n, 0) / cnt for n, cnt in per_node_reads.items()
+        }
+        return SimulationResult(
+            heuristic=heuristic.describe(),
+            storage_cost=self.state.storage_cost,
+            creation_cost=self.state.creation_cost,
+            update_cost=self.state.update_cost,
+            creations=self.state.creations,
+            reads=reads,
+            covered_reads=covered,
+            qos_per_node=qos_per_node,
+            peak_occupancy=self.state.peak_occupancy.copy(),
+            max_replicas_per_object=self.state.max_replicas_per_object.copy(),
+            mean_latency_ms=lat_sum / reads if reads else 0.0,
+        )
+
+
+def simulate(
+    topology: Topology,
+    trace: Trace,
+    heuristic: PlacementHeuristic,
+    tlat_ms: float,
+    **kwargs,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    return Simulator(topology, trace, heuristic, tlat_ms, **kwargs).run()

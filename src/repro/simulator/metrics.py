@@ -1,0 +1,71 @@
+"""Cost accounting for simulated heuristics, aligned with the bounds.
+
+A deployed storage-constrained heuristic pays for its *provisioned* capacity
+(every node, every interval), and a replica-constrained heuristic for its
+replication factor — the same accounting the lower bounds and the rounding
+adjustments use (Figure 5).  ``heuristic_cost`` converts a raw
+:class:`~repro.simulator.engine.SimulationResult` into that comparable cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simulator.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class ComparableCost:
+    """Provisioned-cost view of a simulation, comparable to a bound."""
+
+    storage: float
+    creation: float
+    mode: str
+
+    @property
+    def total(self) -> float:
+        return self.storage + self.creation
+
+
+def heuristic_cost(
+    result: SimulationResult,
+    mode: str = "raw",
+    alpha: float = 1.0,
+    num_intervals: Optional[int] = None,
+    num_nodes: Optional[int] = None,
+    capacity: Optional[int] = None,
+    replicas: Optional[int] = None,
+    num_objects: Optional[int] = None,
+) -> ComparableCost:
+    """Cost of a simulated heuristic under a bound-comparable accounting.
+
+    Parameters
+    ----------
+    mode:
+        ``"raw"`` — object-time storage actually used (the simulator's own
+        integral) plus creations.
+        ``"sc"`` — storage-constrained provisioning: ``alpha * num_nodes *
+        num_intervals * capacity`` plus creations.
+        ``"rc"`` — replica-constrained provisioning: ``alpha * num_intervals
+        * num_objects * replicas`` plus creations.
+    num_nodes:
+        Replica-capable nodes (origin excluded).
+    num_intervals:
+        Cost intervals in the run (trace duration / cost interval).
+    """
+    if mode == "raw":
+        return ComparableCost(result.storage_cost, result.creation_cost, mode)
+    if num_intervals is None:
+        raise ValueError(f"mode {mode!r} needs num_intervals")
+    if mode == "sc":
+        if num_nodes is None or capacity is None:
+            raise ValueError("mode 'sc' needs num_nodes and capacity")
+        storage = alpha * num_nodes * num_intervals * capacity
+        return ComparableCost(storage, result.creation_cost, mode)
+    if mode == "rc":
+        if replicas is None or num_objects is None:
+            raise ValueError("mode 'rc' needs replicas and num_objects")
+        storage = alpha * num_intervals * num_objects * replicas
+        return ComparableCost(storage, result.creation_cost, mode)
+    raise ValueError(f"unknown accounting mode: {mode!r}")

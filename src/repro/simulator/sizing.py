@@ -1,0 +1,118 @@
+"""Sizing searches: the smallest configuration that meets a QoS goal.
+
+Figure 2 plots each heuristic at its cheapest goal-meeting configuration —
+the smallest cache capacity (storage-constrained heuristics) or replication
+factor (replica-constrained heuristics).  LRU's stack property makes hit
+rate monotone in capacity, so binary search is exact there; for the other
+heuristics monotonicity is near-universal in practice and the search
+verifies its answer by simulation either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.heuristics.base import PlacementHeuristic
+from repro.simulator.engine import SimulationResult, Simulator
+from repro.topology.graph import Topology
+from repro.workload.trace import Trace
+
+
+@dataclass
+class SizingResult:
+    """Smallest goal-meeting parameter and the simulation at that point."""
+
+    feasible: bool
+    value: Optional[int] = None
+    result: Optional[SimulationResult] = None
+    simulations: int = 0
+
+    def __str__(self) -> str:
+        if not self.feasible:
+            return f"no feasible size found ({self.simulations} simulations)"
+        return f"size={self.value}: {self.result} ({self.simulations} simulations)"
+
+
+def _search_min(
+    build: Callable[[int], PlacementHeuristic],
+    run: Callable[[PlacementHeuristic], SimulationResult],
+    meets: Callable[[SimulationResult], bool],
+    lo: int,
+    hi: int,
+) -> SizingResult:
+    """Binary search for the smallest parameter in [lo, hi] meeting the goal."""
+    if hi < lo:
+        raise ValueError("empty search range")
+    sims = 0
+    top = run(build(hi))
+    sims += 1
+    if not meets(top):
+        return SizingResult(feasible=False, simulations=sims)
+    best_value, best_result = hi, top
+    low = lo
+    high = hi - 1
+    while low <= high:
+        mid = (low + high) // 2
+        result = run(build(mid))
+        sims += 1
+        if meets(result):
+            best_value, best_result = mid, result
+            high = mid - 1
+        else:
+            low = mid + 1
+    return SizingResult(feasible=True, value=best_value, result=best_result, simulations=sims)
+
+
+def min_capacity_for_goal(
+    make_heuristic: Callable[[int], PlacementHeuristic],
+    topology: Topology,
+    trace: Trace,
+    tlat_ms: float,
+    fraction: float,
+    per_user: bool = True,
+    max_capacity: Optional[int] = None,
+    warmup_s: float = 0.0,
+    assignment=None,
+    **sim_kwargs,
+) -> SizingResult:
+    """Smallest cache capacity meeting the QoS goal.
+
+    ``make_heuristic(capacity)`` builds the heuristic under test (e.g.
+    ``lambda c: LRUCaching(c)``).
+    """
+    hi = max_capacity if max_capacity is not None else trace.num_objects
+
+    def run(h: PlacementHeuristic) -> SimulationResult:
+        return Simulator(
+            topology, trace, h, tlat_ms, warmup_s=warmup_s, assignment=assignment, **sim_kwargs
+        ).run()
+
+    return _search_min(
+        make_heuristic, run, lambda r: r.meets(fraction, per_user=per_user), 0, hi
+    )
+
+
+def min_replicas_for_goal(
+    make_heuristic: Callable[[int], PlacementHeuristic],
+    topology: Topology,
+    trace: Trace,
+    tlat_ms: float,
+    fraction: float,
+    per_user: bool = True,
+    max_replicas: Optional[int] = None,
+    warmup_s: float = 0.0,
+    assignment=None,
+    **sim_kwargs,
+) -> SizingResult:
+    """Smallest replication factor meeting the QoS goal."""
+    hi = max_replicas if max_replicas is not None else topology.num_nodes - 1
+
+    def run(h: PlacementHeuristic) -> SimulationResult:
+        return Simulator(
+            topology, trace, h, tlat_ms, warmup_s=warmup_s, assignment=assignment, **sim_kwargs
+        ).run()
+
+    return _search_min(
+        make_heuristic, run, lambda r: r.meets(fraction, per_user=per_user), 0, hi
+    )

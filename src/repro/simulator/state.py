@@ -1,0 +1,166 @@
+"""Replica state and cost tracking during simulation.
+
+:class:`ReplicaState` is the authoritative record of which node holds which
+object at the current simulation time.  It integrates storage cost over time
+(alpha per object per evaluation-interval-equivalent of wall time) and
+counts replica creations (beta each), mirroring the MC-PERF cost function
+(1) so simulated heuristic costs are directly comparable to the bounds.
+
+The origin node implicitly stores every object for free and is not tracked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.topology.graph import Topology
+
+
+class ReplicaState:
+    """Which node stores which objects, with cost integration.
+
+    Parameters
+    ----------
+    topology:
+        The system; ``topology.origin`` stores everything for free.
+    num_objects:
+        Object universe size.
+    alpha / beta:
+        Unit storage (per object per ``interval_s``) and creation costs.
+    interval_s:
+        The wall-time equivalent of one storage-cost unit (the paper: one
+        hour costs 1).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        num_objects: int,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        delta: float = 0.0,
+        interval_s: float = 3600.0,
+    ):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.topology = topology
+        self.num_objects = num_objects
+        self.alpha = alpha
+        self.beta = beta
+        self.delta = delta
+        self.interval_s = interval_s
+
+        self._held: List[Set[int]] = [set() for _ in topology.nodes()]
+        self._since: Dict[Tuple[int, int], float] = {}
+        self.storage_cost = 0.0
+        self.creation_cost = 0.0
+        self.update_cost = 0.0
+        self.creations = 0
+        self.drops = 0
+        self.peak_occupancy = np.zeros(topology.num_nodes, dtype=np.int64)
+        self.max_replicas_per_object = np.zeros(num_objects, dtype=np.int64)
+        self._replica_counts = np.zeros(num_objects, dtype=np.int64)
+
+    # -- queries ---------------------------------------------------------------
+
+    def holds(self, node: int, obj: int) -> bool:
+        """Whether ``node`` currently stores ``obj`` (origin always does)."""
+        if node == self.topology.origin:
+            return True
+        return obj in self._held[node]
+
+    def holders(self, obj: int) -> Set[int]:
+        """All non-origin nodes currently storing ``obj``."""
+        return {n for n in self.topology.nodes() if n != self.topology.origin and obj in self._held[n]}
+
+    def occupancy(self, node: int) -> int:
+        return len(self._held[node])
+
+    def contents(self, node: int) -> Set[int]:
+        return set(self._held[node])
+
+    # -- mutation -----------------------------------------------------------------
+
+    def create(self, node: int, obj: int, time_s: float) -> bool:
+        """Place a replica; returns False (no-op) if already held or at origin."""
+        if node == self.topology.origin:
+            return False
+        if obj in self._held[node]:
+            return False
+        if not 0 <= obj < self.num_objects:
+            raise IndexError(f"object {obj} out of range")
+        self._held[node].add(obj)
+        self._since[(node, obj)] = time_s
+        self.creations += 1
+        self.creation_cost += self.beta
+        self.peak_occupancy[node] = max(self.peak_occupancy[node], len(self._held[node]))
+        self._replica_counts[obj] += 1
+        self.max_replicas_per_object[obj] = max(
+            self.max_replicas_per_object[obj], self._replica_counts[obj]
+        )
+        return True
+
+    def record_write(self, obj: int) -> float:
+        """Charge one update message per current replica (extension (12)).
+
+        Returns the cost charged.  The origin's permanent copy is free, as
+        in the bound's accounting.
+        """
+        if self.delta <= 0:
+            return 0.0
+        cost = self.delta * float(self._replica_counts[obj])
+        self.update_cost += cost
+        return cost
+
+    def drop(self, node: int, obj: int, time_s: float) -> bool:
+        """Remove a replica, accruing its storage cost.  Returns False if absent."""
+        if obj not in self._held[node]:
+            return False
+        self._held[node].discard(obj)
+        start = self._since.pop((node, obj))
+        if time_s < start:
+            raise ValueError("drop before create")
+        self.storage_cost += self.alpha * (time_s - start) / self.interval_s
+        self._replica_counts[obj] -= 1
+        self.drops += 1
+        return True
+
+    def finalize(self, end_time_s: float) -> None:
+        """Accrue storage cost for replicas still held at the end of the run."""
+        for (node, obj), start in list(self._since.items()):
+            if end_time_s < start:
+                raise ValueError("finalize before last create")
+            self.storage_cost += self.alpha * (end_time_s - start) / self.interval_s
+            self._since[(node, obj)] = end_time_s  # idempotent finalize
+
+    # -- serving ---------------------------------------------------------------------
+
+    def best_latency(
+        self, node: int, obj: int, scope: str = "global", holders: Optional[Set[int]] = None
+    ) -> float:
+        """Lowest access latency for ``node`` to reach ``obj``.
+
+        ``scope="local"`` restricts serving to the node itself plus the
+        origin (plain caching); ``"global"`` allows any holder (cooperative
+        caching, centralized placement).
+        """
+        lat = self.topology.latency
+        best = float(lat[node][self.topology.origin])
+        if scope == "local":
+            if self.holds(node, obj):
+                best = 0.0
+            return best
+        if scope != "global":
+            raise ValueError(f"unknown routing scope: {scope!r}")
+        candidates = holders if holders is not None else self.holders(obj)
+        for m in candidates:
+            best = min(best, float(lat[node][m]))
+        if self.holds(node, obj):
+            best = 0.0
+        return best
+
+    def covered(self, node: int, obj: int, tlat_ms: float, scope: str = "global") -> bool:
+        """Whether ``node`` can read ``obj`` within the latency threshold."""
+        return self.best_latency(node, obj, scope) <= tlat_ms

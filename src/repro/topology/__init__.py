@@ -1,0 +1,40 @@
+"""Network-topology substrate.
+
+The paper's case study runs on a 20-node AS-level topology (Telstra-derived)
+where a single AS hop costs 100–200 ms, one node is the corporate data center
+(origin) holding all objects, and user populations are unevenly spread across
+sites.  This package builds equivalent synthetic topologies and exposes
+exactly what the MC-PERF formulation consumes:
+
+* a full pairwise latency matrix (shortest path over hop latencies), and
+* the binary ``dist`` reachability matrix at a latency threshold.
+"""
+
+from repro.topology.graph import Topology
+from repro.topology.generators import (
+    as_level_topology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+    star_topology,
+    topology_from_edges,
+)
+from repro.topology.latency import (
+    exponential_latency,
+    uniform_latency,
+)
+from repro.topology.io import topology_from_dict, topology_to_dict
+
+__all__ = [
+    "Topology",
+    "as_level_topology",
+    "star_topology",
+    "topology_from_edges",
+    "line_topology",
+    "ring_topology",
+    "grid_topology",
+    "uniform_latency",
+    "exponential_latency",
+    "topology_to_dict",
+    "topology_from_dict",
+]

@@ -1,0 +1,165 @@
+"""Topology generators.
+
+``as_level_topology`` is the stand-in for the paper's Telstra-derived 20-node
+AS topology: AS-level graphs are well modelled by preferential attachment
+(heavy-tailed degree), each hop costs 100–200 ms, and the best-connected node
+plays the corporate-headquarters role.  The regular generators (star, line,
+ring, grid) exist for tests and controlled experiments where the reachability
+structure must be known exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.topology.graph import Topology
+from repro.topology.latency import uniform_latency
+
+LatencyModel = Callable[[np.random.Generator], float]
+
+
+def _latency_matrix(graph: nx.Graph, n: int) -> np.ndarray:
+    """All-pairs shortest-path latency over edge ``latency`` attributes."""
+    lat = np.full((n, n), np.inf)
+    np.fill_diagonal(lat, 0.0)
+    for src, lengths in nx.all_pairs_dijkstra_path_length(graph, weight="latency"):
+        for dst, value in lengths.items():
+            lat[src][dst] = value
+    if np.isinf(lat).any():
+        raise ValueError("graph is disconnected; cannot build a latency matrix")
+    # Symmetrize against floating-point asymmetries from Dijkstra ordering.
+    return (lat + lat.T) / 2.0
+
+
+def _skewed_populations(rng: np.random.Generator, n: int, skew: float) -> np.ndarray:
+    """Uneven user populations: Zipf-like weights shuffled across sites.
+
+    ``skew == 0`` gives uniform populations; larger values concentrate users
+    on fewer sites (the paper notes "some sites are bigger or more active").
+    """
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-skew) if skew > 0 else np.ones(n)
+    weights = weights / weights.sum() * n
+    rng.shuffle(weights)
+    return weights
+
+
+def as_level_topology(
+    num_nodes: int = 20,
+    seed: int = 0,
+    attachment: int = 2,
+    latency_model: Optional[LatencyModel] = None,
+    population_skew: float = 0.8,
+) -> Topology:
+    """A synthetic AS-level corporate WAN (paper §6 case-study stand-in).
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of sites (paper: 20).
+    seed:
+        Seed for graph structure, latencies and populations.
+    attachment:
+        Barabási–Albert attachment parameter (edges per new node).
+    latency_model:
+        Per-link latency draw; defaults to uniform 100–200 ms as in the paper.
+    population_skew:
+        Zipf exponent for the uneven user-population weights.
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    attachment = min(attachment, num_nodes - 1)
+    rng = np.random.default_rng(seed)
+    graph = nx.barabasi_albert_graph(num_nodes, attachment, seed=int(rng.integers(2**31)))
+    draw = latency_model or uniform_latency
+    for u, v in graph.edges:
+        graph.edges[u, v]["latency"] = draw(rng)
+    latency = _latency_matrix(graph, num_nodes)
+    # Headquarters = best-connected site (highest degree, ties by index).
+    origin = max(graph.degree, key=lambda kv: (kv[1], -kv[0]))[0]
+    populations = _skewed_populations(rng, num_nodes, population_skew)
+    return Topology(latency=latency, origin=int(origin), populations=populations)
+
+
+def topology_from_edges(
+    num_nodes: int,
+    edges,
+    origin: int = 0,
+    populations=None,
+    names=None,
+) -> Topology:
+    """Build a topology from measured links.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v, latency_ms)`` links; the pairwise matrix is the
+        all-pairs shortest path over them.  The graph must be connected.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    for u, v, latency_ms in edges:
+        if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+            raise ValueError(f"edge ({u}, {v}) references an unknown node")
+        if latency_ms < 0:
+            raise ValueError("link latency must be non-negative")
+        graph.add_edge(int(u), int(v), latency=float(latency_ms))
+    return Topology(
+        latency=_latency_matrix(graph, num_nodes),
+        origin=origin,
+        populations=populations,
+        names=list(names) if names else [],
+    )
+
+
+def star_topology(
+    num_leaves: int = 5,
+    hub_latency_ms: float = 100.0,
+    seed: int = 0,
+    jitter_ms: float = 0.0,
+) -> Topology:
+    """A hub-and-spoke topology; the hub (node 0) is the origin."""
+    if num_leaves < 1:
+        raise ValueError("need at least 1 leaf")
+    rng = np.random.default_rng(seed)
+    graph = nx.star_graph(num_leaves)
+    for u, v in graph.edges:
+        graph.edges[u, v]["latency"] = hub_latency_ms + (
+            rng.uniform(-jitter_ms, jitter_ms) if jitter_ms else 0.0
+        )
+    n = num_leaves + 1
+    return Topology(latency=_latency_matrix(graph, n), origin=0)
+
+
+def line_topology(num_nodes: int = 5, hop_latency_ms: float = 100.0) -> Topology:
+    """A chain of nodes; node 0 is the origin.  Latency grows linearly with hops."""
+    if num_nodes < 1:
+        raise ValueError("need at least 1 node")
+    graph = nx.path_graph(num_nodes)
+    for u, v in graph.edges:
+        graph.edges[u, v]["latency"] = hop_latency_ms
+    return Topology(latency=_latency_matrix(graph, num_nodes), origin=0)
+
+
+def ring_topology(num_nodes: int = 6, hop_latency_ms: float = 100.0) -> Topology:
+    """A cycle of nodes; node 0 is the origin."""
+    if num_nodes < 3:
+        raise ValueError("a ring needs at least 3 nodes")
+    graph = nx.cycle_graph(num_nodes)
+    for u, v in graph.edges:
+        graph.edges[u, v]["latency"] = hop_latency_ms
+    return Topology(latency=_latency_matrix(graph, num_nodes), origin=0)
+
+
+def grid_topology(rows: int = 3, cols: int = 3, hop_latency_ms: float = 100.0) -> Topology:
+    """A rows×cols mesh; the top-left corner is the origin."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    graph = nx.grid_2d_graph(rows, cols)
+    graph = nx.convert_node_labels_to_integers(graph, ordering="sorted")
+    for u, v in graph.edges:
+        graph.edges[u, v]["latency"] = hop_latency_ms
+    return Topology(latency=_latency_matrix(graph, rows * cols), origin=0)

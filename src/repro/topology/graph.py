@@ -1,0 +1,132 @@
+"""The :class:`Topology` model consumed by MC-PERF and the simulator.
+
+A topology is a set of sites (nodes), a symmetric pairwise latency matrix
+derived from shortest paths over link latencies, a designated *origin* node
+(the paper's corporate headquarters / data center that stores every object),
+and a per-node user population weight used by the workload generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Topology:
+    """A wide-area system topology.
+
+    Attributes
+    ----------
+    latency:
+        ``(n, n)`` symmetric matrix of access latencies in milliseconds;
+        ``latency[n][n] == 0``.
+    origin:
+        Index of the origin (headquarters) node that permanently stores all
+        objects.
+    populations:
+        Relative user-population weights per node (used to skew demand).
+    names:
+        Optional human-readable site names.
+    """
+
+    latency: np.ndarray
+    origin: int = 0
+    populations: Optional[np.ndarray] = None
+    names: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.latency = np.asarray(self.latency, dtype=float)
+        if self.latency.ndim != 2 or self.latency.shape[0] != self.latency.shape[1]:
+            raise ValueError("latency must be a square matrix")
+        n = self.latency.shape[0]
+        if not (0 <= self.origin < n):
+            raise ValueError(f"origin {self.origin} out of range for {n} nodes")
+        if np.any(np.abs(np.diagonal(self.latency)) > 1e-9):
+            raise ValueError("latency diagonal must be zero")
+        if np.any(self.latency < 0):
+            raise ValueError("latencies must be non-negative")
+        if not np.allclose(self.latency, self.latency.T, atol=1e-6):
+            raise ValueError("latency matrix must be symmetric")
+        if self.populations is None:
+            self.populations = np.ones(n, dtype=float)
+        else:
+            self.populations = np.asarray(self.populations, dtype=float)
+            if self.populations.shape != (n,):
+                raise ValueError("populations must have one entry per node")
+            if np.any(self.populations < 0):
+                raise ValueError("populations must be non-negative")
+        if not self.names:
+            self.names = [f"site-{i}" for i in range(n)]
+        elif len(self.names) != n:
+            raise ValueError("names must have one entry per node")
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.latency.shape[0])
+
+    def nodes(self) -> range:
+        return range(self.num_nodes)
+
+    def dist_matrix(self, threshold_ms: float) -> np.ndarray:
+        """The binary ``dist`` matrix of the paper: reachable within ``threshold_ms``.
+
+        ``dist[n][m] == 1`` iff node n can access data on node m within the
+        latency threshold.  The diagonal is always 1 (local access).
+        """
+        if threshold_ms < 0:
+            raise ValueError("threshold must be non-negative")
+        return (self.latency <= threshold_ms).astype(np.int8)
+
+    def neighbors_within(self, node: int, threshold_ms: float) -> List[int]:
+        """Nodes (including ``node`` itself) reachable within the threshold."""
+        row = self.latency[node]
+        return [m for m in self.nodes() if row[m] <= threshold_ms]
+
+    def closest_node(self, node: int, candidates: Sequence[int]) -> int:
+        """The candidate with the lowest latency from ``node`` (ties → lowest index).
+
+        Used by the deployment methodology to assign users of closed sites to
+        their nearest open node.
+        """
+        if len(candidates) == 0:
+            raise ValueError("candidates must be non-empty")
+        best = min(candidates, key=lambda m: (self.latency[node][m], m))
+        return int(best)
+
+    # -- derived topologies --------------------------------------------------
+
+    def restrict(self, keep: Sequence[int]) -> "Topology":
+        """A sub-topology over the ``keep`` nodes (order preserved).
+
+        The origin is remapped if kept; otherwise the first kept node becomes
+        the origin (callers that care should keep the origin explicitly).
+        """
+        keep = list(dict.fromkeys(int(k) for k in keep))
+        if not keep:
+            raise ValueError("keep must be non-empty")
+        for k in keep:
+            if not 0 <= k < self.num_nodes:
+                raise IndexError(f"node {k} out of range")
+        idx = np.array(keep)
+        new_origin = keep.index(self.origin) if self.origin in keep else 0
+        return Topology(
+            latency=self.latency[np.ix_(idx, idx)].copy(),
+            origin=new_origin,
+            populations=self.populations[idx].copy(),
+            names=[self.names[k] for k in keep],
+        )
+
+    def diameter_ms(self) -> float:
+        """Largest pairwise latency."""
+        return float(self.latency.max())
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(nodes={self.num_nodes}, origin={self.origin}, "
+            f"diameter={self.diameter_ms():.0f}ms)"
+        )

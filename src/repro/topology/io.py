@@ -1,0 +1,51 @@
+"""Topology serialization (JSON-compatible dicts).
+
+Lets experiments pin down the exact topology used for a figure, and lets
+users bring their own measured latency matrices.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.topology.graph import Topology
+
+_FORMAT_VERSION = 1
+
+
+def topology_to_dict(topo: Topology) -> dict:
+    """A JSON-serializable representation of a topology."""
+    return {
+        "version": _FORMAT_VERSION,
+        "latency": topo.latency.tolist(),
+        "origin": topo.origin,
+        "populations": topo.populations.tolist(),
+        "names": list(topo.names),
+    }
+
+
+def topology_from_dict(data: dict) -> Topology:
+    """Rebuild a topology from :func:`topology_to_dict` output."""
+    version = data.get("version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported topology format version: {version}")
+    return Topology(
+        latency=np.asarray(data["latency"], dtype=float),
+        origin=int(data["origin"]),
+        populations=np.asarray(data["populations"], dtype=float),
+        names=list(data.get("names", [])),
+    )
+
+
+def save_topology(topo: Topology, path: Union[str, Path]) -> None:
+    """Write a topology to a JSON file."""
+    Path(path).write_text(json.dumps(topology_to_dict(topo), indent=2))
+
+
+def load_topology(path: Union[str, Path]) -> Topology:
+    """Read a topology from a JSON file."""
+    return topology_from_dict(json.loads(Path(path).read_text()))

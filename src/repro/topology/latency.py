@@ -1,0 +1,28 @@
+"""Link-latency models.
+
+The paper assigns each AS-level hop a latency of 100–200 ms.  These helpers
+draw per-link latencies; generators attach them to graph edges before the
+shortest-path latency matrix is computed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform_latency(rng: np.random.Generator, low: float = 100.0, high: float = 200.0) -> float:
+    """A latency drawn uniformly from ``[low, high]`` milliseconds (paper default)."""
+    if low < 0 or high < low:
+        raise ValueError("require 0 <= low <= high")
+    return float(rng.uniform(low, high))
+
+
+def exponential_latency(rng: np.random.Generator, mean: float = 150.0, floor: float = 10.0) -> float:
+    """A heavy-tailed latency: ``floor + Exp(mean - floor)`` milliseconds.
+
+    Useful for sensitivity experiments where some links are much slower than
+    the paper's uniform 100–200 ms band.
+    """
+    if mean <= floor:
+        raise ValueError("mean must exceed floor")
+    return float(floor + rng.exponential(mean - floor))

@@ -1,0 +1,56 @@
+"""Workload substrate.
+
+Synthetic stand-ins for the paper's two traces (see DESIGN.md):
+
+* **WEB** — heavy-tailed Zipf popularity derived from the WorldCup98 logs in
+  the paper; many unpopular objects, most-popular ≈ 36 K accesses, the least
+  popular object accessed once, over one day.
+* **GROUP** — a collaborative working-group workload where every object is
+  popular (uniform popularity, least popular ≈ 8.5 K accesses at paper scale).
+
+The MC-PERF formulation consumes only the per-(node, interval, object) demand
+matrix, so matching the popularity distribution and aggregate statistics
+reproduces the phenomena the paper studies.
+"""
+
+from repro.workload.trace import Request, Trace
+from repro.workload.demand import DemandMatrix
+from repro.workload.zipf import ZipfSampler, zipf_counts, zipf_mandelbrot_counts
+from repro.workload.generators import (
+    WorkloadSpec,
+    flash_crowd_workload,
+    group_workload,
+    synthetic_workload,
+    web_workload,
+)
+from repro.workload.stats import (
+    WorkloadStats,
+    characterize,
+    fit_zipf_exponent,
+    min_interarrival,
+)
+from repro.workload.io import trace_from_dict, trace_to_dict
+from repro.workload.adapters import ImportedTrace, trace_from_csv, trace_from_jsonl
+
+__all__ = [
+    "Request",
+    "Trace",
+    "DemandMatrix",
+    "ZipfSampler",
+    "zipf_counts",
+    "zipf_mandelbrot_counts",
+    "WorkloadSpec",
+    "web_workload",
+    "flash_crowd_workload",
+    "group_workload",
+    "synthetic_workload",
+    "WorkloadStats",
+    "characterize",
+    "fit_zipf_exponent",
+    "min_interarrival",
+    "trace_to_dict",
+    "trace_from_dict",
+    "ImportedTrace",
+    "trace_from_csv",
+    "trace_from_jsonl",
+]

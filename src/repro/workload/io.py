@@ -1,0 +1,61 @@
+"""Trace serialization (JSON-compatible dicts).
+
+Compact column-oriented encoding so a 300 K-request trace stays a few MB.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.workload.trace import Request, Trace
+
+_FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> dict:
+    """A JSON-serializable, column-oriented representation of a trace."""
+    return {
+        "version": _FORMAT_VERSION,
+        "name": trace.name,
+        "duration_s": trace.duration_s,
+        "num_nodes": trace.num_nodes,
+        "num_objects": trace.num_objects,
+        "times": [round(r.time_s, 6) for r in trace.requests],
+        "nodes": [r.node for r in trace.requests],
+        "objects": [r.obj for r in trace.requests],
+        "writes": [int(r.is_write) for r in trace.requests],
+    }
+
+
+def trace_from_dict(data: dict) -> Trace:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    version = data.get("version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version: {version}")
+    columns = (data["times"], data["nodes"], data["objects"], data["writes"])
+    lengths = {len(col) for col in columns}
+    if len(lengths) != 1:
+        raise ValueError("trace columns have inconsistent lengths")
+    requests = [
+        Request(float(t), int(n), int(k), bool(w))
+        for t, n, k, w in zip(*columns)
+    ]
+    return Trace(
+        requests=requests,
+        duration_s=float(data["duration_s"]),
+        num_nodes=int(data["num_nodes"]),
+        num_objects=int(data["num_objects"]),
+        name=str(data.get("name", "trace")),
+    )
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to a JSON file."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace from a JSON file."""
+    return trace_from_dict(json.loads(Path(path).read_text()))

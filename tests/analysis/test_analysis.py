@@ -1,0 +1,173 @@
+"""Tests for sweeps, tables and ASCII charts."""
+
+import pytest
+
+from repro.analysis.plot import ascii_chart
+from repro.analysis.report import render_csv, render_series_table, render_sweep_table
+from repro.analysis.sweep import qos_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep(group_problem_module):
+    return qos_sweep(
+        group_problem_module,
+        levels=[0.8, 0.9],
+        classes=["storage-constrained", "replica-constrained"],
+    )
+
+
+@pytest.fixture(scope="module")
+def group_problem_module(small_topology, group_demand):
+    from repro.core.costs import CostModel
+    from repro.core.goals import QoSGoal
+    from repro.core.problem import MCPerfProblem
+
+    return MCPerfProblem(
+        topology=small_topology,
+        demand=group_demand,
+        goal=QoSGoal(tlat_ms=150.0, fraction=0.95),
+        costs=CostModel.paper_defaults(),
+    )
+
+
+def test_sweep_computes_all_cells(sweep):
+    assert sweep.levels == [0.8, 0.9]
+    assert set(sweep.classes) == {"storage-constrained", "replica-constrained"}
+    for cls in sweep.classes:
+        for level in sweep.levels:
+            assert sweep.results[cls][level] is not None
+
+
+def test_sweep_bounds_monotone(sweep):
+    for cls in sweep.classes:
+        series = [b for b in sweep.series(cls) if b is not None]
+        assert series == sorted(series)
+
+
+def test_sweep_series_and_max_level(sweep):
+    for cls in sweep.classes:
+        assert len(sweep.series(cls)) == 2
+        assert sweep.max_feasible_level(cls) in (None, 0.8, 0.9)
+
+
+def test_sweep_requires_qos_goal(group_problem_module):
+    import dataclasses
+
+    from repro.core.goals import AverageLatencyGoal
+
+    bad = dataclasses.replace(
+        group_problem_module, goal=AverageLatencyGoal(tavg_ms=100.0)
+    )
+    with pytest.raises(TypeError):
+        qos_sweep(bad, levels=[0.9])
+
+
+def test_render_sweep_table(sweep):
+    text = render_sweep_table(sweep, title="demo")
+    assert "demo" in text
+    assert "80%" in text and "90%" in text
+    assert "storage-constrained" in text
+
+
+def test_render_sweep_table_with_feasible_costs(group_problem_module):
+    s = qos_sweep(
+        group_problem_module,
+        levels=[0.8],
+        classes=["replica-constrained"],
+        do_rounding=True,
+    )
+    text = render_sweep_table(s, feasible_costs=True)
+    assert "/" in text
+
+
+def test_render_csv(sweep):
+    text = render_csv(sweep)
+    lines = text.splitlines()
+    assert lines[0] == "class,qos_level,lower_bound,feasible_cost"
+    assert len(lines) == 1 + 2 * 2
+
+
+def test_render_series_table():
+    text = render_series_table(
+        "t", ["qos", "cost"], [[0.95, 100.0], [0.99, None]]
+    )
+    assert "qos" in text
+    assert "—" in text
+
+
+def test_ascii_chart_renders_markers():
+    chart = ascii_chart(
+        {"a": [1.0, 2.0, 3.0], "b": [3.0, None, 1.0]},
+        x_labels=["95", "99", "99.9"],
+        title="demo",
+    )
+    assert "demo" in chart
+    assert "o=a" in chart and "x=b" in chart
+    assert "┤" in chart
+
+
+def test_ascii_chart_empty_series():
+    chart = ascii_chart({"a": [None, None]}, x_labels=["1", "2"])
+    assert "no feasible points" in chart
+
+
+def test_ascii_chart_flat_series():
+    chart = ascii_chart({"a": [2.0, 2.0]}, x_labels=["1", "2"])
+    assert "o=a" in chart
+
+
+def test_ascii_chart_validates_size():
+    with pytest.raises(ValueError):
+        ascii_chart({"a": [1.0]}, x_labels=["1"], height=1)
+
+
+def test_crossover_detects_flip():
+    from repro.analysis.sweep import SweepResult
+    from repro.core.bounds import LowerBoundResult
+    from repro.core.properties import HeuristicProperties
+
+    def res(cost):
+        if cost is None:
+            return LowerBoundResult(properties=HeuristicProperties(), feasible=False)
+        return LowerBoundResult(
+            properties=HeuristicProperties(), feasible=True, lp_cost=cost
+        )
+
+    sweep = SweepResult(levels=[0.9, 0.95, 0.99], classes=["a", "b"])
+    sweep.results["a"] = {0.9: res(10.0), 0.95: res(20.0), 0.99: res(40.0)}
+    sweep.results["b"] = {0.9: res(15.0), 0.95: res(18.0), 0.99: res(25.0)}
+    assert sweep.crossover("a", "b") == 0.95  # a cheaper, then b cheaper
+
+
+def test_crossover_none_when_order_stable():
+    from repro.analysis.sweep import SweepResult
+    from repro.core.bounds import LowerBoundResult
+    from repro.core.properties import HeuristicProperties
+
+    def res(cost):
+        return LowerBoundResult(
+            properties=HeuristicProperties(), feasible=True, lp_cost=cost
+        )
+
+    sweep = SweepResult(levels=[0.9, 0.95], classes=["a", "b"])
+    sweep.results["a"] = {0.9: res(10.0), 0.95: res(20.0)}
+    sweep.results["b"] = {0.9: res(30.0), 0.95: res(40.0)}
+    assert sweep.crossover("a", "b") is None
+
+
+def test_crossover_infeasibility_counts_as_flip():
+    from repro.analysis.sweep import SweepResult
+    from repro.core.bounds import LowerBoundResult
+    from repro.core.properties import HeuristicProperties
+
+    def res(cost):
+        if cost is None:
+            return LowerBoundResult(properties=HeuristicProperties(), feasible=False)
+        return LowerBoundResult(
+            properties=HeuristicProperties(), feasible=True, lp_cost=cost
+        )
+
+    sweep = SweepResult(levels=[0.9, 0.99], classes=["cheap", "dies"])
+    sweep.results["cheap"] = {0.9: res(30.0), 0.99: res(40.0)}
+    sweep.results["dies"] = {0.9: res(10.0), 0.99: res(None)}
+    assert sweep.crossover("cheap", "dies") == 0.99

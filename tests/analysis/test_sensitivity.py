@@ -1,0 +1,89 @@
+"""Tests for the sensitivity-analysis module."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    cost_ratio_sensitivity,
+    qos_sensitivity,
+    recommendation_stability,
+    threshold_sensitivity,
+)
+from repro.core.goals import AverageLatencyGoal
+
+
+CLASSES = ["storage-constrained", "replica-constrained"]
+
+
+def test_threshold_sensitivity_sweeps(group_problem):
+    report = threshold_sensitivity(
+        group_problem, thresholds_ms=[120.0, 150.0, 300.0], classes=CLASSES
+    )
+    assert report.parameter == "tlat_ms"
+    assert report.baseline_value == 150.0
+    assert len(report.points) == 3
+    assert report.baseline_recommendation in CLASSES
+
+
+def test_threshold_sensitivity_requires_qos_goal(group_problem):
+    bad = dataclasses.replace(group_problem, goal=AverageLatencyGoal(tavg_ms=100.0))
+    with pytest.raises(TypeError):
+        threshold_sensitivity(bad, [150.0])
+
+
+def test_qos_sensitivity_monotone_bounds(group_problem):
+    report = qos_sensitivity(group_problem, fractions=[0.8, 0.9, 0.95], classes=CLASSES)
+    for cls in CLASSES:
+        series = [p.bounds[cls] for p in report.points if p.bounds[cls] is not None]
+        assert series == sorted(series)
+
+
+def test_cost_ratio_flips_recommendation(group_problem):
+    """With storage nearly free the storage-hungry class wins; with storage
+    expensive the replica-constrained class wins — the ratio must matter."""
+    report = cost_ratio_sensitivity(
+        group_problem, ratios=[0.001, 1.0, 1000.0], classes=CLASSES
+    )
+    recs = {p.value: p.recommended for p in report.points}
+    assert recs[1000.0] == "replica-constrained"
+    # At some ratio the choice differs (or at least bounds reorder): the
+    # sweep must not be a constant function of the ratio.
+    bounds_spread = {
+        p.value: p.bounds["storage-constrained"] for p in report.points
+    }
+    assert bounds_spread[0.001] < bounds_spread[1000.0]
+
+
+def test_cost_ratio_requires_positive_beta(group_problem):
+    from repro.core.costs import CostModel
+
+    zero_beta = dataclasses.replace(group_problem, costs=CostModel(alpha=1.0, beta=0.0))
+    with pytest.raises(ValueError):
+        cost_ratio_sensitivity(zero_beta, [1.0])
+
+
+def test_stable_range_and_flips(group_problem):
+    report = qos_sensitivity(group_problem, fractions=[0.8, 0.9], classes=CLASSES)
+    lo, hi = report.stable_range()
+    if not math.isnan(lo):
+        assert lo <= hi
+    assert isinstance(report.flips(), list)
+
+
+def test_render_contains_values(group_problem):
+    report = threshold_sensitivity(group_problem, [150.0], classes=CLASSES)
+    text = report.render()
+    assert "tlat_ms" in text
+    assert "150" in text
+
+
+def test_recommendation_stability_bounds(group_problem):
+    reports = [
+        qos_sensitivity(group_problem, fractions=[0.85, 0.9], classes=CLASSES),
+        threshold_sensitivity(group_problem, [140.0, 160.0], classes=CLASSES),
+    ]
+    stability = recommendation_stability(reports)
+    assert 0.0 <= stability <= 1.0
+    assert recommendation_stability([]) == 1.0

@@ -1,0 +1,95 @@
+"""Shared fixtures: small deterministic systems used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.goals import QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.topology.generators import as_level_topology, line_topology, star_topology
+from repro.workload.demand import DemandMatrix
+from repro.workload.generators import group_workload, web_workload
+from repro.workload.trace import Request, Trace
+
+
+@pytest.fixture(scope="session")
+def small_topology():
+    """An 8-node AS-like topology with a fixed seed."""
+    return as_level_topology(num_nodes=8, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tiny_star():
+    """A 1-hub, 3-leaf star: hub (origin) 100 ms from each leaf."""
+    return star_topology(num_leaves=3, hub_latency_ms=100.0)
+
+
+@pytest.fixture(scope="session")
+def chain4():
+    """A 4-node chain with 100 ms hops; node 0 is the origin."""
+    return line_topology(num_nodes=4, hop_latency_ms=100.0)
+
+
+@pytest.fixture(scope="session")
+def web_trace():
+    """A scaled-down WEB trace matched to the small topology."""
+    return web_workload(num_nodes=8, num_objects=24, requests_scale=0.02, seed=7)
+
+
+@pytest.fixture(scope="session")
+def group_trace():
+    """A scaled-down GROUP trace matched to the small topology."""
+    return group_workload(num_nodes=8, num_objects=12, requests_scale=0.001, seed=7)
+
+
+@pytest.fixture(scope="session")
+def web_demand(web_trace):
+    return DemandMatrix.from_trace(web_trace, num_intervals=6)
+
+
+@pytest.fixture(scope="session")
+def group_demand(group_trace):
+    return DemandMatrix.from_trace(group_trace, num_intervals=6)
+
+
+@pytest.fixture()
+def web_problem(small_topology, web_demand):
+    return MCPerfProblem(
+        topology=small_topology,
+        demand=web_demand,
+        goal=QoSGoal(tlat_ms=150.0, fraction=0.9),
+        costs=CostModel.paper_defaults(),
+    )
+
+
+@pytest.fixture()
+def group_problem(small_topology, group_demand):
+    return MCPerfProblem(
+        topology=small_topology,
+        demand=group_demand,
+        goal=QoSGoal(tlat_ms=150.0, fraction=0.95),
+        costs=CostModel.paper_defaults(),
+    )
+
+
+def make_trace(requests, duration_s=3600.0, num_nodes=4, num_objects=4, name="t"):
+    """Terse trace builder: requests = [(time, node, obj[, is_write]), ...]."""
+    reqs = []
+    for item in requests:
+        time_s, node, obj = item[0], item[1], item[2]
+        is_write = bool(item[3]) if len(item) > 3 else False
+        reqs.append(Request(float(time_s), int(node), int(obj), is_write))
+    return Trace(
+        requests=reqs,
+        duration_s=duration_s,
+        num_nodes=num_nodes,
+        num_objects=num_objects,
+        name=name,
+    )
+
+
+@pytest.fixture(scope="session")
+def trace_builder():
+    return make_trace

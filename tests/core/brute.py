@@ -1,0 +1,71 @@
+"""Brute-force IP reference for tiny MC-PERF instances.
+
+Enumerates every binary store matrix consistent with a class's create
+restrictions, checks goal feasibility with the library's (independently
+tested) evaluators, and returns the minimum class-accounted cost.  The LP
+relaxation must lower-bound this optimum and the rounding algorithm's
+feasible cost must upper-bound it — the central soundness property of the
+whole method.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.evaluate import meets_goal, solution_cost
+from repro.core.formulation import compute_allowed_create
+from repro.core.problem import MCPerfProblem
+from repro.core.properties import HeuristicProperties
+
+
+def _creation_legal(store: np.ndarray, allowed, initial) -> bool:
+    ns_count, intervals, objects = store.shape
+    for ns in range(ns_count):
+        for k in range(objects):
+            prev = initial[ns, k] if initial is not None else 0.0
+            for i in range(intervals):
+                cur = store[ns, i, k]
+                if cur > prev and allowed is not None and not allowed[ns, i, k]:
+                    return False
+                prev = cur
+    return True
+
+
+def brute_force_optimum(
+    problem: MCPerfProblem,
+    properties: Optional[HeuristicProperties] = None,
+    max_bits: int = 16,
+) -> Tuple[Optional[float], Optional[np.ndarray]]:
+    """Exhaustive minimum cost over integral placements (None = infeasible).
+
+    Only usable for instances with at most ``max_bits`` store cells.
+    """
+    props = properties or HeuristicProperties()
+    inst = problem.instance(props)
+    ns_count = inst.num_storers
+    intervals = inst.num_intervals
+    objects = inst.num_objects
+    bits = ns_count * intervals * objects
+    if bits > max_bits:
+        raise ValueError(f"instance too large for brute force: {bits} cells")
+    allowed = compute_allowed_create(inst, props)
+    initial = inst.initial_store
+
+    best_cost = None
+    best_store = None
+    for assignment in itertools.product((0.0, 1.0), repeat=bits):
+        store = np.array(assignment).reshape(ns_count, intervals, objects)
+        if not _creation_legal(store, allowed, initial):
+            continue
+        if not meets_goal(inst, problem.goal, store):
+            continue
+        cost = solution_cost(
+            inst, props, problem.costs, store, goal=problem.goal
+        ).total
+        if best_cost is None or cost < best_cost - 1e-12:
+            best_cost = cost
+            best_store = store
+    return best_cost, best_store

@@ -1,0 +1,172 @@
+"""Tests for the on-line adaptive selection extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import (
+    AdaptivePlacement,
+    default_factories,
+    selection_timeline,
+)
+from repro.core.goals import QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.simulator.engine import simulate
+from repro.topology.generators import as_level_topology
+from repro.workload.demand import DemandMatrix
+from repro.workload.generators import group_workload, web_workload
+from repro.workload.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def shift_setting():
+    """A workload that is WEB-shaped for half a day, then GROUP-shaped."""
+    topo = as_level_topology(num_nodes=10, seed=3)
+    web = web_workload(
+        num_nodes=10, num_objects=30, populations=topo.populations,
+        requests_scale=0.05, seed=1, duration_s=43_200.0,
+    )
+    group = group_workload(
+        num_nodes=10, num_objects=30, requests_scale=0.02, seed=2,
+        duration_s=43_200.0,
+    )
+    trace = Trace.concat([web, group], name="WEB->GROUP")
+    return topo, trace
+
+
+def test_concat_orders_and_offsets(shift_setting):
+    _topo, trace = shift_setting
+    assert trace.duration_s == pytest.approx(86_400.0)
+    times = [r.time_s for r in trace]
+    assert times == sorted(times)
+    first_half = sum(1 for t in times if t < 43_200.0)
+    assert 0 < first_half < len(times)
+
+
+def test_selection_timeline_detects_shift(shift_setting):
+    topo, trace = shift_setting
+    demand = DemandMatrix.from_trace(trace, num_intervals=8)
+    problem = MCPerfProblem(
+        topology=topo, demand=demand, goal=QoSGoal(tlat_ms=150.0, fraction=0.9)
+    )
+    timeline = selection_timeline(
+        problem,
+        window=4,
+        classes=["storage-constrained", "replica-constrained"],
+    )
+    assert len(timeline) == 2
+    assert all(p.recommended is not None for p in timeline)
+    # Each window carries per-class bounds.
+    for point in timeline:
+        assert set(point.bounds) == {"storage-constrained", "replica-constrained"}
+        assert "[" in str(point)
+
+
+def test_selection_timeline_validation(shift_setting):
+    topo, trace = shift_setting
+    demand = DemandMatrix.from_trace(trace, num_intervals=4)
+    problem = MCPerfProblem(
+        topology=topo, demand=demand, goal=QoSGoal(tlat_ms=150.0, fraction=0.9)
+    )
+    with pytest.raises(ValueError):
+        selection_timeline(problem, window=0)
+    with pytest.raises(ValueError):
+        selection_timeline(problem, window=2, step=0)
+
+
+def test_timeline_stride_covers_all_intervals(shift_setting):
+    topo, trace = shift_setting
+    demand = DemandMatrix.from_trace(trace, num_intervals=8)
+    problem = MCPerfProblem(
+        topology=topo, demand=demand, goal=QoSGoal(tlat_ms=150.0, fraction=0.8)
+    )
+    timeline = selection_timeline(
+        problem, window=4, step=2, classes=["storage-constrained"]
+    )
+    assert timeline[0].start_interval == 0
+    assert timeline[-1].end_interval == 8
+
+
+def test_adaptive_placement_runs_and_meets_modest_goal(shift_setting):
+    topo, trace = shift_setting
+    period = trace.duration_s / 8
+    goal = QoSGoal(tlat_ms=150.0, fraction=0.7)
+    heuristic = AdaptivePlacement(
+        factories=default_factories(
+            capacity=12, replicas=3, period_s=period, tlat_ms=150.0
+        ),
+        goal=goal,
+        period_s=period,
+        window=2,
+        reselect_every=2,
+    )
+    result = simulate(
+        topo, trace, heuristic, tlat_ms=150.0, warmup_s=period, cost_interval_s=period
+    )
+    assert result.reads > 0
+    assert result.qos >= 0.7
+    assert heuristic.current_class in heuristic.factories
+
+
+def test_adaptive_switch_log_consistent(shift_setting):
+    topo, trace = shift_setting
+    period = trace.duration_s / 8
+    heuristic = AdaptivePlacement(
+        factories=default_factories(
+            capacity=12, replicas=3, period_s=period, tlat_ms=150.0
+        ),
+        goal=QoSGoal(tlat_ms=150.0, fraction=0.7),
+        period_s=period,
+        window=2,
+        reselect_every=1,
+    )
+    simulate(topo, trace, heuristic, tlat_ms=150.0)
+    # every logged switch changes the class
+    for _idx, before, after in heuristic.switches:
+        assert before != after
+
+
+def test_adaptive_validation():
+    goal = QoSGoal(tlat_ms=150.0, fraction=0.9)
+    with pytest.raises(ValueError):
+        AdaptivePlacement({}, goal, period_s=100.0)
+    factories = default_factories(4, 2, 100.0, 150.0)
+    with pytest.raises(ValueError):
+        AdaptivePlacement(factories, goal, period_s=0.0)
+    with pytest.raises(ValueError):
+        AdaptivePlacement(factories, goal, period_s=100.0, window=0)
+    with pytest.raises(KeyError):
+        AdaptivePlacement({"not-a-class": lambda ctx: None}, goal, period_s=100.0)
+    with pytest.raises(KeyError):
+        AdaptivePlacement(factories, goal, period_s=100.0, initial="cooperative-caching")
+
+
+def test_adaptive_describe_and_routing_delegation(shift_setting):
+    topo, trace = shift_setting
+    period = trace.duration_s / 8
+    heuristic = AdaptivePlacement(
+        factories=default_factories(8, 2, period, 150.0),
+        goal=QoSGoal(tlat_ms=150.0, fraction=0.7),
+        period_s=period,
+        initial="caching",
+    )
+    assert "Adaptive" in heuristic.describe()
+    simulate(topo, trace, heuristic, tlat_ms=150.0)
+    assert heuristic.routing in ("local", "global")
+
+
+def test_lru_on_adopt_respects_capacity(shift_setting):
+    from repro.heuristics.caching import LRUCaching
+    from repro.simulator.engine import SimulationContext
+    from repro.simulator.state import ReplicaState
+
+    topo, trace = shift_setting
+    state = ReplicaState(topo, trace.num_objects)
+    ctx = SimulationContext(topo, trace, state, tlat_ms=150.0)
+    node = next(n for n in topo.nodes() if n != topo.origin)
+    # Predecessor left 5 replicas on the node.
+    for obj in range(5):
+        assert state.create(node, obj, 0.0)
+    lru = LRUCaching(capacity=3)
+    lru.on_adopt(ctx)
+    assert state.occupancy(node) == 3  # overflow evicted
+    assert len(lru._lru[node]) == 3

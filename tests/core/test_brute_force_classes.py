@@ -1,0 +1,137 @@
+"""Exhaustive cross-validation of the LP + rounding pipeline.
+
+For tiny instances across the whole heuristic-property space, the brute
+force enumerator (which reuses only the independently-tested evaluators)
+must sandwich the pipeline:
+
+    LP bound  <=  brute-force IP optimum  <=  rounded feasible cost
+
+and the two must agree on *feasibility*: the LP (a relaxation) can never be
+infeasible while a legal integral placement exists, and the paper's whole
+method rests on the converse — "LP infeasible" meaning "this class cannot
+meet the goal".
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import compute_lower_bound
+from repro.core.costs import CostModel
+from repro.core.goals import GoalScope, QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.core.properties import (
+    HeuristicProperties,
+    Knowledge,
+    ReplicaConstraint,
+    Routing,
+    StorageConstraint,
+)
+from repro.topology.generators import line_topology, star_topology
+from repro.workload.demand import DemandMatrix
+from tests.core.brute import brute_force_optimum
+
+PROPERTY_SPACE = [
+    HeuristicProperties(),
+    HeuristicProperties(reactive=True),
+    HeuristicProperties(history_window=1),
+    HeuristicProperties(history_window=1, reactive=True),
+    HeuristicProperties(routing=Routing.LOCAL, knowledge=Knowledge.LOCAL),
+    HeuristicProperties(
+        routing=Routing.LOCAL, knowledge=Knowledge.LOCAL, reactive=True
+    ),
+    HeuristicProperties(storage_constraint=StorageConstraint.UNIFORM),
+    HeuristicProperties(storage_constraint=StorageConstraint.PER_NODE),
+    HeuristicProperties(replica_constraint=ReplicaConstraint.UNIFORM),
+    HeuristicProperties(replica_constraint=ReplicaConstraint.PER_OBJECT),
+    HeuristicProperties(
+        storage_constraint=StorageConstraint.UNIFORM,
+        routing=Routing.LOCAL,
+        knowledge=Knowledge.LOCAL,
+        history_window=1,
+        reactive=True,
+    ),  # caching
+]
+
+
+def _problem(reads, fraction, topo):
+    return MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix(reads=np.asarray(reads, dtype=float)),
+        goal=QoSGoal(tlat_ms=150.0, fraction=fraction, scope=GoalScope.OVERALL),
+        costs=CostModel.paper_defaults(),
+    )
+
+
+@pytest.mark.parametrize("props", PROPERTY_SPACE, ids=lambda p: p.describe())
+def test_sandwich_on_fixed_instance(props):
+    topo = star_topology(num_leaves=2, hub_latency_ms=200.0)
+    reads = np.zeros((3, 2, 2))
+    reads[1, 0, 0] = 2
+    reads[1, 1, 0] = 1
+    reads[2, 1, 1] = 3
+    problem = _problem(reads, 0.5, topo)
+    result = compute_lower_bound(problem, props, do_rounding=True)
+    brute, _ = brute_force_optimum(problem, props)
+    if result.feasible:
+        assert brute is not None, f"{props.describe()}: LP feasible, IP not"
+        assert result.lp_cost <= brute + 1e-6
+        assert result.feasible_cost >= brute - 1e-6
+    else:
+        assert brute is None, f"{props.describe()}: LP infeasible but IP exists"
+
+
+@pytest.mark.parametrize("props", PROPERTY_SPACE, ids=lambda p: p.describe())
+def test_sandwich_on_chain_topology(props):
+    """The chain makes remote serving matter (neighbour coverage)."""
+    topo = line_topology(num_nodes=3, hop_latency_ms=100.0)
+    reads = np.zeros((3, 2, 2))
+    reads[1, 0, 0] = 1
+    reads[2, 0, 0] = 2
+    reads[2, 1, 1] = 2
+    problem = _problem(reads, 0.6, topo)
+    result = compute_lower_bound(problem, props, do_rounding=True)
+    brute, _ = brute_force_optimum(problem, props)
+    if result.feasible:
+        assert brute is not None
+        assert result.lp_cost <= brute + 1e-6
+        assert result.feasible_cost >= brute - 1e-6
+    else:
+        assert brute is None
+
+
+@st.composite
+def random_cases(draw):
+    reads = np.zeros((3, 2, 2))
+    for leaf in (1, 2):
+        for i in range(2):
+            for k in range(2):
+                reads[leaf, i, k] = draw(st.integers(min_value=0, max_value=2))
+    fraction = draw(st.sampled_from([0.4, 0.7, 1.0]))
+    props = draw(st.sampled_from(PROPERTY_SPACE))
+    chain = draw(st.booleans())
+    return reads, fraction, props, chain
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_cases())
+def test_sandwich_random(case):
+    reads, fraction, props, chain = case
+    if reads.sum() == 0:
+        return
+    topo = (
+        line_topology(num_nodes=3, hop_latency_ms=100.0)
+        if chain
+        else star_topology(num_leaves=2, hub_latency_ms=200.0)
+    )
+    problem = _problem(reads, fraction, topo)
+    result = compute_lower_bound(problem, props, do_rounding=True)
+    brute, _ = brute_force_optimum(problem, props)
+    if result.feasible:
+        assert brute is not None
+        assert result.lp_cost <= brute + 1e-6
+        assert result.feasible_cost >= brute - 1e-6
+        assert result.rounding is not None and result.rounding.feasible
+    else:
+        assert brute is None

@@ -1,0 +1,86 @@
+"""Tests for the Table-3 class registry."""
+
+import pytest
+
+from repro.core.classes import (
+    FIGURE1_CLASSES,
+    STANDARD_CLASSES,
+    get_class,
+    render_table3,
+    table3,
+)
+from repro.core.properties import Knowledge, ReplicaConstraint, Routing, StorageConstraint
+
+
+def test_registry_contains_paper_rows():
+    for name in [
+        "general",
+        "storage-constrained",
+        "replica-constrained",
+        "decentralized-local-routing",
+        "caching",
+        "cooperative-caching",
+        "caching-prefetch",
+        "cooperative-caching-prefetch",
+        "reactive",
+    ]:
+        assert name in STANDARD_CLASSES
+
+
+def test_caching_class_matches_table3_row():
+    props = get_class("caching").properties
+    assert props.storage_constraint is StorageConstraint.UNIFORM
+    assert props.routing is Routing.LOCAL
+    assert props.knowledge is Knowledge.LOCAL
+    assert props.history_window == 1
+    assert props.reactive
+
+
+def test_cooperative_caching_differs_only_in_scope():
+    coop = get_class("cooperative-caching").properties
+    assert coop.routing is Routing.GLOBAL
+    assert coop.knowledge is Knowledge.GLOBAL
+    assert coop.history_window == 1
+    assert coop.reactive
+
+
+def test_prefetch_variants_are_proactive():
+    assert not get_class("caching-prefetch").properties.reactive
+    assert not get_class("cooperative-caching-prefetch").properties.reactive
+
+
+def test_replica_constrained_row():
+    props = get_class("replica-constrained").properties
+    assert props.replica_constraint is ReplicaConstraint.UNIFORM
+    assert props.storage_constraint is StorageConstraint.NONE
+
+
+def test_general_is_general():
+    assert get_class("general").properties.is_general
+
+
+def test_get_class_error_lists_known():
+    with pytest.raises(KeyError, match="known classes"):
+        get_class("magic")
+
+
+def test_figure1_classes_resolvable():
+    for name in FIGURE1_CLASSES:
+        assert get_class(name)
+
+
+def test_table3_rows_cover_registry():
+    rows = table3()
+    assert {r["class"] for r in rows} == set(STANDARD_CLASSES)
+    caching_row = next(r for r in rows if r["class"] == "caching")
+    assert caching_row["SC"] == "uniform"
+    assert caching_row["React"] == "yes"
+    assert caching_row["Hist"] == "1"
+
+
+def test_render_table3_is_aligned_text():
+    text = render_table3()
+    lines = text.splitlines()
+    assert len(lines) == len(STANDARD_CLASSES) + 2
+    assert "caching" in text
+    assert all(len(line) == len(lines[0]) for line in lines[:1])

@@ -1,0 +1,143 @@
+"""Tests for the §6.2 infrastructure-deployment methodology."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.deployment import assign_users, plan_deployment
+from repro.core.goals import QoSGoal
+from repro.topology.generators import as_level_topology, line_topology
+from repro.workload.demand import DemandMatrix
+from repro.workload.generators import web_workload
+
+
+@pytest.fixture(scope="module")
+def deploy_setting():
+    topo = as_level_topology(num_nodes=10, seed=5)
+    trace = web_workload(num_nodes=10, num_objects=25, requests_scale=0.05, seed=2)
+    demand = DemandMatrix.from_trace(trace, num_intervals=8)
+    return topo, demand
+
+
+def test_assign_users_prefers_own_site():
+    topo = line_topology(num_nodes=4, hop_latency_ms=100.0)
+    assignment = assign_users(topo, [1, 3])
+    assert assignment[1] == 1
+    assert assignment[3] == 3
+    assert assignment[2] in (1, 3)
+    assert assignment[0] == 0  # origin is always a candidate
+
+
+def test_assign_users_without_origin():
+    topo = line_topology(num_nodes=4, hop_latency_ms=100.0)
+    assignment = assign_users(topo, [2], include_origin=False)
+    assert set(assignment.tolist()) == {2}
+
+
+def test_assign_users_requires_candidates():
+    topo = line_topology(num_nodes=3, hop_latency_ms=100.0)
+    with pytest.raises(ValueError):
+        assign_users(topo, [], include_origin=False)
+
+
+def test_plan_deployment_end_to_end(deploy_setting):
+    topo, demand = deploy_setting
+    plan = plan_deployment(
+        topo,
+        demand,
+        QoSGoal(tlat_ms=150.0, fraction=0.95),
+        costs=CostModel.deployment_defaults(zeta=2000.0),
+        do_rounding=False,
+        warmup_intervals=1,
+    )
+    assert plan.feasible
+    assert 1 <= len(plan.open_nodes) < topo.num_nodes
+    assert topo.origin not in plan.open_nodes  # origin is not a deployable site
+    assert plan.selection is not None
+    assert plan.recommended is not None
+    # every site is assigned to an open node or the origin
+    allowed = set(plan.open_nodes) | {topo.origin}
+    assert set(plan.assignment.tolist()) <= allowed
+
+
+def test_plan_reports_phase1_bound_and_fractions(deploy_setting):
+    topo, demand = deploy_setting
+    plan = plan_deployment(
+        topo,
+        demand,
+        QoSGoal(tlat_ms=150.0, fraction=0.9),
+        costs=CostModel.deployment_defaults(zeta=1000.0),
+        do_rounding=False,
+        warmup_intervals=1,
+    )
+    assert plan.phase1_bound is not None
+    assert plan.phase1_bound.lp_cost > 0
+    assert set(plan.open_fractions) == set(
+        int(s) for s in topo.nodes() if s != topo.origin
+    )
+
+
+def test_plan_rejects_zero_zeta(deploy_setting):
+    topo, demand = deploy_setting
+    with pytest.raises(ValueError, match="zeta"):
+        plan_deployment(
+            topo, demand, QoSGoal(150.0, 0.9), costs=CostModel.paper_defaults()
+        )
+
+
+def test_plan_infeasible_goal_reported(deploy_setting):
+    topo, demand = deploy_setting
+    plan = plan_deployment(
+        topo,
+        demand,
+        QoSGoal(tlat_ms=150.0, fraction=0.999999),
+        costs=CostModel.deployment_defaults(zeta=1000.0),
+        do_rounding=False,
+    )
+    assert not plan.feasible
+    assert plan.reason
+
+
+def test_higher_zeta_never_opens_more_nodes(deploy_setting):
+    topo, demand = deploy_setting
+    goal = QoSGoal(tlat_ms=150.0, fraction=0.9)
+    cheap = plan_deployment(
+        topo, demand, goal, costs=CostModel.deployment_defaults(zeta=100.0),
+        do_rounding=False, warmup_intervals=1,
+    )
+    pricey = plan_deployment(
+        topo, demand, goal, costs=CostModel.deployment_defaults(zeta=50_000.0),
+        do_rounding=False, warmup_intervals=1,
+    )
+    assert cheap.feasible and pricey.feasible
+    assert len(pricey.open_nodes) <= len(cheap.open_nodes)
+
+
+def test_max_nodes_cap(deploy_setting):
+    topo, demand = deploy_setting
+    plan = plan_deployment(
+        topo,
+        demand,
+        QoSGoal(tlat_ms=150.0, fraction=0.9),
+        costs=CostModel.deployment_defaults(zeta=1000.0),
+        do_rounding=False,
+        warmup_intervals=1,
+        max_nodes=3,
+    )
+    if plan.feasible:
+        assert len(plan.open_nodes) <= 3
+
+
+def test_render_mentions_phases(deploy_setting):
+    topo, demand = deploy_setting
+    plan = plan_deployment(
+        topo,
+        demand,
+        QoSGoal(tlat_ms=150.0, fraction=0.9),
+        costs=CostModel.deployment_defaults(zeta=1000.0),
+        do_rounding=False,
+        warmup_intervals=1,
+    )
+    text = plan.render()
+    assert "Phase 1" in text
+    assert "Phase 2" in text

@@ -1,0 +1,273 @@
+"""Tests for solution evaluation (coverage, QoS, cost accounting)."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.evaluate import (
+    average_latency_by_scope,
+    coverage_matrix,
+    creations_from_store,
+    meets_goal,
+    qos_by_scope,
+    solution_cost,
+)
+from repro.core.goals import AverageLatencyGoal, GoalScope, QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.core.properties import (
+    HeuristicProperties,
+    ReplicaConstraint,
+    StorageConstraint,
+)
+from repro.topology.generators import star_topology
+from repro.workload.demand import DemandMatrix
+
+
+def far_star_instance(reads, tlat=150.0, fraction=0.9, num_leaves=2, **kwargs):
+    topo = star_topology(num_leaves=num_leaves, hub_latency_ms=200.0)
+    problem = MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix(reads=np.asarray(reads, dtype=float)),
+        goal=QoSGoal(tlat_ms=tlat, fraction=fraction),
+        **kwargs,
+    )
+    return problem, problem.instance(HeuristicProperties())
+
+
+def test_creations_from_store_basic():
+    store = np.zeros((1, 4, 1))
+    store[0, :, 0] = [0, 1, 1, 0]
+    create = creations_from_store(store)
+    assert create[0, :, 0].tolist() == [0, 1, 0, 0]
+
+
+def test_creations_respect_initial_placement():
+    store = np.ones((1, 2, 1))
+    init = np.ones((1, 1))
+    assert creations_from_store(store, init).sum() == 0
+    assert creations_from_store(store).sum() == 1
+
+
+def test_creations_fractional():
+    store = np.zeros((1, 3, 1))
+    store[0, :, 0] = [0.2, 0.7, 0.4]
+    create = creations_from_store(store)
+    assert create[0, :, 0] == pytest.approx([0.2, 0.5, 0.0])
+
+
+def test_coverage_matrix_counts_reachable_stores():
+    reads = np.zeros((3, 1, 1))
+    reads[1, 0, 0] = 1
+    _p, inst = far_star_instance(reads)
+    store = np.zeros((2, 1, 1))
+    cov = coverage_matrix(inst, store)
+    assert cov[1, 0, 0] == 0.0
+    store[0, 0, 0] = 1.0  # storer 0 = leaf 1
+    cov = coverage_matrix(inst, store)
+    assert cov[1, 0, 0] == 1.0
+    assert cov[2, 0, 0] == 0.0  # leaf 2 cannot reach leaf 1 (400ms)
+
+
+def test_coverage_clips_at_one():
+    reads = np.zeros((3, 1, 1))
+    reads[1, 0, 0] = 1
+    _p, inst = far_star_instance(reads)
+    store = np.full((2, 1, 1), 0.8)
+    cov = coverage_matrix(inst, store)
+    # Coverage is min(1, sum over reachable storers) — exactly the reach row.
+    expected = min(1.0, float(inst.reach[1] @ store[:, 0, 0]))
+    assert cov[1, 0, 0] == pytest.approx(expected)
+    # A 0.6+0.6 split across two reachable storers does clip at 1.
+    wide = np.full((2, 1, 1), 0.6)
+    both_reachable = float(inst.reach[1].sum())
+    if both_reachable >= 2:
+        assert coverage_matrix(inst, wide)[1, 0, 0] == 1.0
+
+
+def test_origin_covered_node_is_always_covered():
+    topo = star_topology(num_leaves=2, hub_latency_ms=100.0)
+    reads = np.zeros((3, 1, 1))
+    reads[1, 0, 0] = 1
+    problem = MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix(reads=reads),
+        goal=QoSGoal(tlat_ms=150.0, fraction=0.9),
+    )
+    inst = problem.instance(HeuristicProperties())
+    cov = coverage_matrix(inst, np.zeros((2, 1, 1)))
+    assert cov[1, 0, 0] == 1.0
+
+
+def test_qos_by_scope_per_user_and_overall():
+    reads = np.zeros((3, 1, 1))
+    reads[1, 0, 0] = 3
+    reads[2, 0, 0] = 1
+    problem, inst = far_star_instance(reads)
+    store = np.zeros((2, 1, 1))
+    store[0, 0, 0] = 1  # cover leaf 1 only
+    per_user = qos_by_scope(inst, problem.goal, store)
+    assert per_user[1] == 1.0
+    assert per_user[2] == 0.0
+    overall = qos_by_scope(inst, QoSGoal(150.0, 0.5, scope=GoalScope.OVERALL), store)
+    assert overall["all"] == pytest.approx(0.75)
+
+
+def test_qos_by_scope_per_object():
+    reads = np.zeros((3, 1, 2))
+    reads[1, 0, 0] = 2
+    reads[1, 0, 1] = 2
+    problem, inst = far_star_instance(reads)
+    store = np.zeros((2, 1, 2))
+    store[0, 0, 0] = 1
+    per_obj = qos_by_scope(inst, QoSGoal(150.0, 0.5, scope=GoalScope.PER_OBJECT), store)
+    assert per_obj[("k", 0)] == 1.0
+    assert per_obj[("k", 1)] == 0.0
+
+
+def test_meets_goal_qos():
+    reads = np.zeros((3, 1, 1))
+    reads[1, 0, 0] = 1
+    problem, inst = far_star_instance(reads, fraction=1.0)
+    assert not meets_goal(inst, problem.goal, np.zeros((2, 1, 1)))
+    store = np.zeros((2, 1, 1))
+    store[0, 0, 0] = 1
+    assert meets_goal(inst, problem.goal, store)
+
+
+def test_plain_cost_accounting():
+    reads = np.zeros((3, 2, 1))
+    reads[1, :, 0] = 1
+    problem, inst = far_star_instance(reads)
+    store = np.zeros((2, 2, 1))
+    store[0, :, 0] = 1
+    cost = solution_cost(inst, HeuristicProperties(), CostModel(), store)
+    assert cost.storage == pytest.approx(2.0)
+    assert cost.creation == pytest.approx(1.0)
+    assert cost.total == pytest.approx(3.0)
+
+
+def test_sc_uniform_cost_pads_capacity_and_creation():
+    reads = np.zeros((3, 2, 2))
+    reads[1, :, :] = 1
+    problem, inst = far_star_instance(reads)
+    store = np.zeros((2, 2, 2))
+    store[0, :, :] = 1  # leaf 1 stores 2 objects, leaf 2 stores none
+    props = HeuristicProperties(storage_constraint=StorageConstraint.UNIFORM)
+    cost = solution_cost(inst, props, CostModel(), store)
+    # cmax = 2, so storage = 2 nodes * 2 intervals * 2 = 8
+    assert cost.storage == pytest.approx(8.0)
+    # creations 2 + fill of the idle node (2)
+    assert cost.creation == pytest.approx(4.0)
+    assert cost.adjustments["sc_capacity_fill"] == pytest.approx(2.0)
+
+
+def test_sc_per_node_cost():
+    reads = np.zeros((3, 2, 2))
+    reads[1, :, :] = 1
+    problem, inst = far_star_instance(reads)
+    store = np.zeros((2, 2, 2))
+    store[0, :, :] = 1
+    props = HeuristicProperties(storage_constraint=StorageConstraint.PER_NODE)
+    cost = solution_cost(inst, props, CostModel(), store)
+    assert cost.storage == pytest.approx(4.0)  # cap_0 = 2 over 2 intervals
+    assert cost.creation == pytest.approx(2.0)
+
+
+def test_rc_uniform_cost_pads_replicas():
+    reads = np.zeros((3, 2, 2))
+    reads[1, :, 0] = 1
+    reads[2, 1, 1] = 1
+    problem, inst = far_star_instance(reads)
+    store = np.zeros((2, 2, 2))
+    store[0, :, 0] = 1  # object 0: one replica both intervals
+    store[1, 1, 1] = 1  # object 1: one replica second interval
+    props = HeuristicProperties(replica_constraint=ReplicaConstraint.UNIFORM)
+    cost = solution_cost(inst, props, CostModel(), store)
+    # rmax = 1 over 2 intervals and 2 active objects -> 4
+    assert cost.storage == pytest.approx(4.0)
+    assert cost.creation == pytest.approx(2.0)  # both reach rmax at some interval
+
+
+def test_rc_per_object_cost():
+    reads = np.zeros((3, 2, 2))
+    reads[1, :, 0] = 1
+    reads[2, 1, 1] = 1
+    problem, inst = far_star_instance(reads)
+    store = np.zeros((2, 2, 2))
+    store[0, :, 0] = 1
+    store[1, 1, 1] = 1
+    props = HeuristicProperties(replica_constraint=ReplicaConstraint.PER_OBJECT)
+    cost = solution_cost(inst, props, CostModel(), store)
+    assert cost.storage == pytest.approx(4.0)  # r_0=1, r_1=1 over 2 intervals
+    assert cost.creation == pytest.approx(2.0)
+
+
+def test_delta_write_cost():
+    reads = np.zeros((3, 1, 1))
+    reads[1, 0, 0] = 1
+    writes = np.zeros((3, 1, 1))
+    writes[2, 0, 0] = 4
+    topo = star_topology(num_leaves=2, hub_latency_ms=200.0)
+    problem = MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix(reads=reads, writes=writes),
+        goal=QoSGoal(150.0, 0.9),
+        costs=CostModel(delta=0.5),
+    )
+    inst = problem.instance(HeuristicProperties())
+    store = np.zeros((2, 1, 1))
+    store[0, 0, 0] = 1
+    cost = solution_cost(inst, HeuristicProperties(), problem.costs, store)
+    assert cost.writes == pytest.approx(2.0)  # 4 writes * 1 replica * 0.5
+
+
+def test_gamma_penalty_cost():
+    reads = np.zeros((3, 1, 1))
+    reads[1, 0, 0] = 2
+    problem, inst = far_star_instance(reads, tlat=150.0)
+    costs = CostModel(gamma=0.1)
+    cost = solution_cost(
+        inst, HeuristicProperties(), costs, np.zeros((2, 1, 1)), goal=problem.goal
+    )
+    # 2 uncovered reads * (200 - 150) * 0.1
+    assert cost.penalty == pytest.approx(10.0)
+
+
+def test_opening_cost_counted_when_requested():
+    reads = np.zeros((3, 1, 1))
+    reads[1, 0, 0] = 1
+    problem, inst = far_star_instance(reads)
+    store = np.zeros((2, 1, 1))
+    store[0, 0, 0] = 1
+    costs = CostModel(zeta=100.0)
+    cost = solution_cost(
+        inst, HeuristicProperties(), costs, store, count_opening=True
+    )
+    assert cost.opening == pytest.approx(100.0)
+
+
+def test_average_latency_routing_picks_best_holder():
+    reads = np.zeros((3, 1, 1))
+    reads[1, 0, 0] = 2
+    topo = star_topology(num_leaves=2, hub_latency_ms=200.0)
+    problem = MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix(reads=reads),
+        goal=AverageLatencyGoal(tavg_ms=100.0),
+    )
+    inst = problem.instance(HeuristicProperties())
+    no_store = average_latency_by_scope(inst, problem.goal, np.zeros((2, 1, 1)))
+    assert no_store[1] == pytest.approx(200.0)
+    store = np.zeros((2, 1, 1))
+    store[0, 0, 0] = 1
+    local = average_latency_by_scope(inst, problem.goal, store)
+    assert local[1] == pytest.approx(0.0)
+    assert meets_goal(inst, problem.goal, store)
+
+
+def test_cost_breakdown_str():
+    from repro.core.evaluate import CostBreakdown
+
+    text = str(CostBreakdown(storage=4.0, creation=2.0, penalty=1.0))
+    assert "total=7.0" in text
+    assert "penalty" in text

@@ -1,0 +1,431 @@
+"""Tests for the MC-PERF formulation on hand-computable instances."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import compute_lower_bound
+from repro.core.costs import CostModel
+from repro.core.formulation import build_formulation, compute_allowed_create
+from repro.core.goals import AverageLatencyGoal, GoalScope, QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.core.properties import (
+    HeuristicProperties,
+    Knowledge,
+    ReplicaConstraint,
+    Routing,
+    StorageConstraint,
+)
+from repro.topology.generators import line_topology, star_topology
+from repro.workload.demand import DemandMatrix
+
+
+def far_star(num_leaves=3):
+    """Star whose hub (origin) is 200 ms away: nothing is origin-covered at 150 ms."""
+    return star_topology(num_leaves=num_leaves, hub_latency_ms=200.0)
+
+
+def make_problem(topo, reads, tlat=150.0, fraction=1.0, costs=None, **kwargs):
+    demand = DemandMatrix(reads=np.asarray(reads, dtype=float))
+    return MCPerfProblem(
+        topology=topo,
+        demand=demand,
+        goal=QoSGoal(tlat_ms=tlat, fraction=fraction),
+        costs=costs or CostModel.paper_defaults(),
+        **kwargs,
+    )
+
+
+def test_origin_covered_demand_costs_nothing():
+    topo = star_topology(num_leaves=2, hub_latency_ms=100.0)  # within 150ms
+    reads = np.zeros((3, 2, 1))
+    reads[1, :, 0] = 5
+    reads[2, :, 0] = 5
+    result = compute_lower_bound(make_problem(topo, reads))
+    assert result.feasible
+    assert result.lp_cost == pytest.approx(0.0, abs=1e-9)
+    assert result.feasible_cost == pytest.approx(0.0, abs=1e-9)
+
+
+def test_full_qos_forces_replica_everywhere():
+    # 3 isolated leaves (leaf-leaf 400ms), each reading in both intervals:
+    # each must hold the object for 2 intervals -> 3 * (2a + 1b) = 9.
+    topo = far_star(3)
+    reads = np.zeros((4, 2, 1))
+    reads[1:, :, 0] = 1
+    result = compute_lower_bound(make_problem(topo, reads, fraction=1.0))
+    assert result.lp_cost == pytest.approx(9.0, abs=1e-6)
+    assert result.feasible_cost == pytest.approx(9.0, abs=1e-6)
+
+
+def test_fractional_lp_below_integral_at_half_qos():
+    # At 50% QoS the LP can split storage across intervals (cost 1.5/leaf);
+    # any integral solution pays a full store+create (2/leaf).
+    topo = far_star(3)
+    reads = np.zeros((4, 2, 1))
+    reads[1:, :, 0] = 1
+    result = compute_lower_bound(make_problem(topo, reads, fraction=0.5))
+    assert result.lp_cost == pytest.approx(4.5, abs=1e-6)
+    assert result.feasible_cost == pytest.approx(6.0, abs=1e-6)
+    assert result.rounding.feasible
+
+
+def test_reactive_cannot_cover_first_interval():
+    topo = far_star(1)
+    reads = np.zeros((2, 2, 1))
+    reads[1, :, 0] = 1  # reads in both intervals
+    proactive = compute_lower_bound(make_problem(topo, reads, fraction=1.0))
+    assert proactive.feasible
+    assert proactive.lp_cost == pytest.approx(3.0, abs=1e-6)
+    reactive = compute_lower_bound(
+        make_problem(topo, reads, fraction=1.0), HeuristicProperties(reactive=True)
+    )
+    assert not reactive.feasible
+    # At 50% the reactive class covers the second interval only: a + b = 2.
+    reactive_half = compute_lower_bound(
+        make_problem(topo, reads, fraction=0.5), HeuristicProperties(reactive=True)
+    )
+    assert reactive_half.feasible
+    assert reactive_half.lp_cost == pytest.approx(2.0, abs=1e-6)
+
+
+def test_history_window_limits_placement():
+    # Accesses at intervals 0 and 3.  With a 1-interval reactive history the
+    # replica must be created at interval 1 and *held* through interval 3
+    # (3 store-intervals + 1 create = 4); with unbounded history it can be
+    # created at interval 3 directly (1 + 1 = 2).
+    topo = far_star(1)
+    reads = np.zeros((2, 4, 1))
+    reads[1, 0, 0] = 1
+    reads[1, 3, 0] = 1
+    problem = make_problem(topo, reads, fraction=0.5)
+    short = compute_lower_bound(
+        problem, HeuristicProperties(reactive=True, history_window=1)
+    )
+    long = compute_lower_bound(problem, HeuristicProperties(reactive=True))
+    assert short.lp_cost == pytest.approx(4.0, abs=1e-6)
+    assert long.lp_cost == pytest.approx(2.0, abs=1e-6)
+
+
+def test_local_knowledge_blocks_remote_activity():
+    # Leaf 1 reads in interval 0, leaf 2 reads in interval 1.  With global
+    # knowledge a reactive heuristic may place on leaf 2 at interval 1
+    # (leaf 1's access is in its sphere); with local knowledge it may not.
+    topo = far_star(2)
+    reads = np.zeros((3, 2, 1))
+    reads[1, 0, 0] = 1
+    reads[2, 1, 0] = 1
+    # Overall scope: covering one of the two reads suffices (the per-user
+    # scope would be unsatisfiable for leaf 1, whose only read is the first).
+    problem = MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix(reads=reads),
+        goal=QoSGoal(tlat_ms=150.0, fraction=0.5, scope=GoalScope.OVERALL),
+    )
+    global_know = compute_lower_bound(
+        problem, HeuristicProperties(reactive=True, knowledge=Knowledge.GLOBAL)
+    )
+    local_know = compute_lower_bound(
+        problem,
+        HeuristicProperties(
+            reactive=True, knowledge=Knowledge.LOCAL, routing=Routing.LOCAL
+        ),
+    )
+    assert global_know.feasible
+    assert global_know.lp_cost == pytest.approx(2.0, abs=1e-6)
+    assert not local_know.feasible  # neither leaf ever re-reads its own object
+
+
+def test_local_routing_prevents_remote_serving():
+    # Chain 0-1-2 with 100ms hops, Tlat 150: node 2 can be served by a
+    # replica on node 1 under global routing, but not under local routing.
+    topo = line_topology(num_nodes=3, hop_latency_ms=100.0)
+    reads = np.zeros((3, 1, 1))
+    reads[1, 0, 0] = 1
+    reads[2, 0, 0] = 1
+    problem = make_problem(topo, reads, fraction=1.0)
+    # node 1 is origin-covered (100ms); node 2 is not (200ms).
+    global_route = compute_lower_bound(problem, HeuristicProperties())
+    local_route = compute_lower_bound(
+        problem, HeuristicProperties(routing=Routing.LOCAL)
+    )
+    # global: one replica at node 1 or 2 covers node 2 -> cost 2.
+    assert global_route.lp_cost == pytest.approx(2.0, abs=1e-6)
+    # local: the replica must sit on node 2 itself -> still cost 2.
+    assert local_route.lp_cost == pytest.approx(2.0, abs=1e-6)
+    # but serving node 1 AND 2 from one replica is only possible globally:
+    reads2 = reads.copy()
+    problem2 = make_problem(topo, reads2, tlat=100.0, fraction=1.0)
+    g = compute_lower_bound(problem2, HeuristicProperties())
+    l = compute_lower_bound(problem2, HeuristicProperties(routing=Routing.LOCAL))
+    # Tlat=100: node1 origin-covered; node2 served by replica at 2 (or 1 at
+    # exactly 100ms) either way; the local class must place at node 2.
+    assert g.lp_cost == pytest.approx(2.0, abs=1e-6)
+    assert l.lp_cost == pytest.approx(2.0, abs=1e-6)
+
+
+def test_storage_constraint_uniform_charges_capacity():
+    # Leaf 1 needs a replica for 2 intervals; leaf 2 idles.  SC(uniform)
+    # charges capacity 1 on BOTH leaves for both intervals (4a) + 1 create.
+    topo = far_star(2)
+    reads = np.zeros((3, 2, 1))
+    reads[1, :, 0] = 1
+    problem = make_problem(topo, reads, fraction=1.0)
+    general = compute_lower_bound(problem)
+    sc = compute_lower_bound(
+        problem, HeuristicProperties(storage_constraint=StorageConstraint.UNIFORM)
+    )
+    assert general.lp_cost == pytest.approx(3.0, abs=1e-6)
+    assert sc.lp_cost == pytest.approx(5.0, abs=1e-6)
+    # Rounded feasible cost adds the idle leaf's capacity-fill creation.
+    assert sc.feasible_cost == pytest.approx(6.0, abs=1e-6)
+
+
+def test_storage_constraint_per_node_matches_general_here():
+    topo = far_star(2)
+    reads = np.zeros((3, 2, 1))
+    reads[1, :, 0] = 1
+    problem = make_problem(topo, reads, fraction=1.0)
+    sc_node = compute_lower_bound(
+        problem, HeuristicProperties(storage_constraint=StorageConstraint.PER_NODE)
+    )
+    assert sc_node.lp_cost == pytest.approx(3.0, abs=1e-6)
+
+
+def test_replica_constraint_uniform_pads_unpopular_objects():
+    # Object 0 needs 2 store-intervals at leaf 1; object 1 needs 1 at leaf 2.
+    # RC(uniform) charges rep=1 for both objects over both intervals (4a)
+    # plus both creations -> 6; the general bound pays 5.
+    topo = far_star(2)
+    reads = np.zeros((3, 2, 2))
+    reads[1, :, 0] = 1
+    reads[2, 1, 1] = 1
+    problem = make_problem(topo, reads, fraction=1.0)
+    general = compute_lower_bound(problem)
+    rc = compute_lower_bound(
+        problem, HeuristicProperties(replica_constraint=ReplicaConstraint.UNIFORM)
+    )
+    assert general.lp_cost == pytest.approx(5.0, abs=1e-6)
+    assert rc.lp_cost == pytest.approx(6.0, abs=1e-6)
+
+
+def test_replica_constraint_per_object_matches_general_here():
+    topo = far_star(2)
+    reads = np.zeros((3, 2, 2))
+    reads[1, :, 0] = 1
+    reads[2, 1, 1] = 1
+    problem = make_problem(topo, reads, fraction=1.0)
+    rc_obj = compute_lower_bound(
+        problem, HeuristicProperties(replica_constraint=ReplicaConstraint.PER_OBJECT)
+    )
+    # Per-object factors: obj0 -> 1 replica for 2 intervals, obj1 -> 1 replica
+    # charged for both intervals (factor is time-invariant): 2a + 2a + 2b = 6.
+    assert rc_obj.lp_cost == pytest.approx(6.0, abs=1e-6)
+
+
+def test_gamma_penalty_tradeoff():
+    # One leaf, reads in 2 intervals, QoS goal 50%: one read must be covered;
+    # the other is covered iff cheaper than the miss penalty.
+    topo = far_star(1)
+    reads = np.zeros((2, 2, 1))
+    reads[1, :, 0] = 1
+    pen = 50.0  # (200 - 150) ms excess
+    expensive_miss = make_problem(
+        topo, reads, fraction=0.5, costs=CostModel(gamma=0.1)
+    )  # penalty 5/read > extra store cost 1
+    cheap_miss = make_problem(
+        topo, reads, fraction=0.5, costs=CostModel(gamma=0.001)
+    )  # penalty 0.05/read < extra cost
+    r1 = compute_lower_bound(expensive_miss, do_rounding=False)
+    r2 = compute_lower_bound(cheap_miss, do_rounding=False)
+    assert r1.lp_cost == pytest.approx(3.0, abs=1e-6)  # store both intervals
+    # Cheap misses: the LP splits storage fractionally (0.5 per interval,
+    # cost 1.5) and pays the penalty on the uncovered half of each read.
+    assert r2.lp_cost == pytest.approx(1.5 + 0.001 * pen, abs=1e-6)
+    del pen
+
+
+def test_delta_write_cost_charged_per_replica_interval():
+    topo = far_star(1)
+    reads = np.zeros((2, 2, 1))
+    reads[1, 0, 0] = 1  # one read in interval 0
+    writes = np.zeros((2, 2, 1))
+    writes[0, 0, 0] = 3  # 3 writes in interval 0 (from the origin site)
+    demand = DemandMatrix(reads=reads, writes=writes)
+    problem = MCPerfProblem(
+        topology=topo,
+        demand=demand,
+        goal=QoSGoal(tlat_ms=150.0, fraction=1.0),
+        costs=CostModel(delta=1.0),
+    )
+    result = compute_lower_bound(problem, do_rounding=False)
+    # store interval 0 (a=1) + create (b=1) + 3 update messages = 5.
+    assert result.lp_cost == pytest.approx(5.0, abs=1e-6)
+
+
+def test_structural_infeasibility_reports_scope():
+    topo = far_star(1)
+    reads = np.zeros((2, 2, 1))
+    reads[1, 0, 0] = 1
+    problem = make_problem(topo, reads, fraction=1.0)
+    result = compute_lower_bound(problem, HeuristicProperties(reactive=True))
+    assert not result.feasible
+    assert result.status == "structurally-infeasible"
+    assert "coverable" in result.reason
+
+
+def test_open_variables_charge_zeta():
+    topo = far_star(2)
+    reads = np.zeros((3, 2, 1))
+    reads[1, :, 0] = 1
+    reads[2, :, 0] = 1
+    costs = CostModel(zeta=100.0)
+    problem = make_problem(topo, reads, fraction=1.0, costs=costs)
+    form = build_formulation(problem, None, with_open_vars=True)
+    sol = form.lp.solve().require_optimal()
+    # both leaves must open: 2 * 100 + 2 * (2a + b) = 206.
+    assert form.bound_cost(sol) == pytest.approx(206.0, abs=1e-6)
+    opens = form.open_values(sol.values)
+    assert opens == pytest.approx([1.0, 1.0], abs=1e-6)
+
+
+def test_average_latency_goal_thresholds():
+    # Chain 0-1-2, origin 0, node 2 reads once: origin latency is 200ms.
+    topo = line_topology(num_nodes=3, hop_latency_ms=100.0)
+    reads = np.zeros((3, 1, 1))
+    reads[2, 0, 0] = 1
+    demand = DemandMatrix(reads=reads)
+
+    def bound(tavg):
+        problem = MCPerfProblem(
+            topology=topo, demand=demand, goal=AverageLatencyGoal(tavg_ms=tavg)
+        )
+        return compute_lower_bound(problem, do_rounding=False)
+
+    loose = bound(250.0)
+    assert loose.lp_cost == pytest.approx(0.0, abs=1e-6)  # origin suffices
+    mid = bound(100.0)
+    # Fractional routing: half to a zero-latency local replica (store 0.5 at
+    # node 2) and half to the 200 ms origin averages exactly 100 ms.
+    assert mid.lp_cost == pytest.approx(1.0, abs=1e-6)
+    tight = bound(10.0)
+    # Only 5% of traffic may hit the origin: store 0.95 locally.
+    assert tight.lp_cost == pytest.approx(1.9, abs=1e-6)
+
+
+def test_average_latency_fractional_mixing():
+    # Two reads; Tavg exactly between replica latency and origin latency lets
+    # the LP cover half the traffic fractionally.
+    topo = line_topology(num_nodes=3, hop_latency_ms=100.0)
+    reads = np.zeros((3, 1, 1))
+    reads[2, 0, 0] = 2
+    demand = DemandMatrix(reads=reads)
+    problem = MCPerfProblem(
+        topology=topo, demand=demand, goal=AverageLatencyGoal(tavg_ms=150.0)
+    )
+    result = compute_lower_bound(problem, do_rounding=False)
+    # Tavg 150 with a 0 ms local replica and a 200 ms origin: a quarter of
+    # the traffic on the replica suffices (store 0.25, cost 0.5).
+    assert result.lp_cost == pytest.approx(0.5, abs=1e-6)
+
+
+def test_allowed_create_windows():
+    topo = far_star(1)
+    reads = np.zeros((2, 4, 1))
+    reads[1, 1, 0] = 1  # accessed in interval 1 only
+    problem = make_problem(topo, reads, fraction=0.5)
+    inst = problem.instance(HeuristicProperties(reactive=True, history_window=1))
+    allowed = compute_allowed_create(
+        inst, HeuristicProperties(reactive=True, history_window=1)
+    )
+    assert allowed[0, :, 0].tolist() == [False, False, True, False]
+    proactive = compute_allowed_create(inst, HeuristicProperties(history_window=1))
+    assert proactive[0, :, 0].tolist() == [False, True, False, False]
+    unbounded = compute_allowed_create(inst, HeuristicProperties(reactive=True))
+    assert unbounded[0, :, 0].tolist() == [False, False, True, True]
+    assert compute_allowed_create(inst, HeuristicProperties()) is None
+
+
+def test_initial_placement_relaxes_constraint_4():
+    topo = far_star(1)
+    reads = np.zeros((2, 2, 1))
+    reads[1, :, 0] = 1
+    init = np.zeros((2, 1))
+    init[1, 0] = 1  # leaf already holds the object
+    problem = make_problem(topo, reads, fraction=1.0, initial_placement=init)
+    result = compute_lower_bound(problem)
+    # no creation needed: 2 store-intervals only.
+    assert result.lp_cost == pytest.approx(2.0, abs=1e-6)
+
+
+def test_initial_placement_enables_reactive_interval_zero():
+    topo = far_star(1)
+    reads = np.zeros((2, 2, 1))
+    reads[1, :, 0] = 1
+    init = np.zeros((2, 1))
+    init[1, 0] = 1
+    problem = make_problem(topo, reads, fraction=1.0, initial_placement=init)
+    result = compute_lower_bound(problem, HeuristicProperties(reactive=True))
+    assert result.feasible
+    assert result.lp_cost == pytest.approx(2.0, abs=1e-6)
+
+
+def test_warmup_excludes_first_interval_from_goal():
+    topo = far_star(1)
+    reads = np.zeros((2, 2, 1))
+    reads[1, :, 0] = 1
+    problem = make_problem(topo, reads, fraction=1.0, warmup_intervals=1)
+    result = compute_lower_bound(problem, HeuristicProperties(reactive=True))
+    assert result.feasible
+    # cover only the post-warmup read: create at interval 1 after the
+    # interval-0 access -> a + b = 2.
+    assert result.lp_cost == pytest.approx(2.0, abs=1e-6)
+
+
+def test_overall_scope_pools_demand():
+    # Leaf 1 has 9 reads, leaf 2 has 1.  At 90% overall the cheap solution
+    # covers only leaf 1; per-user 90% would also require covering leaf 2.
+    topo = far_star(2)
+    reads = np.zeros((3, 1, 1))
+    reads[1, 0, 0] = 9
+    reads[2, 0, 0] = 1
+    overall = MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix(reads=reads),
+        goal=QoSGoal(tlat_ms=150.0, fraction=0.9, scope=GoalScope.OVERALL),
+    )
+    per_user = make_problem(topo, reads, fraction=0.9)
+    r_overall = compute_lower_bound(overall, do_rounding=False)
+    r_user = compute_lower_bound(per_user, do_rounding=False)
+    assert r_overall.lp_cost == pytest.approx(2.0, abs=1e-6)
+    # Per-user: each leaf stores fractionally at 0.9 -> 2 * 0.9 * (a + b).
+    assert r_user.lp_cost == pytest.approx(3.6, abs=1e-6)
+
+
+def test_per_object_scope():
+    topo = far_star(1)
+    reads = np.zeros((2, 1, 2))
+    reads[1, 0, 0] = 10
+    reads[1, 0, 1] = 10
+    problem = MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix(reads=reads),
+        goal=QoSGoal(tlat_ms=150.0, fraction=1.0, scope=GoalScope.PER_OBJECT),
+    )
+    result = compute_lower_bound(problem, do_rounding=False)
+    assert result.lp_cost == pytest.approx(4.0, abs=1e-6)  # both objects stored
+
+
+def test_formulation_accessors_roundtrip():
+    topo = far_star(1)
+    reads = np.zeros((2, 2, 1))
+    reads[1, :, 0] = 1
+    problem = make_problem(topo, reads, fraction=1.0)
+    form = build_formulation(problem)
+    sol = form.lp.solve().require_optimal()
+    store = form.store_array(sol.values)
+    create = form.create_array(sol.values)
+    covered = form.covered_array(sol.values)
+    assert store.shape == (1, 2, 1)
+    assert store[0, :, 0] == pytest.approx([1.0, 1.0])
+    assert create[0, :, 0] == pytest.approx([1.0, 0.0])
+    assert covered[1, :, 0] == pytest.approx([1.0, 1.0])  # demander 1 = the leaf

@@ -1,0 +1,119 @@
+"""Tests for the evaluation-interval theory (Theorems 2 and 3, Lemma 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import (
+    bound_applies,
+    interaction_matrix,
+    interval_for_period,
+    per_access_interval,
+    plan_intervals,
+)
+from tests.conftest import make_trace
+
+
+def test_theorem2_bound_applies():
+    assert bound_applies(1.0, 1.0)  # equal intervals
+    assert bound_applies(1.0, 2.0)  # exactly twice
+    assert bound_applies(1.0, 5.0)
+    assert not bound_applies(1.0, 1.5)  # in the forbidden gap (delta, 2 delta)
+    assert not bound_applies(2.0, 3.0)
+
+
+def test_bound_applies_validates():
+    with pytest.raises(ValueError):
+        bound_applies(0.0, 1.0)
+    with pytest.raises(ValueError):
+        bound_applies(1.0, -1.0)
+
+
+def test_interval_for_period_halves():
+    assert interval_for_period(3600.0) == 1800.0
+    with pytest.raises(ValueError):
+        interval_for_period(0.0)
+
+
+def test_interaction_matrix_or():
+    dist = np.array([[1, 0], [0, 1]])
+    know = np.array([[0, 1], [0, 0]])
+    a = interaction_matrix(dist, know)
+    assert a.tolist() == [[1, 1], [0, 1]]
+
+
+def test_interaction_matrix_shape_checked():
+    with pytest.raises(ValueError):
+        interaction_matrix(np.eye(2), np.eye(3))
+
+
+def test_theorem3_half_m1_when_gap_in_range():
+    # gaps: 3 (m1) and 5 (m2): 2*m1=6 >= m2 -> delta = m1/2.
+    t = make_trace([(0, 0, 0), (3, 0, 0), (8, 0, 0)])
+    assert per_access_interval(t) == pytest.approx(1.5)
+
+
+def test_theorem3_full_m1_when_no_gap_in_range():
+    # gaps: 3 and 10: 2*m1=6 < m2 -> delta = m1.
+    t = make_trace([(0, 0, 0), (3, 0, 0), (13, 0, 0)])
+    assert per_access_interval(t) == pytest.approx(3.0)
+
+
+def test_theorem3_single_access():
+    t = make_trace([(5, 0, 0)], duration_s=100.0)
+    assert per_access_interval(t) == pytest.approx(100.0)
+
+
+def test_theorem3_respects_interaction():
+    # Two isolated spheres: node 0 gaps of 10; node 1 gaps of 1.
+    t = make_trace(
+        [(0, 0, 0), (10, 0, 0), (0.5, 1, 0), (1.5, 1, 0)], num_nodes=2
+    )
+    isolated = np.eye(2)
+    delta = per_access_interval(t, isolated)
+    # m1=1 (node 1's sphere), m2=9.5 or 10 -> 2*m1 < m2 -> delta = m1.
+    assert delta == pytest.approx(1.0)
+
+
+def test_plan_intervals_counts():
+    plan = plan_intervals(86_400.0, 3600.0)
+    assert plan.num_intervals == 24
+    assert plan.delta_s == 3600.0
+    assert plan.solves_per_day == pytest.approx(24.0)
+
+
+def test_plan_intervals_cap_coarsens():
+    plan = plan_intervals(86_400.0, 60.0, cap=24)
+    assert plan.num_intervals == 24
+    assert plan.delta_s == pytest.approx(3600.0)
+
+
+def test_plan_intervals_validates():
+    with pytest.raises(ValueError):
+        plan_intervals(0.0, 10.0)
+    with pytest.raises(ValueError):
+        plan_intervals(10.0, 0.0)
+
+
+def test_theorem2_finer_interval_gives_lower_bound(web_problem):
+    """Solving at Delta lower-bounds solving at 2*Delta (Theorem 2/§4.3).
+
+    With storage priced per unit *time* (alpha doubled when the interval
+    doubles), any coarse placement maps to an equal-cost fine placement, so
+    the fine bound can only be lower.
+    """
+    import dataclasses
+
+    from repro.core.bounds import compute_lower_bound
+    from repro.core.costs import CostModel
+
+    fine = compute_lower_bound(web_problem, do_rounding=False)
+    coarse_demand = web_problem.demand.coarsen(2)
+    coarse_costs = CostModel(alpha=2.0 * web_problem.costs.alpha, beta=web_problem.costs.beta)
+    coarse = compute_lower_bound(
+        dataclasses.replace(web_problem, demand=coarse_demand, costs=coarse_costs),
+        do_rounding=False,
+    )
+    assert coarse.feasible and fine.feasible
+    assert fine.lp_cost <= coarse.lp_cost + 1e-6

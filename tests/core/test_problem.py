@@ -1,0 +1,163 @@
+"""Tests for MCPerfProblem lowering into PlacementInstance."""
+
+import numpy as np
+import pytest
+
+from repro.core.goals import QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.core.properties import HeuristicProperties, Knowledge, Routing
+from repro.topology.generators import line_topology, star_topology
+from repro.workload.demand import DemandMatrix
+
+
+def problem(topo, num_objects=2, tlat=150.0, fraction=0.9, **kwargs):
+    reads = np.ones((topo.num_nodes, 2, num_objects))
+    demand = DemandMatrix(reads=reads)
+    return MCPerfProblem(
+        topology=topo, demand=demand, goal=QoSGoal(tlat_ms=tlat, fraction=fraction), **kwargs
+    )
+
+
+def test_demand_topology_size_mismatch_rejected():
+    topo = star_topology(num_leaves=2)
+    demand = DemandMatrix(reads=np.ones((5, 1, 1)))
+    with pytest.raises(ValueError, match="nodes"):
+        MCPerfProblem(topology=topo, demand=demand, goal=QoSGoal(100.0, 0.9))
+
+
+def test_goal_type_checked():
+    topo = star_topology(num_leaves=2)
+    demand = DemandMatrix(reads=np.ones((3, 1, 1)))
+    with pytest.raises(TypeError):
+        MCPerfProblem(topology=topo, demand=demand, goal="95%")  # type: ignore[arg-type]
+
+
+def test_origin_excluded_from_storers_when_free():
+    topo = star_topology(num_leaves=3)  # origin = 0
+    p = problem(topo)
+    assert 0 not in p.storer_ids().tolist()
+    p2 = problem(topo, origin_free=False)
+    assert 0 in p2.storer_ids().tolist()
+
+
+def test_storage_nodes_subset_and_validation():
+    topo = star_topology(num_leaves=3)
+    p = problem(topo, storage_nodes=[1, 2])
+    assert p.storer_ids().tolist() == [1, 2]
+    with pytest.raises(ValueError):
+        problem(topo, storage_nodes=[9])
+    with pytest.raises(ValueError):
+        problem(topo, storage_nodes=[1, 1])
+
+
+def test_global_reach_uses_latency_threshold():
+    # Chain 0-1-2-3 at 100ms hops, origin 0, Tlat 150: neighbours only.
+    topo = line_topology(num_nodes=4, hop_latency_ms=100.0)
+    inst = problem(topo, tlat=150.0).instance(HeuristicProperties())
+    # storers are nodes 1,2,3
+    assert inst.storer_ids.tolist() == [1, 2, 3]
+    # demander 0 reaches storer 1 only
+    assert inst.reach[0].tolist() == [1, 0, 0]
+    # demander 2 reaches storers 1, 2, 3
+    assert inst.reach[2].tolist() == [1, 1, 1]
+
+
+def test_local_routing_reach_is_self_only():
+    topo = line_topology(num_nodes=4, hop_latency_ms=100.0)
+    inst = problem(topo).instance(HeuristicProperties(routing=Routing.LOCAL))
+    assert inst.reach[1].tolist() == [1, 0, 0]
+    assert inst.reach[0].tolist() == [0, 0, 0]  # origin site has no storer self
+    assert inst.serve[2].tolist() == [0, 1, 0]
+
+
+def test_origin_covers_nearby_demander():
+    topo = line_topology(num_nodes=4, hop_latency_ms=100.0)
+    inst = problem(topo, tlat=150.0).instance(HeuristicProperties())
+    assert inst.origin_covers.tolist() == [1, 1, 0, 0]
+
+
+def test_origin_not_free_means_no_free_coverage():
+    topo = line_topology(num_nodes=4, hop_latency_ms=100.0)
+    inst = problem(topo, origin_free=False).instance(HeuristicProperties())
+    assert inst.origin_covers.sum() == 0
+    assert inst.storer_ids.tolist() == [0, 1, 2, 3]
+
+
+def test_know_matrix_local_vs_global():
+    topo = line_topology(num_nodes=3, hop_latency_ms=100.0)
+    inst_g = problem(topo).instance(HeuristicProperties())
+    assert inst_g.know.all()
+    inst_l = problem(topo).instance(HeuristicProperties(knowledge=Knowledge.LOCAL))
+    # storers are nodes 1,2; each knows only its own site
+    assert inst_l.know[0].tolist() == [0, 1, 0]
+    assert inst_l.know[1].tolist() == [0, 0, 1]
+
+
+def test_assignment_routing_accumulates_latency():
+    # chain 0-1-2-3; users of site 3 assigned to node 2.
+    topo = line_topology(num_nodes=4, hop_latency_ms=100.0)
+    assignment = np.array([1, 1, 2, 2])
+    p = problem(topo, storage_nodes=[1, 2], assignment=assignment, tlat=250.0)
+    inst = p.instance(HeuristicProperties())
+    # site 3 -> assigned 2 (100ms) -> storer 1 (another 100ms) = 200 <= 250
+    assert inst.latency[3].tolist() == [200.0, 100.0]
+    assert inst.reach[3].tolist() == [1, 1]
+    # site 0 -> assigned 1 (100) -> storer 2 (100) = 200; origin via 1 = 200
+    assert inst.origin_latency[0] == pytest.approx(200.0)
+
+
+def test_assignment_local_routing_serves_via_assigned_node_only():
+    topo = line_topology(num_nodes=4, hop_latency_ms=100.0)
+    assignment = np.array([1, 1, 2, 2])
+    p = problem(topo, storage_nodes=[1, 2], assignment=assignment, tlat=150.0)
+    inst = p.instance(HeuristicProperties(routing=Routing.LOCAL))
+    assert inst.serve[0].tolist() == [1, 0]
+    assert inst.serve[3].tolist() == [0, 1]
+    assert inst.reach[3].tolist() == [0, 1]  # 100ms leg within 150
+
+
+def test_assignment_must_target_storage_nodes():
+    topo = line_topology(num_nodes=4, hop_latency_ms=100.0)
+    with pytest.raises(ValueError, match="not a storage node"):
+        problem(topo, storage_nodes=[1], assignment=np.array([1, 1, 3, 3]))
+
+
+def test_assignment_to_origin_allowed_when_free():
+    topo = line_topology(num_nodes=3, hop_latency_ms=100.0)
+    p = problem(topo, storage_nodes=[1], assignment=np.array([0, 1, 1]))
+    inst = p.instance(HeuristicProperties())
+    assert inst.origin_latency[0] == pytest.approx(0.0)
+
+
+def test_warmup_validation_and_masking():
+    topo = star_topology(num_leaves=2)
+    with pytest.raises(ValueError, match="warmup"):
+        problem(topo, warmup_intervals=2)  # == num_intervals
+    p = problem(topo, warmup_intervals=1)
+    inst = p.instance(HeuristicProperties())
+    masked = inst.qos_reads()
+    assert masked[:, 0, :].sum() == 0
+    assert masked[:, 1, :].sum() == inst.reads[:, 1, :].sum()
+    # full reads unchanged
+    assert inst.reads[:, 0, :].sum() > 0
+
+
+def test_initial_placement_shape_checked():
+    topo = star_topology(num_leaves=2)
+    with pytest.raises(ValueError, match="initial_placement"):
+        problem(topo, initial_placement=np.ones((1, 1)))
+
+
+def test_initial_placement_projected_to_storers():
+    topo = star_topology(num_leaves=2)
+    init = np.zeros((3, 2))
+    init[1, 0] = 1
+    p = problem(topo, initial_placement=init)
+    inst = p.instance(HeuristicProperties())
+    assert inst.initial_store.shape == (2, 2)
+    assert inst.initial_store[0, 0] == 1  # storer 0 is node 1
+
+
+def test_repr():
+    topo = star_topology(num_leaves=2)
+    assert "nodes=3" in repr(problem(topo))

@@ -1,0 +1,103 @@
+"""Tests for heuristic properties and the knowledge matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.properties import (
+    HeuristicProperties,
+    Knowledge,
+    ReplicaConstraint,
+    Routing,
+    StorageConstraint,
+    knowledge_matrix,
+)
+
+
+def test_default_is_general():
+    props = HeuristicProperties()
+    assert props.is_general
+    assert not props.restricts_creation
+
+
+def test_string_coercion():
+    props = HeuristicProperties(
+        storage_constraint="uniform", routing="local", knowledge="local"
+    )
+    assert props.storage_constraint is StorageConstraint.UNIFORM
+    assert props.routing is Routing.LOCAL
+    assert props.knowledge is Knowledge.LOCAL
+    assert not props.is_general
+
+
+def test_invalid_history_window():
+    with pytest.raises(ValueError):
+        HeuristicProperties(history_window=0)
+
+
+def test_restricts_creation_flags():
+    assert HeuristicProperties(reactive=True).restricts_creation
+    assert HeuristicProperties(history_window=1).restricts_creation
+    assert HeuristicProperties(knowledge=Knowledge.LOCAL).restricts_creation
+    assert not HeuristicProperties(
+        storage_constraint=StorageConstraint.UNIFORM
+    ).restricts_creation
+
+
+def test_describe_mentions_everything():
+    props = HeuristicProperties(
+        storage_constraint=StorageConstraint.UNIFORM,
+        replica_constraint=ReplicaConstraint.PER_OBJECT,
+        routing=Routing.LOCAL,
+        knowledge=Knowledge.LOCAL,
+        history_window=1,
+        reactive=True,
+    )
+    text = props.describe()
+    for token in ("SC(uniform)", "RC(per_object)", "route=local", "know=local", "hist=1", "reactive"):
+        assert token in text
+
+
+def test_properties_hashable_and_equal():
+    a = HeuristicProperties(reactive=True)
+    b = HeuristicProperties(reactive=True)
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_knowledge_matrix_global():
+    props = HeuristicProperties(knowledge=Knowledge.GLOBAL)
+    know = knowledge_matrix(props, num_storers=2, num_demanders=3)
+    assert know.shape == (2, 3)
+    assert know.all()
+
+
+def test_knowledge_matrix_local_identity():
+    props = HeuristicProperties(knowledge=Knowledge.LOCAL)
+    know = knowledge_matrix(
+        props, num_storers=3, num_demanders=3, storer_ids=np.array([0, 1, 2])
+    )
+    assert np.array_equal(know, np.eye(3, dtype=np.int8))
+
+
+def test_knowledge_matrix_local_with_offset_storer_ids():
+    props = HeuristicProperties(knowledge=Knowledge.LOCAL)
+    # Storers are topology nodes 1 and 2 (origin 0 excluded).
+    know = knowledge_matrix(
+        props, num_storers=2, num_demanders=3, storer_ids=np.array([1, 2])
+    )
+    assert know[0].tolist() == [0, 1, 0]
+    assert know[1].tolist() == [0, 0, 1]
+
+
+def test_knowledge_matrix_local_with_assignment():
+    props = HeuristicProperties(knowledge=Knowledge.LOCAL)
+    # Demanders 0,1 assigned to storer node 2; demander 2 to node 5.
+    know = knowledge_matrix(
+        props,
+        num_storers=2,
+        num_demanders=3,
+        assignment=np.array([2, 2, 5]),
+        storer_ids=np.array([2, 5]),
+    )
+    assert know[0].tolist() == [1, 1, 0]
+    assert know[1].tolist() == [0, 0, 1]

@@ -1,0 +1,136 @@
+"""Tests for the average-latency feasible-solution constructor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import compute_lower_bound
+from repro.core.evaluate import average_latency_by_scope, meets_goal
+from repro.core.formulation import build_formulation
+from repro.core.goals import AverageLatencyGoal, GoalScope
+from repro.core.problem import MCPerfProblem
+from repro.core.properties import HeuristicProperties, StorageConstraint
+from repro.core.rounding_avg import round_average_latency
+from repro.topology.generators import line_topology, star_topology
+from repro.workload.demand import DemandMatrix
+
+
+def make_problem(reads, tavg, topo=None, **kwargs):
+    topo = topo or star_topology(num_leaves=2, hub_latency_ms=200.0)
+    return MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix(reads=np.asarray(reads, dtype=float)),
+        goal=AverageLatencyGoal(tavg_ms=tavg),
+        **kwargs,
+    )
+
+
+def test_rejects_qos_goal(web_problem):
+    form = build_formulation(web_problem)
+    solution = form.lp.solve().require_optimal()
+    with pytest.raises(TypeError):
+        round_average_latency(form, solution)
+
+
+def test_trivial_goal_needs_no_replicas():
+    reads = np.zeros((3, 2, 1))
+    reads[1, :, 0] = 2
+    problem = make_problem(reads, tavg=250.0)
+    result = compute_lower_bound(problem, do_rounding=True)
+    assert result.feasible
+    assert result.feasible_cost == pytest.approx(0.0)
+
+
+def test_tight_goal_forces_local_replicas():
+    reads = np.zeros((3, 2, 1))
+    reads[1, :, 0] = 2
+    problem = make_problem(reads, tavg=50.0)
+    result = compute_lower_bound(problem, do_rounding=True)
+    assert result.feasible
+    assert result.rounding is not None and result.rounding.feasible
+    # integral: store at leaf 1 both intervals = 2a + 1b = 3.
+    assert result.feasible_cost == pytest.approx(3.0)
+    assert result.feasible_cost >= result.lp_cost - 1e-6
+
+
+def test_intermediate_goal_rounds_fractional_lp():
+    # LP mixes origin and replica fractionally; integral must commit.
+    reads = np.zeros((3, 1, 1))
+    reads[1, 0, 0] = 2
+    problem = make_problem(reads, tavg=100.0)
+    result = compute_lower_bound(problem, do_rounding=True)
+    assert result.feasible
+    assert result.lp_cost == pytest.approx(1.0)  # store 0.5 locally
+    assert result.feasible_cost == pytest.approx(2.0)  # integral replica
+    inst = problem.instance(HeuristicProperties())
+    assert meets_goal(inst, problem.goal, result.rounding.store)
+
+
+def test_rounding_respects_reactive_class():
+    topo = line_topology(num_nodes=3, hop_latency_ms=100.0)
+    reads = np.zeros((3, 3, 1))
+    reads[2, 1, 0] = 1
+    reads[2, 2, 0] = 1
+    problem = make_problem(reads, tavg=120.0, topo=topo)
+    props = HeuristicProperties(reactive=True)
+    result = compute_lower_bound(problem, props, do_rounding=True)
+    if result.feasible:
+        store = result.rounding.store
+        form = build_formulation(problem, props)
+        from repro.core.verify import verify_placement
+
+        report = verify_placement(form, store)
+        assert report.creation_legal
+
+
+def test_trim_removes_unneeded_replicas():
+    # A loose goal the LP may satisfy with tiny fractions everywhere: after
+    # add/trim, the integral solution must not keep pointless replicas.
+    reads = np.zeros((3, 2, 2))
+    reads[1, :, :] = 3
+    reads[2, :, :] = 3
+    problem = make_problem(reads, tavg=190.0)
+    result = compute_lower_bound(problem, do_rounding=True)
+    assert result.feasible
+    # Goal met with some replicas; cost finite and every replica earns keep:
+    # removing any single one breaks the goal (checked by construction in
+    # the trim phase; spot-check here).
+    store = result.rounding.store
+    inst = problem.instance(HeuristicProperties())
+    for ns, i, k in zip(*np.nonzero(store > 0.5)):
+        store[ns, i, k] = 0.0
+        assert not meets_goal(inst, problem.goal, store)
+        store[ns, i, k] = 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    demand=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=2),  # leaf
+            st.integers(min_value=0, max_value=1),  # interval
+            st.integers(min_value=1, max_value=4),  # count
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    tavg=st.sampled_from([60.0, 120.0, 180.0]),
+    sc=st.booleans(),
+)
+def test_avg_rounding_soundness_random(demand, tavg, sc):
+    reads = np.zeros((3, 2, 1))
+    for leaf, interval, count in demand:
+        reads[leaf, interval, 0] += count
+    props = HeuristicProperties(
+        storage_constraint=StorageConstraint.UNIFORM if sc else StorageConstraint.NONE
+    )
+    problem = make_problem(reads, tavg=tavg)
+    result = compute_lower_bound(problem, props, do_rounding=True)
+    if not result.feasible:
+        return
+    rounding = result.rounding
+    assert rounding.feasible
+    store = rounding.store
+    assert np.all((store < 1e-9) | (store > 1 - 1e-9))
+    assert rounding.total_cost >= result.lp_cost - 1e-6

@@ -1,0 +1,75 @@
+"""Tests for the §6.1 heuristic-selection methodology."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.classes import get_class
+from repro.core.selection import select_heuristic
+
+
+def test_selection_ranks_feasible_classes(group_problem):
+    report = select_heuristic(group_problem, do_rounding=False)
+    assert report.recommended is not None
+    ranking = report.ranking()
+    bounds = [report.bound(name) for name in ranking]
+    assert bounds == sorted(bounds)
+    assert report.recommended == ranking[0]
+
+
+def test_group_prefers_replica_constrained(group_problem):
+    """The paper's GROUP conclusion: RC ~ general, SC/caching much higher."""
+    report = select_heuristic(group_problem, do_rounding=False)
+    rc = report.bound("replica-constrained")
+    sc = report.bound("storage-constrained")
+    general = report.general.lp_cost
+    assert rc is not None and sc is not None
+    assert rc <= sc
+    assert rc <= 2.0 * general  # close to the general bound
+
+
+def test_infeasible_classes_listed(web_problem):
+    goal = dataclasses.replace(web_problem.goal, fraction=0.99999)
+    p = dataclasses.replace(web_problem, goal=goal)
+    report = select_heuristic(p, do_rounding=False)
+    assert "caching" in report.infeasible
+    assert report.bound("caching") is None
+
+
+def test_custom_class_list(web_problem):
+    report = select_heuristic(
+        web_problem,
+        classes=["storage-constrained", get_class("replica-constrained")],
+        do_rounding=False,
+    )
+    assert set(report.results) == {"storage-constrained", "replica-constrained"}
+
+
+def test_comparable_alternatives_flagged(group_problem):
+    report = select_heuristic(group_problem, comparable_factor=1e6, do_rounding=False)
+    ranking = report.ranking()
+    assert set(report.comparable) == set(ranking[1:])
+
+
+def test_render_includes_key_lines(group_problem):
+    report = select_heuristic(group_problem, do_rounding=False)
+    text = report.render()
+    assert "general lower bound" in text
+    assert "Recommended class:" in text
+    assert report.recommended in text
+
+
+def test_render_when_nothing_feasible(web_problem):
+    goal = dataclasses.replace(web_problem.goal, fraction=0.99999)
+    p = dataclasses.replace(web_problem, goal=goal)
+    report = select_heuristic(p, classes=["caching"], do_rounding=False)
+    if report.recommended is None:
+        assert "No candidate class" in report.render()
+
+
+def test_near_optimal_flag(group_problem):
+    strict = select_heuristic(group_problem, near_optimal_factor=1.0001, do_rounding=False)
+    loose = select_heuristic(group_problem, near_optimal_factor=1e9, do_rounding=False)
+    assert loose.near_optimal
+    # strict flag depends on how tight the best class is; it must be a bool
+    assert isinstance(strict.near_optimal, bool)

@@ -1,0 +1,86 @@
+"""Tests for QoS-row re-targeting (formulation reuse across sweep levels)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import qos_sweep
+from repro.core.bounds import compute_lower_bound
+from repro.core.formulation import build_formulation
+from repro.core.goals import AverageLatencyGoal
+from repro.core.problem import MCPerfProblem
+from repro.core.properties import HeuristicProperties
+from repro.topology.generators import star_topology
+from repro.workload.demand import DemandMatrix
+from repro.core.goals import QoSGoal
+
+
+def tiny_problem(fraction=0.5):
+    topo = star_topology(num_leaves=2, hub_latency_ms=200.0)
+    reads = np.zeros((3, 2, 1))
+    reads[1, :, 0] = 1
+    reads[2, 1, 0] = 1
+    return MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix(reads=reads),
+        goal=QoSGoal(tlat_ms=150.0, fraction=fraction),
+    )
+
+
+def test_retarget_matches_fresh_build():
+    problem = tiny_problem(0.5)
+    form = build_formulation(problem)
+    for fraction in [0.5, 0.8, 1.0, 0.3]:
+        form.set_qos_fraction(fraction)
+        reused = compute_lower_bound(
+            form.problem, None, do_rounding=False, formulation=form
+        )
+        fresh = compute_lower_bound(tiny_problem(fraction), None, do_rounding=False)
+        assert reused.feasible == fresh.feasible
+        if fresh.feasible:
+            assert reused.lp_cost == pytest.approx(fresh.lp_cost, abs=1e-8)
+
+
+def test_retarget_updates_goal_on_problem():
+    form = build_formulation(tiny_problem(0.5))
+    form.set_qos_fraction(0.9)
+    assert form.problem.goal.fraction == 0.9
+
+
+def test_retarget_flags_structural_infeasibility():
+    # A reactive class cannot cover interval-0 reads: at high fractions the
+    # re-targeted formulation must flag infeasibility like a fresh build.
+    problem = tiny_problem(0.5)
+    props = HeuristicProperties(reactive=True)
+    form = build_formulation(problem, props)
+    assert not form.structurally_infeasible
+    form.set_qos_fraction(1.0)
+    assert form.structurally_infeasible
+    form.set_qos_fraction(0.4)
+    assert not form.structurally_infeasible
+
+
+def test_retarget_rejects_avg_goal():
+    topo = star_topology(num_leaves=1, hub_latency_ms=200.0)
+    reads = np.zeros((2, 1, 1))
+    reads[1, 0, 0] = 1
+    problem = MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix(reads=reads),
+        goal=AverageLatencyGoal(tavg_ms=100.0),
+    )
+    form = build_formulation(problem)
+    with pytest.raises(TypeError):
+        form.set_qos_fraction(0.9)
+
+
+def test_sweep_reuse_equals_rebuild(web_problem):
+    levels = [0.8, 0.9]
+    classes = ["general", "storage-constrained"]
+    reused = qos_sweep(web_problem, levels, classes, reuse_formulation=True)
+    rebuilt = qos_sweep(web_problem, levels, classes, reuse_formulation=False)
+    for cls in classes:
+        for lvl in levels:
+            a, b = reused.bound(cls, lvl), rebuilt.bound(cls, lvl)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a == pytest.approx(b, rel=1e-9)

@@ -1,0 +1,97 @@
+"""Tests for the placement verifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.formulation import build_formulation
+from repro.core.goals import QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.core.properties import HeuristicProperties
+from repro.core.rounding import round_solution
+from repro.core.verify import verify_placement
+from repro.topology.generators import star_topology
+from repro.workload.demand import DemandMatrix
+
+
+@pytest.fixture()
+def setup():
+    topo = star_topology(num_leaves=2, hub_latency_ms=200.0)
+    reads = np.zeros((3, 3, 1))
+    reads[1, 1, 0] = 1
+    reads[1, 2, 0] = 1
+    problem = MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix(reads=reads),
+        goal=QoSGoal(tlat_ms=150.0, fraction=0.5),
+        costs=CostModel.paper_defaults(),
+    )
+    return problem
+
+
+def test_valid_placement(setup):
+    form = build_formulation(setup)
+    store = np.zeros((2, 3, 1))
+    store[0, 1, 0] = 1  # covers the interval-1 read at leaf 1
+    report = verify_placement(form, store)
+    assert report.valid
+    assert report.cost.total == pytest.approx(2.0)
+    assert "valid" in str(report)
+
+
+def test_shape_mismatch_raises(setup):
+    form = build_formulation(setup)
+    with pytest.raises(ValueError, match="shape"):
+        verify_placement(form, np.zeros((1, 1, 1)))
+
+
+def test_fractional_detected(setup):
+    form = build_formulation(setup)
+    store = np.zeros((2, 3, 1))
+    store[0, 1, 0] = 0.5
+    store[0, 2, 0] = 1.0
+    report = verify_placement(form, store)
+    assert not report.integral
+    assert any("fractional" in p for p in report.problems)
+
+
+def test_goal_violation_detected(setup):
+    form = build_formulation(setup)
+    report = verify_placement(form, np.zeros((2, 3, 1)))
+    assert not report.goal_met
+    assert not report.valid
+    assert "goal" in str(report)
+
+
+def test_illegal_creation_detected(setup):
+    props = HeuristicProperties(reactive=True)
+    form = build_formulation(setup, props)
+    store = np.zeros((2, 3, 1))
+    store[0, 1, 0] = 1  # reactive: nothing was accessed before interval 1
+    report = verify_placement(form, store)
+    assert not report.creation_legal
+    assert any("restriction" in p for p in report.problems)
+
+
+def test_legal_reactive_creation(setup):
+    props = HeuristicProperties(reactive=True)
+    form = build_formulation(setup, props)
+    store = np.zeros((2, 3, 1))
+    store[0, 2, 0] = 1  # accessed at interval 1, created at 2 — legal
+    report = verify_placement(form, store)
+    assert report.creation_legal
+    assert report.valid  # covers 1 of 2 reads = 50%
+
+
+def test_rounded_solutions_always_verify(web_problem):
+    from repro.core.classes import get_class
+
+    for name in ["general", "storage-constrained", "cooperative-caching"]:
+        form = build_formulation(web_problem, get_class(name).properties)
+        if form.structurally_infeasible:
+            continue
+        solution = form.lp.solve().require_optimal()
+        rounding = round_solution(form, solution)
+        report = verify_placement(form, rounding.store)
+        assert report.valid, f"{name}: {report.problems}"
+        assert report.cost.total == pytest.approx(rounding.total_cost)

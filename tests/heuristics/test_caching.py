@@ -1,0 +1,135 @@
+"""Tests for LRU/LFU caching, including the LRU stack property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heuristics.caching import LFUCaching, LRUCaching
+from repro.simulator.engine import simulate
+from repro.topology.generators import star_topology
+from tests.conftest import make_trace
+
+
+def far_star(leaves=2):
+    return star_topology(num_leaves=leaves, hub_latency_ms=200.0)
+
+
+def run(trace, heuristic, leaves=2, tlat=150.0, **kwargs):
+    return simulate(far_star(leaves), trace, heuristic, tlat_ms=tlat, **kwargs)
+
+
+def test_lru_capacity_validation():
+    with pytest.raises(ValueError):
+        LRUCaching(-1)
+    with pytest.raises(ValueError):
+        LFUCaching(-1)
+
+
+def test_lru_zero_capacity_never_stores():
+    trace = make_trace([(i * 10, 1, 0) for i in range(5)], num_nodes=3, num_objects=1)
+    result = run(trace, LRUCaching(0))
+    assert result.creations == 0
+    assert result.covered_reads == 0
+
+
+def test_lru_evicts_least_recently_used():
+    # capacity 2; access pattern 0,1,2 evicts 0; then 0 misses again.
+    trace = make_trace(
+        [(10, 1, 0), (20, 1, 1), (30, 1, 2), (40, 1, 0)], num_nodes=3, num_objects=3
+    )
+    result = run(trace, LRUCaching(2))
+    assert result.covered_reads == 0  # every access a miss
+    assert result.creations == 4
+
+
+def test_lru_touch_refreshes_recency():
+    # 0,1,0,2 -> touching 0 makes 1 the victim; final 0 hits.
+    trace = make_trace(
+        [(10, 1, 0), (20, 1, 1), (30, 1, 0), (40, 1, 2), (50, 1, 0)],
+        num_nodes=3,
+        num_objects=3,
+    )
+    result = run(trace, LRUCaching(2))
+    assert result.covered_reads == 2  # the second and third accesses to 0
+
+
+def test_lru_caches_are_per_node():
+    trace = make_trace([(10, 1, 0), (20, 2, 0)], num_nodes=3, num_objects=1)
+    result = run(trace, LRUCaching(1))
+    assert result.covered_reads == 0  # node 2 cannot use node 1's cache
+    assert result.creations == 2
+
+
+def test_lfu_keeps_hot_object():
+    # object 0 accessed 3x, then 1 and 2 compete for the second slot.
+    trace = make_trace(
+        [(10, 1, 0), (20, 1, 0), (30, 1, 0), (40, 1, 1), (50, 1, 2), (60, 1, 0)],
+        num_nodes=3,
+        num_objects=3,
+    )
+    result = run(trace, LFUCaching(1))
+    # 0 stays cached (highest frequency): accesses 2,3 and 6 hit.
+    assert result.covered_reads == 3
+
+
+def test_lfu_no_eviction_when_colder():
+    trace = make_trace(
+        [(10, 1, 0), (20, 1, 0), (30, 1, 1), (40, 1, 0)], num_nodes=3, num_objects=2
+    )
+    result = run(trace, LFUCaching(1))
+    # 1 (count 1) never displaces 0 (count 2): final 0 hits.
+    assert result.covered_reads == 2
+    assert result.creations == 1
+
+
+def test_describe():
+    assert "LRU" in LRUCaching(4).describe()
+    assert "LFU" in LFUCaching(4).describe()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    accesses=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=40),
+    cap=st.integers(min_value=0, max_value=5),
+)
+def test_lru_stack_property(accesses, cap):
+    """LRU hit count is monotone non-decreasing in capacity (stack property)."""
+    trace = make_trace(
+        [(10.0 * i, 1, obj) for i, obj in enumerate(accesses)],
+        duration_s=10.0 * len(accesses) + 1,
+        num_nodes=3,
+        num_objects=6,
+    )
+    small = run(trace, LRUCaching(cap)).covered_reads
+    big = run(trace, LRUCaching(cap + 1)).covered_reads
+    assert big >= small
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    accesses=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=30)
+)
+def test_lru_matches_reference_model(accesses):
+    """Differential test against a straightforward reference LRU."""
+    cap = 2
+    trace = make_trace(
+        [(10.0 * i, 1, obj) for i, obj in enumerate(accesses)],
+        duration_s=10.0 * len(accesses) + 1,
+        num_nodes=3,
+        num_objects=5,
+    )
+    result = run(trace, LRUCaching(cap))
+
+    cache = []
+    hits = 0
+    for obj in accesses:
+        if obj in cache:
+            hits += 1
+            cache.remove(obj)
+            cache.append(obj)
+        else:
+            if len(cache) >= cap:
+                cache.pop(0)
+            cache.append(obj)
+    assert result.covered_reads == hits

@@ -1,0 +1,236 @@
+"""Tests for cooperative caching and the centralized placement heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.heuristics.cooperative import CooperativeLRUCaching
+from repro.heuristics.greedy_global import GreedyGlobalPlacement
+from repro.heuristics.prefetch import CooperativePrefetchCaching, PrefetchCaching
+from repro.heuristics.qiu import QiuGreedyPlacement
+from repro.heuristics.random_placement import RandomPlacement
+from repro.simulator.engine import simulate
+from repro.topology.generators import line_topology, star_topology
+from tests.conftest import make_trace
+
+
+def test_cooperative_serves_from_neighbour():
+    # chain 0-1-2: node 2 misses go 200ms to origin; a replica at 1 serves
+    # node 2 at 100ms under cooperative (global) routing.
+    topo = line_topology(num_nodes=3, hop_latency_ms=100.0)
+    trace = make_trace([(10, 1, 0), (20, 2, 0)], num_nodes=3, num_objects=1)
+    result = simulate(topo, trace, CooperativeLRUCaching(1), tlat_ms=150.0)
+    # access 1: node 1 miss (100ms origin hit, covered) -> it is NOT inserted
+    # (dedupe: the origin already covers node 1), access 2: node 2 served by
+    # origin at 200ms -> uncovered, inserts locally.
+    assert result.covered_reads == 1
+
+
+def test_cooperative_dedupe_avoids_duplicates():
+    topo = line_topology(num_nodes=3, hop_latency_ms=100.0)
+    # node 2 misses and inserts; then node 1 reads the same object: a replica
+    # 100ms away already covers it, so dedupe suppresses the insert.
+    trace = make_trace([(10, 2, 0), (20, 1, 0), (30, 1, 0)], num_nodes=3, num_objects=1)
+    dedupe = simulate(topo, trace, CooperativeLRUCaching(1), tlat_ms=150.0)
+    eager = simulate(topo, trace, CooperativeLRUCaching(1, dedupe=False), tlat_ms=150.0)
+    assert dedupe.creations == 1
+    assert eager.creations == 2
+
+
+def test_cooperative_capacity_validation():
+    with pytest.raises(ValueError):
+        CooperativeLRUCaching(-2)
+
+
+def far_star(leaves=3):
+    return star_topology(num_leaves=leaves, hub_latency_ms=200.0)
+
+
+def test_greedy_global_plan_covers_hot_demand():
+    h = GreedyGlobalPlacement(capacity=1, period_s=100.0, tlat_ms=150.0)
+    topo = far_star(2)
+    trace = make_trace([(10, 1, 0)], num_nodes=3, num_objects=2, duration_s=200.0)
+    sim_result = simulate(topo, trace, h, tlat_ms=150.0)
+    # plan() directly: leaf 1 demands object 0 heavily, object 1 lightly.
+    demand = np.zeros((3, 2))
+    demand[1, 0] = 10
+    demand[1, 1] = 1
+    placements = h.plan(demand, 3)
+    assert 0 in placements[1]
+    assert len(placements[1]) <= 1
+
+
+def test_greedy_global_ignores_origin_covered_demand():
+    topo = star_topology(num_leaves=2, hub_latency_ms=100.0)  # origin covers all
+    h = GreedyGlobalPlacement(capacity=1, period_s=100.0, tlat_ms=150.0)
+    trace = make_trace([(10, 1, 0)], num_nodes=3, num_objects=1, duration_s=200.0)
+    result = simulate(topo, trace, h, tlat_ms=150.0)
+    # demand is origin-covered: greedy gains nothing, but padding still fills
+    # the cache with the locally hottest object -> at most capacity creations.
+    assert result.covered_reads == 1
+
+
+def test_greedy_global_reactive_places_from_past_period():
+    topo = far_star(1)
+    trace = make_trace(
+        [(10, 1, 0), (150, 1, 0)], num_nodes=2, num_objects=1, duration_s=200.0
+    )
+    h = GreedyGlobalPlacement(capacity=1, period_s=100.0, tlat_ms=150.0)
+    result = simulate(topo, trace, h, tlat_ms=150.0)
+    # first period: no knowledge -> miss; second period: placed -> hit.
+    assert result.covered_reads == 1
+
+
+def test_greedy_global_clairvoyant_covers_first_period():
+    topo = far_star(1)
+    trace = make_trace(
+        [(10, 1, 0), (150, 1, 0)], num_nodes=2, num_objects=1, duration_s=200.0
+    )
+    h = GreedyGlobalPlacement(capacity=1, period_s=100.0, tlat_ms=150.0, clairvoyant=True)
+    result = simulate(topo, trace, h, tlat_ms=150.0)
+    assert result.covered_reads == 2
+
+
+def test_greedy_global_validation():
+    with pytest.raises(ValueError):
+        GreedyGlobalPlacement(capacity=-1)
+    with pytest.raises(ValueError):
+        GreedyGlobalPlacement(capacity=1, period_s=0.0)
+
+
+def test_qiu_plan_object_picks_best_cover():
+    topo = line_topology(num_nodes=4, hop_latency_ms=100.0)
+    h = QiuGreedyPlacement(replicas_per_object=1, period_s=100.0, tlat_ms=150.0)
+    trace = make_trace([(10, 2, 0)], num_nodes=4, num_objects=1, duration_s=200.0)
+    simulate(topo, trace, h, tlat_ms=150.0)  # initializes reach
+    demand = np.zeros(4)
+    demand[2] = 5.0
+    demand[3] = 4.0
+    chosen = h.plan_object(demand, 4)
+    # a single replica: nodes 2 and 3 are both within 150 of... 2-3 is 100ms;
+    # placing at 2 covers 2 (0ms) and 3 (100ms) -> 9 demand; placing at 3
+    # covers 3 and 2 equally. The greedy picks the max-gain node.
+    assert chosen <= {2, 3}
+    assert len(chosen) == 1
+
+
+def test_qiu_respects_replica_budget():
+    topo = far_star(3)
+    h = QiuGreedyPlacement(replicas_per_object=2, period_s=100.0, tlat_ms=150.0)
+    trace = make_trace([(10, 1, 0)], num_nodes=4, num_objects=1, duration_s=200.0)
+    simulate(topo, trace, h, tlat_ms=150.0)
+    demand = np.array([0.0, 5.0, 4.0, 3.0])
+    chosen = h.plan_object(demand, 4)
+    assert len(chosen) <= 2
+    assert 1 in chosen and 2 in chosen  # two highest-demand isolated leaves
+
+
+def test_qiu_zero_replicas():
+    topo = far_star(1)
+    trace = make_trace([(10, 1, 0)], num_nodes=2, num_objects=1, duration_s=200.0)
+    result = simulate(
+        topo, trace, QiuGreedyPlacement(0, period_s=100.0), tlat_ms=150.0
+    )
+    assert result.creations == 0
+
+
+def test_qiu_validation():
+    with pytest.raises(ValueError):
+        QiuGreedyPlacement(-1)
+    with pytest.raises(ValueError):
+        QiuGreedyPlacement(1, period_s=-5.0)
+
+
+def test_random_placement_deterministic_and_budgeted():
+    topo = far_star(3)
+    trace = make_trace(
+        [(10, 1, 0), (150, 2, 1)], num_nodes=4, num_objects=2, duration_s=200.0
+    )
+    h1 = RandomPlacement(replicas_per_object=2, period_s=100.0, seed=7)
+    h2 = RandomPlacement(replicas_per_object=2, period_s=100.0, seed=7)
+    r1 = simulate(topo, trace, h1, tlat_ms=150.0)
+    r2 = simulate(topo, trace, h2, tlat_ms=150.0)
+    assert r1.creations == r2.creations == 4  # 2 objects x 2 replicas, once
+    assert r1.covered_reads == r2.covered_reads
+
+
+def test_random_reshuffle_recreates():
+    topo = far_star(3)
+    trace = make_trace(
+        [(10, 1, 0), (150, 1, 0)], num_nodes=4, num_objects=1, duration_s=200.0
+    )
+    stay = RandomPlacement(1, period_s=100.0, reshuffle=False, seed=1)
+    move = RandomPlacement(1, period_s=100.0, reshuffle=True, seed=1)
+    r_stay = simulate(topo, trace, stay, tlat_ms=150.0)
+    r_move = simulate(topo, trace, move, tlat_ms=150.0)
+    assert r_stay.creations == 1
+    assert r_move.creations >= 1  # may redraw the same node
+
+
+def test_random_validation():
+    with pytest.raises(ValueError):
+        RandomPlacement(-1)
+    with pytest.raises(ValueError):
+        RandomPlacement(1, period_s=0)
+
+
+def test_prefetch_caching_loads_coming_demand():
+    topo = far_star(1)
+    trace = make_trace(
+        [(10, 1, 0), (150, 1, 1)], num_nodes=2, num_objects=2, duration_s=200.0
+    )
+    h = PrefetchCaching(capacity=1, period_s=100.0)
+    result = simulate(topo, trace, h, tlat_ms=150.0)
+    assert result.covered_reads == 2  # both prefetched just in time
+
+
+def test_prefetch_capacity_limits_load():
+    topo = far_star(1)
+    trace = make_trace(
+        [(10, 1, 0), (20, 1, 0), (30, 1, 1)], num_nodes=2, num_objects=2, duration_s=200.0
+    )
+    h = PrefetchCaching(capacity=1, period_s=100.0)
+    result = simulate(topo, trace, h, tlat_ms=150.0)
+    # only the hottest object (0) fits: 2 hits, object 1 misses.
+    assert result.covered_reads == 2
+
+
+def test_prefetch_validation():
+    with pytest.raises(ValueError):
+        PrefetchCaching(-1)
+    with pytest.raises(ValueError):
+        CooperativePrefetchCaching(1, period_s=0)
+
+
+def test_cooperative_prefetch_shares_replicas():
+    topo = line_topology(num_nodes=3, hop_latency_ms=100.0)
+    trace = make_trace(
+        [(10, 1, 0), (20, 2, 0)], num_nodes=3, num_objects=1, duration_s=100.0
+    )
+    h = CooperativePrefetchCaching(capacity=1, period_s=100.0)
+    result = simulate(topo, trace, h, tlat_ms=150.0)
+    # one replica within 150ms of both nodes covers both reads.
+    assert result.covered_reads == 2
+
+
+def test_describes():
+    assert "GreedyGlobal" in GreedyGlobalPlacement(1).describe()
+    assert "QiuGreedy" in QiuGreedyPlacement(1).describe()
+    assert "Random" in RandomPlacement(1).describe()
+    assert "Prefetch" in PrefetchCaching(1).describe()
+    assert "CoopPrefetch" in CooperativePrefetchCaching(1).describe()
+    assert "CoopLRU" in CooperativeLRUCaching(1).describe()
+
+
+def test_cooperative_on_adopt_respects_capacity():
+    from repro.simulator.engine import SimulationContext
+    from repro.simulator.state import ReplicaState
+
+    topo = far_star(2)
+    trace = make_trace([(10, 1, 0)], num_nodes=4, num_objects=6, duration_s=100.0)
+    state = ReplicaState(topo, 6)
+    ctx = SimulationContext(topo, trace, state, tlat_ms=150.0)
+    for obj in range(5):
+        assert state.create(1, obj, 0.0)
+    coop = CooperativeLRUCaching(capacity=2)
+    coop.on_adopt(ctx)
+    assert state.occupancy(1) == 2

@@ -1,0 +1,138 @@
+"""Solver-backend tests: scipy/HiGHS, the pure-Python simplex, and their
+differential agreement on randomized instances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.model import LinearProgram
+from repro.lp.solution import SolveStatus
+from repro.lp.validate import check_solution
+
+BACKENDS = ["scipy", "simplex"]
+
+
+def diet_lp():
+    """min x + 2y  s.t.  x + y >= 2, x <= 3, y <= 3  ->  optimum 2 at (2, 0)."""
+    lp = LinearProgram()
+    lp.var("x", upper=3.0, obj=1.0)
+    lp.var("y", upper=3.0, obj=2.0)
+    lp.add_row([0, 1], [1.0, 1.0], ">=", 2.0)
+    return lp
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_simple_optimum(backend):
+    sol = diet_lp().solve(backend=backend)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol.objective == pytest.approx(2.0, abs=1e-6)
+    assert sol.values[0] == pytest.approx(2.0, abs=1e-6)
+    assert sol.values[1] == pytest.approx(0.0, abs=1e-6)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_equality_constraint(backend):
+    lp = LinearProgram()
+    lp.var("x", obj=1.0)
+    lp.var("y", obj=1.0)
+    lp.add_row([0, 1], [1.0, 1.0], "==", 4.0)
+    lp.add_row([0, 1], [1.0, -1.0], "<=", 0.0)  # x <= y
+    sol = lp.solve(backend=backend)
+    assert sol.is_optimal
+    assert sol.objective == pytest.approx(4.0, abs=1e-6)
+    assert check_solution(lp, sol.values).feasible
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_infeasible_detected(backend):
+    lp = LinearProgram()
+    lp.var("x", upper=1.0)
+    lp.add_row([0], [1.0], ">=", 2.0)
+    sol = lp.solve(backend=backend)
+    assert sol.status is SolveStatus.INFEASIBLE
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_unbounded_detected(backend):
+    lp = LinearProgram()
+    lp.var("x", obj=-1.0)  # minimize -x with x unbounded above
+    sol = lp.solve(backend=backend)
+    assert sol.status is SolveStatus.UNBOUNDED
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_lower_bounds_shift(backend):
+    lp = LinearProgram()
+    lp.var("x", lower=1.5, obj=2.0)
+    sol = lp.solve(backend=backend)
+    assert sol.is_optimal
+    assert sol.objective == pytest.approx(3.0, abs=1e-6)
+    assert sol.values[0] == pytest.approx(1.5, abs=1e-6)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_negative_lower_bounds(backend):
+    lp = LinearProgram()
+    lp.var("x", lower=-2.0, upper=2.0, obj=1.0)
+    sol = lp.solve(backend=backend)
+    assert sol.is_optimal
+    assert sol.values[0] == pytest.approx(-2.0, abs=1e-6)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_degenerate_redundant_equalities(backend):
+    lp = LinearProgram()
+    lp.var("x", obj=1.0)
+    lp.var("y", obj=1.0)
+    lp.add_row([0, 1], [1.0, 1.0], "==", 2.0)
+    lp.add_row([0, 1], [2.0, 2.0], "==", 4.0)  # redundant copy
+    sol = lp.solve(backend=backend)
+    assert sol.is_optimal
+    assert sol.objective == pytest.approx(2.0, abs=1e-6)
+
+
+def test_require_optimal_raises_on_infeasible():
+    lp = LinearProgram()
+    lp.var("x", upper=1.0)
+    lp.add_row([0], [1.0], ">=", 2.0)
+    with pytest.raises(RuntimeError, match="infeasible"):
+        lp.solve().require_optimal()
+
+
+def test_solution_by_name():
+    lp = diet_lp()
+    sol = lp.solve()
+    assert sol.by_name(lp, "x") == pytest.approx(2.0, abs=1e-6)
+
+
+@st.composite
+def random_lp(draw):
+    """Small random LPs with a guaranteed-feasible region (0 is feasible)."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    m = draw(st.integers(min_value=0, max_value=4))
+    lp = LinearProgram()
+    for j in range(n):
+        obj = draw(st.integers(min_value=-3, max_value=3))
+        ub = draw(st.integers(min_value=1, max_value=4))
+        lp.var(f"x{j}", upper=float(ub), obj=float(obj))
+    for _ in range(m):
+        coeffs = [draw(st.integers(min_value=-2, max_value=2)) for _ in range(n)]
+        rhs = draw(st.integers(min_value=0, max_value=6))  # 0 stays feasible
+        idx = [j for j in range(n) if coeffs[j] != 0]
+        if not idx:
+            continue
+        lp.add_row(idx, [float(coeffs[j]) for j in idx], "<=", float(rhs))
+    return lp
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_lp())
+def test_backends_agree_on_random_instances(lp):
+    """The pure-Python simplex must match scipy/HiGHS on bounded instances."""
+    a = lp.solve(backend="scipy")
+    b = lp.solve(backend="simplex")
+    assert a.status is SolveStatus.OPTIMAL  # 0 is always feasible, box bounded
+    assert b.status is SolveStatus.OPTIMAL
+    assert a.objective == pytest.approx(b.objective, abs=1e-6)
+    assert check_solution(lp, b.values).feasible

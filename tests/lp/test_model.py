@@ -1,0 +1,159 @@
+"""Unit tests for the LP model container."""
+
+import numpy as np
+import pytest
+
+from repro.lp.model import LinearProgram, Sense
+
+
+def test_var_assigns_sequential_indices():
+    lp = LinearProgram()
+    x = lp.var("x")
+    y = lp.var("y")
+    assert (x.index, y.index) == (0, 1)
+
+
+def test_duplicate_variable_name_rejected():
+    lp = LinearProgram()
+    lp.var("x")
+    with pytest.raises(ValueError, match="duplicate"):
+        lp.var("x")
+
+
+def test_invalid_bounds_rejected():
+    lp = LinearProgram()
+    with pytest.raises(ValueError):
+        lp.var("x", lower=2.0, upper=1.0)
+
+
+def test_var_block_names_and_range():
+    lp = LinearProgram()
+    rng = lp.var_block("s", 3, upper=1.0, obj=2.0)
+    assert list(rng) == [0, 1, 2]
+    assert lp.variable_by_name("s[1]").objective == 2.0
+
+
+def test_var_block_negative_count_rejected():
+    lp = LinearProgram()
+    with pytest.raises(ValueError):
+        lp.var_block("s", -1)
+
+
+def test_fix_variable():
+    lp = LinearProgram()
+    x = lp.var("x", upper=5.0)
+    lp.fix(x.index, 2.0)
+    assert lp.variables[0].lower == 2.0
+    assert lp.variables[0].upper == 2.0
+
+
+def test_add_expression_constraint():
+    lp = LinearProgram()
+    x = lp.var("x")
+    y = lp.var("y")
+    con = lp.add(x.expr() + 2 * y.expr() <= 4, name="cap")
+    assert con.sense is Sense.LE
+    assert con.rhs == 4.0
+    assert sorted(zip(con.indices, con.coeffs)) == [(0, 1.0), (1, 2.0)]
+
+
+def test_add_rejects_non_spec():
+    lp = LinearProgram()
+    with pytest.raises(TypeError):
+        lp.add("x <= 1")  # type: ignore[arg-type]
+
+
+def test_add_row_length_mismatch():
+    lp = LinearProgram()
+    lp.var("x")
+    with pytest.raises(ValueError):
+        lp.add_row([0], [1.0, 2.0], "<=", 1.0)
+
+
+def test_add_row_unknown_variable():
+    lp = LinearProgram()
+    lp.var("x")
+    with pytest.raises(IndexError):
+        lp.add_row([5], [1.0], "<=", 1.0)
+
+
+def test_add_row_bad_sense():
+    lp = LinearProgram()
+    lp.var("x")
+    with pytest.raises(ValueError):
+        lp.add_row([0], [1.0], "!!", 1.0)
+
+
+def test_constraint_activity_and_satisfied():
+    lp = LinearProgram()
+    lp.var("x")
+    lp.var("y")
+    con = lp.add_row([0, 1], [1.0, 1.0], "<=", 3.0)
+    assert con.activity([1.0, 1.0]) == pytest.approx(2.0)
+    assert con.satisfied([1.0, 1.0])
+    assert not con.satisfied([2.0, 2.0])
+
+
+def test_equality_constraint_satisfied():
+    lp = LinearProgram()
+    lp.var("x")
+    con = lp.add_row([0], [1.0], "==", 2.0)
+    assert con.satisfied([2.0])
+    assert not con.satisfied([2.1])
+
+
+def test_to_arrays_shapes_and_ge_flip():
+    lp = LinearProgram()
+    lp.var("x", obj=1.0)
+    lp.var("y", obj=2.0, upper=4.0)
+    lp.add_row([0, 1], [1.0, 1.0], ">=", 2.0)
+    lp.add_row([0], [1.0], "<=", 5.0)
+    lp.add_row([1], [1.0], "==", 3.0)
+    c, a_ub, b_ub, a_eq, b_eq, bounds = lp.to_arrays()
+    assert list(c) == [1.0, 2.0]
+    assert a_ub.shape == (2, 2)
+    # the >= row is negated into <= form
+    assert b_ub[0] == -2.0
+    assert a_ub.toarray()[0].tolist() == [-1.0, -1.0]
+    assert a_eq.shape == (1, 2)
+    assert b_eq[0] == 3.0
+    assert bounds == [(0.0, None), (0.0, 4.0)]
+
+
+def test_to_arrays_empty_groups_are_none():
+    lp = LinearProgram()
+    lp.var("x")
+    _c, a_ub, b_ub, a_eq, b_eq, _bounds = lp.to_arrays()
+    assert a_ub is None and b_ub is None
+    assert a_eq is None and b_eq is None
+
+
+def test_set_and_add_objective():
+    lp = LinearProgram()
+    x = lp.var("x", obj=1.0)
+    lp.add_objective(x.index, 2.0)
+    assert lp.variables[0].objective == 3.0
+    lp.set_objective(x.index, 5.0)
+    assert lp.variables[0].objective == 5.0
+
+
+def test_solve_unknown_backend():
+    lp = LinearProgram()
+    lp.var("x")
+    with pytest.raises(ValueError, match="backend"):
+        lp.solve(backend="cplex")
+
+
+def test_empty_model_solves_to_zero():
+    lp = LinearProgram()
+    sol = lp.solve()
+    assert sol.is_optimal
+    assert sol.objective == 0.0
+
+
+def test_repr_mentions_sizes():
+    lp = LinearProgram(name="m")
+    lp.var("x")
+    lp.add_row([0], [1.0], "<=", 1.0)
+    assert "vars=1" in repr(lp)
+    assert "constraints=1" in repr(lp)

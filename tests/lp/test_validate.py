@@ -1,0 +1,67 @@
+"""Tests for the independent solution checker."""
+
+import pytest
+
+from repro.lp.model import LinearProgram
+from repro.lp.validate import check_solution
+
+
+def model():
+    lp = LinearProgram()
+    lp.var("x", upper=2.0, obj=1.0)
+    lp.var("y", lower=1.0, obj=3.0)
+    lp.add_row([0, 1], [1.0, 1.0], "<=", 3.0, name="cap")
+    lp.add_row([0], [1.0], ">=", 0.5, name="floor")
+    lp.add_row([1], [2.0], "==", 2.0, name="pin")
+    return lp
+
+
+def test_feasible_point_passes():
+    report = check_solution(model(), [1.0, 1.0])
+    assert report.feasible
+    assert report.objective == pytest.approx(4.0)
+    assert bool(report)
+
+
+def test_upper_bound_violation():
+    report = check_solution(model(), [2.5, 1.0])
+    assert not report.feasible
+    assert any(v.kind == "upper" for v in report.violations)
+
+
+def test_lower_bound_violation():
+    report = check_solution(model(), [1.0, 0.5])
+    kinds = {v.kind for v in report.violations}
+    assert "lower" in kinds
+
+
+def test_le_violation_reported_with_amount():
+    report = check_solution(model(), [2.0, 1.5])
+    con = [v for v in report.violations if v.name == "cap"]
+    assert con and con[0].amount == pytest.approx(0.5)
+
+
+def test_ge_violation():
+    report = check_solution(model(), [0.0, 1.0])
+    assert any(v.name == "floor" for v in report.violations)
+
+
+def test_eq_violation():
+    report = check_solution(model(), [1.0, 1.4])
+    assert any(v.name == "pin" for v in report.violations)
+
+
+def test_tolerance_allows_small_slack():
+    report = check_solution(model(), [2.0 + 1e-9, 1.0])
+    assert report.feasible
+
+
+def test_wrong_length_rejected():
+    with pytest.raises(ValueError):
+        check_solution(model(), [1.0])
+
+
+def test_violation_str():
+    report = check_solution(model(), [0.0, 1.0])
+    text = str(report.violations[0])
+    assert "violated by" in text

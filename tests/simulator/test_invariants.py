@@ -1,0 +1,117 @@
+"""Property-based invariants of the trace simulator.
+
+Whatever the heuristic does, physics must hold: QoS fractions live in
+[0, 1], costs are non-negative and additive, every post-warmup read is
+counted exactly once, and storage cost equals the exact integral of
+replica-holding time.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heuristics.caching import LFUCaching, LRUCaching
+from repro.heuristics.cooperative import CooperativeLRUCaching
+from repro.heuristics.greedy_global import GreedyGlobalPlacement
+from repro.heuristics.qiu import QiuGreedyPlacement
+from repro.simulator.engine import simulate
+from repro.topology.generators import as_level_topology
+from tests.conftest import make_trace
+
+
+@st.composite
+def sim_cases(draw):
+    num_requests = draw(st.integers(min_value=1, max_value=60))
+    requests = []
+    for idx in range(num_requests):
+        time_s = draw(st.floats(min_value=0.0, max_value=999.0))
+        node = draw(st.integers(min_value=0, max_value=5))
+        obj = draw(st.integers(min_value=0, max_value=4))
+        is_write = draw(st.booleans())
+        requests.append((time_s, node, obj, is_write))
+    kind = draw(st.sampled_from(["lru", "lfu", "coop", "greedy", "qiu"]))
+    capacity = draw(st.integers(min_value=0, max_value=5))
+    warmup = draw(st.sampled_from([0.0, 100.0]))
+    return requests, kind, capacity, warmup
+
+
+def build_heuristic(kind, capacity):
+    if kind == "lru":
+        return LRUCaching(capacity)
+    if kind == "lfu":
+        return LFUCaching(capacity)
+    if kind == "coop":
+        return CooperativeLRUCaching(capacity)
+    if kind == "greedy":
+        return GreedyGlobalPlacement(capacity, period_s=250.0, tlat_ms=150.0)
+    return QiuGreedyPlacement(min(capacity, 3), period_s=250.0, tlat_ms=150.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sim_cases())
+def test_simulator_invariants(case):
+    requests, kind, capacity, warmup = case
+    topo = as_level_topology(num_nodes=6, seed=1)
+    trace = make_trace(requests, duration_s=1000.0, num_nodes=6, num_objects=5)
+    heuristic = build_heuristic(kind, capacity)
+    result = simulate(
+        topo, trace, heuristic, tlat_ms=150.0, warmup_s=warmup,
+        cost_interval_s=100.0, delta=0.1,
+    )
+
+    # Read accounting: every post-warmup read counted once.
+    expected_reads = sum(
+        1 for t, _n, _k, w in requests if not w and t >= warmup
+    )
+    assert result.reads == expected_reads
+    assert 0 <= result.covered_reads <= result.reads
+    assert 0.0 <= result.qos <= 1.0
+    for q in result.qos_per_node.values():
+        assert 0.0 <= q <= 1.0
+
+    # Cost physics.
+    assert result.storage_cost >= -1e-9
+    assert result.creation_cost == pytest.approx(result.creations * 1.0)
+    assert result.update_cost >= -1e-9
+    assert result.total_cost == pytest.approx(
+        result.storage_cost + result.creation_cost + result.update_cost
+    )
+
+    # Peak occupancy respects capacity for the caching family.
+    if kind in ("lru", "lfu", "coop"):
+        assert result.peak_occupancy.max(initial=0) <= max(capacity, 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    hold=st.floats(min_value=1.0, max_value=900.0),
+    interval=st.sampled_from([50.0, 100.0, 250.0]),
+)
+def test_storage_cost_is_exact_time_integral(hold, interval):
+    from repro.heuristics.base import PlacementHeuristic
+
+    class HoldOnce(PlacementHeuristic):
+        routing = "local"
+
+        def __init__(self, until):
+            self.until = until
+            self.placed = False
+            self.dropped = False
+
+        def on_access(self, request, served_ms, ctx):
+            if not self.placed:
+                ctx.create_replica(request.node, request.obj)
+                self.placed = True
+            elif not self.dropped and ctx.now_s >= self.until:
+                ctx.drop_replica(1, 0)
+                self.dropped = True
+
+    topo = as_level_topology(num_nodes=4, seed=2)
+    # first access places at t=0; second access at t=hold drops.
+    trace = make_trace([(0.0, 1, 0), (hold, 1, 0)], duration_s=1000.0, num_nodes=4, num_objects=1)
+    h = HoldOnce(until=hold)
+    result = simulate(topo, trace, h, tlat_ms=150.0, cost_interval_s=interval)
+    if topo.origin == 1:
+        return  # replica on the origin is a no-op
+    assert result.storage_cost == pytest.approx(hold / interval, rel=1e-9)

@@ -1,0 +1,131 @@
+"""Tests for replica state and cost integration."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.state import ReplicaState
+from repro.topology.generators import line_topology, star_topology
+
+
+def make_state(alpha=1.0, beta=1.0, interval_s=3600.0, num_objects=3):
+    topo = star_topology(num_leaves=2, hub_latency_ms=200.0)
+    return ReplicaState(topo, num_objects, alpha=alpha, beta=beta, interval_s=interval_s)
+
+
+def test_origin_always_holds_everything():
+    state = make_state()
+    assert state.holds(0, 0)
+    assert state.holds(0, 2)
+    assert not state.create(0, 1, 0.0)  # no-op at the origin
+    assert state.creations == 0
+
+
+def test_create_and_holds():
+    state = make_state()
+    assert state.create(1, 0, 0.0)
+    assert state.holds(1, 0)
+    assert not state.holds(2, 0)
+    assert state.holders(0) == {1}
+
+
+def test_duplicate_create_is_noop():
+    state = make_state()
+    state.create(1, 0, 0.0)
+    assert not state.create(1, 0, 10.0)
+    assert state.creations == 1
+
+
+def test_create_out_of_range_object():
+    state = make_state()
+    with pytest.raises(IndexError):
+        state.create(1, 99, 0.0)
+
+
+def test_storage_cost_integrates_time():
+    state = make_state(alpha=2.0, interval_s=100.0)
+    state.create(1, 0, 0.0)
+    state.drop(1, 0, 250.0)
+    assert state.storage_cost == pytest.approx(2.0 * 250.0 / 100.0)
+
+
+def test_drop_absent_returns_false():
+    state = make_state()
+    assert not state.drop(1, 0, 10.0)
+
+
+def test_drop_before_create_rejected():
+    state = make_state()
+    state.create(1, 0, 100.0)
+    with pytest.raises(ValueError):
+        state.drop(1, 0, 50.0)
+
+
+def test_finalize_accrues_open_replicas_idempotently():
+    state = make_state(interval_s=100.0)
+    state.create(1, 0, 0.0)
+    state.finalize(100.0)
+    assert state.storage_cost == pytest.approx(1.0)
+    state.finalize(100.0)  # no double counting
+    assert state.storage_cost == pytest.approx(1.0)
+
+
+def test_creation_cost_and_counters():
+    state = make_state(beta=3.0)
+    state.create(1, 0, 0.0)
+    state.create(2, 0, 0.0)
+    assert state.creation_cost == pytest.approx(6.0)
+    assert state.creations == 2
+    state.drop(1, 0, 10.0)
+    assert state.drops == 1
+
+
+def test_peak_occupancy_and_replica_tracking():
+    state = make_state()
+    state.create(1, 0, 0.0)
+    state.create(1, 1, 0.0)
+    state.drop(1, 0, 10.0)
+    assert state.peak_occupancy[1] == 2
+    assert state.occupancy(1) == 1
+    state.create(2, 1, 0.0)
+    assert state.max_replicas_per_object[1] == 2
+
+
+def test_contents_returns_copy():
+    state = make_state()
+    state.create(1, 0, 0.0)
+    contents = state.contents(1)
+    contents.add(99)
+    assert state.contents(1) == {0}
+
+
+def test_best_latency_local_scope():
+    topo = line_topology(num_nodes=3, hop_latency_ms=100.0)
+    state = ReplicaState(topo, 1)
+    assert state.best_latency(2, 0, scope="local") == pytest.approx(200.0)
+    state.create(2, 0, 0.0)
+    assert state.best_latency(2, 0, scope="local") == pytest.approx(0.0)
+    # a replica at node 1 does NOT help local routing on node 2
+    state.drop(2, 0, 1.0)
+    state.create(1, 0, 1.0)
+    assert state.best_latency(2, 0, scope="local") == pytest.approx(200.0)
+
+
+def test_best_latency_global_scope():
+    topo = line_topology(num_nodes=3, hop_latency_ms=100.0)
+    state = ReplicaState(topo, 1)
+    state.create(1, 0, 0.0)
+    assert state.best_latency(2, 0, scope="global") == pytest.approx(100.0)
+    assert state.covered(2, 0, tlat_ms=150.0, scope="global")
+    assert not state.covered(2, 0, tlat_ms=50.0, scope="global")
+
+
+def test_best_latency_unknown_scope():
+    state = make_state()
+    with pytest.raises(ValueError):
+        state.best_latency(1, 0, scope="quantum")
+
+
+def test_interval_validation():
+    topo = star_topology(num_leaves=1)
+    with pytest.raises(ValueError):
+        ReplicaState(topo, 1, interval_s=0.0)

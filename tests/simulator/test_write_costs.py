@@ -1,0 +1,69 @@
+"""Tests for the simulator's update-message cost (extension (12))."""
+
+import pytest
+
+from repro.heuristics.base import PlacementHeuristic
+from repro.simulator.engine import simulate
+from repro.topology.generators import star_topology
+from tests.conftest import make_trace
+
+
+class PinEverywhere(PlacementHeuristic):
+    """Places every object on every leaf at the start."""
+
+    routing = "global"
+
+    def on_start(self, ctx):
+        for node in range(ctx.num_nodes):
+            if node == ctx.topology.origin:
+                continue
+            for obj in range(ctx.num_objects):
+                ctx.create_replica(node, obj)
+
+
+def far_star(leaves=2):
+    return star_topology(num_leaves=leaves, hub_latency_ms=200.0)
+
+
+def test_writes_charged_per_replica():
+    topo = far_star(2)
+    trace = make_trace(
+        [(10, 1, 0), (20, 1, 0, True), (30, 2, 0, True)], num_nodes=3, num_objects=1
+    )
+    result = simulate(topo, trace, PinEverywhere(), tlat_ms=150.0, delta=0.5)
+    # 2 writes x 2 replicas x 0.5 each.
+    assert result.update_cost == pytest.approx(2.0)
+    assert result.total_cost == pytest.approx(
+        result.storage_cost + result.creation_cost + 2.0
+    )
+
+
+def test_writes_free_when_delta_zero():
+    topo = far_star(2)
+    trace = make_trace([(10, 1, 0, True)], num_nodes=3, num_objects=1)
+    result = simulate(topo, trace, PinEverywhere(), tlat_ms=150.0)
+    assert result.update_cost == 0.0
+
+
+def test_writes_to_unreplicated_objects_cost_nothing():
+    topo = far_star(2)
+    trace = make_trace([(10, 1, 0, True)], num_nodes=3, num_objects=1)
+
+    class Nothing(PlacementHeuristic):
+        routing = "local"
+
+    result = simulate(topo, trace, Nothing(), tlat_ms=150.0, delta=1.0)
+    assert result.update_cost == 0.0
+
+
+def test_update_cost_tracks_replica_count_over_time():
+    topo = far_star(2)
+    # write before placement, then after one replica exists.
+    trace = make_trace(
+        [(5, 1, 0, True), (10, 1, 0), (20, 1, 0, True)], num_nodes=3, num_objects=1
+    )
+    from repro.heuristics.caching import LRUCaching
+
+    result = simulate(topo, trace, LRUCaching(1), tlat_ms=150.0, delta=1.0)
+    # first write: 0 replicas; second write: 1 replica (cached on the miss).
+    assert result.update_cost == pytest.approx(1.0)

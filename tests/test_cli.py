@@ -1,0 +1,165 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.topology.io import load_topology
+from repro.workload.io import load_trace
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """A topology + WEB trace written by the CLI itself."""
+    root = tmp_path_factory.mktemp("cli")
+    topo_path = str(root / "topo.json")
+    trace_path = str(root / "trace.json")
+    assert main(["topology", "--nodes", "10", "--seed", "5", "-o", topo_path]) == 0
+    assert (
+        main(
+            [
+                "workload", "web",
+                "--nodes", "10", "--objects", "25", "--scale", "0.05",
+                "--seed", "2", "--topology", topo_path, "-o", trace_path,
+            ]
+        )
+        == 0
+    )
+    return topo_path, trace_path
+
+
+def problem_flags(topo_path, trace_path, qos="0.9"):
+    return ["-t", topo_path, "-w", trace_path, "--qos", qos, "--intervals", "8", "--warmup", "1"]
+
+
+def test_topology_and_workload_files_valid(artifacts):
+    topo_path, trace_path = artifacts
+    topo = load_topology(topo_path)
+    trace = load_trace(trace_path)
+    assert topo.num_nodes == 10
+    assert trace.num_nodes == 10
+    assert trace.num_objects == 25
+
+
+def test_bounds_human_output(artifacts, capsys):
+    topo_path, trace_path = artifacts
+    rc = main(["bounds", *problem_flags(topo_path, trace_path), "--class", "general", "--no-rounding"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bound=" in out
+
+
+def test_bounds_json_output(artifacts, capsys):
+    topo_path, trace_path = artifacts
+    rc = main(
+        ["bounds", *problem_flags(topo_path, trace_path), "--class", "storage-constrained", "--json"]
+    )
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["class"] == "storage-constrained"
+    assert data["feasible"]
+    assert data["lower_bound"] > 0
+    assert data["feasible_cost"] >= data["lower_bound"] - 1e-6
+
+
+def test_bounds_infeasible_exit_code(artifacts, capsys):
+    topo_path, trace_path = artifacts
+    rc = main(
+        ["bounds", *problem_flags(topo_path, trace_path, qos="0.999999"), "--class", "caching"]
+    )
+    assert rc == 1
+
+
+def test_select_json(artifacts, capsys):
+    topo_path, trace_path = artifacts
+    rc = main(
+        [
+            "select", *problem_flags(topo_path, trace_path), "--json", "--no-rounding",
+            "--classes", "storage-constrained", "replica-constrained",
+        ]
+    )
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["recommended"] in ("storage-constrained", "replica-constrained")
+    assert set(data["bounds"]) == {"storage-constrained", "replica-constrained"}
+
+
+def test_deploy(artifacts, capsys):
+    topo_path, trace_path = artifacts
+    rc = main(
+        ["deploy", *problem_flags(topo_path, trace_path), "--zeta", "2000", "--json"]
+    )
+    out = capsys.readouterr().out
+    data = json.loads(out)
+    assert rc == 0
+    assert data["feasible"]
+    assert len(data["open_nodes"]) >= 1
+    assert data["recommended"]
+
+
+def test_simulate_each_heuristic(artifacts, capsys):
+    topo_path, trace_path = artifacts
+    for name in ["lru", "lfu", "coop-lru", "greedy-global", "qiu", "random"]:
+        rc = main(
+            [
+                "simulate", *problem_flags(topo_path, trace_path, qos="0.2"),
+                "--heuristic", name, "--capacity", "10", "--replicas", "2", "--json",
+            ]
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert "qos" in data and "total_cost" in data
+        assert rc in (0, 1)
+
+
+def test_simulate_exit_code_reflects_goal(artifacts, capsys):
+    topo_path, trace_path = artifacts
+    rc = main(
+        [
+            "simulate", *problem_flags(topo_path, trace_path, qos="0.9999"),
+            "--heuristic", "lru", "--capacity", "1",
+        ]
+    )
+    assert rc == 1
+    assert "MISSES" in capsys.readouterr().out
+
+
+def test_classes_listing(capsys):
+    assert main(["classes"]) == 0
+    out = capsys.readouterr().out
+    assert "caching" in out
+    assert "Route" in out
+
+
+def test_sweep_command(artifacts, capsys, tmp_path):
+    topo_path, trace_path = artifacts
+    csv_path = str(tmp_path / "sweep.csv")
+    rc = main(
+        [
+            "sweep", *problem_flags(topo_path, trace_path),
+            "--levels", "0.8", "0.9",
+            "--classes", "storage-constrained", "replica-constrained",
+            "--csv", csv_path,
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "storage-constrained" in out
+    import pathlib
+
+    csv_text = pathlib.Path(csv_path).read_text()
+    assert csv_text.startswith("class,qos_level")
+
+
+def test_sweep_command_json(artifacts, capsys):
+    topo_path, trace_path = artifacts
+    rc = main(
+        [
+            "sweep", *problem_flags(topo_path, trace_path),
+            "--levels", "0.8", "--classes", "general", "--json",
+        ]
+    )
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["levels"] == [0.8]
+    assert "general" in data["bounds"]

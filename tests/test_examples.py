@@ -1,0 +1,54 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Each example is executed in a subprocess (as a user would run it); the fast
+ones run unconditionally, the heavier case studies only when
+``REPRO_TEST_ALL_EXAMPLES=1`` to keep the default suite snappy.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST = ["quickstart.py", "cdn_sizing.py", "log_analysis.py"]
+HEAVY = ["remote_office.py", "deployment_planning.py", "online_adaptation.py"]
+
+
+def run_example(name: str, timeout: int = 600) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_examples_run(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+@pytest.mark.parametrize("name", HEAVY)
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_TEST_ALL_EXAMPLES"),
+    reason="set REPRO_TEST_ALL_EXAMPLES=1 to run the heavy case studies",
+)
+def test_heavy_examples_run(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+
+
+def test_quickstart_reports_a_recommendation():
+    result = run_example("quickstart.py")
+    assert "Recommended class:" in result.stdout
+
+
+def test_log_analysis_reports_stability():
+    result = run_example("log_analysis.py")
+    assert "stability" in result.stdout.lower()

@@ -1,0 +1,130 @@
+"""Tests for topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.topology.generators import (
+    as_level_topology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+    star_topology,
+)
+from repro.topology.latency import exponential_latency, uniform_latency
+
+
+def test_as_level_shape_and_connectivity():
+    topo = as_level_topology(num_nodes=20, seed=0)
+    assert topo.num_nodes == 20
+    assert np.all(np.isfinite(topo.latency))
+    assert topo.diameter_ms() > 0
+
+
+def test_as_level_deterministic_per_seed():
+    a = as_level_topology(num_nodes=12, seed=3)
+    b = as_level_topology(num_nodes=12, seed=3)
+    assert np.allclose(a.latency, b.latency)
+    assert a.origin == b.origin
+    assert np.allclose(a.populations, b.populations)
+
+
+def test_as_level_seeds_differ():
+    a = as_level_topology(num_nodes=12, seed=3)
+    b = as_level_topology(num_nodes=12, seed=4)
+    assert not np.allclose(a.latency, b.latency)
+
+
+def test_as_level_hop_latency_range():
+    topo = as_level_topology(num_nodes=15, seed=1)
+    # Any single positive entry is a sum of 100-200ms hops, so >= 100.
+    off_diag = topo.latency[topo.latency > 0]
+    assert off_diag.min() >= 100.0
+
+
+def test_as_level_populations_uneven_but_positive():
+    topo = as_level_topology(num_nodes=15, seed=1, population_skew=1.0)
+    assert np.all(topo.populations > 0)
+    assert topo.populations.max() / topo.populations.min() > 1.5
+
+
+def test_as_level_uniform_populations_with_zero_skew():
+    topo = as_level_topology(num_nodes=10, seed=1, population_skew=0.0)
+    assert np.allclose(topo.populations, topo.populations[0])
+
+
+def test_as_level_rejects_tiny():
+    with pytest.raises(ValueError):
+        as_level_topology(num_nodes=1)
+
+
+def test_as_level_custom_latency_model():
+    topo = as_level_topology(
+        num_nodes=10,
+        seed=2,
+        latency_model=lambda rng: exponential_latency(rng, mean=50.0, floor=10.0),
+    )
+    assert topo.latency[topo.latency > 0].min() >= 10.0
+
+
+def test_star_topology_structure():
+    topo = star_topology(num_leaves=4, hub_latency_ms=100.0)
+    assert topo.num_nodes == 5
+    assert topo.origin == 0
+    assert topo.latency[0][3] == 100.0
+    assert topo.latency[1][2] == 200.0  # leaf-to-leaf via hub
+
+
+def test_star_rejects_no_leaves():
+    with pytest.raises(ValueError):
+        star_topology(num_leaves=0)
+
+
+def test_line_topology_linear_latency():
+    topo = line_topology(num_nodes=4, hop_latency_ms=50.0)
+    assert topo.latency[0][3] == pytest.approx(150.0)
+    assert topo.latency[1][2] == pytest.approx(50.0)
+
+
+def test_ring_topology_wraps():
+    topo = ring_topology(num_nodes=6, hop_latency_ms=100.0)
+    # opposite nodes are 3 hops either way
+    assert topo.latency[0][3] == pytest.approx(300.0)
+    # neighbours via the short side
+    assert topo.latency[0][5] == pytest.approx(100.0)
+
+
+def test_ring_rejects_tiny():
+    with pytest.raises(ValueError):
+        ring_topology(num_nodes=2)
+
+
+def test_grid_topology_manhattan():
+    topo = grid_topology(rows=3, cols=3, hop_latency_ms=10.0)
+    assert topo.num_nodes == 9
+    assert topo.latency[0][8] == pytest.approx(40.0)  # 4 hops corner to corner
+
+
+def test_grid_rejects_zero_dims():
+    with pytest.raises(ValueError):
+        grid_topology(rows=0, cols=3)
+
+
+def test_uniform_latency_in_range():
+    rng = np.random.default_rng(0)
+    draws = [uniform_latency(rng, 100.0, 200.0) for _ in range(200)]
+    assert min(draws) >= 100.0
+    assert max(draws) <= 200.0
+
+
+def test_uniform_latency_validates():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        uniform_latency(rng, 200.0, 100.0)
+
+
+def test_exponential_latency_floor_and_validation():
+    rng = np.random.default_rng(0)
+    draws = [exponential_latency(rng, mean=150.0, floor=20.0) for _ in range(200)]
+    assert min(draws) >= 20.0
+    with pytest.raises(ValueError):
+        exponential_latency(rng, mean=10.0, floor=20.0)

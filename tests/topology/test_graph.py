@@ -1,0 +1,143 @@
+"""Tests for the Topology model."""
+
+import numpy as np
+import pytest
+
+from repro.topology.graph import Topology
+
+
+def square(values):
+    return np.asarray(values, dtype=float)
+
+
+def simple_topology():
+    lat = square([[0, 100, 250], [100, 0, 150], [250, 150, 0]])
+    return Topology(latency=lat, origin=0, populations=np.array([1.0, 2.0, 3.0]))
+
+
+def test_basic_properties():
+    topo = simple_topology()
+    assert topo.num_nodes == 3
+    assert list(topo.nodes()) == [0, 1, 2]
+    assert topo.diameter_ms() == 250.0
+
+
+def test_rejects_non_square():
+    with pytest.raises(ValueError, match="square"):
+        Topology(latency=np.zeros((2, 3)))
+
+
+def test_rejects_nonzero_diagonal():
+    lat = square([[1, 100], [100, 0]])
+    with pytest.raises(ValueError, match="diagonal"):
+        Topology(latency=lat)
+
+
+def test_rejects_negative_latency():
+    lat = square([[0, -5], [-5, 0]])
+    with pytest.raises(ValueError, match="non-negative"):
+        Topology(latency=lat)
+
+
+def test_rejects_asymmetric():
+    lat = square([[0, 100], [90, 0]])
+    with pytest.raises(ValueError, match="symmetric"):
+        Topology(latency=lat)
+
+
+def test_rejects_bad_origin():
+    lat = square([[0, 100], [100, 0]])
+    with pytest.raises(ValueError, match="origin"):
+        Topology(latency=lat, origin=5)
+
+
+def test_rejects_bad_population_shape():
+    lat = square([[0, 100], [100, 0]])
+    with pytest.raises(ValueError, match="populations"):
+        Topology(latency=lat, populations=np.array([1.0]))
+
+
+def test_rejects_negative_population():
+    lat = square([[0, 100], [100, 0]])
+    with pytest.raises(ValueError, match="non-negative"):
+        Topology(latency=lat, populations=np.array([1.0, -1.0]))
+
+
+def test_default_populations_and_names():
+    lat = square([[0, 100], [100, 0]])
+    topo = Topology(latency=lat)
+    assert topo.populations.tolist() == [1.0, 1.0]
+    assert topo.names == ["site-0", "site-1"]
+
+
+def test_names_length_checked():
+    lat = square([[0, 100], [100, 0]])
+    with pytest.raises(ValueError, match="names"):
+        Topology(latency=lat, names=["only-one"])
+
+
+def test_dist_matrix_threshold():
+    topo = simple_topology()
+    dist = topo.dist_matrix(150.0)
+    assert dist.tolist() == [[1, 1, 0], [1, 1, 1], [0, 1, 1]]
+
+
+def test_dist_matrix_diagonal_always_one():
+    topo = simple_topology()
+    assert np.diagonal(topo.dist_matrix(0.0)).tolist() == [1, 1, 1]
+
+
+def test_dist_matrix_negative_threshold_rejected():
+    with pytest.raises(ValueError):
+        simple_topology().dist_matrix(-1.0)
+
+
+def test_neighbors_within():
+    topo = simple_topology()
+    assert topo.neighbors_within(0, 150.0) == [0, 1]
+    assert topo.neighbors_within(2, 500.0) == [0, 1, 2]
+
+
+def test_closest_node_prefers_lowest_latency_then_index():
+    topo = simple_topology()
+    assert topo.closest_node(2, [0, 1]) == 1
+    # equidistant candidates -> lowest index
+    lat = square([[0, 100, 100], [100, 0, 200], [100, 200, 0]])
+    sym = Topology(latency=lat)
+    assert sym.closest_node(0, [2, 1]) == 1
+
+
+def test_closest_node_empty_candidates():
+    with pytest.raises(ValueError):
+        simple_topology().closest_node(0, [])
+
+
+def test_restrict_remaps_origin():
+    topo = simple_topology()
+    sub = topo.restrict([1, 2])
+    assert sub.num_nodes == 2
+    assert sub.origin == 0  # fallback: first kept node
+    sub2 = topo.restrict([2, 0])
+    assert sub2.origin == 1  # original origin kept at position 1
+
+
+def test_restrict_preserves_latency_and_population():
+    topo = simple_topology()
+    sub = topo.restrict([0, 2])
+    assert sub.latency[0][1] == 250.0
+    assert sub.populations.tolist() == [1.0, 3.0]
+    assert sub.names == ["site-0", "site-2"]
+
+
+def test_restrict_rejects_empty_and_bad_nodes():
+    topo = simple_topology()
+    with pytest.raises(ValueError):
+        topo.restrict([])
+    with pytest.raises(IndexError):
+        topo.restrict([7])
+
+
+def test_restrict_deduplicates():
+    topo = simple_topology()
+    sub = topo.restrict([1, 1, 2])
+    assert sub.num_nodes == 2

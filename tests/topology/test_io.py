@@ -1,0 +1,45 @@
+"""Topology serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.topology.generators import as_level_topology
+from repro.topology.io import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+def test_dict_round_trip():
+    topo = as_level_topology(num_nodes=9, seed=2)
+    back = topology_from_dict(topology_to_dict(topo))
+    assert np.allclose(back.latency, topo.latency)
+    assert back.origin == topo.origin
+    assert np.allclose(back.populations, topo.populations)
+    assert back.names == topo.names
+
+
+def test_file_round_trip(tmp_path):
+    topo = as_level_topology(num_nodes=6, seed=3)
+    path = tmp_path / "topo.json"
+    save_topology(topo, path)
+    back = load_topology(path)
+    assert np.allclose(back.latency, topo.latency)
+    assert back.origin == topo.origin
+
+
+def test_unknown_version_rejected():
+    topo = as_level_topology(num_nodes=5, seed=0)
+    data = topology_to_dict(topo)
+    data["version"] = 99
+    with pytest.raises(ValueError, match="version"):
+        topology_from_dict(data)
+
+
+def test_dict_is_json_serializable():
+    import json
+
+    topo = as_level_topology(num_nodes=5, seed=0)
+    json.dumps(topology_to_dict(topo))  # should not raise

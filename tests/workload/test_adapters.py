@@ -1,0 +1,107 @@
+"""Tests for the log-import adapters."""
+
+import io
+import json
+
+import pytest
+
+from repro.workload.adapters import trace_from_csv, trace_from_jsonl
+
+CSV = """time,node,object,op
+0.5,paris,/index.html,get
+1.5,tokyo,/index.html,GET
+2.0,paris,/video.mp4,write
+3.25,nyc,/index.html,
+"""
+
+
+def test_csv_parses_rows_and_labels():
+    imported = trace_from_csv(io.StringIO(CSV))
+    trace = imported.trace
+    assert len(trace) == 4
+    assert trace.num_nodes == 3
+    assert trace.num_objects == 2
+    assert imported.node_ids["paris"] == 0
+    assert imported.object_ids["/index.html"] == 0
+    assert imported.node_label(1) == "tokyo"
+    assert imported.object_label(1) == "/video.mp4"
+
+
+def test_csv_write_ops_detected():
+    trace = trace_from_csv(io.StringIO(CSV)).trace
+    assert trace.num_writes == 1
+    assert trace.num_reads == 3
+
+
+def test_csv_duration_default_covers_last_request():
+    trace = trace_from_csv(io.StringIO(CSV)).trace
+    assert trace.duration_s == pytest.approx(4.25)
+
+
+def test_csv_explicit_duration():
+    trace = trace_from_csv(io.StringIO(CSV), duration_s=100.0).trace
+    assert trace.duration_s == 100.0
+
+
+def test_csv_without_header():
+    body = "0.5,a,x\n1.0,b,y\n"
+    trace = trace_from_csv(io.StringIO(body), has_header=False).trace
+    assert len(trace) == 2
+
+
+def test_csv_short_row_rejected():
+    with pytest.raises(ValueError, match="need time,node,object"):
+        trace_from_csv(io.StringIO("time,node,object\n1.0,a\n"))
+
+
+def test_csv_negative_time_rejected():
+    with pytest.raises(ValueError, match="negative"):
+        trace_from_csv(io.StringIO("time,node,object\n-1.0,a,x\n"))
+
+
+def test_csv_empty_rejected():
+    with pytest.raises(ValueError, match="no requests"):
+        trace_from_csv(io.StringIO("time,node,object\n"))
+
+
+def test_csv_from_file(tmp_path):
+    path = tmp_path / "log.csv"
+    path.write_text(CSV)
+    trace = trace_from_csv(path).trace
+    assert len(trace) == 4
+
+
+def test_jsonl_parses_records():
+    lines = "\n".join(
+        json.dumps(r)
+        for r in [
+            {"time": 1.0, "node": "a", "object": "x", "op": "get"},
+            {"time": 2.0, "node": "b", "object": "x", "op": "put"},
+        ]
+    )
+    imported = trace_from_jsonl(io.StringIO(lines))
+    assert len(imported.trace) == 2
+    assert imported.trace.num_writes == 1
+
+
+def test_jsonl_custom_fields():
+    lines = json.dumps({"ts": 5.0, "site": "s1", "file": "f1"})
+    imported = trace_from_jsonl(
+        io.StringIO(lines), time_field="ts", node_field="site", object_field="file",
+        op_field=None,
+    )
+    assert imported.trace.num_reads == 1
+
+
+def test_jsonl_missing_field():
+    with pytest.raises(ValueError, match="missing field"):
+        trace_from_jsonl(io.StringIO(json.dumps({"time": 1.0, "node": "a"})))
+
+
+def test_imported_trace_feeds_demand_matrix():
+    from repro.workload.demand import DemandMatrix
+
+    imported = trace_from_csv(io.StringIO(CSV))
+    dm = DemandMatrix.from_trace(imported.trace, num_intervals=2)
+    assert dm.total_reads == 3
+    assert dm.writes.sum() == 1

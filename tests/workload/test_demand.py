@@ -1,0 +1,124 @@
+"""Tests for the demand matrix (trace bucketing and aggregations)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.demand import DemandMatrix
+from tests.conftest import make_trace
+
+
+def test_from_trace_buckets_by_interval():
+    t = make_trace([(0, 0, 0), (1799, 0, 0), (1800, 0, 0), (3599, 1, 1)], duration_s=3600.0)
+    dm = DemandMatrix.from_trace(t, num_intervals=2)
+    assert dm.reads[0, 0, 0] == 2
+    assert dm.reads[0, 1, 0] == 1
+    assert dm.reads[1, 1, 1] == 1
+    assert dm.interval_s == 1800.0
+
+
+def test_from_trace_separates_writes():
+    t = make_trace([(0, 0, 0), (1, 0, 0, True)])
+    dm = DemandMatrix.from_trace(t, num_intervals=1)
+    assert dm.reads[0, 0, 0] == 1
+    assert dm.writes[0, 0, 0] == 1
+
+
+def test_from_trace_edge_time_lands_in_last_interval():
+    t = make_trace([(3599.999, 0, 0)], duration_s=3600.0)
+    dm = DemandMatrix.from_trace(t, num_intervals=4)
+    assert dm.reads[0, 3, 0] == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DemandMatrix(reads=np.zeros((2, 2)))  # not 3-d
+    with pytest.raises(ValueError):
+        DemandMatrix(reads=-np.ones((1, 1, 1)))
+    with pytest.raises(ValueError):
+        DemandMatrix(reads=np.zeros((1, 1, 1)), writes=np.zeros((2, 1, 1)))
+    with pytest.raises(ValueError):
+        DemandMatrix(reads=np.zeros((1, 1, 1)), interval_s=0.0)
+    with pytest.raises(ValueError):
+        DemandMatrix.from_trace(make_trace([(0, 0, 0)]), num_intervals=0)
+
+
+def test_shape_properties():
+    dm = DemandMatrix(reads=np.zeros((3, 4, 5)))
+    assert (dm.num_nodes, dm.num_intervals, dm.num_objects) == (3, 4, 5)
+
+
+def test_aggregations():
+    reads = np.zeros((2, 2, 3))
+    reads[0, 0, 0] = 2
+    reads[1, 1, 2] = 3
+    dm = DemandMatrix(reads=reads)
+    assert dm.total_reads == 5
+    assert dm.reads_per_node().tolist() == [2, 3]
+    assert dm.reads_per_object().tolist() == [2, 0, 3]
+    assert dm.reads_per_interval().tolist() == [2, 3]
+
+
+def test_active_objects():
+    reads = np.zeros((1, 1, 4))
+    reads[0, 0, 1] = 1
+    writes = np.zeros_like(reads)
+    writes[0, 0, 3] = 1
+    dm = DemandMatrix(reads=reads, writes=writes)
+    assert dm.active_objects().tolist() == [1, 3]
+
+
+def test_first_access_interval():
+    reads = np.zeros((2, 3, 2))
+    reads[0, 1, 0] = 1
+    reads[0, 2, 0] = 1
+    reads[1, 0, 1] = 1
+    dm = DemandMatrix(reads=reads)
+    first = dm.first_access_interval()
+    assert first[0, 0] == 1
+    assert first[1, 1] == 0
+    assert first[0, 1] == -1  # never accessed
+
+
+def test_accessed_mask():
+    reads = np.zeros((1, 2, 1))
+    reads[0, 1, 0] = 2
+    dm = DemandMatrix(reads=reads)
+    assert dm.accessed()[0, 1, 0]
+    assert not dm.accessed()[0, 0, 0]
+
+
+def test_coarsen_merges_intervals():
+    reads = np.zeros((1, 4, 1))
+    reads[0] = [[1], [2], [3], [4]]
+    dm = DemandMatrix(reads=reads, interval_s=100.0)
+    c = dm.coarsen(2)
+    assert c.num_intervals == 2
+    assert c.reads[0, 0, 0] == 3
+    assert c.reads[0, 1, 0] == 7
+    assert c.interval_s == 200.0
+
+
+def test_coarsen_uneven_factor():
+    dm = DemandMatrix(reads=np.ones((1, 5, 1)))
+    c = dm.coarsen(2)
+    assert c.num_intervals == 3
+    assert c.total_reads == dm.total_reads
+
+
+def test_coarsen_validation():
+    with pytest.raises(ValueError):
+        DemandMatrix(reads=np.ones((1, 2, 1))).coarsen(0)
+
+
+def test_restrict_nodes():
+    reads = np.zeros((3, 1, 1))
+    reads[2, 0, 0] = 5
+    dm = DemandMatrix(reads=reads)
+    sub = dm.restrict_nodes([2, 0])
+    assert sub.num_nodes == 2
+    assert sub.reads[0, 0, 0] == 5
+
+
+def test_repr_mentions_shape():
+    dm = DemandMatrix(reads=np.ones((2, 3, 4)))
+    assert "nodes=2" in repr(dm)

@@ -1,0 +1,169 @@
+"""Tests for the WEB / GROUP workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workload.generators import (
+    WorkloadSpec,
+    group_workload,
+    synthetic_workload,
+    web_workload,
+)
+from repro.workload.stats import characterize, object_counts
+
+
+def test_web_matches_paper_anchors_at_full_scale():
+    trace = web_workload(num_nodes=5, num_objects=1000, requests_scale=1.0, seed=1)
+    stats = characterize(trace)
+    assert stats.max_object_count == 36_000
+    assert stats.min_object_count == 1
+    assert stats.num_requests == pytest.approx(300_000, rel=0.15)
+
+
+def test_web_scaled_keeps_heavy_tail():
+    trace = web_workload(num_nodes=5, num_objects=100, requests_scale=0.02, seed=1)
+    counts = object_counts(trace)
+    assert counts.max() >= 100 * counts[counts > 0].min()
+
+
+def test_web_deterministic():
+    a = web_workload(num_nodes=4, num_objects=20, requests_scale=0.01, seed=9)
+    b = web_workload(num_nodes=4, num_objects=20, requests_scale=0.01, seed=9)
+    assert [(r.time_s, r.node, r.obj) for r in a] == [(r.time_s, r.node, r.obj) for r in b]
+
+
+def test_web_rejects_bad_scale():
+    with pytest.raises(ValueError):
+        web_workload(requests_scale=0.0)
+
+
+def test_group_all_objects_popular():
+    trace = group_workload(num_nodes=5, num_objects=30, requests_scale=0.01, seed=2)
+    counts = object_counts(trace)
+    assert (counts > 0).all()
+    # Uniform band: max/min ratio bounded by ~36000/8500 plus sampling noise.
+    assert counts.max() / counts.min() < 8.0
+
+
+def test_group_full_scale_band():
+    trace = group_workload(num_nodes=3, num_objects=40, requests_scale=1.0, seed=2)
+    counts = object_counts(trace)
+    assert counts.min() >= 8_000
+    assert counts.max() <= 36_500
+
+
+def test_group_rejects_bad_scale():
+    with pytest.raises(ValueError):
+        group_workload(requests_scale=-1.0)
+
+
+def test_populations_skew_demand():
+    pops = [10.0, 1.0, 1.0, 1.0]
+    trace = web_workload(num_nodes=4, num_objects=50, populations=pops, requests_scale=0.05, seed=3)
+    per_node = characterize(trace).reads_per_node
+    assert per_node[0] > 3 * per_node[1]
+
+
+def test_requests_within_duration():
+    trace = group_workload(num_nodes=3, num_objects=10, requests_scale=0.001, duration_s=1000.0)
+    assert all(0 <= r.time_s < 1000.0 for r in trace)
+
+
+def test_write_fraction():
+    spec = WorkloadSpec(
+        num_nodes=2,
+        num_objects=5,
+        counts=np.full(5, 200),
+        write_fraction=0.5,
+        seed=4,
+    )
+    trace = synthetic_workload(spec)
+    frac = trace.num_writes / len(trace)
+    assert 0.4 < frac < 0.6
+
+
+def test_diurnal_concentrates_midday():
+    spec = WorkloadSpec(
+        num_nodes=1,
+        num_objects=3,
+        counts=np.full(3, 2000),
+        diurnal=True,
+        seed=5,
+    )
+    trace = synthetic_workload(spec)
+    mid = sum(1 for r in trace if 0.25 < r.time_s / trace.duration_s < 0.75)
+    assert mid / len(trace) > 0.55
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec(num_nodes=0, num_objects=1, counts=np.array([1]))
+    with pytest.raises(ValueError):
+        WorkloadSpec(num_nodes=1, num_objects=2, counts=np.array([1]))
+    with pytest.raises(ValueError):
+        WorkloadSpec(num_nodes=1, num_objects=1, counts=np.array([-1]))
+    with pytest.raises(ValueError):
+        WorkloadSpec(num_nodes=1, num_objects=1, counts=np.array([1]), write_fraction=2.0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(
+            num_nodes=2, num_objects=1, counts=np.array([1]), populations=np.array([0.0, 0.0])
+        )
+
+
+def test_zero_count_objects_skipped():
+    spec = WorkloadSpec(num_nodes=1, num_objects=3, counts=np.array([5, 0, 5]), seed=0)
+    trace = synthetic_workload(spec)
+    assert object_counts(trace)[1] == 0
+    assert len(trace) == 10
+
+
+def test_trace_names():
+    assert web_workload(num_nodes=2, num_objects=5, requests_scale=0.001).name == "WEB"
+    assert group_workload(num_nodes=2, num_objects=5, requests_scale=0.001).name == "GROUP"
+
+
+def test_flash_crowd_spikes_target_object():
+    from repro.workload.generators import flash_crowd_workload
+
+    trace = flash_crowd_workload(
+        num_nodes=5, num_objects=20, base_scale=0.02, flash_object=3,
+        flash_start_frac=0.5, flash_duration_frac=0.25, flash_multiplier=30.0,
+        seed=4,
+    )
+    from repro.workload.stats import object_counts
+
+    counts = object_counts(trace)
+    # the flash object dominates even the rank-1 background object
+    assert counts[3] > counts[0]
+    # and its extra traffic is concentrated in the flash window
+    in_window = sum(
+        1
+        for r in trace
+        if r.obj == 3 and 0.5 <= r.time_s / trace.duration_s < 0.75
+    )
+    assert in_window > 0.8 * (counts[3] - counts.mean())
+
+
+def test_flash_crowd_validation():
+    from repro.workload.generators import flash_crowd_workload
+    import pytest as _pytest
+
+    with _pytest.raises(ValueError):
+        flash_crowd_workload(num_objects=5, flash_object=9)
+    with _pytest.raises(ValueError):
+        flash_crowd_workload(flash_start_frac=1.2)
+    with _pytest.raises(ValueError):
+        flash_crowd_workload(flash_start_frac=0.9, flash_duration_frac=0.5)
+    with _pytest.raises(ValueError):
+        flash_crowd_workload(flash_multiplier=0.0)
+
+
+def test_flash_crowd_deterministic():
+    from repro.workload.generators import flash_crowd_workload
+
+    a = flash_crowd_workload(num_nodes=3, num_objects=10, base_scale=0.01, seed=5)
+    b = flash_crowd_workload(num_nodes=3, num_objects=10, base_scale=0.01, seed=5)
+    assert len(a) == len(b)
+    assert [(r.time_s, r.node, r.obj) for r in a][:50] == [
+        (r.time_s, r.node, r.obj) for r in b
+    ][:50]

@@ -1,0 +1,46 @@
+"""Trace serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.workload.generators import web_workload
+from repro.workload.io import load_trace, save_trace, trace_from_dict, trace_to_dict
+from tests.conftest import make_trace
+
+
+def test_dict_round_trip():
+    t = make_trace([(1, 0, 0), (2, 1, 1, True)], name="rt")
+    back = trace_from_dict(trace_to_dict(t))
+    assert back.name == "rt"
+    assert len(back) == 2
+    assert back.requests[1].is_write
+    assert back.num_nodes == t.num_nodes
+
+
+def test_file_round_trip(tmp_path):
+    t = web_workload(num_nodes=3, num_objects=10, requests_scale=0.001, seed=1)
+    path = tmp_path / "trace.json"
+    save_trace(t, path)
+    back = load_trace(path)
+    assert len(back) == len(t)
+    assert [r.obj for r in back] == [r.obj for r in t]
+
+
+def test_dict_is_json_serializable():
+    t = make_trace([(1, 0, 0)])
+    json.dumps(trace_to_dict(t))
+
+
+def test_version_check():
+    data = trace_to_dict(make_trace([(1, 0, 0)]))
+    data["version"] = 42
+    with pytest.raises(ValueError, match="version"):
+        trace_from_dict(data)
+
+
+def test_inconsistent_columns_rejected():
+    data = trace_to_dict(make_trace([(1, 0, 0)]))
+    data["nodes"] = []
+    with pytest.raises(ValueError, match="inconsistent"):
+        trace_from_dict(data)

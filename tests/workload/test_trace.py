@@ -1,0 +1,106 @@
+"""Tests for Request/Trace containers."""
+
+import pytest
+
+from repro.workload.trace import Request, Trace
+from tests.conftest import make_trace
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        Request(-1.0, 0, 0)
+    with pytest.raises(ValueError):
+        Request(0.0, -1, 0)
+    with pytest.raises(ValueError):
+        Request(0.0, 0, -2)
+
+
+def test_request_ordering_by_time():
+    a = Request(1.0, 3, 3)
+    b = Request(2.0, 0, 0)
+    assert a < b
+
+
+def test_trace_sorts_requests():
+    t = make_trace([(30, 0, 0), (10, 1, 1), (20, 2, 2)])
+    assert [r.time_s for r in t] == [10.0, 20.0, 30.0]
+
+
+def test_trace_rejects_out_of_range():
+    with pytest.raises(ValueError, match="duration"):
+        make_trace([(5000, 0, 0)], duration_s=3600.0)
+    with pytest.raises(ValueError, match="num_nodes"):
+        make_trace([(1, 9, 0)], num_nodes=4)
+    with pytest.raises(ValueError, match="num_objects"):
+        make_trace([(1, 0, 9)], num_objects=4)
+
+
+def test_trace_rejects_bad_universe():
+    with pytest.raises(ValueError):
+        Trace(requests=[], duration_s=0.0, num_nodes=1, num_objects=1)
+    with pytest.raises(ValueError):
+        Trace(requests=[], duration_s=1.0, num_nodes=0, num_objects=1)
+
+
+def test_read_write_counts():
+    t = make_trace([(1, 0, 0), (2, 0, 1, True), (3, 1, 0)])
+    assert len(t) == 3
+    assert t.num_reads == 2
+    assert t.num_writes == 1
+
+
+def test_between_half_open():
+    t = make_trace([(10, 0, 0), (20, 1, 1), (30, 2, 2)])
+    window = t.between(10, 30)
+    assert [r.time_s for r in window] == [10.0, 20.0]
+
+
+def test_between_empty_window():
+    t = make_trace([(10, 0, 0)])
+    assert t.between(11, 12) == []
+
+
+def test_for_node_and_object():
+    t = make_trace([(1, 0, 0), (2, 1, 0), (3, 0, 1)])
+    assert len(t.for_node(0)) == 2
+    assert len(t.for_object(0)) == 2
+
+
+def test_filter_returns_new_trace():
+    t = make_trace([(1, 0, 0), (2, 1, 1)])
+    f = t.filter(lambda r: r.node == 0)
+    assert len(f) == 1
+    assert len(t) == 2
+
+
+def test_remap_nodes():
+    t = make_trace([(1, 0, 0), (2, 1, 1), (3, 2, 2)])
+    m = t.remap_nodes({0: 3, 1: 3})
+    nodes = [r.node for r in m]
+    assert nodes == [3, 3, 2]
+
+
+def test_remap_can_grow_universe():
+    t = make_trace([(1, 0, 0)], num_nodes=2)
+    m = t.remap_nodes({0: 4}, num_nodes=5)
+    assert m.num_nodes == 5
+    assert m.requests[0].node == 4
+
+
+def test_merge():
+    a = make_trace([(1, 0, 0)], duration_s=100.0, num_nodes=2, num_objects=2)
+    b = make_trace([(2, 3, 3)], duration_s=200.0, num_nodes=4, num_objects=4)
+    m = Trace.merge([a, b])
+    assert len(m) == 2
+    assert m.duration_s == 200.0
+    assert m.num_nodes == 4
+
+
+def test_merge_empty_rejected():
+    with pytest.raises(ValueError):
+        Trace.merge([])
+
+
+def test_repr():
+    t = make_trace([(1, 0, 0)], name="demo")
+    assert "demo" in repr(t)

@@ -1,0 +1,124 @@
+"""Tests for Zipf popularity utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.zipf import (
+    ZipfSampler,
+    zipf_counts,
+    zipf_exponent_for_anchors,
+    zipf_mandelbrot_counts,
+    zipf_weights,
+)
+
+
+def test_weights_monotone_decreasing():
+    w = zipf_weights(10, 1.0)
+    assert all(a >= b for a, b in zip(w, w[1:]))
+
+
+def test_weights_flat_for_zero_exponent():
+    assert np.allclose(zipf_weights(5, 0.0), 1.0)
+
+
+def test_weights_validation():
+    with pytest.raises(ValueError):
+        zipf_weights(0, 1.0)
+    with pytest.raises(ValueError):
+        zipf_weights(5, -1.0)
+
+
+def test_exponent_for_anchors():
+    s = zipf_exponent_for_anchors(1000, 36_000, 1)
+    # 36000 = 1000^s  ->  s = log(36000)/log(1000) ~ 1.52
+    assert s == pytest.approx(1.518, abs=0.01)
+
+
+def test_exponent_anchor_validation():
+    with pytest.raises(ValueError):
+        zipf_exponent_for_anchors(1, 10, 1)
+    with pytest.raises(ValueError):
+        zipf_exponent_for_anchors(10, 1, 10)
+
+
+def test_zipf_counts_hits_anchors():
+    counts = zipf_counts(100, max_count=1000, min_count=1)
+    assert counts[0] == 1000
+    assert counts[-1] == 1
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+def test_zipf_counts_single_object():
+    assert zipf_counts(1, max_count=7).tolist() == [7]
+
+
+def test_mandelbrot_hits_three_anchors():
+    counts = zipf_mandelbrot_counts(1000, max_count=36_000, min_count=1, total=300_000)
+    assert counts[0] == 36_000
+    assert counts[-1] == 1
+    assert counts.sum() == pytest.approx(300_000, rel=0.1)
+
+
+def test_mandelbrot_monotone():
+    counts = zipf_mandelbrot_counts(500, max_count=10_000, min_count=1, total=80_000)
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+def test_mandelbrot_without_total_falls_back():
+    a = zipf_mandelbrot_counts(50, max_count=100, min_count=1)
+    b = zipf_counts(50, max_count=100, min_count=1)
+    assert np.array_equal(a, b)
+
+
+def test_mandelbrot_inconsistent_total_rejected():
+    with pytest.raises(ValueError):
+        zipf_mandelbrot_counts(10, max_count=5, min_count=1, total=1000)
+
+
+def test_mandelbrot_extreme_totals_clamp():
+    # A total near the steepest-possible curve is served with the minimum shift.
+    counts = zipf_mandelbrot_counts(100, max_count=1000, min_count=1, total=1005)
+    assert counts[0] == 1000
+    assert counts.min() >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=300),
+    max_count=st.integers(min_value=10, max_value=10_000),
+)
+def test_mandelbrot_properties(n, max_count):
+    total = int(n * np.sqrt(max_count))  # somewhere between min and max
+    total = min(max(total, max_count, n), n * max_count)
+    counts = zipf_mandelbrot_counts(n, max_count=max_count, min_count=1, total=total)
+    assert counts[0] == max_count
+    assert counts.min() >= 1
+    assert len(counts) == n
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+def test_sampler_distribution_skews_to_low_ranks():
+    sampler = ZipfSampler(100, exponent=1.2, seed=0)
+    draws = sampler.sample(5000)
+    assert draws.min() >= 0 and draws.max() < 100
+    # rank 0 should be sampled far more often than rank 50
+    counts = np.bincount(draws, minlength=100)
+    assert counts[0] > counts[50] * 3
+
+
+def test_sampler_pmf_sums_to_one():
+    sampler = ZipfSampler(20, exponent=0.8)
+    assert sum(sampler.pmf(k) for k in range(20)) == pytest.approx(1.0)
+
+
+def test_sampler_reproducible():
+    a = ZipfSampler(50, 1.0, seed=42).sample(100)
+    b = ZipfSampler(50, 1.0, seed=42).sample(100)
+    assert np.array_equal(a, b)
+
+
+def test_sampler_rejects_negative_size():
+    with pytest.raises(ValueError):
+        ZipfSampler(10, 1.0, seed=0).sample(-1)
