@@ -1,0 +1,95 @@
+"""Fault-recovery smoke benchmark.
+
+Replays the bench WEB workload under seeded Poisson node crashes three ways
+— fault-free, faults without healing, faults with a copy-restoring
+:class:`~repro.faults.HealingPolicy` — and reports QoS, availability and the
+re-replication spend.  The point of the table is the robustness claim from
+the fault subsystem's acceptance scenario at bench scale: healing buys back
+most of the crash-induced QoS loss for a quantified creation cost.
+"""
+
+from repro.analysis.report import render_series_table
+from repro.faults import HealingPolicy, poisson_crashes
+from repro.heuristics.cooperative import CooperativeLRUCaching
+from repro.simulator.engine import simulate
+
+from benchmarks.conftest import (
+    NUM_INTERVALS,
+    TLAT_MS,
+    WARMUP_INTERVALS,
+    write_report,
+)
+
+CAPACITY = 12
+MTBF_S = 12 * 3600.0
+MTTR_S = 1800.0
+FAULT_SEED = 11
+
+
+def run_fault_recovery(topology, web_trace):
+    interval_s = web_trace.duration_s / NUM_INTERVALS
+    kwargs = dict(
+        tlat_ms=TLAT_MS,
+        warmup_s=WARMUP_INTERVALS * interval_s,
+        cost_interval_s=interval_s,
+    )
+    faults = poisson_crashes(
+        num_nodes=topology.num_nodes,
+        duration_s=web_trace.duration_s,
+        mtbf_s=MTBF_S,
+        mttr_s=MTTR_S,
+        seed=FAULT_SEED,
+        exclude=(topology.origin,),
+    )
+    fault_free = simulate(
+        topology, web_trace, CooperativeLRUCaching(CAPACITY), **kwargs
+    )
+    faulty = simulate(
+        topology, web_trace, CooperativeLRUCaching(CAPACITY), faults=faults, **kwargs
+    )
+    healed = simulate(
+        topology,
+        web_trace,
+        HealingPolicy(CooperativeLRUCaching(CAPACITY), copies=2),
+        faults=faults,
+        **kwargs,
+    )
+    return faults, fault_free, faulty, healed
+
+
+def test_fault_recovery(benchmark, topology, web_trace):
+    faults, fault_free, faulty, healed = benchmark.pedantic(
+        run_fault_recovery, args=(topology, web_trace), rounds=1, iterations=1
+    )
+
+    def row(label, res):
+        return [
+            label,
+            f"{res.qos:.4f}",
+            f"{res.availability:.4f}",
+            round(res.node_downtime_s),
+            res.repairs,
+            res.healing_creations,
+            round(res.total_cost),
+        ]
+
+    table = render_series_table(
+        (
+            f"WEB / CoopLRU({CAPACITY}) under Poisson crashes "
+            f"(MTBF {MTBF_S / 3600:.0f}h, MTTR {MTTR_S / 60:.0f}min, "
+            f"seed {FAULT_SEED}, {len(faults)} events)"
+        ),
+        ["run", "QoS", "availability", "downtime s", "repairs", "heals", "cost"],
+        [
+            row("fault-free", fault_free),
+            row("faults, no healing", faulty),
+            row("faults + healing", healed),
+        ],
+    )
+    write_report("fault_recovery", table)
+
+    # Smoke assertions: faults hurt, healing recovers most of the loss.
+    assert faulty.node_downtime_s > 0
+    assert healed.qos >= faulty.qos
+    assert healed.healing_creations > 0
+    assert healed.qos >= fault_free.qos - 0.03

@@ -62,7 +62,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     wl = sub.add_parser("workload", help="generate a WEB or GROUP trace")
     wl.add_argument("kind", choices=["web", "group"])
-    wl.add_argument("--nodes", type=int, default=20)
+    wl.add_argument(
+        "--nodes", type=int, default=None,
+        help="number of sites (default: the --topology's size, else 20)",
+    )
     wl.add_argument("--objects", type=int, default=80)
     wl.add_argument("--scale", type=float, default=0.1)
     wl.add_argument("--seed", type=int, default=0)
@@ -115,6 +118,26 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--capacity", type=int, default=10, help="cache capacity (objects)")
     sim.add_argument("--replicas", type=int, default=2, help="replicas per object")
     sim.add_argument("--period", type=float, default=None, help="placement period (s)")
+    sim.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject failures, e.g. 'poisson:mtbf=21600,mttr=1800' or "
+            "'crash:node=3,at=600,down=1200;flaky:a=1,b=2,up=900,down=60'"
+        ),
+    )
+    sim.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for generated fault schedules"
+    )
+    sim.add_argument(
+        "--heal",
+        action="store_true",
+        help="wrap the heuristic in a re-replicating HealingPolicy",
+    )
+    sim.add_argument(
+        "--heal-copies", type=int, default=2, help="live replicas HealingPolicy restores"
+    )
 
     sweep = sub.add_parser("sweep", help="Figure-1 style QoS sweep of class bounds")
     problem_args(sweep)
@@ -156,9 +179,12 @@ def _cmd_workload(args) -> int:
     populations = None
     if args.topology:
         populations = load_topology(args.topology).populations
+    num_nodes = args.nodes
+    if num_nodes is None:
+        num_nodes = len(populations) if populations is not None else 20
     maker = web_workload if args.kind == "web" else group_workload
     trace = maker(
-        num_nodes=args.nodes,
+        num_nodes=num_nodes,
         num_objects=args.objects,
         populations=populations,
         requests_scale=args.scale,
@@ -173,7 +199,7 @@ def _cmd_bounds(args) -> int:
     _topo, _trace, _demand, problem = _load_problem(args)
     cls = get_class(args.cls)
     result = compute_lower_bound(
-        problem, cls.properties, do_rounding=not args.no_rounding
+        problem, cls.properties, do_rounding=not args.no_rounding, diagnose=True
     )
     if args.json:
         print(
@@ -266,8 +292,23 @@ def _make_heuristic(args, trace):
 
 
 def _cmd_simulate(args) -> int:
+    from repro.faults import HealingPolicy, parse_faults
+    from repro.simulator.metrics import availability_report
+
     topology, trace, _demand, _problem = _load_problem(args)
     heuristic = _make_heuristic(args, trace)
+    if args.heal:
+        heuristic = HealingPolicy(heuristic, copies=args.heal_copies)
+    faults = None
+    if args.faults:
+        faults = parse_faults(
+            args.faults,
+            num_nodes=topology.num_nodes,
+            num_objects=trace.num_objects,
+            duration_s=trace.duration_s,
+            origin=topology.origin,
+            seed=args.fault_seed,
+        )
     interval_s = trace.duration_s / args.intervals
     result = simulate(
         topology,
@@ -278,23 +319,35 @@ def _cmd_simulate(args) -> int:
         cost_interval_s=interval_s,
         alpha=args.alpha,
         beta=args.beta,
+        faults=faults,
     )
     if args.json:
-        print(
-            json.dumps(
+        payload = {
+            "heuristic": result.heuristic,
+            "total_cost": result.total_cost,
+            "storage_cost": result.storage_cost,
+            "creation_cost": result.creation_cost,
+            "qos": result.qos,
+            "min_node_qos": result.min_node_qos,
+            "meets_goal": result.meets(args.qos),
+        }
+        if faults is not None:
+            payload.update(
                 {
-                    "heuristic": result.heuristic,
-                    "total_cost": result.total_cost,
-                    "storage_cost": result.storage_cost,
-                    "creation_cost": result.creation_cost,
-                    "qos": result.qos,
-                    "min_node_qos": result.min_node_qos,
-                    "meets_goal": result.meets(args.qos),
+                    "availability": result.availability,
+                    "unavailable_reads": result.unavailable_reads,
+                    "node_downtime_s": result.node_downtime_s,
+                    "repairs": result.repairs,
+                    "mean_repair_time_s": result.mean_repair_time_s,
+                    "healing_creations": result.healing_creations,
+                    "healing_cost": result.healing_cost,
                 }
             )
-        )
+        print(json.dumps(payload))
     else:
         print(str(result))
+        if faults is not None:
+            print(availability_report(result))
         verdict = "meets" if result.meets(args.qos) else "MISSES"
         print(f"-> {verdict} the {args.qos:.3%} per-user goal")
     return 0 if result.meets(args.qos) else 1

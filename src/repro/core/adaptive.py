@@ -57,7 +57,7 @@ def selection_timeline(
     window: int,
     step: Optional[int] = None,
     classes: Optional[Sequence[object]] = None,
-    backend: str = "scipy",
+    backend: str = "auto",
 ) -> List[TimelinePoint]:
     """Re-run the selection methodology over sliding demand windows.
 

@@ -77,9 +77,10 @@ def compute_lower_bound(
     properties: Optional[HeuristicProperties] = None,
     do_rounding: bool = True,
     run_length: bool = False,
-    backend: str = "scipy",
+    backend: str = "auto",
     keep_store: bool = False,
     formulation: Optional[Formulation] = None,
+    diagnose: bool = False,
 ) -> LowerBoundResult:
     """Lower bound (and rounded feasible cost) for one heuristic class.
 
@@ -96,11 +97,15 @@ def compute_lower_bound(
     run_length:
         Use run-length rounding (faster, slightly costlier solutions).
     backend:
-        LP backend (``"scipy"`` or ``"simplex"``).
+        LP backend (``"auto"``, ``"scipy"`` or ``"simplex"``).
     keep_store:
         Retain the fractional LP store matrix on the result.
     formulation:
         Reuse a pre-built formulation (must match problem/properties).
+    diagnose:
+        On LP infeasibility, run the constraint-family deletion filter
+        (:mod:`repro.lp.diagnose`) and name the binding families in
+        ``reason`` — a few extra solves, only on the failure path.
     """
     props = properties or HeuristicProperties()
     form = formulation or build_formulation(problem, props)
@@ -123,6 +128,12 @@ def compute_lower_bound(
 
     if solution.status is SolveStatus.INFEASIBLE:
         result.reason = "LP relaxation infeasible: the class cannot meet the goal"
+        if diagnose:
+            from repro.lp.diagnose import diagnose_infeasibility
+
+            diagnosis = diagnose_infeasibility(form.lp, backend=backend)
+            result.reason += f" ({diagnosis.render()})"
+            result.extras["diagnosis"] = diagnosis
         return result
     if solution.status is not SolveStatus.OPTIMAL:
         result.reason = f"LP solve failed: {solution.message}"

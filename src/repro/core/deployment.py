@@ -130,7 +130,7 @@ def plan_deployment(
     origin_free: bool = True,
     max_nodes: Optional[int] = None,
     do_rounding: bool = True,
-    backend: str = "scipy",
+    backend: str = "auto",
     warmup_intervals: int = 0,
 ) -> DeploymentPlan:
     """Run both phases of the §6.2 methodology.

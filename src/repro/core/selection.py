@@ -86,7 +86,7 @@ def select_heuristic(
     comparable_factor: float = 1.1,
     do_rounding: bool = True,
     run_length: bool = False,
-    backend: str = "scipy",
+    backend: str = "auto",
 ) -> SelectionReport:
     """Run the §6.1 methodology and return a :class:`SelectionReport`.
 

@@ -1,0 +1,133 @@
+"""Fault event types.
+
+Every event is a frozen dataclass stamped with the simulation time at which
+it strikes.  Events come in matched pairs — :class:`NodeCrash` /
+:class:`NodeRecover` and :class:`LinkDegrade` / :class:`LinkRestore` — plus
+the unpaired :class:`ReplicaLoss` (a single replica silently disappears,
+e.g. disk corruption, while the node stays up).
+
+Events at the same timestamp are ordered recoveries-first (``sort_rank``),
+so a zero-length outage is still a well-formed crash interval and a node
+that recovers and immediately re-crashes never looks doubly crashed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar, Tuple
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Something happens to the infrastructure at ``time_s``."""
+
+    time_s: float
+
+    #: Tie-break rank for events at the same timestamp (recoveries first).
+    sort_rank: ClassVar[int] = 0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time_s) or self.time_s < 0:
+            raise ValueError(f"event time must be finite and non-negative, got {self.time_s}")
+
+    def sort_key(self) -> Tuple:
+        return (self.time_s, self.sort_rank, self._ids())
+
+    def _ids(self) -> Tuple[int, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class NodeRecover(FaultEvent):
+    """A crashed node comes back — empty: its replicas were lost."""
+
+    node: int = 0
+    sort_rank: ClassVar[int] = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node < 0:
+            raise ValueError("node id must be non-negative")
+
+    def _ids(self) -> Tuple[int, ...]:
+        return (self.node,)
+
+
+@dataclass(frozen=True)
+class NodeCrash(FaultEvent):
+    """A node goes down; its replicas are dropped (storage charged so far)."""
+
+    node: int = 0
+    sort_rank: ClassVar[int] = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node < 0:
+            raise ValueError("node id must be non-negative")
+
+    def _ids(self) -> Tuple[int, ...]:
+        return (self.node,)
+
+
+@dataclass(frozen=True)
+class LinkRestore(FaultEvent):
+    """A degraded/partitioned link returns to its baseline latency."""
+
+    a: int = 0
+    b: int = 0
+    sort_rank: ClassVar[int] = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_link(self.a, self.b)
+
+    def _ids(self) -> Tuple[int, ...]:
+        return (min(self.a, self.b), max(self.a, self.b))
+
+
+@dataclass(frozen=True)
+class LinkDegrade(FaultEvent):
+    """A link's latency is multiplied by ``factor`` (``inf`` = partition)."""
+
+    a: int = 0
+    b: int = 0
+    factor: float = math.inf
+    sort_rank: ClassVar[int] = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_link(self.a, self.b)
+        if not self.factor >= 1.0:  # rejects NaN too
+            raise ValueError(f"degradation factor must be >= 1 (inf = partition), got {self.factor}")
+
+    @property
+    def is_partition(self) -> bool:
+        return math.isinf(self.factor)
+
+    def _ids(self) -> Tuple[int, ...]:
+        return (min(self.a, self.b), max(self.a, self.b))
+
+
+@dataclass(frozen=True)
+class ReplicaLoss(FaultEvent):
+    """One replica disappears (node stays up); a no-op if it is not held."""
+
+    node: int = 0
+    obj: int = 0
+    sort_rank: ClassVar[int] = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node < 0 or self.obj < 0:
+            raise ValueError("node and object ids must be non-negative")
+
+    def _ids(self) -> Tuple[int, ...]:
+        return (self.node, self.obj)
+
+
+def _check_link(a: int, b: int) -> None:
+    if a < 0 or b < 0:
+        raise ValueError("link endpoints must be non-negative")
+    if a == b:
+        raise ValueError("a link needs two distinct endpoints")

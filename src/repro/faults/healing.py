@@ -1,0 +1,209 @@
+"""Graceful-degradation wrapper: re-replicate what the faults destroy.
+
+:class:`HealingPolicy` wraps any :class:`~repro.heuristics.base.PlacementHeuristic`
+and reacts to the simulator's failure/recovery hooks (inspired by
+production replica-healing services, e.g. Rucio-style declared-copy-count
+enforcement):
+
+* when replicas are lost (node crash, silent replica loss) it re-creates
+  them on the closest *surviving* node until each affected object has
+  ``copies`` live replicas again, with capped retries and exponential
+  backoff on failed creations (e.g. the chosen target crashed too);
+* when a crashed node recovers, it optionally restores the contents the
+  node lost at the crash instant (``restore_on_recovery``), re-warming
+  local caches that would otherwise start cold.
+
+For a ``routing == "local"`` inner heuristic a replica on another node can
+never serve the wrapped cache's reads, so the crash-repair queue is skipped
+and only recovery restoration applies.
+
+Each healed replica is announced to the inner heuristic via its
+``on_replicate`` hook so private metadata (LRU orders, frequency sets)
+admits it incrementally — a full ``on_adopt`` resync here would rebuild
+cache orders from sorted contents and destroy recency information.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.faults.events import FaultEvent, NodeCrash, NodeRecover
+from repro.heuristics.base import PlacementHeuristic
+
+
+@dataclass
+class _Repair:
+    """One lost replica awaiting re-replication."""
+
+    obj: int
+    lost_node: int
+    lost_at_s: float
+    attempts: int = 0
+    next_attempt_s: float = 0.0
+
+
+class HealingPolicy(PlacementHeuristic):
+    """Wrap a heuristic with copy-count-restoring failure recovery.
+
+    Parameters
+    ----------
+    inner:
+        The placement heuristic doing the actual work.
+    copies:
+        Target number of live replicas per affected object (the origin's
+        permanent copy is not counted, matching the cost model).
+    max_retries:
+        Creation attempts per lost replica before giving up.
+    backoff_s:
+        Initial retry delay; doubles per failed attempt.
+    restore_on_recovery:
+        Re-create a recovered node's lost contents (re-warm its cache).
+    """
+
+    def __init__(
+        self,
+        inner: PlacementHeuristic,
+        copies: int = 2,
+        max_retries: int = 5,
+        backoff_s: float = 60.0,
+        restore_on_recovery: bool = True,
+    ):
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if backoff_s <= 0:
+            raise ValueError("backoff must be positive")
+        self.inner = inner
+        self.copies = copies
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.restore_on_recovery = restore_on_recovery
+        self._queue: List[_Repair] = []
+        self._lost_contents: dict = {}
+
+    # The engine reads these per request; always reflect the inner choice.
+    @property
+    def routing(self) -> str:  # type: ignore[override]
+        return self.inner.routing
+
+    @property
+    def period_s(self) -> Optional[float]:  # type: ignore[override]
+        return self.inner.period_s
+
+    @property
+    def clairvoyant(self) -> bool:  # type: ignore[override]
+        return self.inner.clairvoyant
+
+    def describe(self) -> str:
+        return f"Healing({self.inner.describe()}, copies={self.copies})"
+
+    # -- delegated lifecycle ----------------------------------------------
+
+    def on_start(self, ctx) -> None:
+        self._queue = []
+        self._lost_contents = {}
+        self.inner.on_start(ctx)
+
+    def on_adopt(self, ctx) -> None:
+        self._queue = []
+        self._lost_contents = {}
+        self.inner.on_adopt(ctx)
+
+    def on_interval(self, index, ctx, past_demand, next_demand) -> None:
+        self.inner.on_interval(index, ctx, past_demand, next_demand)
+
+    def on_access(self, request, served_ms, ctx) -> None:
+        self.inner.on_access(request, served_ms, ctx)
+        self._pump(ctx)
+
+    # -- failure handling --------------------------------------------------
+
+    def on_failure(self, event: FaultEvent, ctx, lost: Sequence[Tuple[int, int]] = ()) -> None:
+        self.inner.on_failure(event, ctx, lost)
+        if isinstance(event, NodeCrash):
+            self._lost_contents[event.node] = sorted(obj for _, obj in lost)
+        if self.inner.routing != "local":
+            for node, obj in lost:
+                self._queue.append(_Repair(obj, node, ctx.now_s, 0, ctx.now_s))
+        self._pump(ctx)
+
+    def on_recovery(self, event: FaultEvent, ctx) -> None:
+        self.inner.on_recovery(event, ctx)
+        if isinstance(event, NodeRecover) and self.restore_on_recovery:
+            for obj in self._lost_contents.pop(event.node, []):
+                if self.inner.routing != "local" and len(self._live_holders(ctx, obj)) >= self.copies:
+                    continue  # already healed elsewhere; don't over-replicate
+                if ctx.create_replica(event.node, obj):
+                    self._stats(ctx).healing_creations += 1
+                    self.inner.on_replicate(event.node, obj, ctx)
+        self._pump(ctx)
+
+    # -- the repair queue --------------------------------------------------
+
+    def _pump(self, ctx) -> None:
+        """Attempt every due repair; back off on failure, announce successes."""
+        if not self._queue:
+            return
+        now = ctx.now_s
+        stats = self._stats(ctx)
+        remaining: List[_Repair] = []
+        for task in self._queue:
+            if task.next_attempt_s > now:
+                remaining.append(task)
+                continue
+            if len(self._live_holders(ctx, task.obj)) >= self.copies:
+                continue  # copy count already restored by other activity
+            target = self._pick_target(ctx, task)
+            if target is not None and ctx.create_replica(target, task.obj):
+                stats.healing_creations += 1
+                stats.repairs += 1
+                stats.repair_time_s += now - task.lost_at_s
+                self.inner.on_replicate(target, task.obj, ctx)
+                continue
+            stats.failed_heal_attempts += 1
+            task.attempts += 1
+            if task.attempts > self.max_retries:
+                stats.abandoned_repairs += 1
+                continue
+            task.next_attempt_s = now + self.backoff_s * 2.0 ** (task.attempts - 1)
+            remaining.append(task)
+        self._queue = remaining
+
+    def _pick_target(self, ctx, task: _Repair) -> Optional[int]:
+        """Closest live non-origin node (to the node that lost the replica)
+        that does not already hold the object."""
+        fstate = getattr(ctx, "fault_state", None)
+        topo = ctx.topology
+        holders: Set[int] = ctx.state.holders(task.obj)
+        best = None
+        best_key = (math.inf, -1)
+        for node in range(ctx.num_nodes):
+            if node == topo.origin or node in holders:
+                continue
+            if fstate is not None and not fstate.is_alive(node):
+                continue
+            lat = (
+                fstate.lat(task.lost_node, node)
+                if fstate is not None
+                else float(topo.latency[task.lost_node][node])
+            )
+            if math.isinf(lat):
+                continue
+            key = (lat, node)
+            if key < best_key:
+                best, best_key = node, key
+        return best
+
+    def _live_holders(self, ctx, obj: int) -> Set[int]:
+        fstate = getattr(ctx, "fault_state", None)
+        holders = ctx.state.holders(obj)
+        if fstate is None:
+            return holders
+        return {n for n in holders if fstate.is_alive(n)}
+
+    @staticmethod
+    def _stats(ctx):
+        return ctx.availability

@@ -1,0 +1,103 @@
+"""Mutable fault state driven by the engine while a trace replays.
+
+:class:`FaultState` tracks which nodes are alive and what the *effective*
+latency matrix looks like under the currently-active link degradations; the
+simulator's routing (:meth:`repro.simulator.state.ReplicaState.best_latency`)
+reads it to mask dead nodes and degraded links out of serving decisions.
+
+:class:`AvailabilityStats` accumulates the availability metrics that end up
+on :class:`~repro.simulator.engine.SimulationResult` — unavailable reads,
+repair counts/latencies and the re-replication work done by a
+:class:`~repro.faults.healing.HealingPolicy`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.faults.events import (
+    FaultEvent,
+    LinkDegrade,
+    LinkRestore,
+    NodeCrash,
+    NodeRecover,
+)
+
+
+@dataclass
+class AvailabilityStats:
+    """Availability counters accumulated during a faulty run."""
+
+    #: Post-warmup reads that could not be served at all (requester down,
+    #: or partitioned from every replica and the origin).
+    unavailable_reads: int = 0
+    #: Lost replicas successfully re-replicated by a healing policy.
+    repairs: int = 0
+    #: Sum over repairs of (heal time - loss time).
+    repair_time_s: float = 0.0
+    #: Replica creations performed by healing (re-replication cost in beta units).
+    healing_creations: int = 0
+    #: Healing creation attempts that failed (dead/no target) and backed off.
+    failed_heal_attempts: int = 0
+    #: Repairs abandoned after exhausting retries.
+    abandoned_repairs: int = 0
+
+
+class FaultState:
+    """Liveness flags and effective latencies under the active faults.
+
+    The origin is assumed durable (schedules are validated against it) and
+    therefore always alive; links touching it may still degrade.
+    """
+
+    def __init__(self, topology):
+        self.topology = topology
+        self.alive = np.ones(topology.num_nodes, dtype=bool)
+        self._degradations: Dict[Tuple[int, int], float] = {}
+        self.effective_latency = topology.latency.astype(float).copy()
+        self._down_since: Dict[int, float] = {}
+        #: Total node-seconds of downtime accumulated so far.
+        self.node_downtime_s = 0.0
+
+    # -- queries -----------------------------------------------------------
+
+    def is_alive(self, node: int) -> bool:
+        return bool(self.alive[node])
+
+    def lat(self, a: int, b: int) -> float:
+        """Effective latency between two nodes; ``inf`` if either is down."""
+        if not (self.alive[a] and self.alive[b]):
+            return math.inf
+        return float(self.effective_latency[a][b])
+
+    # -- transitions -------------------------------------------------------
+
+    def apply(self, event: FaultEvent) -> None:
+        """Advance the liveness/link state by one event (replica accounting
+        is the engine's job)."""
+        if isinstance(event, NodeCrash):
+            self.alive[event.node] = False
+            self._down_since[event.node] = event.time_s
+        elif isinstance(event, NodeRecover):
+            self.alive[event.node] = True
+            self.node_downtime_s += event.time_s - self._down_since.pop(event.node)
+        elif isinstance(event, LinkDegrade):
+            self._degradations[event._ids()] = event.factor
+            self._rebuild_latency()
+        elif isinstance(event, LinkRestore):
+            self._degradations.pop(event._ids(), None)
+            self._rebuild_latency()
+        # ReplicaLoss does not change liveness.
+
+    def _rebuild_latency(self) -> None:
+        self.effective_latency = self.topology.degraded_latency(self._degradations)
+
+    def finalize(self, end_time_s: float) -> None:
+        """Close open downtime intervals at the end of the run."""
+        for node, since in list(self._down_since.items()):
+            self.node_downtime_s += end_time_s - since
+            self._down_since[node] = end_time_s  # idempotent finalize

@@ -1,0 +1,141 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultSchedule` is an immutable-after-validation, time-sorted list
+of :mod:`~repro.faults.events` that the simulator consumes in order.  The
+constructor enforces structural sanity (crash/recover alternation per node,
+restore-only-what-is-degraded per link); :meth:`FaultSchedule.validate_for`
+additionally checks a schedule against a concrete topology — ids in range
+and nothing targeting the origin, which the paper's model assumes durable.
+
+Schedules compose with ``+`` (or :meth:`merge`), so independent generators
+(:mod:`~repro.faults.generators`) can be layered::
+
+    faults = poisson_crashes(...) + flaky_link(2, 5, ...)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.faults.events import (
+    FaultEvent,
+    LinkDegrade,
+    LinkRestore,
+    NodeCrash,
+    NodeRecover,
+    ReplicaLoss,
+)
+
+
+@dataclass
+class FaultSchedule:
+    """A validated, time-ordered sequence of fault events."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for ev in self.events:
+            if not isinstance(ev, FaultEvent):
+                raise TypeError(f"not a FaultEvent: {ev!r}")
+        self.events = sorted(self.events, key=lambda e: e.sort_key())
+        self._check_structure()
+
+    # -- validation --------------------------------------------------------
+
+    def _check_structure(self) -> None:
+        down: Set[int] = set()
+        degraded: Set[Tuple[int, int]] = set()
+        for ev in self.events:
+            if isinstance(ev, NodeCrash):
+                if ev.node in down:
+                    raise ValueError(
+                        f"overlapping crash intervals for node {ev.node} "
+                        f"(second crash at t={ev.time_s}s before a recover)"
+                    )
+                down.add(ev.node)
+            elif isinstance(ev, NodeRecover):
+                if ev.node not in down:
+                    raise ValueError(
+                        f"recover of node {ev.node} at t={ev.time_s}s without a preceding crash"
+                    )
+                down.discard(ev.node)
+            elif isinstance(ev, LinkDegrade):
+                degraded.add(ev._ids())  # re-degrading an already-degraded link is allowed
+            elif isinstance(ev, LinkRestore):
+                if ev._ids() not in degraded:
+                    raise ValueError(
+                        f"restore of link {ev._ids()} at t={ev.time_s}s without a degradation"
+                    )
+                degraded.discard(ev._ids())
+
+    def validate_for(self, topology) -> "FaultSchedule":
+        """Check ids against a topology; the origin must stay untouched.
+
+        Returns ``self`` so callers can chain.  Link events may touch the
+        origin (a flaky WAN link to headquarters is physical); node crashes
+        and replica losses at the origin contradict the paper's durable-origin
+        model and are rejected.
+        """
+        n = topology.num_nodes
+        origin = topology.origin
+        for ev in self.events:
+            if isinstance(ev, (LinkDegrade, LinkRestore)):
+                for node in (ev.a, ev.b):
+                    if node >= n:
+                        raise ValueError(f"link endpoint {node} out of range for {n} nodes")
+            elif isinstance(ev, (NodeCrash, NodeRecover, ReplicaLoss)):
+                if ev.node >= n:
+                    raise ValueError(f"node {ev.node} out of range for {n} nodes")
+                if ev.node == origin:
+                    raise ValueError(
+                        f"fault schedule targets the origin node {origin}; "
+                        "the origin is assumed durable"
+                    )
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def crash_intervals(self) -> Dict[int, List[Tuple[float, float]]]:
+        """Per-node ``[(crash_s, recover_s), ...]``; open intervals end at +inf."""
+        out: Dict[int, List[Tuple[float, float]]] = {}
+        open_at: Dict[int, float] = {}
+        for ev in self.events:
+            if isinstance(ev, NodeCrash):
+                open_at[ev.node] = ev.time_s
+            elif isinstance(ev, NodeRecover):
+                out.setdefault(ev.node, []).append((open_at.pop(ev.node), ev.time_s))
+        for node, start in sorted(open_at.items()):
+            out.setdefault(node, []).append((start, float("inf")))
+        return out
+
+    # -- composition -------------------------------------------------------
+
+    def __add__(self, other: "FaultSchedule") -> "FaultSchedule":
+        if not isinstance(other, FaultSchedule):
+            return NotImplemented
+        return FaultSchedule(self.events + other.events)
+
+    @staticmethod
+    def merge(schedules: Iterable["FaultSchedule"]) -> "FaultSchedule":
+        events: List[FaultEvent] = []
+        for sched in schedules:
+            events.extend(sched.events)
+        return FaultSchedule(events)
+
+    def __repr__(self) -> str:
+        kinds: Dict[str, int] = {}
+        for ev in self.events:
+            kinds[type(ev).__name__] = kinds.get(type(ev).__name__, 0) + 1
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        return f"FaultSchedule({len(self.events)} events: {inner})"

@@ -1,0 +1,166 @@
+"""Compact fault-spec grammar for the command line.
+
+``repro simulate --faults SPEC`` accepts semicolon-separated clauses, each
+``kind:key=value,key=value``::
+
+    poisson:mtbf=21600,mttr=900
+    crash:node=3,at=1000,down=600
+    flaky:a=1,b=2,up=3600,down=300,factor=4
+    outage:nodes=4+5+6,at=40000,down=1800
+    loss:node=1,obj=5,at=100
+    lossrate:rate=2
+
+Clauses compose (their schedules are merged); randomized clauses draw from
+``--fault-seed`` so the same seed replays the identical fault trace.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.faults.events import LinkDegrade, LinkRestore, NodeCrash, NodeRecover, ReplicaLoss
+from repro.faults.generators import (
+    correlated_outage,
+    flaky_link,
+    poisson_crashes,
+    random_replica_loss,
+)
+from repro.faults.schedule import FaultSchedule
+
+
+def parse_faults(
+    spec: str,
+    *,
+    num_nodes: int,
+    num_objects: int,
+    duration_s: float,
+    origin: int = 0,
+    seed: int = 0,
+) -> FaultSchedule:
+    """Parse a ``--faults`` spec string into a composed schedule."""
+    schedules: List[FaultSchedule] = []
+    for raw in spec.split(";"):
+        clause = raw.strip()
+        if not clause:
+            continue
+        kind, _, body = clause.partition(":")
+        kind = kind.strip().lower()
+        params = _parse_params(body, clause)
+        try:
+            maker = _MAKERS[kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown fault clause {kind!r} (expected one of {sorted(_MAKERS)})"
+            ) from None
+        schedules.append(
+            maker(params, num_nodes=num_nodes, num_objects=num_objects,
+                  duration_s=duration_s, origin=origin, seed=seed)
+        )
+        if params:
+            raise ValueError(f"unknown keys {sorted(params)} in fault clause {clause!r}")
+    if not schedules:
+        raise ValueError(f"empty fault spec: {spec!r}")
+    return FaultSchedule.merge(schedules)
+
+
+def _parse_params(body: str, clause: str) -> Dict[str, str]:
+    params: Dict[str, str] = {}
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        if not sep or not key or not value:
+            raise ValueError(f"malformed key=value pair {item!r} in fault clause {clause!r}")
+        params[key.strip().lower()] = value.strip()
+    return params
+
+
+def _pop_float(params: Dict[str, str], key: str, default=None) -> float:
+    if key not in params:
+        if default is None:
+            raise ValueError(f"fault clause missing required key {key!r}")
+        return float(default)
+    value = params.pop(key)
+    if value.lower() in ("inf", "infinity"):
+        return math.inf
+    return float(value)
+
+
+def _pop_int(params: Dict[str, str], key: str, default=None) -> int:
+    return int(_pop_float(params, key, default))
+
+
+def _make_poisson(params, *, num_nodes, num_objects, duration_s, origin, seed):
+    mtbf = _pop_float(params, "mtbf")
+    mttr = _pop_float(params, "mttr")
+    return poisson_crashes(
+        num_nodes, duration_s, mtbf_s=mtbf, mttr_s=mttr, seed=seed, exclude=(origin,)
+    )
+
+
+def _make_crash(params, *, num_nodes, num_objects, duration_s, origin, seed):
+    node = _pop_int(params, "node")
+    at = _pop_float(params, "at")
+    down = _pop_float(params, "down", default=math.inf)
+    events = [NodeCrash(at, node)]
+    if math.isfinite(down):
+        events.append(NodeRecover(at + down, node))
+    return FaultSchedule(events)
+
+
+def _make_flaky(params, *, num_nodes, num_objects, duration_s, origin, seed):
+    a = _pop_int(params, "a")
+    b = _pop_int(params, "b")
+    up = _pop_float(params, "up")
+    down = _pop_float(params, "down")
+    factor = _pop_float(params, "factor", default=math.inf)
+    return flaky_link(a, b, duration_s, mean_up_s=up, mean_down_s=down, factor=factor, seed=seed)
+
+
+def _make_degrade(params, *, num_nodes, num_objects, duration_s, origin, seed):
+    a = _pop_int(params, "a")
+    b = _pop_int(params, "b")
+    at = _pop_float(params, "at")
+    down = _pop_float(params, "down", default=math.inf)
+    factor = _pop_float(params, "factor", default=math.inf)
+    events = [LinkDegrade(at, a, b, factor)]
+    if math.isfinite(down):
+        events.append(LinkRestore(at + down, a, b))
+    return FaultSchedule(events)
+
+
+def _make_outage(params, *, num_nodes, num_objects, duration_s, origin, seed):
+    raw_nodes = params.pop("nodes", None)
+    if raw_nodes is None:
+        raise ValueError("fault clause missing required key 'nodes'")
+    nodes = [int(n) for n in raw_nodes.split("+")]
+    at = _pop_float(params, "at")
+    down = _pop_float(params, "down")
+    return correlated_outage(nodes, start_s=at, outage_s=down)
+
+
+def _make_loss(params, *, num_nodes, num_objects, duration_s, origin, seed):
+    node = _pop_int(params, "node")
+    obj = _pop_int(params, "obj")
+    at = _pop_float(params, "at")
+    return FaultSchedule([ReplicaLoss(at, node, obj)])
+
+
+def _make_lossrate(params, *, num_nodes, num_objects, duration_s, origin, seed):
+    rate = _pop_float(params, "rate")
+    return random_replica_loss(
+        num_nodes, num_objects, duration_s, rate_per_hour=rate, seed=seed, exclude=(origin,)
+    )
+
+
+_MAKERS = {
+    "poisson": _make_poisson,
+    "crash": _make_crash,
+    "flaky": _make_flaky,
+    "degrade": _make_degrade,
+    "outage": _make_outage,
+    "loss": _make_loss,
+    "lossrate": _make_lossrate,
+}

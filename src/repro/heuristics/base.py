@@ -17,11 +17,12 @@ within the latency threshold.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.events import FaultEvent
     from repro.simulator.engine import SimulationContext
     from repro.workload.trace import Request
 
@@ -78,6 +79,39 @@ class PlacementHeuristic(abc.ABC):
 
         ``served_ms`` is the latency the request experienced under this
         heuristic's routing scope.
+        """
+
+    def on_failure(
+        self,
+        event: "FaultEvent",
+        ctx: "SimulationContext",
+        lost: Sequence[Tuple[int, int]] = (),
+    ) -> None:
+        """Called after a fault event was applied to the replica state.
+
+        ``lost`` lists the ``(node, obj)`` replicas the event destroyed
+        (already removed from the state — storage was charged up to the
+        fault instant).  The default is a no-op; heuristics that keep
+        private placement metadata should purge the lost entries here, and
+        graceful-degradation wrappers (:class:`repro.faults.healing.HealingPolicy`)
+        re-replicate them.
+        """
+
+    def on_recovery(self, event: "FaultEvent", ctx: "SimulationContext") -> None:
+        """Called after a recovery event (node back up, link restored).
+
+        The recovered node comes back *empty*; the default is a no-op.
+        """
+
+    def on_replicate(self, node: int, obj: int, ctx: "SimulationContext") -> None:
+        """Called when an external actor creates a replica at ``node``.
+
+        Healing policies re-replicate lost objects outside the heuristic's
+        own decisions; caches should admit the new replica into their
+        metadata here (evicting within capacity) so it is neither leaked
+        nor double-fetched.  Centralized periodic heuristics can ignore it
+        — they reconcile placements wholesale at the next boundary.  The
+        default is a no-op.
         """
 
     def describe(self) -> str:

@@ -46,6 +46,24 @@ class LRUCaching(PlacementHeuristic):
                 else:
                     ctx.drop_replica(node, obj)
 
+    def on_failure(self, event, ctx, lost=()) -> None:
+        """Forget lost replicas so they are re-fetched, not phantom-hit."""
+        for node, obj in lost:
+            self._lru[node].pop(obj, None)
+
+    def on_replicate(self, node, obj, ctx) -> None:
+        """Admit an externally-created (healed) replica as most-recent."""
+        if self.capacity == 0 or node == ctx.topology.origin:
+            return
+        cache = self._lru[node]
+        if obj in cache:
+            cache.move_to_end(obj)
+            return
+        if len(cache) >= self.capacity:
+            victim, _ = cache.popitem(last=False)
+            ctx.drop_replica(node, victim)
+        cache[obj] = True
+
     def on_access(self, request, served_ms, ctx) -> None:
         if self.capacity == 0:
             return
@@ -84,6 +102,49 @@ class LFUCaching(PlacementHeuristic):
     def on_start(self, ctx) -> None:
         self._counts = [dict() for _ in range(ctx.num_nodes)]
         self._cached = [set() for _ in range(ctx.num_nodes)]
+
+    def on_adopt(self, ctx) -> None:
+        """Adopt pre-existing replicas, keeping any accumulated counts.
+
+        The warmest objects (by surviving frequency counts) are kept up to
+        capacity; overflow is evicted so no replica sits untracked.
+        """
+        counts = self._counts
+        self.on_start(ctx)
+        if counts:
+            self._counts = counts
+        for node in range(ctx.num_nodes):
+            if node == ctx.topology.origin:
+                continue
+            node_counts = self._counts[node]
+            held = sorted(
+                ctx.state.contents(node),
+                key=lambda k: (-node_counts.get(k, 0), k),
+            )
+            for obj in held:
+                if self.capacity and len(self._cached[node]) < self.capacity:
+                    self._cached[node].add(obj)
+                else:
+                    ctx.drop_replica(node, obj)
+
+    def on_failure(self, event, ctx, lost=()) -> None:
+        """Forget lost replicas (frequency counts survive — perfect LFU)."""
+        for node, obj in lost:
+            self._cached[node].discard(obj)
+
+    def on_replicate(self, node, obj, ctx) -> None:
+        """Admit an externally-created (healed) replica, evicting the coldest."""
+        if self.capacity == 0 or node == ctx.topology.origin:
+            return
+        cached = self._cached[node]
+        if obj in cached:
+            return
+        if len(cached) >= self.capacity:
+            counts = self._counts[node]
+            victim = min(cached, key=lambda k: (counts.get(k, 0), k))
+            cached.discard(victim)
+            ctx.drop_replica(node, victim)
+        cached.add(obj)
 
     def on_access(self, request, served_ms, ctx) -> None:
         node, obj = request.node, request.obj

@@ -51,6 +51,24 @@ class CooperativeLRUCaching(PlacementHeuristic):
                 else:
                     ctx.drop_replica(node, obj)
 
+    def on_failure(self, event, ctx, lost=()) -> None:
+        """Forget lost replicas so cooperative lookups stop assuming them."""
+        for node, obj in lost:
+            self._lru[node].pop(obj, None)
+
+    def on_replicate(self, node, obj, ctx) -> None:
+        """Admit an externally-created (healed) replica as most-recent."""
+        if self.capacity == 0 or node == ctx.topology.origin:
+            return
+        cache = self._lru[node]
+        if obj in cache:
+            cache.move_to_end(obj)
+            return
+        if len(cache) >= self.capacity:
+            victim, _ = cache.popitem(last=False)
+            ctx.drop_replica(node, victim)
+        cache[obj] = True
+
     def on_access(self, request, served_ms, ctx) -> None:
         if self.capacity == 0:
             return

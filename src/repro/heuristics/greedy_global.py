@@ -59,6 +59,7 @@ class GreedyGlobalPlacement(PlacementHeuristic):
         self.clairvoyant = clairvoyant
         self.history_window = history_window
         self._history: List[np.ndarray] = []
+        self._last_demand: Optional[np.ndarray] = None
 
     def describe(self) -> str:
         kind = "proactive" if self.clairvoyant else "reactive"
@@ -71,6 +72,19 @@ class GreedyGlobalPlacement(PlacementHeuristic):
         self._reach = (ctx.topology.latency <= self.tlat_ms).astype(bool)
         self._origin = ctx.topology.origin
         self._history = []
+        self._last_demand = None
+
+    def on_adopt(self, ctx) -> None:
+        """Take over mid-run keeping the accumulated demand history.
+
+        Pre-existing replicas (placed by a predecessor or a healing policy)
+        are reconciled at the next period boundary's re-placement.
+        """
+        history = self._history
+        last = self._last_demand
+        self.on_start(ctx)
+        self._history = history
+        self._last_demand = last
 
     def _windowed_demand(self, past_demand: np.ndarray) -> np.ndarray:
         """Demand summed over the configured history window."""
@@ -139,6 +153,17 @@ class GreedyGlobalPlacement(PlacementHeuristic):
             demand = next_demand
         else:
             demand = self._windowed_demand(past_demand)
+        self._last_demand = demand
+        self._apply_plan(ctx, demand)
+
+    def on_recovery(self, event, ctx) -> None:
+        """Refill a recovered node immediately instead of waiting a period."""
+        from repro.faults.events import NodeRecover
+
+        if isinstance(event, NodeRecover) and self._last_demand is not None:
+            self._apply_plan(ctx, self._last_demand)
+
+    def _apply_plan(self, ctx, demand: np.ndarray) -> None:
         placements = self.plan(demand, ctx.num_nodes)
         for ns in range(ctx.num_nodes):
             if ns == self._origin:

@@ -75,6 +75,15 @@ class QiuGreedyPlacement(PlacementHeuristic):
         self._origin = ctx.topology.origin
         self._history = []
 
+    def on_adopt(self, ctx) -> None:
+        """Take over mid-run keeping the accumulated demand history.
+
+        Pre-existing replicas are reconciled at the next re-placement.
+        """
+        history = self._history
+        self.on_start(ctx)
+        self._history = history
+
     def _windowed_demand(self, past_demand: np.ndarray) -> np.ndarray:
         """Demand summed over the configured history window."""
         self._history.append(past_demand)

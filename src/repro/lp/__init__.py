@@ -14,9 +14,13 @@ A small, self-contained LP modeling layer used by the MC-PERF formulation in
   simplex used for differential testing and for environments without scipy.
 * :func:`~repro.lp.validate.check_solution` — an independent feasibility
   checker used by tests and by the rounding algorithm.
+* :func:`~repro.lp.diagnose.diagnose_infeasibility` — constraint-family
+  deletion filter that names what an infeasibility runs through.
 
 The paper used CPLEX; any exact LP solver produces the same optimum, so the
 choice of backend does not affect the reproduced results (see DESIGN.md).
+``LinearProgram.solve`` defaults to backend ``"auto"``: scipy/HiGHS when
+available, the pure-Python simplex (with a warning) otherwise.
 """
 
 from repro.lp.expr import LinExpr
@@ -26,6 +30,7 @@ from repro.lp.scipy_backend import solve_with_scipy
 from repro.lp.simplex import SimplexError, solve_with_simplex
 from repro.lp.branch_bound import IPResult, solve_integer
 from repro.lp.validate import ValidationReport, check_solution
+from repro.lp.diagnose import InfeasibilityDiagnosis, diagnose_infeasibility
 
 __all__ = [
     "LinExpr",
@@ -42,4 +47,6 @@ __all__ = [
     "ValidationReport",
     "IPResult",
     "solve_integer",
+    "InfeasibilityDiagnosis",
+    "diagnose_infeasibility",
 ]

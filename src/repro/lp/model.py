@@ -247,8 +247,31 @@ class LinearProgram:
 
     # -- solving -----------------------------------------------------------
 
-    def solve(self, backend: str = "scipy", **kwargs) -> LPSolution:
-        """Solve the LP with the chosen backend (``"scipy"`` or ``"simplex"``)."""
+    def solve(self, backend: str = "auto", **kwargs) -> LPSolution:
+        """Solve the LP with the chosen backend.
+
+        ``"scipy"`` uses scipy/HiGHS, ``"simplex"`` the pure-Python
+        fallback.  ``"auto"`` (default) tries scipy and falls back to the
+        simplex — with a warning — when scipy is missing or its solve
+        raises, so bounds still compute on scipy-less installs.
+        """
+        if backend == "auto":
+            try:
+                from repro.lp.scipy_backend import solve_with_scipy
+
+                return solve_with_scipy(self, **kwargs)
+            except Exception as exc:  # ImportError or a solver crash
+                import warnings
+
+                from repro.lp.simplex import solve_with_simplex
+
+                warnings.warn(
+                    f"scipy LP backend unavailable ({exc!r}); falling back to "
+                    "the pure-Python simplex (slow for large models)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return solve_with_simplex(self)
         if backend == "scipy":
             from repro.lp.scipy_backend import solve_with_scipy
 

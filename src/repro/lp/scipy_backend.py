@@ -9,7 +9,6 @@ DESIGN.md.
 from __future__ import annotations
 
 import numpy as np
-from scipy.optimize import linprog
 
 from repro.lp.solution import LPSolution, SolveStatus
 
@@ -34,6 +33,10 @@ def solve_with_scipy(model, method: str = "highs", **options) -> LPSolution:
     options:
         Extra options forwarded to ``linprog`` (e.g. ``presolve=False``).
     """
+    # Imported here (not at module top) so ``import repro.lp`` works on
+    # scipy-less installs and the "auto" backend can catch the failure.
+    from scipy.optimize import linprog
+
     c, a_ub, b_ub, a_eq, b_eq, bounds = model.to_arrays()
     if len(c) == 0:
         return LPSolution(

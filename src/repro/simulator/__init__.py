@@ -10,7 +10,7 @@ achieved QoS against a latency threshold.
 
 from repro.simulator.state import ReplicaState
 from repro.simulator.engine import SimulationResult, Simulator, simulate
-from repro.simulator.metrics import heuristic_cost
+from repro.simulator.metrics import availability_report, heuristic_cost
 from repro.simulator.sizing import (
     SizingResult,
     min_capacity_for_goal,
@@ -23,6 +23,7 @@ __all__ = [
     "SimulationResult",
     "simulate",
     "heuristic_cost",
+    "availability_report",
     "SizingResult",
     "min_capacity_for_goal",
     "min_replicas_for_goal",

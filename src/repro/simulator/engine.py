@@ -13,12 +13,20 @@ Replays a request trace in time order against a placement heuristic:
 Costs accrue in :class:`~repro.simulator.state.ReplicaState` with the same
 units as the MC-PERF objective, so simulated costs are directly comparable
 to the computed lower bounds (Figure 2 of the paper).
+
+With a :class:`~repro.faults.schedule.FaultSchedule` the engine additionally
+fires fault events in time order between requests: crashed nodes drop their
+replicas (storage charged up to the crash instant) and are masked out of
+routing, degraded links inflate the effective latency, and the
+``on_failure`` / ``on_recovery`` heuristic hooks let placement react.  Reads
+with no live path are counted as *unavailable* rather than slow.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,10 +47,28 @@ class SimulationResult:
     creations: int
     reads: int
     covered_reads: int
+    #: Covered-read fraction per node, over the nodes that issued at least
+    #: one served post-warmup read.  Nodes with zero such reads (e.g. down
+    #: for the whole run) are *excluded*, not reported as a perfect 1.0.
     qos_per_node: Dict[int, float] = field(default_factory=dict)
     peak_occupancy: Optional[np.ndarray] = None
     max_replicas_per_object: Optional[np.ndarray] = None
     mean_latency_ms: float = 0.0
+    # -- availability under fault injection (all zero on fault-free runs) --
+    #: Post-warmup reads with no live path to any replica or the origin
+    #: (requester crashed, or partitioned from everything).  Excluded from
+    #: ``reads`` — QoS is judged on the reads the system could serve.
+    unavailable_reads: int = 0
+    #: Lost replicas re-replicated by a healing policy.
+    repairs: int = 0
+    #: Mean loss-to-heal latency over those repairs.
+    mean_repair_time_s: float = 0.0
+    #: Replica creations performed by healing (included in creation_cost).
+    healing_creations: int = 0
+    #: Re-replication cost in cost units (healing_creations * beta).
+    healing_cost: float = 0.0
+    #: Total node-seconds spent down across the run.
+    node_downtime_s: float = 0.0
 
     @property
     def total_cost(self) -> float:
@@ -50,12 +76,22 @@ class SimulationResult:
 
     @property
     def qos(self) -> float:
-        """Overall covered-read fraction."""
+        """Covered fraction of the reads the system could serve."""
         return self.covered_reads / self.reads if self.reads else 1.0
 
     @property
+    def availability(self) -> float:
+        """Fraction of issued post-warmup reads that found a live path."""
+        issued = self.reads + self.unavailable_reads
+        return self.reads / issued if issued else 1.0
+
+    @property
     def min_node_qos(self) -> float:
-        """Worst per-node QoS — what a per-user goal is judged on."""
+        """Worst per-node QoS — what a per-user goal is judged on.
+
+        Nodes that issued zero served reads are excluded (a node that was
+        down the whole run must not count as a perfectly-served user).
+        """
         return min(self.qos_per_node.values()) if self.qos_per_node else 1.0
 
     def meets(self, fraction: float, per_user: bool = True) -> bool:
@@ -63,11 +99,19 @@ class SimulationResult:
         return level >= fraction - 1e-12
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.heuristic}: cost={self.total_cost:.1f} "
             f"(storage={self.storage_cost:.1f}, creation={self.creation_cost:.1f}), "
             f"QoS={self.qos:.5f} (worst node {self.min_node_qos:.5f})"
         )
+        if self.unavailable_reads or self.node_downtime_s or self.repairs:
+            text += (
+                f", availability={self.availability:.5f} "
+                f"({self.unavailable_reads} unavailable reads, "
+                f"{self.repairs} repairs, "
+                f"MTTR={self.mean_repair_time_s:.0f}s)"
+            )
+        return text
 
 
 class SimulationContext:
@@ -80,6 +124,8 @@ class SimulationContext:
         state: ReplicaState,
         tlat_ms: float,
         assignment: Optional[np.ndarray] = None,
+        fault_state=None,
+        availability=None,
     ):
         self.topology = topology
         self.trace = trace
@@ -87,6 +133,14 @@ class SimulationContext:
         self.tlat_ms = tlat_ms
         self.assignment = assignment
         self.now_s = 0.0
+        #: Liveness under fault injection (None on fault-free runs).
+        self.fault_state = fault_state
+        #: Availability counters (always present; healing policies write here).
+        self.availability = availability
+
+    def is_alive(self, node: int) -> bool:
+        """Whether ``node`` is up (always True without fault injection)."""
+        return self.fault_state is None or self.fault_state.is_alive(node)
 
     @property
     def num_nodes(self) -> int:
@@ -129,6 +183,10 @@ class Simulator:
         Optional per-site access node (deployment scenario §6.2): a request
         from site s is served through ``assignment[s]``; latency is the
         user-to-assigned-node leg plus the serving leg.
+    faults:
+        Optional :class:`~repro.faults.schedule.FaultSchedule` consumed in
+        time order alongside the trace.  An empty (or absent) schedule takes
+        the exact fault-free code path.
     """
 
     def __init__(
@@ -143,6 +201,7 @@ class Simulator:
         cost_interval_s: float = 3600.0,
         warmup_s: float = 0.0,
         assignment: Optional[np.ndarray] = None,
+        faults=None,
     ):
         if trace.num_nodes > topology.num_nodes:
             raise ValueError("trace references more nodes than the topology has")
@@ -160,7 +219,25 @@ class Simulator:
             delta=delta,
             interval_s=cost_interval_s,
         )
-        self.ctx = SimulationContext(topology, trace, self.state, tlat_ms, assignment)
+        from repro.faults.runtime import AvailabilityStats, FaultState
+
+        self.fault_events = []
+        self.fault_state = None
+        if faults is not None and len(faults) > 0:
+            faults.validate_for(topology)
+            self.fault_events = list(faults)
+            self.fault_state = FaultState(topology)
+            self.state.faults = self.fault_state
+        self.stats = AvailabilityStats()
+        self.ctx = SimulationContext(
+            topology,
+            trace,
+            self.state,
+            tlat_ms,
+            assignment,
+            fault_state=self.fault_state,
+            availability=self.stats,
+        )
 
     # -- serving --------------------------------------------------------------
 
@@ -170,8 +247,40 @@ class Simulator:
         if self.assignment is None:
             return self.state.best_latency(node, obj, scope)
         access = int(self.assignment[node])
-        leg = float(self.topology.latency[node][access])
+        if self.fault_state is not None:
+            leg = self.fault_state.lat(node, access)  # inf if the access node is down
+        else:
+            leg = float(self.topology.latency[node][access])
         return leg + self.state.best_latency(access, obj, scope)
+
+    # -- fault handling -----------------------------------------------------------
+
+    def _apply_fault(self, event) -> None:
+        """Apply one fault event: liveness, replica accounting, hooks."""
+        from repro.faults.events import (
+            LinkDegrade,
+            LinkRestore,
+            NodeCrash,
+            NodeRecover,
+            ReplicaLoss,
+        )
+
+        self.ctx.now_s = event.time_s
+        self.fault_state.apply(event)
+        if isinstance(event, NodeCrash):
+            lost = self.state.lose_all(event.node, event.time_s)
+            self.heuristic.on_failure(event, self.ctx, lost)
+        elif isinstance(event, ReplicaLoss):
+            lost: List[Tuple[int, int]] = []
+            if self.state.drop(event.node, event.obj, event.time_s):
+                lost = [(event.node, event.obj)]
+            self.heuristic.on_failure(event, self.ctx, lost)
+        elif isinstance(event, LinkDegrade):
+            self.heuristic.on_failure(event, self.ctx, [])
+        elif isinstance(event, (NodeRecover, LinkRestore)):
+            self.heuristic.on_recovery(event, self.ctx)
+        else:  # pragma: no cover - future event kinds
+            raise TypeError(f"unknown fault event: {event!r}")
 
     # -- driving -----------------------------------------------------------------
 
@@ -197,9 +306,23 @@ class Simulator:
         per_node_covered: Dict[int, int] = {}
         next_boundary = 0.0
         period_index = 0
+        fstate = self.fault_state
+        fevents = self.fault_events
+        stats = self.stats
+        fi = 0
 
         for req in trace.requests:
-            while period is not None and req.time_s >= next_boundary:
+            # Fire fault events and period boundaries in time order (faults
+            # first on ties, so placement decisions see the post-fault world).
+            while True:
+                fault_t = fevents[fi].time_s if fi < len(fevents) else math.inf
+                boundary_t = next_boundary if period is not None else math.inf
+                if fault_t > req.time_s and boundary_t > req.time_s:
+                    break
+                if fault_t <= boundary_t:
+                    self._apply_fault(fevents[fi])
+                    fi += 1
+                    continue
                 past = (
                     demands[period_index - 1]
                     if period_index > 0
@@ -216,8 +339,19 @@ class Simulator:
                 next_boundary += period
 
             self.ctx.now_s = req.time_s
+            if fstate is not None and not fstate.is_alive(req.node):
+                # The requesting site is down: its users see the outage, not
+                # a slow read.  The request is never issued to the system.
+                if not req.is_write and req.time_s >= self.warmup_s:
+                    stats.unavailable_reads += 1
+                continue
             if not req.is_write:
                 latency = self._served_latency(req.node, req.obj)
+                if math.isinf(latency):
+                    # Alive but partitioned from every replica and the origin.
+                    if req.time_s >= self.warmup_s:
+                        stats.unavailable_reads += 1
+                    continue  # nothing was fetched; the heuristic sees nothing
                 if req.time_s >= self.warmup_s:
                     reads += 1
                     lat_sum += latency
@@ -230,7 +364,15 @@ class Simulator:
                 self.state.record_write(req.obj)
             heuristic.on_access(req, latency, self.ctx)
 
+        # Trailing fault events (after the last request) still count for
+        # downtime and storage accounting.
+        while fi < len(fevents) and fevents[fi].time_s <= trace.duration_s:
+            self._apply_fault(fevents[fi])
+            fi += 1
+
         self.ctx.now_s = trace.duration_s
+        if fstate is not None:
+            fstate.finalize(trace.duration_s)
         self.state.finalize(trace.duration_s)
 
         qos_per_node = {
@@ -248,6 +390,14 @@ class Simulator:
             peak_occupancy=self.state.peak_occupancy.copy(),
             max_replicas_per_object=self.state.max_replicas_per_object.copy(),
             mean_latency_ms=lat_sum / reads if reads else 0.0,
+            unavailable_reads=stats.unavailable_reads,
+            repairs=stats.repairs,
+            mean_repair_time_s=(
+                stats.repair_time_s / stats.repairs if stats.repairs else 0.0
+            ),
+            healing_creations=stats.healing_creations,
+            healing_cost=stats.healing_creations * self.state.beta,
+            node_downtime_s=fstate.node_downtime_s if fstate is not None else 0.0,
         )
 
 

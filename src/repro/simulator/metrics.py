@@ -69,3 +69,22 @@ def heuristic_cost(
         storage = alpha * num_intervals * num_objects * replicas
         return ComparableCost(storage, result.creation_cost, mode)
     raise ValueError(f"unknown accounting mode: {mode!r}")
+
+
+def availability_report(result: SimulationResult) -> str:
+    """Human-readable availability block for a (possibly faulty) run.
+
+    Pairs with ``str(result)`` in CLI/benchmark output; all-zero rows render
+    too, so fault-free and faulty runs stay visually comparable.
+    """
+    lines = [
+        f"availability      {result.availability:.5f} "
+        f"({result.unavailable_reads} unavailable of "
+        f"{result.reads + result.unavailable_reads} issued reads)",
+        f"node downtime     {result.node_downtime_s:.0f}s",
+        f"repairs           {result.repairs} "
+        f"(mean time-to-repair {result.mean_repair_time_s:.0f}s)",
+        f"re-replication    {result.healing_creations} creations "
+        f"(cost {result.healing_cost:.1f})",
+    ]
+    return "\n".join(lines)

@@ -62,6 +62,9 @@ class ReplicaState:
         self.peak_occupancy = np.zeros(topology.num_nodes, dtype=np.int64)
         self.max_replicas_per_object = np.zeros(num_objects, dtype=np.int64)
         self._replica_counts = np.zeros(num_objects, dtype=np.int64)
+        #: Liveness/link state under fault injection; None = fault-free run
+        #: (the masking branches below are then skipped entirely).
+        self.faults = None
 
     # -- queries ---------------------------------------------------------------
 
@@ -84,10 +87,16 @@ class ReplicaState:
     # -- mutation -----------------------------------------------------------------
 
     def create(self, node: int, obj: int, time_s: float) -> bool:
-        """Place a replica; returns False (no-op) if already held or at origin."""
+        """Place a replica; returns False (no-op) if already held or at origin.
+
+        Under fault injection a creation on a crashed node also fails (and
+        charges nothing) — healing policies retry with backoff.
+        """
         if node == self.topology.origin:
             return False
         if obj in self._held[node]:
+            return False
+        if self.faults is not None and not self.faults.is_alive(node):
             return False
         if not 0 <= obj < self.num_objects:
             raise IndexError(f"object {obj} out of range")
@@ -127,6 +136,14 @@ class ReplicaState:
         self.drops += 1
         return True
 
+    def lose_all(self, node: int, time_s: float) -> List[Tuple[int, int]]:
+        """Drop every replica held by a crashed node, charging its storage up
+        to the crash instant.  Returns the ``(node, obj)`` pairs lost."""
+        lost = [(node, obj) for obj in sorted(self._held[node])]
+        for _, obj in lost:
+            self.drop(node, obj, time_s)
+        return lost
+
     def finalize(self, end_time_s: float) -> None:
         """Accrue storage cost for replicas still held at the end of the run."""
         for (node, obj), start in list(self._since.items()):
@@ -145,7 +162,14 @@ class ReplicaState:
         ``scope="local"`` restricts serving to the node itself plus the
         origin (plain caching); ``"global"`` allows any holder (cooperative
         caching, centralized placement).
+
+        Under fault injection, dead nodes and degraded links are masked out:
+        a request from a crashed node, or one partitioned from every replica
+        and the origin, gets ``inf`` (an unavailable read).  Requests are
+        otherwise served by the closest *surviving* replica or the origin.
         """
+        if self.faults is not None:
+            return self._best_latency_faulty(node, obj, scope, holders)
         lat = self.topology.latency
         best = float(lat[node][self.topology.origin])
         if scope == "local":
@@ -157,6 +181,27 @@ class ReplicaState:
         candidates = holders if holders is not None else self.holders(obj)
         for m in candidates:
             best = min(best, float(lat[node][m]))
+        if self.holds(node, obj):
+            best = 0.0
+        return best
+
+    def _best_latency_faulty(
+        self, node: int, obj: int, scope: str, holders: Optional[Set[int]]
+    ) -> float:
+        """The liveness-masked variant of :meth:`best_latency`."""
+        faults = self.faults
+        if not faults.is_alive(node):
+            return float("inf")
+        best = faults.lat(node, self.topology.origin)
+        if scope == "local":
+            if self.holds(node, obj):
+                best = 0.0
+            return best
+        if scope != "global":
+            raise ValueError(f"unknown routing scope: {scope!r}")
+        candidates = holders if holders is not None else self.holders(obj)
+        for m in candidates:
+            best = min(best, faults.lat(node, m))
         if self.holds(node, obj):
             best = 0.0
         return best

@@ -98,6 +98,33 @@ class Topology:
         best = min(candidates, key=lambda m: (self.latency[node][m], m))
         return int(best)
 
+    # -- liveness / degradation masks ----------------------------------------
+
+    def degraded_latency(self, degradations: dict) -> np.ndarray:
+        """Latency matrix under symmetric per-link degradations.
+
+        ``degradations`` maps ``(a, b)`` pairs (any order) to multiplicative
+        factors; ``inf`` partitions the link.  Used by the fault-injection
+        runtime to mask misbehaving links out of routing decisions.
+        """
+        out = self.latency.astype(float).copy()
+        for (a, b), factor in degradations.items():
+            if not 0 <= a < self.num_nodes or not 0 <= b < self.num_nodes:
+                raise IndexError(f"link ({a}, {b}) out of range")
+            if not factor >= 1.0:
+                raise ValueError(f"degradation factor must be >= 1, got {factor}")
+            # inf * 0 would be NaN for co-located sites; partition explicitly.
+            out[a][b] = np.inf if np.isinf(factor) else out[a][b] * factor
+            out[b][a] = out[a][b]
+        return out
+
+    def liveness_mask(self, alive: Sequence[bool]) -> np.ndarray:
+        """Boolean ``(n, n)`` matrix: True where both endpoints are alive."""
+        alive = np.asarray(alive, dtype=bool)
+        if alive.shape != (self.num_nodes,):
+            raise ValueError("alive must have one entry per node")
+        return np.outer(alive, alive)
+
     # -- derived topologies --------------------------------------------------
 
     def restrict(self, keep: Sequence[int]) -> "Topology":

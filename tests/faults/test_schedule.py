@@ -1,0 +1,196 @@
+"""Fault event, schedule and generator validation tests."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    FaultSchedule,
+    LinkDegrade,
+    LinkRestore,
+    NodeCrash,
+    NodeRecover,
+    ReplicaLoss,
+    correlated_outage,
+    flaky_link,
+    parse_faults,
+    poisson_crashes,
+    random_replica_loss,
+)
+from repro.topology.generators import star_topology
+
+
+# -- events ----------------------------------------------------------------
+
+
+def test_event_rejects_negative_or_non_finite_time():
+    with pytest.raises(ValueError):
+        NodeCrash(-1.0, 1)
+    with pytest.raises(ValueError):
+        NodeCrash(math.inf, 1)
+    with pytest.raises(ValueError):
+        NodeCrash(math.nan, 1)
+
+
+def test_link_events_reject_self_loops_and_bad_factors():
+    with pytest.raises(ValueError):
+        LinkDegrade(0.0, 2, 2)
+    with pytest.raises(ValueError):
+        LinkDegrade(0.0, 1, 2, factor=0.5)
+    with pytest.raises(ValueError):
+        LinkDegrade(0.0, 1, 2, factor=math.nan)
+    assert LinkDegrade(0.0, 1, 2).is_partition
+    assert not LinkDegrade(0.0, 1, 2, factor=3.0).is_partition
+
+
+def test_same_time_ties_order_recoveries_before_failures():
+    sched = FaultSchedule(
+        [NodeCrash(100.0, 2), NodeRecover(100.0, 1), NodeCrash(50.0, 1)]
+    )
+    kinds = [type(ev).__name__ for ev in sched]
+    assert kinds == ["NodeCrash", "NodeRecover", "NodeCrash"]
+    assert [ev.node for ev in sched] == [1, 1, 2]
+
+
+# -- schedule structure ----------------------------------------------------
+
+
+def test_overlapping_crash_intervals_rejected():
+    with pytest.raises(ValueError, match="overlapping crash intervals"):
+        FaultSchedule(
+            [NodeCrash(10.0, 1), NodeCrash(20.0, 1), NodeRecover(30.0, 1)]
+        )
+
+
+def test_recover_without_crash_rejected():
+    with pytest.raises(ValueError, match="without a preceding crash"):
+        FaultSchedule([NodeRecover(10.0, 1)])
+
+
+def test_restore_without_degradation_rejected():
+    with pytest.raises(ValueError, match="without a degradation"):
+        FaultSchedule([LinkRestore(10.0, 1, 2)])
+
+
+def test_back_to_back_crash_intervals_allowed():
+    sched = FaultSchedule(
+        [
+            NodeCrash(10.0, 1),
+            NodeRecover(20.0, 1),
+            NodeCrash(20.0, 1),  # recovers-first tie order makes this legal
+            NodeRecover(30.0, 1),
+        ]
+    )
+    assert sched.crash_intervals() == {1: [(10.0, 20.0), (20.0, 30.0)]}
+
+
+def test_open_crash_interval_ends_at_infinity():
+    sched = FaultSchedule([NodeCrash(10.0, 2)])
+    assert sched.crash_intervals() == {2: [(10.0, math.inf)]}
+
+
+def test_schedules_compose_with_plus():
+    merged = FaultSchedule([NodeCrash(10.0, 1), NodeRecover(20.0, 1)]) + FaultSchedule(
+        [NodeCrash(30.0, 2)]
+    )
+    assert len(merged) == 3
+    # Composition re-validates: a combined overlap is still rejected.
+    with pytest.raises(ValueError):
+        FaultSchedule([NodeCrash(10.0, 1)]) + FaultSchedule([NodeCrash(15.0, 1)])
+
+
+# -- topology validation ---------------------------------------------------
+
+
+def test_validate_for_rejects_origin_faults_and_bad_ids():
+    topo = star_topology(num_leaves=3, hub_latency_ms=100.0)  # origin = 0
+    with pytest.raises(ValueError, match="origin"):
+        FaultSchedule([NodeCrash(10.0, topo.origin)]).validate_for(topo)
+    with pytest.raises(ValueError, match="origin"):
+        FaultSchedule([ReplicaLoss(10.0, topo.origin, 0)]).validate_for(topo)
+    with pytest.raises(ValueError, match="out of range"):
+        FaultSchedule([NodeCrash(10.0, 99)]).validate_for(topo)
+    with pytest.raises(ValueError, match="out of range"):
+        FaultSchedule([LinkDegrade(10.0, 1, 99)]).validate_for(topo)
+    # Link faults touching the origin are physical and allowed.
+    FaultSchedule([LinkDegrade(10.0, topo.origin, 1)]).validate_for(topo)
+
+
+# -- generators ------------------------------------------------------------
+
+
+def test_poisson_crashes_deterministic_and_origin_free():
+    kwargs = dict(num_nodes=6, duration_s=86400.0, mtbf_s=7200.0, mttr_s=900.0, seed=4)
+    a = poisson_crashes(**kwargs)
+    b = poisson_crashes(**kwargs)
+    assert [ev.sort_key() for ev in a] == [ev.sort_key() for ev in b]
+    assert len(a) > 0
+    assert all(ev.node != 0 for ev in a)
+    c = poisson_crashes(**{**kwargs, "seed": 5})
+    assert [ev.sort_key() for ev in a] != [ev.sort_key() for ev in c]
+
+
+def test_poisson_substreams_stable_when_nodes_added():
+    """Adding a node must not reshuffle the faults of existing nodes."""
+    small = poisson_crashes(num_nodes=4, duration_s=86400.0, mtbf_s=7200.0, mttr_s=900.0, seed=4)
+    large = poisson_crashes(num_nodes=5, duration_s=86400.0, mtbf_s=7200.0, mttr_s=900.0, seed=4)
+    keep = [ev.sort_key() for ev in large if ev.node < 4]
+    assert keep == [ev.sort_key() for ev in small]
+
+
+def test_flaky_link_alternates_and_clips_to_duration():
+    sched = flaky_link(1, 3, duration_s=86400.0, mean_up_s=3600.0, mean_down_s=600.0, seed=2)
+    kinds = [type(ev).__name__ for ev in sched]
+    assert kinds[::2] == ["LinkDegrade"] * len(kinds[::2])
+    assert kinds[1::2] == ["LinkRestore"] * len(kinds[1::2])
+    assert all(ev.time_s < 86400.0 for ev in sched)
+
+
+def test_correlated_outage_crashes_and_recovers_together():
+    sched = correlated_outage([4, 5, 6], start_s=1000.0, outage_s=500.0)
+    intervals = sched.crash_intervals()
+    assert intervals == {n: [(1000.0, 1500.0)] for n in (4, 5, 6)}
+
+
+def test_random_replica_loss_respects_excludes():
+    sched = random_replica_loss(
+        num_nodes=5, num_objects=10, duration_s=86400.0, rate_per_hour=2.0, seed=1
+    )
+    assert all(isinstance(ev, ReplicaLoss) and ev.node != 0 for ev in sched)
+
+
+# -- spec grammar ----------------------------------------------------------
+
+
+def test_parse_faults_composes_clauses():
+    sched = parse_faults(
+        "crash:node=2,at=100,down=50;loss:node=1,obj=3,at=10",
+        num_nodes=4,
+        num_objects=8,
+        duration_s=3600.0,
+    )
+    kinds = sorted(type(ev).__name__ for ev in sched)
+    assert kinds == ["NodeCrash", "NodeRecover", "ReplicaLoss"]
+
+
+def test_parse_faults_same_seed_same_schedule():
+    kwargs = dict(num_nodes=6, num_objects=8, duration_s=86400.0, seed=9)
+    a = parse_faults("poisson:mtbf=7200,mttr=600;lossrate:rate=1", **kwargs)
+    b = parse_faults("poisson:mtbf=7200,mttr=600;lossrate:rate=1", **kwargs)
+    assert [ev.sort_key() for ev in a] == [ev.sort_key() for ev in b]
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "nonsense:x=1",
+        "poisson:mtbf=7200",  # missing mttr
+        "poisson:mtbf=7200,mttr=600,bogus=1",  # unknown key
+        "crash:node=1",  # missing at
+        "crash node=1",  # malformed clause
+        "",
+    ],
+)
+def test_parse_faults_rejects_bad_specs(spec):
+    with pytest.raises(ValueError):
+        parse_faults(spec, num_nodes=4, num_objects=4, duration_s=3600.0)

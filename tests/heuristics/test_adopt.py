@@ -1,0 +1,143 @@
+"""on_adopt handover: taking over a run with pre-existing replicas.
+
+The handover path is exercised by the adaptive driver (heuristic switches)
+and by the healing policy (metadata resync after repair mutations); these
+tests pin its contract for each heuristic family.
+"""
+
+import numpy as np
+
+from repro.heuristics.caching import LFUCaching, LRUCaching
+from repro.heuristics.greedy_global import GreedyGlobalPlacement
+from repro.heuristics.qiu import QiuGreedyPlacement
+from repro.simulator.engine import SimulationContext
+from repro.simulator.state import ReplicaState
+from repro.topology.generators import line_topology
+from tests.conftest import make_trace
+
+
+def handover_ctx(num_objects=6, preplaced=((1, 0), (1, 1), (2, 3))):
+    topo = line_topology(num_nodes=4, hop_latency_ms=100.0)
+    trace = make_trace([(10, 1, 0)], num_nodes=4, num_objects=num_objects)
+    state = ReplicaState(topo, num_objects)
+    ctx = SimulationContext(topo, trace, state, tlat_ms=150.0)
+    for node, obj in preplaced:
+        assert state.create(node, obj, 0.0)
+    return ctx
+
+
+def test_lru_adopts_preexisting_replicas_as_cache_entries():
+    ctx = handover_ctx()
+    lru = LRUCaching(capacity=4)
+    lru.on_adopt(ctx)
+    assert set(lru._lru[1]) == {0, 1}
+    assert set(lru._lru[2]) == {3}
+    # Replicas survive the handover (capacity not exceeded).
+    assert ctx.state.contents(1) == {0, 1}
+
+
+def test_lfu_adopts_and_keeps_frequency_counts():
+    ctx = handover_ctx()
+    lfu = LFUCaching(capacity=4)
+    lfu.on_start(ctx)
+    lfu._counts[1][5] = 7  # pre-handover popularity knowledge
+    lfu.on_adopt(ctx)
+    assert lfu._cached[1] == {0, 1}
+    assert lfu._cached[2] == {3}
+    assert lfu._counts[1][5] == 7  # counts survive the handover
+
+
+def test_lfu_adopt_evicts_overflow_keeping_warmest():
+    ctx = handover_ctx(preplaced=((1, 0), (1, 1), (1, 2)))
+    lfu = LFUCaching(capacity=2)
+    lfu.on_start(ctx)
+    lfu._counts[1] = {0: 1, 1: 9, 2: 5}
+    lfu.on_adopt(ctx)
+    assert lfu._cached[1] == {1, 2}  # the two warmest survive
+    assert ctx.state.contents(1) == {1, 2}  # the cold one was dropped
+
+
+def test_greedy_global_on_adopt_preserves_demand_history():
+    ctx = handover_ctx()
+    greedy = GreedyGlobalPlacement(capacity=2, period_s=900.0, tlat_ms=150.0)
+    greedy.on_start(ctx)
+    demand = np.zeros((4, 6))
+    demand[1, 0] = 5.0
+    greedy.on_interval(0, ctx, demand, None)
+    assert greedy._history  # accumulated one period
+    history_before = [h.copy() for h in greedy._history]
+    last_before = greedy._last_demand.copy()
+
+    greedy.on_adopt(ctx)  # e.g. a healing resync mid-run
+
+    assert len(greedy._history) == len(history_before)
+    for kept, orig in zip(greedy._history, history_before):
+        assert np.array_equal(kept, orig)
+    assert np.array_equal(greedy._last_demand, last_before)
+
+
+def test_greedy_global_reconciles_preplaced_replicas_at_next_interval():
+    ctx = handover_ctx(preplaced=((3, 5), (2, 4)))  # stale, undemanded replicas
+    greedy = GreedyGlobalPlacement(capacity=1, period_s=900.0, tlat_ms=150.0)
+    greedy.on_adopt(ctx)
+    demand = np.zeros((4, 6))
+    demand[3, 0] = 10.0  # node 3 wants obj 0 (origin is 300 ms away)
+    greedy.on_interval(0, ctx, demand, None)
+    # The undemanded leftovers are dropped, demanded placement installed.
+    assert 5 not in ctx.state.contents(3)
+    assert 4 not in ctx.state.contents(2)
+    assert 0 in ctx.state.contents(3)
+
+
+def test_lru_on_replicate_admits_without_touching_recency_of_others():
+    ctx = handover_ctx(preplaced=())
+    lru = LRUCaching(capacity=2)
+    lru.on_start(ctx)
+    lru._lru[1][4] = True  # oldest
+    lru._lru[1][5] = True  # most recent
+    assert ctx.state.create(1, 4, 0.0) and ctx.state.create(1, 5, 0.0)
+    assert ctx.state.create(1, 2, 0.0)  # the healed replica, already in state
+    lru.on_replicate(1, 2, ctx)
+    # The LRU victim (4) was evicted to make room; 5 kept its recency rank.
+    assert list(lru._lru[1]) == [5, 2]
+    assert ctx.state.contents(1) == {5, 2}
+
+
+def test_lfu_on_replicate_evicts_coldest_for_healed_replica():
+    ctx = handover_ctx(preplaced=())
+    lfu = LFUCaching(capacity=2)
+    lfu.on_start(ctx)
+    lfu._counts[2] = {0: 9, 1: 1, 3: 5}
+    lfu._cached[2] = {0, 1}
+    assert ctx.state.create(2, 0, 0.0) and ctx.state.create(2, 1, 0.0)
+    assert ctx.state.create(2, 3, 0.0)
+    lfu.on_replicate(2, 3, ctx)
+    assert lfu._cached[2] == {0, 3}  # coldest (1) evicted
+    assert ctx.state.contents(2) == {0, 3}
+
+
+def test_on_replicate_ignores_origin_and_zero_capacity():
+    ctx = handover_ctx(preplaced=())
+    lru = LRUCaching(capacity=0)
+    lru.on_start(ctx)
+    lru.on_replicate(1, 2, ctx)  # no-op, must not raise
+    full = LRUCaching(capacity=2)
+    full.on_start(ctx)
+    full.on_replicate(ctx.topology.origin, 2, ctx)
+    assert not full._lru[ctx.topology.origin]
+
+
+def test_qiu_on_adopt_preserves_demand_history():
+    ctx = handover_ctx()
+    qiu = QiuGreedyPlacement(replicas_per_object=1, period_s=900.0, tlat_ms=150.0)
+    qiu.on_start(ctx)
+    demand = np.zeros((4, 6))
+    demand[2, 1] = 3.0
+    qiu.on_interval(0, ctx, demand, None)
+    history_before = [h.copy() for h in qiu._history]
+
+    qiu.on_adopt(ctx)
+
+    assert len(qiu._history) == len(history_before)
+    for kept, orig in zip(qiu._history, history_before):
+        assert np.array_equal(kept, orig)

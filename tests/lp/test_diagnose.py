@@ -1,0 +1,161 @@
+"""Auto backend fallback and infeasibility diagnostics."""
+
+import warnings
+
+import pytest
+
+from repro.core.bounds import compute_lower_bound
+from repro.core.properties import HeuristicProperties, ReplicaConstraint
+from repro.lp import (
+    LinearProgram,
+    SolveStatus,
+    diagnose_infeasibility,
+)
+from repro.lp.diagnose import constraint_family
+
+
+def two_var_model():
+    lp = LinearProgram()
+    x = lp.var("x", obj=1.0)
+    y = lp.var("y", obj=2.0)
+    lp.add_row([x.index, y.index], [1.0, 1.0], ">=", 2.0, name="qos[all]")
+    return lp
+
+
+def infeasible_model():
+    """qos demands 3 units but upper bounds cap the total at 2."""
+    lp = LinearProgram()
+    a = lp.var("a", obj=1.0, upper=1.0)
+    b = lp.var("b", obj=1.0, upper=1.0)
+    lp.add_row([a.index, b.index], [1.0, 1.0], ">=", 3.0, name="qos[all]")
+    lp.add_row([a.index], [1.0], "<=", 0.5, name="sc[n0,i0]")
+    return lp
+
+
+# -- the auto backend --------------------------------------------------------
+
+
+def test_auto_backend_prefers_scipy():
+    sol = two_var_model().solve(backend="auto")
+    assert sol.is_optimal
+    assert sol.backend == "scipy"
+    assert sol.objective == pytest.approx(2.0)
+
+
+def test_auto_backend_falls_back_to_simplex_with_warning(monkeypatch):
+    import repro.lp.scipy_backend as scipy_backend
+
+    def broken(model, **kwargs):
+        raise ImportError("scipy unavailable")
+
+    monkeypatch.setattr(scipy_backend, "solve_with_scipy", broken)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        sol = two_var_model().solve(backend="auto")
+    assert sol.is_optimal
+    assert sol.backend == "simplex"
+    assert sol.objective == pytest.approx(2.0)
+    assert any(
+        issubclass(w.category, RuntimeWarning) and "simplex" in str(w.message)
+        for w in caught
+    )
+
+
+def test_auto_backend_falls_back_on_solver_crash(monkeypatch):
+    import repro.lp.scipy_backend as scipy_backend
+
+    def crashing(model, **kwargs):
+        raise RuntimeError("HiGHS exploded")
+
+    monkeypatch.setattr(scipy_backend, "solve_with_scipy", crashing)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        sol = two_var_model().solve(backend="auto")
+    assert sol.is_optimal
+    assert sol.backend == "simplex"
+
+
+def test_explicit_backends_still_selectable():
+    assert two_var_model().solve(backend="scipy").backend == "scipy"
+    assert two_var_model().solve(backend="simplex").backend == "simplex"
+    with pytest.raises(ValueError, match="unknown LP backend"):
+        two_var_model().solve(backend="cplex")
+
+
+def test_backends_agree_on_both_model_fixtures():
+    for model_maker in (two_var_model, infeasible_model):
+        a = model_maker().solve(backend="scipy")
+        b = model_maker().solve(backend="simplex")
+        assert a.status == b.status
+        if a.is_optimal:
+            assert a.objective == pytest.approx(b.objective)
+
+
+# -- family extraction -------------------------------------------------------
+
+
+def test_constraint_family_parses_prefixes():
+    assert constraint_family("qos[3]") == "qos"
+    assert constraint_family("sc[n0,i2]") == "sc"
+    assert constraint_family("route-one[n1,i0,k2]") == "route-one"
+    assert constraint_family("c17") == "coupling"  # auto-generated name
+    assert constraint_family("cover[n0,i0,k0]") == "cover"
+    assert constraint_family("") == "coupling"
+
+
+# -- diagnosis ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["scipy", "simplex"])
+def test_diagnosis_names_binding_family(backend):
+    model = infeasible_model()
+    assert model.solve(backend=backend).status is SolveStatus.INFEASIBLE
+    diagnosis = diagnose_infeasibility(model, backend=backend)
+    # Dropping the qos row restores feasibility; dropping sc alone does not
+    # (the variable upper bounds still cap the total at 2 < 3).
+    assert diagnosis.binding == ["qos"]
+    assert diagnosis.families == {"qos": 1, "sc": 1}
+    assert "qos" in diagnosis.render()
+
+
+def test_diagnosis_on_bound_only_conflict_reports_unisolated():
+    """A conflict living entirely in variable bounds names no family."""
+    lp = LinearProgram()
+    x = lp.var("x", obj=1.0, upper=1.0)
+    lp.add_row([x.index], [1.0], ">=", 5.0, name="qos[0]")
+    lp.add_row([x.index], [1.0], ">=", 4.0, name="rc[0]")
+    # Both rows must go to restore feasibility? No — removing either leaves
+    # the other demanding more than the bound allows.
+    diagnosis = diagnose_infeasibility(lp)
+    assert diagnosis.binding == []
+    assert not diagnosis.isolated
+    assert "no single constraint family" in diagnosis.render()
+
+
+def test_compute_lower_bound_diagnoses_lp_infeasibility(small_topology, web_demand):
+    """An unreachable replica constraint makes the LP (not the structure)
+    infeasible; diagnose=True names the binding families in the reason."""
+    from repro.core.costs import CostModel
+    from repro.core.formulation import build_formulation
+    from repro.core.goals import QoSGoal
+    from repro.core.problem import MCPerfProblem
+
+    problem = MCPerfProblem(
+        topology=small_topology,
+        demand=web_demand,
+        goal=QoSGoal(tlat_ms=150.0, fraction=0.96),
+        costs=CostModel.paper_defaults(),
+    )
+    props = HeuristicProperties(replica_constraint=ReplicaConstraint.UNIFORM)
+    # Freeze the replica count at zero: origin-only service cannot reach the
+    # goal, so the qos and rc families conflict.
+    form = build_formulation(problem, props)
+    assert form.rep_index is not None
+    form.lp.set_bounds(form.rep_index, 0.0, 0.0)
+    result = compute_lower_bound(
+        problem, props, do_rounding=False, formulation=form, diagnose=True
+    )
+    assert not result.feasible
+    assert result.status == "infeasible"
+    assert "binding constraint families" in result.reason
+    assert "diagnosis" in result.extras

@@ -1,0 +1,320 @@
+"""Fault injection, availability accounting and healing — engine integration.
+
+Includes the acceptance scenario for the fault subsystem: cooperative
+caching on the WEB workload under Poisson crashes, where wrapping the
+heuristic in a :class:`~repro.faults.HealingPolicy` restores QoS to within
+2 % of the fault-free run at a quantified re-replication cost.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultSchedule,
+    HealingPolicy,
+    LinkDegrade,
+    LinkRestore,
+    NodeCrash,
+    NodeRecover,
+    ReplicaLoss,
+    poisson_crashes,
+)
+from repro.heuristics import CooperativeLRUCaching, LRUCaching
+from repro.heuristics.base import PlacementHeuristic
+from repro.simulator import availability_report, simulate
+from repro.simulator.engine import Simulator
+from repro.topology.generators import line_topology, star_topology
+from tests.conftest import make_trace
+
+
+class FixedPlacement(PlacementHeuristic):
+    """Places a given replica set at start and never changes it."""
+
+    routing = "global"
+
+    def __init__(self, placements):
+        self.placements = placements  # [(node, obj), ...]
+
+    def on_start(self, ctx) -> None:
+        for node, obj in self.placements:
+            ctx.create_replica(node, obj)
+
+
+def results_equal(a, b) -> bool:
+    """Field-by-field equality of two SimulationResults (ndarray-aware)."""
+    da, db = dataclasses.asdict(a), dataclasses.asdict(b)
+    assert da.keys() == db.keys()
+    for key in da:
+        va, vb = da[key], db[key]
+        if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
+            if not np.array_equal(va, vb):
+                return False
+        elif va != vb:
+            return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def sim_kwargs(web_trace):
+    interval = web_trace.duration_s / 8
+    return dict(
+        tlat_ms=150.0, warmup_s=interval, cost_interval_s=interval
+    )
+
+
+# -- the fault-free path must be untouched ---------------------------------
+
+
+def test_empty_schedule_bit_identical_to_no_faults(small_topology, web_trace, sim_kwargs):
+    plain = simulate(small_topology, web_trace, CooperativeLRUCaching(8), **sim_kwargs)
+    empty = simulate(
+        small_topology, web_trace, CooperativeLRUCaching(8), faults=FaultSchedule(), **sim_kwargs
+    )
+    assert results_equal(plain, empty)
+    assert str(plain) == str(empty)  # no availability suffix on fault-free runs
+
+
+def test_seeded_fault_runs_fully_deterministic(small_topology, web_trace, sim_kwargs):
+    faults = poisson_crashes(
+        num_nodes=8, duration_s=web_trace.duration_s, mtbf_s=12 * 3600, mttr_s=900, seed=11
+    )
+    runs = [
+        simulate(
+            small_topology,
+            web_trace,
+            HealingPolicy(CooperativeLRUCaching(8), copies=2),
+            faults=faults,
+            **sim_kwargs,
+        )
+        for _ in range(2)
+    ]
+    assert results_equal(runs[0], runs[1])
+
+
+# -- the acceptance scenario ------------------------------------------------
+
+
+def test_healing_restores_web_qos_within_two_percent(small_topology, web_trace, sim_kwargs):
+    """LRU + cooperative caching on WEB under Poisson crashes: the healer
+    recovers QoS to within 2 % of fault-free, at a quantified creation cost."""
+    faults = poisson_crashes(
+        num_nodes=8, duration_s=web_trace.duration_s, mtbf_s=12 * 3600, mttr_s=900, seed=11
+    )
+    fault_free = simulate(small_topology, web_trace, CooperativeLRUCaching(8), **sim_kwargs)
+    faulty = simulate(
+        small_topology, web_trace, CooperativeLRUCaching(8), faults=faults, **sim_kwargs
+    )
+    healed = simulate(
+        small_topology,
+        web_trace,
+        HealingPolicy(CooperativeLRUCaching(8), copies=2),
+        faults=faults,
+        **sim_kwargs,
+    )
+    # The faults actually hurt (else the scenario proves nothing)...
+    assert faulty.node_downtime_s > 0
+    assert faulty.unavailable_reads > 0
+    assert faulty.qos < fault_free.qos - 0.015
+    # ...healing recovers to within 2 % of fault-free...
+    assert healed.qos >= fault_free.qos - 0.02
+    assert healed.qos > faulty.qos
+    # ...at a quantified, non-zero re-replication cost.
+    assert healed.repairs > 0
+    assert healed.healing_creations > 0
+    assert healed.healing_cost == pytest.approx(healed.healing_creations * 1.0)
+    assert healed.mean_repair_time_s > 0
+    # Healing spends creations; the spend is visible in the cost accounting.
+    assert healed.creation_cost > faulty.creation_cost
+
+
+# -- availability semantics -------------------------------------------------
+
+
+def test_crashed_node_reads_unavailable_and_excluded_from_qos():
+    """Reads issued by a crashed node are unavailable, not QoS misses, and
+    a node with zero served reads must not report a perfect per-node QoS."""
+    topo = star_topology(num_leaves=3, hub_latency_ms=100.0)
+    trace = make_trace(
+        [(100, 1, 0), (200, 2, 0), (300, 3, 0), (400, 3, 1)],
+        num_nodes=4,
+        num_objects=2,
+    )
+    faults = FaultSchedule([NodeCrash(50.0, 3)])  # node 3 down for the whole run
+    result = simulate(topo, trace, LRUCaching(2), faults=faults, tlat_ms=150.0)
+    assert result.unavailable_reads == 2
+    assert result.reads == 2
+    assert result.availability == pytest.approx(0.5)
+    assert 3 not in result.qos_per_node  # down all run: excluded, not 1.0
+    assert set(result.qos_per_node) == {1, 2}
+    assert result.min_node_qos == min(result.qos_per_node.values())
+
+
+def test_global_routing_reroutes_around_dead_replica_holder():
+    """When the only replica's node dies, a global-routing read falls back
+    to the origin: served (available) but outside the latency threshold."""
+    topo = line_topology(num_nodes=4, hop_latency_ms=100.0)  # origin = node 0
+    trace = make_trace([(100, 3, 0), (200, 3, 0)], num_nodes=4, num_objects=1)
+    placement = FixedPlacement([(2, 0)])  # one hop (100 ms) from node 3
+
+    alive = simulate(topo, trace, placement, tlat_ms=150.0)
+    assert alive.covered_reads == 2  # served by the node-2 replica
+
+    faults = FaultSchedule([NodeCrash(150.0, 2)])
+    faulty = simulate(topo, trace, FixedPlacement([(2, 0)]), faults=faults, tlat_ms=150.0)
+    # First read still hits node 2; the second falls back to the origin
+    # (300 ms > threshold) — served, so available, but uncovered.
+    assert faulty.reads == 2
+    assert faulty.unavailable_reads == 0
+    assert faulty.covered_reads == 1
+
+
+def test_partitioned_node_reads_are_unavailable():
+    topo = line_topology(num_nodes=3, hop_latency_ms=100.0)
+    trace = make_trace([(100, 2, 0), (500, 2, 0)], num_nodes=3, num_objects=1)
+    faults = FaultSchedule(
+        [LinkDegrade(200.0, 2, 0), LinkDegrade(200.0, 2, 1)]  # cut node 2 off
+    )
+    # No replicas anywhere: node 2 must reach the origin, which the
+    # partition severs — so the second read cannot be served at all.
+    result = simulate(topo, trace, FixedPlacement([]), faults=faults, tlat_ms=150.0)
+    assert result.reads == 1  # the pre-partition read
+    assert result.unavailable_reads == 1
+
+
+def test_partitioned_node_still_serves_from_its_own_replica():
+    """A partition cuts remote paths, not a node's own live replica."""
+    topo = line_topology(num_nodes=3, hop_latency_ms=100.0)
+    trace = make_trace([(100, 2, 0), (500, 2, 0)], num_nodes=3, num_objects=1)
+    faults = FaultSchedule(
+        [LinkDegrade(200.0, 2, 0), LinkDegrade(200.0, 2, 1)]
+    )
+    # LRU caches obj 0 at node 2 on the first read (a 200 ms origin fetch);
+    # the local replica then keeps serving through the partition.
+    result = simulate(topo, trace, LRUCaching(1), faults=faults, tlat_ms=150.0)
+    assert result.reads == 2
+    assert result.unavailable_reads == 0
+    assert result.covered_reads == 1  # the post-partition local hit
+
+
+def test_link_degradation_scales_served_latency():
+    topo = line_topology(num_nodes=2, hop_latency_ms=100.0)
+    trace = make_trace([(100, 1, 0), (500, 1, 0)], num_nodes=2, num_objects=1)
+    faults = FaultSchedule(
+        [LinkDegrade(200.0, 0, 1, factor=4.0), LinkRestore(900.0, 0, 1)]
+    )
+    plain = simulate(topo, trace, FixedPlacement([]), faults=None, tlat_ms=150.0)
+    slow = simulate(topo, trace, FixedPlacement([]), faults=faults, tlat_ms=150.0)
+    assert plain.covered_reads == 2  # 100 ms origin fetches
+    assert slow.covered_reads == 1  # second read at 400 ms misses the threshold
+    assert slow.mean_latency_ms > plain.mean_latency_ms
+
+
+def test_replica_loss_charges_storage_up_to_loss_instant():
+    topo = line_topology(num_nodes=2, hop_latency_ms=100.0)
+    trace = make_trace([(1, 1, 0)], num_nodes=2, num_objects=1, duration_s=1000.0)
+    kwargs = dict(tlat_ms=150.0, cost_interval_s=1000.0, alpha=1.0, beta=0.0)
+    full = simulate(topo, trace, FixedPlacement([(1, 0)]), **kwargs)
+    lost = simulate(
+        topo,
+        trace,
+        FixedPlacement([(1, 0)]),
+        faults=FaultSchedule([ReplicaLoss(500.0, 1, 0)]),
+        **kwargs,
+    )
+    assert full.storage_cost == pytest.approx(1.0)  # one object-interval
+    assert lost.storage_cost == pytest.approx(0.5)  # charged up to the loss
+
+
+def test_node_downtime_accounts_open_intervals():
+    topo = star_topology(num_leaves=3, hub_latency_ms=100.0)
+    trace = make_trace([(10, 1, 0)], num_nodes=4, num_objects=1, duration_s=1000.0)
+    faults = FaultSchedule(
+        [NodeCrash(100.0, 2), NodeRecover(300.0, 2), NodeCrash(800.0, 3)]
+    )
+    result = simulate(topo, trace, LRUCaching(1), faults=faults, tlat_ms=150.0)
+    assert result.node_downtime_s == pytest.approx(200.0 + 200.0)
+
+
+# -- heuristic failure hooks ------------------------------------------------
+
+
+def test_lru_forgets_replicas_lost_in_a_crash():
+    """After crash + recover, the LRU must re-fetch (its state was wiped),
+    not phantom-hit a replica that no longer exists."""
+    topo = star_topology(num_leaves=2, hub_latency_ms=200.0)
+    trace = make_trace(
+        [(10, 1, 0), (20, 1, 0), (600, 1, 0)], num_nodes=3, num_objects=1
+    )
+    faults = FaultSchedule([NodeCrash(100.0, 1), NodeRecover(500.0, 1)])
+    result = simulate(topo, trace, LRUCaching(1), faults=faults, tlat_ms=150.0)
+    # miss+create, hit, then (post-crash) miss+create again.
+    assert result.creations == 2
+    assert result.covered_reads == 1
+
+
+def test_healing_restores_recovered_node_contents():
+    """restore_on_recovery re-warms a recovered local cache, so the first
+    post-recovery read hits without a new demand-driven fetch."""
+    topo = star_topology(num_leaves=2, hub_latency_ms=200.0)
+    trace = make_trace(
+        [(10, 1, 0), (20, 1, 0), (600, 1, 0)], num_nodes=3, num_objects=1
+    )
+    faults = FaultSchedule([NodeCrash(100.0, 1), NodeRecover(500.0, 1)])
+    result = simulate(
+        topo, trace, HealingPolicy(LRUCaching(1)), faults=faults, tlat_ms=150.0
+    )
+    assert result.healing_creations == 1  # the restore at t=500
+    assert result.covered_reads == 2  # both post-warm reads hit
+
+
+def test_healing_abandons_repairs_when_no_target_survives():
+    """With every candidate target down, repairs retry with backoff and are
+    abandoned after max_retries — and never charge a creation."""
+    topo = star_topology(num_leaves=3, hub_latency_ms=200.0)
+    # Post-crash reads come from the origin so the repair queue keeps being
+    # pumped (a dead node's reads never reach the heuristic).
+    trace = make_trace(
+        [(10, 1, 0)] + [(t, 0, 1) for t in range(100, 3600, 100)],
+        num_nodes=4,
+        num_objects=2,
+    )
+    # Node 1 holds obj 0; then every non-origin node crashes for good.
+    faults = FaultSchedule(
+        [NodeCrash(50.0, 2), NodeCrash(60.0, 3), NodeCrash(70.0, 1)]
+    )
+    healer = HealingPolicy(
+        CooperativeLRUCaching(2), copies=1, max_retries=3, backoff_s=100.0
+    )
+    sim = Simulator(topo, trace, healer, tlat_ms=150.0, faults=faults)
+    result = sim.run()
+    assert result.repairs == 0
+    assert result.healing_creations == 0
+    assert sim.stats.failed_heal_attempts > 0
+    assert sim.stats.abandoned_repairs > 0
+
+
+def test_availability_report_renders_counters(small_topology, web_trace, sim_kwargs):
+    faults = poisson_crashes(
+        num_nodes=8, duration_s=web_trace.duration_s, mtbf_s=12 * 3600, mttr_s=900, seed=11
+    )
+    result = simulate(
+        small_topology,
+        web_trace,
+        HealingPolicy(CooperativeLRUCaching(8), copies=2),
+        faults=faults,
+        **sim_kwargs,
+    )
+    report = availability_report(result)
+    assert "availability" in report
+    assert str(result.repairs) in report
+    assert f"{result.availability:.5f}" in report
+    assert "availability=" in str(result)  # faulty runs advertise availability
+
+
+def test_origin_targeting_schedule_rejected_at_simulate(small_topology, web_trace):
+    faults = FaultSchedule([NodeCrash(10.0, small_topology.origin)])
+    with pytest.raises(ValueError, match="origin"):
+        simulate(small_topology, web_trace, LRUCaching(2), faults=faults, tlat_ms=150.0)

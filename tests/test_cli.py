@@ -42,6 +42,17 @@ def test_topology_and_workload_files_valid(artifacts):
     assert trace.num_objects == 25
 
 
+def test_workload_nodes_default_to_topology_size(artifacts, tmp_path):
+    topo_path, _ = artifacts
+    out_path = str(tmp_path / "defaulted.json")
+    rc = main(
+        ["workload", "web", "--objects", "25", "--scale", "0.05",
+         "--topology", topo_path, "-o", out_path]
+    )
+    assert rc == 0
+    assert load_trace(out_path).num_nodes == 10
+
+
 def test_bounds_human_output(artifacts, capsys):
     topo_path, trace_path = artifacts
     rc = main(["bounds", *problem_flags(topo_path, trace_path), "--class", "general", "--no-rounding"])
@@ -163,3 +174,49 @@ def test_sweep_command_json(artifacts, capsys):
     data = json.loads(capsys.readouterr().out)
     assert data["levels"] == [0.8]
     assert "general" in data["bounds"]
+
+
+def test_simulate_with_faults_json(artifacts, capsys):
+    topo_path, trace_path = artifacts
+    args = [
+        "simulate", *problem_flags(topo_path, trace_path, qos="0.2"),
+        "--heuristic", "coop-lru", "--capacity", "10",
+        "--faults", "poisson:mtbf=21600,mttr=1800", "--fault-seed", "11",
+        "--heal", "--json",
+    ]
+    rc = main(args)
+    assert rc in (0, 1)
+    data = json.loads(capsys.readouterr().out)
+    assert "availability" in data
+    assert 0.0 <= data["availability"] <= 1.0
+    assert data["node_downtime_s"] > 0
+    assert data["healing_cost"] == data["healing_creations"] * 1.0
+    # Determinism through the CLI: same --fault-seed, same result.
+    assert main(args) == rc
+    assert json.loads(capsys.readouterr().out) == data
+
+
+def test_simulate_with_faults_text_report(artifacts, capsys):
+    topo_path, trace_path = artifacts
+    rc = main(
+        [
+            "simulate", *problem_flags(topo_path, trace_path, qos="0.2"),
+            "--heuristic", "lru", "--capacity", "10",
+            "--faults", "crash:node=3,at=10000,down=20000",
+        ]
+    )
+    assert rc in (0, 1)
+    out = capsys.readouterr().out
+    assert "availability" in out
+    assert "node downtime" in out
+
+
+def test_simulate_rejects_bad_fault_spec(artifacts):
+    topo_path, trace_path = artifacts
+    with pytest.raises(ValueError, match="unknown fault clause"):
+        main(
+            [
+                "simulate", *problem_flags(topo_path, trace_path),
+                "--heuristic", "lru", "--faults", "meteor:at=1",
+            ]
+        )
