@@ -1,0 +1,69 @@
+"""Runner scaling: serial vs ``--jobs N`` wall clock on a Figure-1 sweep.
+
+The experiment-runner layer fans the sweep's independent (class x level) LP
+solves out over a process pool.  This bench runs the Figure-1-sized WEB sweep
+serially and at increasing job counts, records the wall-clock times and
+speedups into ``benchmarks/out/runner_scaling.txt``, and asserts the parallel
+runs reproduce the serial bounds exactly — the correctness half of the
+"jobs=1 is bit-identical, jobs=N is just faster" contract.
+
+Speedup itself is not asserted: chunking keeps each class's levels on one
+worker (for formulation reuse), so the achievable parallelism is bounded by
+the number of classes, and CI machines are noisy.
+"""
+
+import os
+import time
+
+from repro.analysis.report import render_series_table
+from repro.analysis.sweep import qos_sweep
+from repro.core.classes import FIGURE1_CLASSES
+from repro.runner import ExperimentRunner
+
+from benchmarks.conftest import WEB_LEVELS, write_report
+
+JOB_COUNTS = [1, 2, 4]
+
+
+def run_sweeps(web_problem):
+    grids = {}
+    rows = []
+    serial_seconds = None
+    for jobs in JOB_COUNTS:
+        runner = ExperimentRunner(jobs=jobs)
+        t0 = time.perf_counter()
+        sweep = qos_sweep(web_problem, levels=WEB_LEVELS, runner=runner)
+        seconds = time.perf_counter() - t0
+        if serial_seconds is None:
+            serial_seconds = seconds
+        grids[jobs] = {
+            (cls, level): sweep.bound(cls, level)
+            for cls in sweep.classes
+            for level in sweep.levels
+        }
+        rows.append(
+            [
+                jobs,
+                runner.tasks,
+                round(seconds, 3),
+                round(serial_seconds / seconds, 2),
+            ]
+        )
+    return rows, grids
+
+
+def test_runner_scaling(web_problem, benchmark):
+    rows, grids = benchmark.pedantic(run_sweeps, args=(web_problem,), rounds=1, iterations=1)
+    table = render_series_table(
+        f"QoS sweep wall clock vs --jobs ({len(FIGURE1_CLASSES)} classes x "
+        f"{len(WEB_LEVELS)} levels, WEB workload, {os.cpu_count()} cpu(s))",
+        ["jobs", "tasks", "wall_s", "speedup"],
+        rows,
+    )
+    write_report("runner_scaling", table)
+
+    # Every parallel grid must equal the serial one, point for point.
+    serial = grids[JOB_COUNTS[0]]
+    for jobs in JOB_COUNTS[1:]:
+        assert grids[jobs] == serial, f"jobs={jobs} grid diverged from serial"
+    assert all(row[1] == len(FIGURE1_CLASSES) * len(WEB_LEVELS) for row in rows)

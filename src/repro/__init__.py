@@ -54,6 +54,15 @@ from repro.core import (
     select_heuristic,
     table3,
 )
+from repro.runner import (
+    BoundTask,
+    ExperimentRunner,
+    HeuristicSpec,
+    ResultCache,
+    SimulateTask,
+    make_runner,
+    run_tasks,
+)
 from repro.topology import Topology, as_level_topology
 from repro.workload import (
     DemandMatrix,
@@ -67,24 +76,29 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AverageLatencyGoal",
+    "BoundTask",
     "CostModel",
     "DeploymentPlan",
     "DemandMatrix",
+    "ExperimentRunner",
     "FIGURE1_CLASSES",
     "Formulation",
     "GoalScope",
     "HeuristicClass",
     "HeuristicProperties",
+    "HeuristicSpec",
     "Knowledge",
     "LowerBoundResult",
     "MCPerfProblem",
     "QoSGoal",
     "ReplicaConstraint",
     "Request",
+    "ResultCache",
     "RoundingResult",
     "Routing",
     "STANDARD_CLASSES",
     "SelectionReport",
+    "SimulateTask",
     "StorageConstraint",
     "Topology",
     "Trace",
@@ -93,9 +107,11 @@ __all__ = [
     "compute_lower_bound",
     "get_class",
     "group_workload",
+    "make_runner",
     "plan_deployment",
     "render_table3",
     "round_solution",
+    "run_tasks",
     "select_heuristic",
     "table3",
     "web_workload",

@@ -18,12 +18,19 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.costs import CostModel
 from repro.core.goals import QoSGoal
 from repro.core.problem import MCPerfProblem
-from repro.core.selection import select_heuristic
+from repro.core.selection import (
+    assemble_report,
+    resolve_candidates,
+    selection_tasks,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.runner.execute import ExperimentRunner
 
 
 @dataclass
@@ -74,20 +81,43 @@ class SensitivityReport:
         return "\n".join(lines)
 
 
-def _sweep(problem: MCPerfProblem, parameter: str, values, rebuild, classes, backend):
-    baseline = select_heuristic(
-        problem, classes=classes, do_rounding=False, backend=backend
-    )
+def _sweep(problem: MCPerfProblem, parameter: str, values, rebuild, classes, backend, runner=None):
+    """Run baseline + perturbed selections as one flattened task batch.
+
+    Every scenario (baseline and each perturbed value) contributes the same
+    per-class bound tasks, so the whole sensitivity sweep is a single
+    ``len(scenarios) * (1 + len(candidates))`` batch — one scheduler pass
+    that a parallel runner fans out across all scenarios at once.
+    """
+    from repro.runner.execute import run_tasks
+
+    candidates = resolve_candidates(classes)
+    scenarios = [problem] + [rebuild(problem, value) for value in values]
+    tasks = []
+    for scenario in scenarios:
+        tasks.extend(
+            selection_tasks(scenario, candidates, do_rounding=False, backend=backend)
+        )
+    results = run_tasks(tasks, runner)
+
+    stride = 1 + len(candidates)
+    reports = [
+        assemble_report(
+            scenario,
+            candidates,
+            results[k * stride],
+            results[k * stride + 1 : (k + 1) * stride],
+        )
+        for k, scenario in enumerate(scenarios)
+    ]
+
+    baseline, outcomes = reports[0], reports[1:]
     report = SensitivityReport(
         parameter=parameter,
         baseline_value=_baseline_value(problem, parameter),
         baseline_recommendation=baseline.recommended,
     )
-    for value in values:
-        perturbed = rebuild(problem, value)
-        outcome = select_heuristic(
-            perturbed, classes=classes, do_rounding=False, backend=backend
-        )
+    for value, outcome in zip(values, outcomes):
         report.points.append(
             SensitivityPoint(
                 parameter=parameter,
@@ -114,6 +144,7 @@ def threshold_sensitivity(
     thresholds_ms: Sequence[float],
     classes: Optional[Sequence[object]] = None,
     backend: str = "scipy",
+    runner: Optional["ExperimentRunner"] = None,
 ) -> SensitivityReport:
     """Re-run selection across latency thresholds."""
     if not isinstance(problem.goal, QoSGoal):
@@ -124,7 +155,7 @@ def threshold_sensitivity(
             p, goal=dataclasses.replace(p.goal, tlat_ms=float(tlat))
         )
 
-    return _sweep(problem, "tlat_ms", thresholds_ms, rebuild, classes, backend)
+    return _sweep(problem, "tlat_ms", thresholds_ms, rebuild, classes, backend, runner)
 
 
 def qos_sensitivity(
@@ -132,6 +163,7 @@ def qos_sensitivity(
     fractions: Sequence[float],
     classes: Optional[Sequence[object]] = None,
     backend: str = "scipy",
+    runner: Optional["ExperimentRunner"] = None,
 ) -> SensitivityReport:
     """Re-run selection across QoS fractions."""
     if not isinstance(problem.goal, QoSGoal):
@@ -142,7 +174,7 @@ def qos_sensitivity(
             p, goal=dataclasses.replace(p.goal, fraction=float(fraction))
         )
 
-    return _sweep(problem, "qos_fraction", fractions, rebuild, classes, backend)
+    return _sweep(problem, "qos_fraction", fractions, rebuild, classes, backend, runner)
 
 
 def cost_ratio_sensitivity(
@@ -150,6 +182,7 @@ def cost_ratio_sensitivity(
     ratios: Sequence[float],
     classes: Optional[Sequence[object]] = None,
     backend: str = "scipy",
+    runner: Optional["ExperimentRunner"] = None,
 ) -> SensitivityReport:
     """Re-run selection across storage/creation price ratios (alpha/beta).
 
@@ -169,7 +202,7 @@ def cost_ratio_sensitivity(
         )
         return dataclasses.replace(p, costs=costs)
 
-    return _sweep(problem, "alpha_over_beta", ratios, rebuild, classes, backend)
+    return _sweep(problem, "alpha_over_beta", ratios, rebuild, classes, backend, runner)
 
 
 def recommendation_stability(reports: Sequence[SensitivityReport]) -> float:

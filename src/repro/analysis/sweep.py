@@ -10,12 +10,16 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.core.bounds import LowerBoundResult, compute_lower_bound
+from repro.core.bounds import LowerBoundResult
 from repro.core.classes import FIGURE1_CLASSES, HeuristicClass, get_class
 from repro.core.goals import QoSGoal
 from repro.core.problem import MCPerfProblem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.runner.execute import ExperimentRunner
+    from repro.runner.tasks import BoundTask
 
 #: The QoS levels the paper sweeps in Figures 1-3.
 PAPER_QOS_LEVELS: List[float] = [0.95, 0.99, 0.999, 0.9999, 0.99999]
@@ -45,6 +49,36 @@ class SweepResult:
         feasible = [lvl for lvl in self.levels if self.bound(cls, lvl) is not None]
         return max(feasible) if feasible else None
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding for the runner's cache/artifact layer.
+
+        Levels are stored as ``[level, result]`` pairs (not object keys)
+        because JSON object keys are strings; floats round-trip exactly
+        through JSON's shortest-repr encoding.
+        """
+        return {
+            "levels": list(self.levels),
+            "classes": list(self.classes),
+            "results": {
+                cls: [[level, result.to_dict()] for level, result in per_level.items()]
+                for cls, per_level in self.results.items()
+            },
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "SweepResult":
+        """Inverse of :meth:`to_dict`."""
+        sweep = SweepResult(
+            levels=[float(lvl) for lvl in payload["levels"]],
+            classes=[str(c) for c in payload["classes"]],
+        )
+        for cls, pairs in payload.get("results", {}).items():
+            sweep.results[str(cls)] = {
+                float(level): LowerBoundResult.from_dict(result)
+                for level, result in pairs
+            }
+        return sweep
+
     def crossover(self, cls_a: str, cls_b: str) -> Optional[float]:
         """The first sweep level where the cheaper of two classes flips.
 
@@ -73,6 +107,43 @@ class SweepResult:
         return None
 
 
+def sweep_tasks(
+    problem: MCPerfProblem,
+    levels: Sequence[float],
+    classes: Sequence["HeuristicClass"],
+    do_rounding: bool = False,
+    run_length: bool = False,
+    backend: str = "scipy",
+    reuse_formulation: bool = True,
+) -> List["BoundTask"]:
+    """The sweep's task graph: one bound task per (class, level).
+
+    Tasks are emitted class-outer/level-inner — the historical serial order —
+    and share a formulation-reuse group per class, so the scheduler keeps
+    :meth:`~repro.core.formulation.Formulation.set_qos_fraction`'s RHS-only
+    re-targeting whether the tasks run in-process or on a worker.
+    """
+    from repro.runner.tasks import BoundTask
+
+    tasks: List[BoundTask] = []
+    for cls in classes:
+        for level in levels:
+            goal = dataclasses.replace(problem.goal, fraction=level)
+            leveled = dataclasses.replace(problem, goal=goal)
+            tasks.append(
+                BoundTask(
+                    problem=leveled,
+                    properties=cls.properties,
+                    do_rounding=do_rounding,
+                    run_length=run_length,
+                    backend=backend,
+                    reuse_formulation=reuse_formulation,
+                    label=f"bound[{cls.name}@{level:g}]",
+                )
+            )
+    return tasks
+
+
 def qos_sweep(
     problem: MCPerfProblem,
     levels: Optional[Sequence[float]] = None,
@@ -81,6 +152,7 @@ def qos_sweep(
     run_length: bool = False,
     backend: str = "scipy",
     reuse_formulation: bool = True,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> SweepResult:
     """Compute class bounds across QoS levels (the Figure-1 computation).
 
@@ -89,6 +161,12 @@ def qos_sweep(
     formulation is built once and re-targeted per level via
     :meth:`~repro.core.formulation.Formulation.set_qos_fraction`, which
     skips the model-assembly cost at every level after the first.
+
+    The per-(class, level) solves run through the experiment-runner layer:
+    ``runner=None`` executes them serially in-process (the historical
+    behavior); an :class:`~repro.runner.execute.ExperimentRunner` adds
+    worker-pool parallelism, content-addressed result caching and run
+    artifacts.
     """
     if not isinstance(problem.goal, QoSGoal):
         raise TypeError("qos_sweep needs a QoSGoal problem")
@@ -98,27 +176,21 @@ def qos_sweep(
     else:
         chosen = [c if isinstance(c, HeuristicClass) else get_class(str(c)) for c in classes]
 
-    from repro.core.formulation import build_formulation
+    from repro.runner.execute import run_tasks
+
+    tasks = sweep_tasks(
+        problem,
+        levels,
+        chosen,
+        do_rounding=do_rounding,
+        run_length=run_length,
+        backend=backend,
+        reuse_formulation=reuse_formulation,
+    )
+    results = run_tasks(tasks, runner)
 
     sweep = SweepResult(levels=levels, classes=[c.name for c in chosen])
+    cursor = iter(results)
     for cls in chosen:
-        per_level: Dict[float, LowerBoundResult] = {}
-        form = (
-            build_formulation(problem, cls.properties) if reuse_formulation else None
-        )
-        for level in levels:
-            goal = dataclasses.replace(problem.goal, fraction=level)
-            leveled = dataclasses.replace(problem, goal=goal)
-            if form is not None:
-                form.set_qos_fraction(level)
-                leveled = form.problem
-            per_level[level] = compute_lower_bound(
-                leveled,
-                cls.properties,
-                do_rounding=do_rounding,
-                run_length=run_length,
-                backend=backend,
-                formulation=form,
-            )
-        sweep.results[cls.name] = per_level
+        sweep.results[cls.name] = {level: next(cursor) for level in levels}
     return sweep

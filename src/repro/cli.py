@@ -18,27 +18,17 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import List, Optional
 
-import numpy as np
-
-from repro.core.bounds import compute_lower_bound
 from repro.core.classes import STANDARD_CLASSES, get_class, render_table3
 from repro.core.costs import CostModel
 from repro.core.deployment import plan_deployment
 from repro.core.goals import GoalScope, QoSGoal
 from repro.core.problem import MCPerfProblem
 from repro.core.selection import select_heuristic
-from repro.heuristics import (
-    CooperativeLRUCaching,
-    GreedyGlobalPlacement,
-    LFUCaching,
-    LRUCaching,
-    QiuGreedyPlacement,
-    RandomPlacement,
-)
-from repro.simulator.engine import simulate
+from repro.runner import BoundTask, HeuristicSpec, SimulateTask, make_runner
 from repro.topology.generators import as_level_topology
 from repro.topology.io import load_topology, save_topology
 from repro.workload.demand import DemandMatrix
@@ -51,6 +41,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Replica-placement heuristic selection (Karlsson & Karamanolis, ICDCS 2004)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more logging (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="errors only"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -87,6 +87,25 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--alpha", type=float, default=1.0)
         p.add_argument("--beta", type=float, default=1.0)
         p.add_argument("--json", action="store_true", help="machine-readable output")
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for independent solves (1 = serial, exact historical path)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="content-addressed result cache; reruns skip already-solved tasks",
+        )
+        p.add_argument(
+            "--run-dir",
+            default=None,
+            metavar="DIR",
+            help="write runs/<timestamp>-<digest>/ artifacts (manifest, per-task JSON, timings)",
+        )
 
     bounds = sub.add_parser("bounds", help="compute a class's lower bound")
     problem_args(bounds)
@@ -166,6 +185,26 @@ def _load_problem(args) -> tuple:
     return topology, trace, demand, problem
 
 
+def _runner_for(args, label: str):
+    """An :class:`~repro.runner.ExperimentRunner` from the shared CLI flags."""
+    return make_runner(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        run_dir=args.run_dir,
+        label=label,
+    )
+
+
+def _finish_runner(args, runner) -> None:
+    """Finalize artifacts; report to stderr (stdout stays parseable JSON)."""
+    run_dir = runner.finalize()
+    if args.cache_dir is not None or run_dir is not None:
+        message = runner.summary()
+        if run_dir is not None:
+            message += f" run_dir={run_dir}"
+        print(message, file=sys.stderr)
+
+
 def _cmd_topology(args) -> int:
     topo = as_level_topology(
         num_nodes=args.nodes, seed=args.seed, population_skew=args.skew
@@ -198,9 +237,16 @@ def _cmd_workload(args) -> int:
 def _cmd_bounds(args) -> int:
     _topo, _trace, _demand, problem = _load_problem(args)
     cls = get_class(args.cls)
-    result = compute_lower_bound(
-        problem, cls.properties, do_rounding=not args.no_rounding, diagnose=True
+    task = BoundTask(
+        problem=problem,
+        properties=cls.properties,
+        do_rounding=not args.no_rounding,
+        diagnose=True,
+        label=f"bound[{cls.name}]",
     )
+    runner = _runner_for(args, "bounds")
+    result = runner.map([task])[0]
+    _finish_runner(args, runner)
     if args.json:
         print(
             json.dumps(
@@ -224,9 +270,11 @@ def _cmd_bounds(args) -> int:
 
 def _cmd_select(args) -> int:
     _topo, _trace, _demand, problem = _load_problem(args)
+    runner = _runner_for(args, "select")
     report = select_heuristic(
-        problem, classes=args.classes, do_rounding=not args.no_rounding
+        problem, classes=args.classes, do_rounding=not args.no_rounding, runner=runner
     )
+    _finish_runner(args, runner)
     if args.json:
         print(
             json.dumps(
@@ -248,6 +296,7 @@ def _cmd_select(args) -> int:
 
 def _cmd_deploy(args) -> int:
     topology, _trace, demand, problem = _load_problem(args)
+    runner = _runner_for(args, "deploy")
     plan = plan_deployment(
         topology,
         demand,
@@ -256,7 +305,9 @@ def _cmd_deploy(args) -> int:
         max_nodes=args.max_nodes,
         warmup_intervals=args.warmup,
         do_rounding=False,
+        runner=runner,
     )
+    _finish_runner(args, runner)
     if args.json:
         print(
             json.dumps(
@@ -274,53 +325,38 @@ def _cmd_deploy(args) -> int:
     return 0 if plan.feasible else 1
 
 
-def _make_heuristic(args, trace):
-    period = args.period if args.period is not None else trace.duration_s / args.intervals
-    if args.heuristic == "lru":
-        return LRUCaching(args.capacity)
-    if args.heuristic == "lfu":
-        return LFUCaching(args.capacity)
-    if args.heuristic == "coop-lru":
-        return CooperativeLRUCaching(args.capacity)
-    if args.heuristic == "greedy-global":
-        return GreedyGlobalPlacement(args.capacity, period_s=period, tlat_ms=args.tlat)
-    if args.heuristic == "qiu":
-        return QiuGreedyPlacement(args.replicas, period_s=period, tlat_ms=args.tlat)
-    if args.heuristic == "random":
-        return RandomPlacement(args.replicas, period_s=period)
-    raise ValueError(f"unknown heuristic {args.heuristic!r}")
-
-
 def _cmd_simulate(args) -> int:
-    from repro.faults import HealingPolicy, parse_faults
     from repro.simulator.metrics import availability_report
 
     topology, trace, _demand, _problem = _load_problem(args)
-    heuristic = _make_heuristic(args, trace)
-    if args.heal:
-        heuristic = HealingPolicy(heuristic, copies=args.heal_copies)
-    faults = None
-    if args.faults:
-        faults = parse_faults(
-            args.faults,
-            num_nodes=topology.num_nodes,
-            num_objects=trace.num_objects,
-            duration_s=trace.duration_s,
-            origin=topology.origin,
-            seed=args.fault_seed,
-        )
+    period = args.period if args.period is not None else trace.duration_s / args.intervals
+    spec = HeuristicSpec(
+        name=args.heuristic,
+        capacity=args.capacity,
+        replicas=args.replicas,
+        period_s=period,
+        tlat_ms=args.tlat,
+        heal=args.heal,
+        heal_copies=args.heal_copies,
+    )
     interval_s = trace.duration_s / args.intervals
-    result = simulate(
-        topology,
-        trace,
-        heuristic,
+    task = SimulateTask(
+        topology=topology,
+        trace=trace,
+        heuristic=spec,
         tlat_ms=args.tlat,
         warmup_s=args.warmup * interval_s,
         cost_interval_s=interval_s,
         alpha=args.alpha,
         beta=args.beta,
-        faults=faults,
+        faults=args.faults or None,
+        fault_seed=args.fault_seed,
+        label=f"simulate[{args.heuristic}]",
     )
+    runner = _runner_for(args, "simulate")
+    result = runner.map([task])[0]
+    _finish_runner(args, runner)
+    faults = args.faults or None
     if args.json:
         payload = {
             "heuristic": result.heuristic,
@@ -360,7 +396,9 @@ def _cmd_sweep(args) -> int:
     from repro.analysis.sweep import qos_sweep
 
     _topo, _trace, _demand, problem = _load_problem(args)
-    sweep = qos_sweep(problem, levels=args.levels, classes=args.classes)
+    runner = _runner_for(args, "sweep")
+    sweep = qos_sweep(problem, levels=args.levels, classes=args.classes, runner=runner)
+    _finish_runner(args, runner)
     if args.json:
         print(
             json.dumps(
@@ -380,8 +418,24 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _configure_logging(args) -> None:
+    """Map -q/-v/-vv to a root log level; safe to call once per invocation."""
+    if args.quiet:
+        level = logging.ERROR
+    elif args.verbose >= 2:
+        level = logging.DEBUG
+    elif args.verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logging.basicConfig(
+        level=level, format="%(levelname)s %(name)s: %(message)s", stream=sys.stderr
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    _configure_logging(args)
     handlers = {
         "topology": _cmd_topology,
         "workload": _cmd_workload,

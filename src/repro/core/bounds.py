@@ -71,6 +71,50 @@ class LowerBoundResult:
         feas = f"{self.feasible_cost:.1f}" if self.feasible_cost is not None else "n/a"
         return f"[{self.properties.describe()}] bound={lp} feasible={feas}"
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding for the runner's cache/artifact layer.
+
+        ``store_lp`` and ``extras`` are deliberately not serialized: the
+        former is an opt-in debugging payload (``keep_store=True``), the
+        latter may hold rich diagnosis objects whose text already lives in
+        ``reason``.
+        """
+        return {
+            "properties": self.properties.to_dict(),
+            "feasible": self.feasible,
+            "lp_cost": self.lp_cost,
+            "feasible_cost": self.feasible_cost,
+            "rounding": None if self.rounding is None else self.rounding.to_dict(),
+            "status": self.status,
+            "reason": self.reason,
+            "solve_seconds": self.solve_seconds,
+            "round_seconds": self.round_seconds,
+            "num_variables": self.num_variables,
+            "num_constraints": self.num_constraints,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "LowerBoundResult":
+        """Inverse of :meth:`to_dict`."""
+        from repro.core.properties import HeuristicProperties
+        from repro.core.rounding import RoundingResult
+        from repro.serialize import optional_float
+
+        rounding = payload.get("rounding")
+        return LowerBoundResult(
+            properties=HeuristicProperties.from_dict(payload["properties"]),
+            feasible=bool(payload["feasible"]),
+            lp_cost=optional_float(payload.get("lp_cost")),
+            feasible_cost=optional_float(payload.get("feasible_cost")),
+            rounding=None if rounding is None else RoundingResult.from_dict(rounding),
+            status=str(payload.get("status", "")),
+            reason=str(payload.get("reason", "")),
+            solve_seconds=float(payload.get("solve_seconds", 0.0)),
+            round_seconds=float(payload.get("round_seconds", 0.0)),
+            num_variables=int(payload.get("num_variables", 0)),
+            num_constraints=int(payload.get("num_constraints", 0)),
+        )
+
 
 def compute_lower_bound(
     problem: MCPerfProblem,

@@ -19,7 +19,7 @@ import dataclasses
 import logging
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -33,6 +33,9 @@ from repro.core.selection import SelectionReport, select_heuristic
 from repro.lp.solution import SolveStatus
 from repro.topology.graph import Topology
 from repro.workload.demand import DemandMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.runner.execute import ExperimentRunner
 
 logger = logging.getLogger(__name__)
 
@@ -132,6 +135,7 @@ def plan_deployment(
     do_rounding: bool = True,
     backend: str = "auto",
     warmup_intervals: int = 0,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> DeploymentPlan:
     """Run both phases of the §6.2 methodology.
 
@@ -151,6 +155,10 @@ def plan_deployment(
         Exclude the first intervals from the goal's accounting (see
         :class:`~repro.core.problem.MCPerfProblem`); recommended when the
         phase-2 classes are reactive and the evaluation interval is coarse.
+    runner:
+        Optional :class:`~repro.runner.execute.ExperimentRunner` for the
+        phase-2 per-class bounds (the feasibility-prefix probes of phase 1
+        are inherently sequential and stay in-process).
     """
     costs = costs or CostModel.deployment_defaults()
     if costs.zeta <= 0:
@@ -247,6 +255,7 @@ def plan_deployment(
         classes=candidates,
         do_rounding=do_rounding,
         backend=backend,
+        runner=runner,
     )
     return DeploymentPlan(
         feasible=True,

@@ -160,6 +160,29 @@ class CostBreakdown:
     def total(self) -> float:
         return self.storage + self.creation + self.penalty + self.writes + self.opening
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding for the runner's cache/artifact layer."""
+        return {
+            "storage": self.storage,
+            "creation": self.creation,
+            "penalty": self.penalty,
+            "writes": self.writes,
+            "opening": self.opening,
+            "adjustments": dict(self.adjustments),
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "CostBreakdown":
+        """Inverse of :meth:`to_dict`."""
+        return CostBreakdown(
+            storage=float(payload["storage"]),
+            creation=float(payload["creation"]),
+            penalty=float(payload.get("penalty", 0.0)),
+            writes=float(payload.get("writes", 0.0)),
+            opening=float(payload.get("opening", 0.0)),
+            adjustments={str(k): float(v) for k, v in payload.get("adjustments", {}).items()},
+        )
+
     def __str__(self) -> str:
         parts = [f"storage={self.storage:.1f}", f"creation={self.creation:.1f}"]
         for name, value in (

@@ -119,6 +119,22 @@ class HeuristicProperties:
             or self.reactive
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe encoding (enum values + plain scalars)."""
+        return {
+            "storage_constraint": self.storage_constraint.value,
+            "replica_constraint": self.replica_constraint.value,
+            "routing": self.routing.value,
+            "knowledge": self.knowledge.value,
+            "history_window": self.history_window,
+            "reactive": self.reactive,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "HeuristicProperties":
+        """Inverse of :meth:`to_dict` (``__post_init__`` re-coerces enums)."""
+        return HeuristicProperties(**payload)
+
     def describe(self) -> str:
         parts = []
         if self.storage_constraint is not StorageConstraint.NONE:

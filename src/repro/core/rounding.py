@@ -74,6 +74,39 @@ class RoundingResult:
     def total_cost(self) -> float:
         return self.cost.total
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding for the runner's cache/artifact layer."""
+        from repro.serialize import array_to_jsonable, scope_items_to_jsonable
+
+        return {
+            "store": array_to_jsonable(self.store),
+            "cost": self.cost.to_dict(),
+            "feasible": self.feasible,
+            "fractional_units": self.fractional_units,
+            "rounded_up": self.rounded_up,
+            "rounded_down": self.rounded_down,
+            "repaired": self.repaired,
+            "legalized": self.legalized,
+            "qos": scope_items_to_jsonable(self.qos),
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "RoundingResult":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialize import array_from_jsonable, scope_items_from_jsonable
+
+        return RoundingResult(
+            store=array_from_jsonable(payload["store"]),
+            cost=CostBreakdown.from_dict(payload["cost"]),
+            feasible=bool(payload["feasible"]),
+            fractional_units=int(payload["fractional_units"]),
+            rounded_up=int(payload["rounded_up"]),
+            rounded_down=int(payload["rounded_down"]),
+            repaired=int(payload["repaired"]),
+            legalized=int(payload.get("legalized", 0)),
+            qos=scope_items_from_jsonable(payload.get("qos", [])),
+        )
+
 
 class _Rounder:
     """Stateful implementation of the Figure-5 loop."""

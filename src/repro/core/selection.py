@@ -11,11 +11,14 @@ classes outside the candidate set might be worth considering.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.core.bounds import LowerBoundResult, compute_lower_bound
+from repro.core.bounds import LowerBoundResult
 from repro.core.classes import FIGURE1_CLASSES, HeuristicClass, get_class
 from repro.core.problem import MCPerfProblem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.runner.execute import ExperimentRunner
 
 
 @dataclass
@@ -79,53 +82,49 @@ class SelectionReport:
         return "\n".join(lines)
 
 
-def select_heuristic(
+def resolve_candidates(classes: Optional[Sequence[object]]) -> List[HeuristicClass]:
+    """Candidate classes for selection: names/objects, or the Figure-1 set."""
+    if classes is None:
+        return [get_class(n) for n in FIGURE1_CLASSES if n != "general"]
+    return [c if isinstance(c, HeuristicClass) else get_class(str(c)) for c in classes]
+
+
+def selection_tasks(
     problem: MCPerfProblem,
-    classes: Optional[Sequence[object]] = None,
-    near_optimal_factor: float = 1.5,
-    comparable_factor: float = 1.1,
+    candidates: Sequence[HeuristicClass],
     do_rounding: bool = True,
     run_length: bool = False,
     backend: str = "auto",
-) -> SelectionReport:
-    """Run the §6.1 methodology and return a :class:`SelectionReport`.
+) -> List[object]:
+    """The selection's task graph: the general bound plus one per candidate."""
+    from repro.runner.tasks import BoundTask
 
-    Parameters
-    ----------
-    problem:
-        The MC-PERF instance.
-    classes:
-        Candidate classes — names or :class:`HeuristicClass` objects;
-        defaults to the Figure-1 set (minus the general bound, which is
-        always computed).
-    near_optimal_factor:
-        A recommendation within this factor of the general bound is flagged
-        "no heuristic can be significantly better".
-    comparable_factor:
-        Classes within this factor of the best bound are reported as
-        comparable alternatives.
-    """
-    if classes is None:
-        names = [n for n in FIGURE1_CLASSES if n != "general"]
-        candidates = [get_class(n) for n in names]
-    else:
-        candidates = [
-            c if isinstance(c, HeuristicClass) else get_class(str(c)) for c in classes
-        ]
-
-    general = compute_lower_bound(
-        problem, None, do_rounding=do_rounding, run_length=run_length, backend=backend
-    )
-    report = SelectionReport(problem=problem, general=general)
-
-    for cls in candidates:
-        result = compute_lower_bound(
-            problem,
-            cls.properties,
+    def task(properties, label):
+        return BoundTask(
+            problem=problem,
+            properties=properties,
             do_rounding=do_rounding,
             run_length=run_length,
             backend=backend,
+            label=label,
         )
+
+    return [task(None, "bound[general]")] + [
+        task(cls.properties, f"bound[{cls.name}]") for cls in candidates
+    ]
+
+
+def assemble_report(
+    problem: MCPerfProblem,
+    candidates: Sequence[HeuristicClass],
+    general: LowerBoundResult,
+    results: Sequence[LowerBoundResult],
+    near_optimal_factor: float = 1.5,
+    comparable_factor: float = 1.1,
+) -> SelectionReport:
+    """Rank per-class bounds and derive the recommendation (§6.1 rules)."""
+    report = SelectionReport(problem=problem, general=general)
+    for cls, result in zip(candidates, results):
         report.results[cls.name] = result
         if not result.feasible:
             report.infeasible.append(cls.name)
@@ -144,3 +143,55 @@ def select_heuristic(
             <= comparable_factor * best_cost
         ]
     return report
+
+
+def select_heuristic(
+    problem: MCPerfProblem,
+    classes: Optional[Sequence[object]] = None,
+    near_optimal_factor: float = 1.5,
+    comparable_factor: float = 1.1,
+    do_rounding: bool = True,
+    run_length: bool = False,
+    backend: str = "auto",
+    runner: Optional["ExperimentRunner"] = None,
+) -> SelectionReport:
+    """Run the §6.1 methodology and return a :class:`SelectionReport`.
+
+    Parameters
+    ----------
+    problem:
+        The MC-PERF instance.
+    classes:
+        Candidate classes — names or :class:`HeuristicClass` objects;
+        defaults to the Figure-1 set (minus the general bound, which is
+        always computed).
+    near_optimal_factor:
+        A recommendation within this factor of the general bound is flagged
+        "no heuristic can be significantly better".
+    comparable_factor:
+        Classes within this factor of the best bound are reported as
+        comparable alternatives.
+    runner:
+        Optional :class:`~repro.runner.execute.ExperimentRunner`; the
+        general + per-class bound solves are independent tasks, so a runner
+        parallelizes and caches them.  None solves serially in-process.
+    """
+    from repro.runner.execute import run_tasks
+
+    candidates = resolve_candidates(classes)
+    tasks = selection_tasks(
+        problem,
+        candidates,
+        do_rounding=do_rounding,
+        run_length=run_length,
+        backend=backend,
+    )
+    results = run_tasks(tasks, runner)
+    return assemble_report(
+        problem,
+        candidates,
+        results[0],
+        results[1:],
+        near_optimal_factor=near_optimal_factor,
+        comparable_factor=comparable_factor,
+    )

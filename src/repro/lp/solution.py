@@ -64,6 +64,29 @@ class LPSolution:
             )
         return self
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding for the runner's cache/artifact layer."""
+        return {
+            "status": self.status.value,
+            "objective": float(self.objective),
+            "values": [float(v) for v in self.values],
+            "backend": self.backend,
+            "message": self.message,
+            "duals": None if self.duals is None else [float(d) for d in self.duals],
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "LPSolution":
+        """Inverse of :meth:`to_dict`."""
+        return LPSolution(
+            status=SolveStatus(payload["status"]),
+            objective=float(payload["objective"]),
+            values=list(payload["values"]),
+            backend=str(payload.get("backend", "")),
+            message=str(payload.get("message", "")),
+            duals=None if payload.get("duals") is None else list(payload["duals"]),
+        )
+
     def __repr__(self) -> str:
         obj = f"{self.objective:.6g}" if self.is_optimal else "n/a"
         return (

@@ -1,0 +1,64 @@
+"""The unified experiment-runner layer.
+
+The paper's methodology is a grid of independent computations — one LP bound
+(+ rounding) per (heuristic class x QoS level), one trace replay per
+simulated heuristic.  This package turns those grids into explicit task
+graphs and runs them through one scheduler with:
+
+* **parallel solves** — ``jobs=N`` fans tasks out over a process pool;
+  ``jobs=1`` is bit-identical to the historical serial loops;
+* **content-addressed caching** — results keyed by a stable digest of
+  (problem, class properties, goal level, backend, rounding flags), so a
+  warm rerun performs zero LP solves and editing one class re-solves only
+  that class;
+* **run artifacts** — ``runs/<timestamp>-<digest>/`` with ``manifest.json``
+  (including the cache-hit counters), per-task result JSON and a timing
+  summary.
+
+The sweep (:func:`repro.analysis.sweep.qos_sweep`), selection
+(:func:`repro.core.selection.select_heuristic`), deployment
+(:func:`repro.core.deployment.plan_deployment`) and sensitivity
+(:mod:`repro.analysis.sensitivity`) pipelines all accept a ``runner=``; the
+CLI builds one from ``--jobs/--cache-dir/--run-dir``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.runner.artifacts import RunWriter, TaskRecord
+from repro.runner.cache import ResultCache
+from repro.runner.digest import digest_of, short_digest
+from repro.runner.execute import ExperimentRunner, run_tasks
+from repro.runner.tasks import BoundTask, HeuristicSpec, SimulateTask
+
+__all__ = [
+    "BoundTask",
+    "ExperimentRunner",
+    "HeuristicSpec",
+    "ResultCache",
+    "RunWriter",
+    "SimulateTask",
+    "TaskRecord",
+    "digest_of",
+    "make_runner",
+    "run_tasks",
+    "short_digest",
+]
+
+
+def make_runner(
+    jobs: int = 1,
+    cache_dir: Optional[os.PathLike | str] = None,
+    run_dir: Optional[os.PathLike | str] = None,
+    label: str = "",
+) -> ExperimentRunner:
+    """An :class:`ExperimentRunner` from CLI-style knobs.
+
+    ``cache_dir=None`` disables caching; ``run_dir=None`` disables run
+    artifacts — the defaults reproduce the historical in-memory behavior.
+    """
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    artifacts = RunWriter(root=run_dir, label=label) if run_dir is not None else None
+    return ExperimentRunner(jobs=jobs, cache=cache, artifacts=artifacts)

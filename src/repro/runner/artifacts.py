@@ -1,0 +1,140 @@
+"""Run-directory artifacts.
+
+Every runner invocation can persist what it did under
+``<root>/<timestamp>-<digest>/``:
+
+* ``manifest.json`` — run metadata, the task list (label, cache key, cached
+  or executed, seconds) and the cache-hit counters the acceptance checks
+  read;
+* ``tasks/NNN-<key12>.json`` — each task's full result payload (the same
+  encoding the cache uses);
+* ``timing.txt`` — a human-readable per-task timing summary.
+
+The digest in the directory name is the digest of the run's task keys, so
+identical experiments land in recognizably-related directories while repeat
+runs still get fresh timestamped homes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.runner.digest import SCHEMA_VERSION, digest_of
+
+
+@dataclass
+class TaskRecord:
+    """One task's row in the manifest."""
+
+    index: int
+    kind: str
+    label: str
+    key: str
+    cached: bool
+    seconds: float
+    file: Optional[str] = None
+
+
+@dataclass
+class RunWriter:
+    """Collects task records and writes the run directory on ``finalize``."""
+
+    root: Path
+    label: str = ""
+    records: List[TaskRecord] = field(default_factory=list)
+    _dir: Optional[Path] = None
+    _started: float = field(default_factory=time.time)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    @property
+    def run_dir(self) -> Optional[Path]:
+        return self._dir
+
+    def _ensure_dir(self) -> Path:
+        if self._dir is None:
+            stamp = time.strftime("%Y%m%d-%H%M%S", time.localtime(self._started))
+            run_key = digest_of(self.label, [r.key for r in self.records])[:12]
+            path = self.root / f"{stamp}-{run_key}"
+            suffix = 0
+            while path.exists():
+                suffix += 1
+                path = self.root / f"{stamp}-{run_key}.{suffix}"
+            path.mkdir(parents=True)
+            (path / "tasks").mkdir()
+            self._dir = path
+        return self._dir
+
+    def record(
+        self,
+        *,
+        kind: str,
+        label: str,
+        key: str,
+        cached: bool,
+        seconds: float,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        rec = TaskRecord(
+            index=len(self.records),
+            kind=kind,
+            label=label or f"{kind}-{len(self.records)}",
+            key=key,
+            cached=cached,
+            seconds=seconds,
+        )
+        self.records.append(rec)
+        if payload is not None:
+            run_dir = self._ensure_dir()
+            rec.file = f"tasks/{rec.index:03d}-{key[:12]}.json"
+            (run_dir / rec.file).write_text(
+                json.dumps({"kind": kind, "key": key, "payload": payload})
+            )
+
+    def manifest(self, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        hits = sum(1 for r in self.records if r.cached)
+        data: Dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "label": self.label,
+            "created": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.localtime(self._started)
+            ),
+            "tasks": len(self.records),
+            "cache_hits": hits,
+            "cache_misses": len(self.records) - hits,
+            "executed": len(self.records) - hits,
+            "seconds": sum(r.seconds for r in self.records),
+            "wall_seconds": time.time() - self._started,
+            "task_records": [vars(r) for r in self.records],
+        }
+        if extra:
+            data.update(extra)
+        return data
+
+    def finalize(self, extra: Optional[Dict[str, Any]] = None) -> Path:
+        """Write ``manifest.json`` and ``timing.txt``; returns the run dir."""
+        run_dir = self._ensure_dir()
+        manifest = self.manifest(extra)
+        (run_dir / "manifest.json").write_text(json.dumps(manifest, indent=2))
+
+        width = max([len(r.label) for r in self.records], default=5)
+        lines = [
+            f"run {run_dir.name}  label={self.label or '-'}  "
+            f"tasks={manifest['tasks']}  cache_hits={manifest['cache_hits']}  "
+            f"executed={manifest['executed']}",
+            f"{'task'.ljust(width)}  {'source':8s}  {'seconds':>8s}",
+        ]
+        for r in self.records:
+            source = "cache" if r.cached else "solve"
+            lines.append(f"{r.label.ljust(width)}  {source:8s}  {r.seconds:8.3f}")
+        lines.append(
+            f"{'total'.ljust(width)}  {'':8s}  {manifest['seconds']:8.3f}"
+            f"  (wall {manifest['wall_seconds']:.3f}s)"
+        )
+        (run_dir / "timing.txt").write_text("\n".join(lines) + "\n")
+        return run_dir

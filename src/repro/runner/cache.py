@@ -1,0 +1,75 @@
+"""Content-addressed on-disk result cache.
+
+Each task result is stored as one JSON file under
+``<root>/<key[:2]>/<key>.json`` where ``key`` is the task's content digest
+(:mod:`repro.runner.digest`).  Because the key covers the problem, the class
+properties, the goal level and the solve flags, a warm cache serves repeat
+sweeps without a single LP solve, and editing one heuristic class invalidates
+only that class's entries.
+
+Entries carry the producing task ``kind`` and the schema version; mismatches
+and unreadable files are treated as misses (and overwritten on the next
+``put``), so the cache is always safe to delete or share.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.runner.digest import SCHEMA_VERSION
+
+
+class ResultCache:
+    """A directory of content-addressed task results."""
+
+    def __init__(self, root: os.PathLike | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str, kind: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if entry.get("schema") != SCHEMA_VERSION or entry.get("kind") != kind:
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def store(self, key: str, kind: str, payload: Dict[str, Any], seconds: float) -> None:
+        """Persist a result atomically (write-to-temp + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "key": key,
+            "seconds": seconds,
+            "payload": payload,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r}, entries={len(self)})"

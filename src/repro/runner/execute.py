@@ -1,0 +1,184 @@
+"""The task scheduler: serial or process-parallel, cache-aware.
+
+:class:`ExperimentRunner` maps a list of tasks to their results:
+
+1. every task's content digest is checked against the
+   :class:`~repro.runner.cache.ResultCache` (when configured);
+2. the remaining tasks are *chunked by reuse group* — tasks sharing a
+   ``reuse_key()`` (same class, QoS fraction varying) stay together so the
+   per-process formulation memo can re-target one LP's right-hand sides
+   instead of rebuilding it per level;
+3. chunks execute in submission order in-process at ``jobs=1`` (bit-identical
+   to the historical serial loops), or across a ``ProcessPoolExecutor`` at
+   ``jobs>1``;
+4. fresh results are written back to the cache and, together with hits,
+   recorded in the :class:`~repro.runner.artifacts.RunWriter`.
+
+Results always come back in task order, whatever the execution order was.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.artifacts import RunWriter
+from repro.runner.cache import ResultCache
+
+
+def _run_chunk(tasks: Sequence[Any]) -> List[Tuple[Any, float]]:
+    """Execute one reuse-group chunk sequentially; top-level for pickling."""
+    out = []
+    for task in tasks:
+        t0 = time.perf_counter()
+        result = task.run()
+        out.append((result, time.perf_counter() - t0))
+    return out
+
+
+class ExperimentRunner:
+    """Runs task batches with optional parallelism, caching and artifacts.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. 1 (default) executes in-process, in submission
+        order — numerically identical to the historical serial pipelines.
+    cache:
+        Optional :class:`ResultCache` (content-addressed, on disk).
+    artifacts:
+        Optional :class:`RunWriter`; call :meth:`finalize` after the last
+        batch to write ``manifest.json``.
+
+    One runner may serve several ``map()`` batches (e.g. a sensitivity sweep
+    issuing one batch per scenario); counters accumulate across batches.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        artifacts: Optional[RunWriter] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.artifacts = artifacts
+        self.tasks = 0
+        self.cache_hits = 0
+        self.executed = 0
+
+    # -- execution -----------------------------------------------------------
+
+    def map(self, tasks: Sequence[Any]) -> List[Any]:
+        """Results for ``tasks``, in task order."""
+        tasks = list(tasks)
+        results: List[Any] = [None] * len(tasks)
+        timings: Dict[int, float] = {}
+        cached: Dict[int, bool] = {}
+
+        keys = [task.cache_key() for task in tasks]
+        pending: List[int] = []
+        for i, (task, key) in enumerate(zip(tasks, keys)):
+            payload = self.cache.load(key, task.kind) if self.cache else None
+            if payload is not None:
+                results[i] = task.decode(payload)
+                timings[i] = 0.0
+                cached[i] = True
+            else:
+                pending.append(i)
+
+        chunks = self._chunks(tasks, pending)
+        if self.jobs == 1 or len(chunks) <= 1:
+            for chunk in chunks:
+                outcomes = _run_chunk([tasks[i] for i in chunk])
+                self._collect(tasks, keys, chunk, outcomes, results, timings, cached)
+        else:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(chunks))) as pool:
+                futures = [
+                    (chunk, pool.submit(_run_chunk, [tasks[i] for i in chunk]))
+                    for chunk in chunks
+                ]
+                for chunk, future in futures:
+                    self._collect(
+                        tasks, keys, chunk, future.result(), results, timings, cached
+                    )
+
+        self.tasks += len(tasks)
+        self.cache_hits += sum(1 for c in cached.values() if c)
+        self.executed += len(pending)
+
+        if self.artifacts is not None:
+            for i, task in enumerate(tasks):
+                self.artifacts.record(
+                    kind=task.kind,
+                    label=task.label,
+                    key=keys[i],
+                    cached=cached.get(i, False),
+                    seconds=timings.get(i, 0.0),
+                    payload=task.encode(results[i]),
+                )
+        return results
+
+    def _chunks(self, tasks: Sequence[Any], pending: Sequence[int]) -> List[List[int]]:
+        """Group pending task indices by reuse key (first-appearance order).
+
+        Tasks without a reuse key become singleton chunks; grouped tasks
+        execute sequentially inside one process so formulation re-targeting
+        applies.  At ``jobs=1`` grouping preserves the historical
+        class-outer/level-inner order because sweeps emit tasks that way.
+        """
+        groups: Dict[str, List[int]] = {}
+        order: List[List[int]] = []
+        for i in pending:
+            key = tasks[i].reuse_key()
+            if key is None:
+                order.append([i])
+                continue
+            if key not in groups:
+                groups[key] = []
+                order.append(groups[key])
+            groups[key].append(i)
+        return order
+
+    def _collect(self, tasks, keys, chunk, outcomes, results, timings, cached) -> None:
+        for i, (result, seconds) in zip(chunk, outcomes):
+            results[i] = result
+            timings[i] = seconds
+            cached[i] = False
+            if self.cache is not None:
+                self.cache.store(keys[i], tasks[i].kind, tasks[i].encode(result), seconds)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def cache_misses(self) -> int:
+        return self.tasks - self.cache_hits
+
+    def finalize(self, extra: Optional[Dict[str, Any]] = None) -> Optional[str]:
+        """Write the run directory (when artifacts are configured)."""
+        if self.artifacts is None:
+            return None
+        info = {"jobs": self.jobs}
+        if extra:
+            info.update(extra)
+        return str(self.artifacts.finalize(info))
+
+    def summary(self) -> str:
+        return (
+            f"tasks={self.tasks} cache_hits={self.cache_hits} "
+            f"executed={self.executed} jobs={self.jobs}"
+        )
+
+
+def run_tasks(tasks: Sequence[Any], runner: Optional[ExperimentRunner] = None) -> List[Any]:
+    """Run ``tasks`` through ``runner``, or serially in-process when None.
+
+    The None path is the library default: no cache, no artifacts, no worker
+    processes — the exact pre-runner behavior of the callers.
+    """
+    if runner is None:
+        runner = ExperimentRunner(jobs=1)
+    return runner.map(tasks)

@@ -1,0 +1,257 @@
+"""Picklable task units for the experiment runner.
+
+The paper's methodology is a grid of independent computations: one LP bound
+(+ rounding) per (heuristic class x QoS level), one trace replay per
+simulated heuristic.  Each grid cell becomes a :class:`BoundTask` or
+:class:`SimulateTask` — a frozen, picklable value object that
+
+* computes its own content-addressed ``cache_key()``,
+* knows how to ``run()`` itself inside any process (serial or a
+  ``ProcessPoolExecutor`` worker), and
+* encodes/decodes its result for the on-disk cache and run artifacts.
+
+Formulation reuse across sweep levels (the RHS-only re-targeting of
+:meth:`~repro.core.formulation.Formulation.set_qos_fraction`) survives the
+move into worker processes through a small per-process memo: tasks that share
+a ``reuse_key()`` (same problem modulo QoS fraction, same class) are chunked
+onto the same worker by the scheduler, and the first task's formulation is
+re-targeted for the rest — exactly the single-process fast path the sweeps
+always used.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.bounds import LowerBoundResult, compute_lower_bound
+from repro.core.goals import QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.core.properties import HeuristicProperties
+from repro.runner.digest import digest_of
+from repro.simulator.engine import SimulationResult, simulate
+from repro.topology.graph import Topology
+from repro.workload.trace import Trace
+
+#: Per-process formulation memo: reuse_key -> Formulation.  Bounded because a
+#: formulation holds the full LP; sweeps walk classes one group at a time, so
+#: a tiny capacity already captures every reuse the schedule allows.
+_FORMULATIONS: "OrderedDict[str, object]" = OrderedDict()
+_FORMULATION_CAPACITY = 4
+
+
+def _memoize_formulation(key: str, form: object) -> None:
+    _FORMULATIONS[key] = form
+    _FORMULATIONS.move_to_end(key)
+    while len(_FORMULATIONS) > _FORMULATION_CAPACITY:
+        _FORMULATIONS.popitem(last=False)
+
+
+@dataclass(frozen=True)
+class BoundTask:
+    """One lower-bound computation: LP solve (+ optional rounding).
+
+    ``properties=None`` computes the general bound.  The QoS level lives in
+    ``problem.goal.fraction`` — sweeps materialize one task per (class,
+    level) with :func:`dataclasses.replace`-d goals.
+    """
+
+    problem: MCPerfProblem
+    properties: Optional[HeuristicProperties] = None
+    do_rounding: bool = True
+    run_length: bool = False
+    backend: str = "auto"
+    diagnose: bool = False
+    #: Allow RHS-only formulation reuse across tasks sharing ``reuse_key()``.
+    reuse_formulation: bool = False
+    #: Display name for artifacts/reports; not part of the cache key.
+    label: str = ""
+
+    kind = "bound"
+
+    def cache_key(self) -> str:
+        return digest_of(
+            "bound-task",
+            self.problem,
+            self.properties,
+            self.do_rounding,
+            self.run_length,
+            self.backend,
+            self.diagnose,
+        )
+
+    def reuse_key(self) -> Optional[str]:
+        """Group key for formulation sharing; None when reuse is impossible.
+
+        Only the QoS fraction may differ inside a group — everything else
+        (topology, demand, scope, threshold, costs, class) is part of the
+        key, matching what :meth:`Formulation.set_qos_fraction` can re-target.
+        """
+        if not self.reuse_formulation or not isinstance(self.problem.goal, QoSGoal):
+            return None
+        normalized = dataclasses.replace(
+            self.problem, goal=dataclasses.replace(self.problem.goal, fraction=1.0)
+        )
+        return digest_of("formulation", normalized, self.properties)
+
+    def run(self) -> LowerBoundResult:
+        problem = self.problem
+        form = None
+        reuse_key = self.reuse_key()
+        if reuse_key is not None:
+            from repro.core.formulation import build_formulation
+
+            form = _FORMULATIONS.get(reuse_key)
+            if form is None:
+                form = build_formulation(problem, self.properties)
+                _memoize_formulation(reuse_key, form)
+            else:
+                _FORMULATIONS.move_to_end(reuse_key)
+                form.set_qos_fraction(problem.goal.fraction)
+            problem = form.problem
+        return compute_lower_bound(
+            problem,
+            self.properties,
+            do_rounding=self.do_rounding,
+            run_length=self.run_length,
+            backend=self.backend,
+            formulation=form,
+            diagnose=self.diagnose,
+        )
+
+    @staticmethod
+    def encode(result: LowerBoundResult) -> Dict[str, object]:
+        return result.to_dict()
+
+    @staticmethod
+    def decode(payload: Dict[str, object]) -> LowerBoundResult:
+        return LowerBoundResult.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class HeuristicSpec:
+    """A deployable heuristic as data, so simulate tasks stay picklable.
+
+    Mirrors the CLI's heuristic surface (name + sizing knobs + optional
+    healing wrapper); ``build()`` materializes the stateful heuristic inside
+    the process that will run the replay.
+    """
+
+    name: str
+    capacity: int = 10
+    replicas: int = 2
+    period_s: Optional[float] = None
+    tlat_ms: float = 150.0
+    heal: bool = False
+    heal_copies: int = 2
+
+    def build(self):
+        from repro.heuristics import (
+            CooperativeLRUCaching,
+            GreedyGlobalPlacement,
+            LFUCaching,
+            LRUCaching,
+            QiuGreedyPlacement,
+            RandomPlacement,
+        )
+
+        if self.name == "lru":
+            heuristic = LRUCaching(self.capacity)
+        elif self.name == "lfu":
+            heuristic = LFUCaching(self.capacity)
+        elif self.name == "coop-lru":
+            heuristic = CooperativeLRUCaching(self.capacity)
+        elif self.name == "greedy-global":
+            heuristic = GreedyGlobalPlacement(
+                self.capacity, period_s=self.period_s, tlat_ms=self.tlat_ms
+            )
+        elif self.name == "qiu":
+            heuristic = QiuGreedyPlacement(
+                self.replicas, period_s=self.period_s, tlat_ms=self.tlat_ms
+            )
+        elif self.name == "random":
+            heuristic = RandomPlacement(self.replicas, period_s=self.period_s)
+        else:
+            raise ValueError(f"unknown heuristic {self.name!r}")
+        if self.heal:
+            from repro.faults import HealingPolicy
+
+            heuristic = HealingPolicy(heuristic, copies=self.heal_copies)
+        return heuristic
+
+
+@dataclass(frozen=True)
+class SimulateTask:
+    """One trace replay of a heuristic (optionally under injected faults).
+
+    Faults stay in their CLI spec-string form; the schedule is generated
+    deterministically from ``fault_seed`` inside ``run()``, so the task
+    pickles small and replays identically everywhere.
+    """
+
+    topology: Topology
+    trace: Trace
+    heuristic: HeuristicSpec
+    tlat_ms: float = 150.0
+    warmup_s: float = 0.0
+    cost_interval_s: float = 3600.0
+    alpha: float = 1.0
+    beta: float = 1.0
+    faults: Optional[str] = None
+    fault_seed: int = 0
+    label: str = ""
+
+    kind = "simulate"
+
+    def cache_key(self) -> str:
+        return digest_of(
+            "simulate-task",
+            self.topology,
+            self.trace,
+            self.heuristic,
+            self.tlat_ms,
+            self.warmup_s,
+            self.cost_interval_s,
+            self.alpha,
+            self.beta,
+            self.faults,
+            self.fault_seed,
+        )
+
+    def reuse_key(self) -> Optional[str]:
+        return None
+
+    def run(self) -> SimulationResult:
+        schedule = None
+        if self.faults:
+            from repro.faults import parse_faults
+
+            schedule = parse_faults(
+                self.faults,
+                num_nodes=self.topology.num_nodes,
+                num_objects=self.trace.num_objects,
+                duration_s=self.trace.duration_s,
+                origin=self.topology.origin,
+                seed=self.fault_seed,
+            )
+        return simulate(
+            self.topology,
+            self.trace,
+            self.heuristic.build(),
+            tlat_ms=self.tlat_ms,
+            warmup_s=self.warmup_s,
+            cost_interval_s=self.cost_interval_s,
+            alpha=self.alpha,
+            beta=self.beta,
+            faults=schedule,
+        )
+
+    @staticmethod
+    def encode(result: SimulationResult) -> Dict[str, object]:
+        return result.to_dict()
+
+    @staticmethod
+    def decode(payload: Dict[str, object]) -> SimulationResult:
+        return SimulationResult.from_dict(payload)

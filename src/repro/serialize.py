@@ -1,0 +1,68 @@
+"""JSON-serialization helpers shared by the result types.
+
+The experiment-runner layer (:mod:`repro.runner`) persists results to disk —
+the content-addressed cache and the per-run artifact directories — so the
+result dataclasses (:class:`~repro.core.bounds.LowerBoundResult`,
+:class:`~repro.analysis.sweep.SweepResult`,
+:class:`~repro.lp.solution.LPSolution`,
+:class:`~repro.simulator.engine.SimulationResult`) carry ``to_dict`` /
+``from_dict`` round-trips.  This module holds the two conversions they all
+need: numpy arrays and the heterogeneous goal-scope keys
+(ints, strings and tuples like ``("k", 3)``) that JSON cannot express as
+dictionary keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+
+def array_to_jsonable(arr: Optional[np.ndarray]) -> Optional[Dict[str, Any]]:
+    """Encode an ndarray as ``{"dtype", "shape", "data"}`` (None passes through)."""
+    if arr is None:
+        return None
+    arr = np.asarray(arr)
+    return {
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+        "data": arr.ravel().tolist(),
+    }
+
+
+def array_from_jsonable(payload: Optional[Dict[str, Any]]) -> Optional[np.ndarray]:
+    """Decode :func:`array_to_jsonable` output back into an ndarray."""
+    if payload is None:
+        return None
+    return np.array(payload["data"], dtype=np.dtype(payload["dtype"])).reshape(
+        payload["shape"]
+    )
+
+
+def scope_items_to_jsonable(mapping: Dict[object, float]) -> List[List[Any]]:
+    """Encode a scope-keyed mapping as ``[key, value]`` pairs.
+
+    Goal-scope keys are ints, the string ``"all"`` or tuples; tuples become
+    lists in JSON and are restored by :func:`scope_items_from_jsonable`.
+    """
+    return [[list(k) if isinstance(k, tuple) else k, float(v)] for k, v in mapping.items()]
+
+
+def scope_items_from_jsonable(pairs: List[List[Any]]) -> Dict[object, float]:
+    """Decode :func:`scope_items_to_jsonable` output (lists back to tuples)."""
+    return {tuple(k) if isinstance(k, list) else k: float(v) for k, v in pairs}
+
+
+def optional_float(value: Any) -> Optional[float]:
+    return None if value is None else float(value)
+
+
+def json_key_pairs(mapping: Dict[int, float]) -> Dict[str, float]:
+    """Int-keyed mapping to string keys (JSON object keys must be strings)."""
+    return {str(k): float(v) for k, v in mapping.items()}
+
+
+def int_key_pairs(mapping: Dict[str, Any]) -> Dict[int, float]:
+    """Inverse of :func:`json_key_pairs`."""
+    return {int(k): float(v) for k, v in mapping.items()}

@@ -98,6 +98,57 @@ class SimulationResult:
         level = self.min_node_qos if per_user else self.qos
         return level >= fraction - 1e-12
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding for the runner's cache/artifact layer."""
+        from repro.serialize import array_to_jsonable, json_key_pairs
+
+        return {
+            "heuristic": self.heuristic,
+            "storage_cost": self.storage_cost,
+            "creation_cost": self.creation_cost,
+            "update_cost": self.update_cost,
+            "creations": self.creations,
+            "reads": self.reads,
+            "covered_reads": self.covered_reads,
+            "qos_per_node": json_key_pairs(self.qos_per_node),
+            "peak_occupancy": array_to_jsonable(self.peak_occupancy),
+            "max_replicas_per_object": array_to_jsonable(self.max_replicas_per_object),
+            "mean_latency_ms": self.mean_latency_ms,
+            "unavailable_reads": self.unavailable_reads,
+            "repairs": self.repairs,
+            "mean_repair_time_s": self.mean_repair_time_s,
+            "healing_creations": self.healing_creations,
+            "healing_cost": self.healing_cost,
+            "node_downtime_s": self.node_downtime_s,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "SimulationResult":
+        """Inverse of :meth:`to_dict`."""
+        from repro.serialize import array_from_jsonable, int_key_pairs
+
+        return SimulationResult(
+            heuristic=str(payload["heuristic"]),
+            storage_cost=float(payload["storage_cost"]),
+            creation_cost=float(payload["creation_cost"]),
+            update_cost=float(payload["update_cost"]),
+            creations=int(payload["creations"]),
+            reads=int(payload["reads"]),
+            covered_reads=int(payload["covered_reads"]),
+            qos_per_node=int_key_pairs(payload.get("qos_per_node", {})),
+            peak_occupancy=array_from_jsonable(payload.get("peak_occupancy")),
+            max_replicas_per_object=array_from_jsonable(
+                payload.get("max_replicas_per_object")
+            ),
+            mean_latency_ms=float(payload.get("mean_latency_ms", 0.0)),
+            unavailable_reads=int(payload.get("unavailable_reads", 0)),
+            repairs=int(payload.get("repairs", 0)),
+            mean_repair_time_s=float(payload.get("mean_repair_time_s", 0.0)),
+            healing_creations=int(payload.get("healing_creations", 0)),
+            healing_cost=float(payload.get("healing_cost", 0.0)),
+            node_downtime_s=float(payload.get("node_downtime_s", 0.0)),
+        )
+
     def __str__(self) -> str:
         text = (
             f"{self.heuristic}: cost={self.total_cost:.1f} "

@@ -1,0 +1,97 @@
+"""SweepResult edge cases: crossover detection and feasibility endpoints.
+
+These exercise the result container in isolation — results are synthesized,
+no LPs are solved — covering the paper-figure situations the accessors must
+get right: classes that can never meet the goal, one-point sweeps, and ties.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.sweep import SweepResult
+from repro.core.bounds import LowerBoundResult
+
+
+def result(cost: Optional[float]) -> LowerBoundResult:
+    if cost is None:
+        return LowerBoundResult(
+            properties=None, feasible=False, reason="cannot meet goal"
+        )
+    return LowerBoundResult(properties=None, feasible=True, lp_cost=cost)
+
+
+def sweep(series: Dict[str, list], levels: list) -> SweepResult:
+    out = SweepResult(levels=list(levels), classes=list(series))
+    for cls, costs in series.items():
+        out.results[cls] = {
+            level: result(cost) for level, cost in zip(levels, costs)
+        }
+    return out
+
+
+LEVELS = [0.9, 0.95, 0.99]
+
+
+def test_all_infeasible_class_has_no_feasible_level():
+    s = sweep({"never": [None, None, None], "ok": [1.0, 2.0, 3.0]}, LEVELS)
+    assert s.max_feasible_level("never") is None
+    assert s.series("never") == [None, None, None]
+    assert s.bound("never", 0.9) is None
+    assert s.max_feasible_level("ok") == 0.99
+
+
+def test_unknown_class_behaves_like_infeasible():
+    s = sweep({"ok": [1.0, 2.0, 3.0]}, LEVELS)
+    assert s.max_feasible_level("missing") is None
+    assert s.series("missing") == [None, None, None]
+
+
+def test_single_level_sweep():
+    s = sweep({"a": [5.0], "b": [7.0]}, [0.95])
+    assert s.max_feasible_level("a") == 0.95
+    assert s.series("b") == [7.0]
+    # One point can never exhibit a flip.
+    assert s.crossover("a", "b") is None
+
+
+def test_crossover_detects_cost_flip():
+    s = sweep({"a": [1.0, 2.0, 9.0], "b": [2.0, 3.0, 4.0]}, LEVELS)
+    assert s.crossover("a", "b") == 0.99
+
+
+def test_crossover_none_when_order_is_stable():
+    s = sweep({"a": [1.0, 2.0, 3.0], "b": [2.0, 3.0, 4.0]}, LEVELS)
+    assert s.crossover("a", "b") is None
+
+
+def test_crossover_counts_curve_endpoint_as_flip():
+    # 'a' is cheaper until it falls off the figure (infeasible at 0.99).
+    s = sweep({"a": [1.0, 2.0, None], "b": [2.0, 3.0, 4.0]}, LEVELS)
+    assert s.crossover("a", "b") == 0.99
+
+
+def test_crossover_with_identical_bounds_never_flips():
+    s = sweep({"a": [2.0, 3.0, 4.0], "b": [2.0, 3.0, 4.0]}, LEVELS)
+    assert s.crossover("a", "b") is None
+
+
+def test_crossover_tie_then_divergence_sets_baseline_late():
+    # Equal at 0.9 (no ordering yet); first order appears at 0.95 and holds.
+    s = sweep({"a": [2.0, 3.0, 5.0], "b": [2.0, 4.0, 6.0]}, LEVELS)
+    assert s.crossover("a", "b") is None
+    # ...but a later reversal against that late baseline is detected.
+    s2 = sweep({"a": [2.0, 3.0, 7.0], "b": [2.0, 4.0, 6.0]}, LEVELS)
+    assert s2.crossover("a", "b") == 0.99
+
+
+def test_crossover_when_neither_class_ever_coexists():
+    s = sweep({"a": [1.0, None, None], "b": [None, None, 4.0]}, LEVELS)
+    # 'a' feasible alone, then 'b' feasible alone: orders are -1 then +1 —
+    # that *is* a flip at the level where 'b' takes over.
+    assert s.crossover("a", "b") == 0.99
+
+
+def test_crossover_both_infeasible_everywhere():
+    s = sweep({"a": [None, None, None], "b": [None, None, None]}, LEVELS)
+    assert s.crossover("a", "b") is None

@@ -1,0 +1,178 @@
+"""The scheduler: ordering, parallel equivalence, caching, artifacts."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.bounds import compute_lower_bound
+from repro.core.classes import get_class
+from repro.runner import ExperimentRunner, make_runner, run_tasks
+from repro.runner.tasks import BoundTask, HeuristicSpec, SimulateTask
+
+
+LEVELS = [0.7, 0.8, 0.9]
+CLASSES = ["caching", "replica-constrained"]
+
+
+def bound_tasks(problem, reuse=True):
+    from repro.analysis.sweep import sweep_tasks
+
+    return sweep_tasks(
+        problem,
+        LEVELS,
+        [get_class(c) for c in CLASSES],
+        do_rounding=False,
+        backend="scipy",
+        reuse_formulation=reuse,
+    )
+
+
+def costs(results):
+    return [(r.feasible, r.lp_cost) for r in results]
+
+
+def direct_costs(problem):
+    """The pre-runner ground truth: fresh build + solve per (class, level)."""
+    out = []
+    for cls in CLASSES:
+        for level in LEVELS:
+            leveled = dataclasses.replace(
+                problem, goal=dataclasses.replace(problem.goal, fraction=level)
+            )
+            result = compute_lower_bound(
+                leveled,
+                get_class(cls).properties,
+                do_rounding=False,
+                backend="scipy",
+            )
+            out.append((result.feasible, result.lp_cost))
+    return out
+
+
+def test_jobs1_matches_direct_path(web_problem):
+    results = run_tasks(bound_tasks(web_problem))
+    expected = direct_costs(web_problem)
+    got = costs(results)
+    assert [f for f, _ in got] == [f for f, _ in expected]
+    for (_, a), (_, b) in zip(got, expected):
+        if a is None or b is None:
+            assert a == b
+        else:
+            assert a == pytest.approx(b, rel=1e-9)
+
+
+def test_jobs2_matches_jobs1(web_problem):
+    tasks = bound_tasks(web_problem)
+    serial = run_tasks(tasks, ExperimentRunner(jobs=1))
+    parallel = run_tasks(tasks, ExperimentRunner(jobs=2))
+    assert costs(serial) == costs(parallel)
+
+
+def test_results_come_back_in_task_order(web_problem):
+    tasks = bound_tasks(web_problem)
+    results = run_tasks(tasks, ExperimentRunner(jobs=2))
+    # Task i is class CLASSES[i // len(LEVELS)] at LEVELS[i % len(LEVELS)]:
+    # bounds within one class are non-decreasing in the QoS level.
+    for c in range(len(CLASSES)):
+        per_class = results[c * len(LEVELS) : (c + 1) * len(LEVELS)]
+        feasible = [r.lp_cost for r in per_class if r.feasible]
+        assert feasible == sorted(feasible)
+
+
+def test_chunks_group_by_reuse_key(web_problem):
+    tasks = bound_tasks(web_problem, reuse=True)
+    runner = ExperimentRunner(jobs=1)
+    chunks = runner._chunks(tasks, list(range(len(tasks))))
+    assert [len(c) for c in chunks] == [len(LEVELS)] * len(CLASSES)
+
+    no_reuse = bound_tasks(web_problem, reuse=False)
+    singletons = runner._chunks(no_reuse, list(range(len(no_reuse))))
+    assert [len(c) for c in singletons] == [1] * len(no_reuse)
+
+
+def test_warm_cache_executes_nothing(web_problem, tmp_path):
+    tasks = bound_tasks(web_problem)
+
+    cold = make_runner(jobs=1, cache_dir=tmp_path / "cache")
+    first = run_tasks(tasks, cold)
+    assert cold.executed == len(tasks)
+    assert cold.cache_hits == 0
+
+    warm = make_runner(jobs=2, cache_dir=tmp_path / "cache")
+    second = run_tasks(tasks, warm)
+    assert warm.executed == 0
+    assert warm.cache_hits == len(tasks)
+    assert warm.cache_misses == 0
+    assert costs(first) == costs(second)
+
+
+def test_cache_key_ignores_label_but_not_level(web_problem):
+    goal = dataclasses.replace(web_problem.goal, fraction=0.8)
+    leveled = dataclasses.replace(web_problem, goal=goal)
+    a = BoundTask(problem=leveled, label="one")
+    b = BoundTask(problem=leveled, label="two")
+    assert a.cache_key() == b.cache_key()
+    other_level = dataclasses.replace(
+        web_problem, goal=dataclasses.replace(goal, fraction=0.9)
+    )
+    c = BoundTask(problem=other_level)
+    assert a.cache_key() != c.cache_key()
+
+
+def test_run_artifacts_manifest(web_problem, tmp_path):
+    tasks = bound_tasks(web_problem)
+    runner = make_runner(
+        jobs=1, cache_dir=tmp_path / "cache", run_dir=tmp_path / "runs", label="sweep"
+    )
+    run_tasks(tasks, runner)
+    run_dir = runner.finalize({"note": "test"})
+    assert run_dir is not None
+
+    manifest = json.loads((tmp_path / "runs").glob("*/manifest.json").__next__().read_text())
+    assert manifest["tasks"] == len(tasks)
+    assert manifest["executed"] == len(tasks)
+    assert manifest["cache_hits"] == 0
+    assert manifest["jobs"] == 1
+    assert manifest["note"] == "test"
+    assert len(manifest["task_records"]) == len(tasks)
+
+    from pathlib import Path
+
+    task_files = sorted(Path(run_dir).glob("tasks/*.json"))
+    assert len(task_files) == len(tasks)
+    assert (Path(run_dir) / "timing.txt").exists()
+
+
+def test_simulate_task_matches_direct_simulate(small_topology, web_trace):
+    from repro.heuristics import LRUCaching
+    from repro.simulator.engine import simulate
+
+    spec = HeuristicSpec(name="lru", capacity=8)
+    task = SimulateTask(
+        topology=small_topology,
+        trace=web_trace,
+        heuristic=spec,
+        tlat_ms=150.0,
+        warmup_s=600.0,
+        cost_interval_s=3600.0,
+        label="simulate[lru]",
+    )
+    via_runner = run_tasks([task], ExperimentRunner(jobs=1))[0]
+    direct = simulate(
+        small_topology,
+        web_trace,
+        LRUCaching(capacity=8),
+        tlat_ms=150.0,
+        warmup_s=600.0,
+        cost_interval_s=3600.0,
+    )
+    assert via_runner.total_cost == direct.total_cost
+    assert via_runner.qos == direct.qos
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError):
+        ExperimentRunner(jobs=0)

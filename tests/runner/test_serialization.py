@@ -1,0 +1,113 @@
+"""to_dict/from_dict round trips must survive real JSON encoding.
+
+Every result that crosses the cache or run-artifact boundary is encoded with
+``to_dict``, serialized by ``json.dump`` and decoded with ``from_dict`` — so
+the round trips here go through an actual JSON string, not just the dicts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+
+from repro.core.bounds import LowerBoundResult, compute_lower_bound
+from repro.core.classes import get_class
+from repro.heuristics import LRUCaching
+from repro.lp.solution import LPSolution
+from repro.simulator.engine import SimulationResult, simulate
+
+
+def json_round_trip(payload):
+    return json.loads(json.dumps(payload))
+
+
+def test_lower_bound_result_round_trip(web_problem):
+    import dataclasses
+
+    relaxed = dataclasses.replace(
+        web_problem, goal=dataclasses.replace(web_problem.goal, fraction=0.7)
+    )
+    result = compute_lower_bound(
+        relaxed, get_class("caching").properties, do_rounding=True
+    )
+    assert result.feasible
+    decoded = LowerBoundResult.from_dict(json_round_trip(result.to_dict()))
+    assert decoded.feasible == result.feasible
+    assert decoded.lp_cost == result.lp_cost
+    assert decoded.feasible_cost == result.feasible_cost
+    assert decoded.status == result.status
+    assert decoded.properties == result.properties
+    assert decoded.num_variables == result.num_variables
+    assert decoded.num_constraints == result.num_constraints
+    assert decoded.rounding is not None
+    assert decoded.rounding.cost.total == result.rounding.cost.total
+    assert decoded.rounding.feasible == result.rounding.feasible
+    assert decoded.rounding.qos == result.rounding.qos
+    np.testing.assert_array_equal(decoded.rounding.store, result.rounding.store)
+
+
+def test_infeasible_lower_bound_round_trip(web_problem):
+    import dataclasses
+
+    hard = dataclasses.replace(
+        web_problem, goal=dataclasses.replace(web_problem.goal, fraction=0.999999)
+    )
+    result = compute_lower_bound(hard, get_class("caching").properties)
+    decoded = LowerBoundResult.from_dict(json_round_trip(result.to_dict()))
+    assert decoded.feasible == result.feasible
+    assert decoded.reason == result.reason
+    assert decoded.lp_cost == result.lp_cost
+
+
+def test_lp_solution_round_trip():
+    from repro.lp.solution import SolveStatus
+
+    solution = LPSolution(
+        status=SolveStatus.OPTIMAL,
+        objective=41.5,
+        values=np.array([0.0, 0.5, 1.0]),
+        backend="scipy",
+        message="ok",
+    )
+    decoded = LPSolution.from_dict(json_round_trip(solution.to_dict()))
+    assert decoded.status is SolveStatus.OPTIMAL
+    assert decoded.objective == solution.objective
+    assert decoded.backend == solution.backend
+    assert decoded.message == solution.message
+    np.testing.assert_array_equal(decoded.values, solution.values)
+
+
+def test_sweep_result_round_trip(web_problem):
+    from repro.analysis.sweep import SweepResult, qos_sweep
+
+    sweep = qos_sweep(
+        web_problem, levels=[0.9, 0.95], classes=["caching"], do_rounding=False
+    )
+    decoded = SweepResult.from_dict(json_round_trip(sweep.to_dict()))
+    assert decoded.levels == sweep.levels
+    assert decoded.classes == sweep.classes
+    for cls in sweep.classes:
+        assert decoded.series(cls) == sweep.series(cls)
+        assert decoded.max_feasible_level(cls) == sweep.max_feasible_level(cls)
+
+
+def test_simulation_result_round_trip(small_topology, web_trace):
+    result = simulate(
+        small_topology,
+        web_trace,
+        LRUCaching(capacity=8),
+        tlat_ms=150.0,
+        warmup_s=600.0,
+        cost_interval_s=3600.0,
+    )
+    decoded = SimulationResult.from_dict(json_round_trip(result.to_dict()))
+    assert decoded.heuristic == result.heuristic
+    assert decoded.total_cost == result.total_cost
+    assert decoded.qos == result.qos
+    assert decoded.min_node_qos == result.min_node_qos
+    assert decoded.qos_per_node == result.qos_per_node
+    assert decoded.meets(0.9) == result.meets(0.9)
+    if result.peak_occupancy is not None:
+        np.testing.assert_array_equal(decoded.peak_occupancy, result.peak_occupancy)

@@ -220,3 +220,90 @@ def test_simulate_rejects_bad_fault_spec(artifacts):
                 "--heuristic", "lru", "--faults", "meteor:at=1",
             ]
         )
+
+
+def test_sweep_runner_flags_and_warm_cache(artifacts, capsys, tmp_path):
+    topo_path, trace_path = artifacts
+    args = [
+        "sweep", *problem_flags(topo_path, trace_path),
+        "--levels", "0.8", "0.9", "--classes", "caching", "replica-constrained",
+        "--json", "--jobs", "2",
+        "--cache-dir", str(tmp_path / "cache"), "--run-dir", str(tmp_path / "runs"),
+    ]
+    assert main(args) == 0
+    captured = capsys.readouterr()
+    cold = json.loads(captured.out)  # stdout must stay pure JSON
+    assert "executed=4" in captured.err
+    assert "cache_hits=0" in captured.err
+
+    assert main(args) == 0
+    captured = capsys.readouterr()
+    assert json.loads(captured.out) == cold
+    assert "executed=0" in captured.err
+    assert "cache_hits=4" in captured.err
+
+    run_dirs = sorted((tmp_path / "runs").iterdir())
+    assert len(run_dirs) == 2
+    warm_manifest = json.loads((run_dirs[-1] / "manifest.json").read_text())
+    assert warm_manifest["executed"] == 0
+    assert warm_manifest["cache_hits"] == 4
+
+
+def test_sweep_jobs_matches_serial(artifacts, capsys):
+    topo_path, trace_path = artifacts
+    base = [
+        "sweep", *problem_flags(topo_path, trace_path),
+        "--levels", "0.8", "0.9", "--classes", "caching", "--json",
+    ]
+    assert main(base) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main([*base, "--jobs", "4"]) == 0
+    parallel = json.loads(capsys.readouterr().out)
+    assert parallel == serial
+
+
+def test_simulate_cache_round_trip(artifacts, capsys, tmp_path):
+    topo_path, trace_path = artifacts
+    args = [
+        "simulate", *problem_flags(topo_path, trace_path, qos="0.2"),
+        "--heuristic", "lru", "--capacity", "10", "--json",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    rc = main(args)
+    captured = capsys.readouterr()
+    cold = json.loads(captured.out)
+    assert "executed=1" in captured.err
+    assert main(args) == rc
+    captured = capsys.readouterr()
+    assert json.loads(captured.out) == cold
+    assert "cache_hits=1" in captured.err
+
+
+def test_verbosity_flags_accepted(artifacts, capsys):
+    topo_path, trace_path = artifacts
+    assert main(["-q", "classes"]) == 0
+    capsys.readouterr()
+    assert main(["-vv", "classes"]) == 0
+    capsys.readouterr()
+
+
+def test_python_dash_m_entry_point(artifacts, tmp_path):
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    repo_src = Path(__file__).resolve().parents[1] / "src"
+    topo_path, trace_path = artifacts
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro",
+            "bounds", "-t", topo_path, "-w", trace_path,
+            "--qos", "0.9", "--class", "general", "--no-rounding", "--json",
+        ],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(repo_src), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["feasible"] is True
