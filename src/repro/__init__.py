@@ -59,7 +59,10 @@ from repro.runner import (
     ExperimentRunner,
     HeuristicSpec,
     ResultCache,
+    ResumeState,
+    RetryPolicy,
     SimulateTask,
+    TaskFailure,
     make_runner,
     run_tasks,
 )
@@ -94,12 +97,15 @@ __all__ = [
     "ReplicaConstraint",
     "Request",
     "ResultCache",
+    "ResumeState",
+    "RetryPolicy",
     "RoundingResult",
     "Routing",
     "STANDARD_CLASSES",
     "SelectionReport",
     "SimulateTask",
     "StorageConstraint",
+    "TaskFailure",
     "Topology",
     "Trace",
     "as_level_topology",

@@ -35,12 +35,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 @dataclass
 class SensitivityPoint:
-    """Selection outcome at one perturbed input."""
+    """Selection outcome at one perturbed input.
+
+    ``failed`` lists classes whose bound task failed at this point (resilient
+    runner, ``on_error`` ``skip``/``degrade``); their bounds are absent from
+    ``bounds`` rather than silently conflated with infeasibility.
+    """
 
     parameter: str
     value: float
     recommended: Optional[str]
     bounds: Dict[str, Optional[float]] = field(default_factory=dict)
+    failed: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -77,8 +83,14 @@ class SensitivityReport:
         ]
         for p in self.points:
             marker = "" if p.recommended == self.baseline_recommendation else "  <- flips"
+            if p.failed:
+                marker += f"  [{len(p.failed)} class(es) failed]"
             lines.append(f"{p.value:10g}  {str(p.recommended):24s}{marker}")
         return "\n".join(lines)
+
+    def failed_points(self) -> List[SensitivityPoint]:
+        """Points where at least one class's bound task failed."""
+        return [p for p in self.points if p.failed]
 
 
 def _sweep(problem: MCPerfProblem, parameter: str, values, rebuild, classes, backend, runner=None):
@@ -124,6 +136,7 @@ def _sweep(problem: MCPerfProblem, parameter: str, values, rebuild, classes, bac
                 value=float(value),
                 recommended=outcome.recommended,
                 bounds={name: outcome.bound(name) for name in outcome.results},
+                failed=sorted(outcome.failures),
             )
         )
     return report

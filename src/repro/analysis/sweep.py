@@ -16,6 +16,7 @@ from repro.core.bounds import LowerBoundResult
 from repro.core.classes import FIGURE1_CLASSES, HeuristicClass, get_class
 from repro.core.goals import QoSGoal
 from repro.core.problem import MCPerfProblem
+from repro.runner.resilience import TaskFailure
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.runner.execute import ExperimentRunner
@@ -27,15 +28,35 @@ PAPER_QOS_LEVELS: List[float] = [0.95, 0.99, 0.999, 0.9999, 0.99999]
 
 @dataclass
 class SweepResult:
-    """Per-(class, QoS level) bounds for one system + workload."""
+    """Per-(class, QoS level) bounds for one system + workload.
+
+    ``failures`` carries cells whose task exhausted the runner's recovery
+    paths (``on_error`` ``skip``/``degrade``) — distinct from infeasible
+    cells, which are real answers ("the class cannot meet the goal") and
+    live in ``results``.
+    """
 
     levels: List[float]
     classes: List[str]
     results: Dict[str, Dict[float, LowerBoundResult]] = field(default_factory=dict)
+    failures: Dict[str, Dict[float, TaskFailure]] = field(default_factory=dict)
 
     def bound(self, cls: str, level: float) -> Optional[float]:
         result = self.results.get(cls, {}).get(level)
         return result.lp_cost if result is not None and result.feasible else None
+
+    def failure(self, cls: str, level: float) -> Optional[TaskFailure]:
+        """The failure record for a cell, or None if it produced a result."""
+        return self.failures.get(cls, {}).get(level)
+
+    def failed_cells(self) -> List[tuple]:
+        """Every (class, level) whose task failed, in sweep order."""
+        return [
+            (cls, level)
+            for cls in self.classes
+            for level in self.levels
+            if self.failure(cls, level) is not None
+        ]
 
     def feasible_cost(self, cls: str, level: float) -> Optional[float]:
         result = self.results.get(cls, {}).get(level)
@@ -63,6 +84,10 @@ class SweepResult:
                 cls: [[level, result.to_dict()] for level, result in per_level.items()]
                 for cls, per_level in self.results.items()
             },
+            "failures": {
+                cls: [[level, failure.to_dict()] for level, failure in per_level.items()]
+                for cls, per_level in self.failures.items()
+            },
         }
 
     @staticmethod
@@ -76,6 +101,11 @@ class SweepResult:
             sweep.results[str(cls)] = {
                 float(level): LowerBoundResult.from_dict(result)
                 for level, result in pairs
+            }
+        for cls, pairs in payload.get("failures", {}).items():
+            sweep.failures[str(cls)] = {
+                float(level): TaskFailure.from_dict(failure)
+                for level, failure in pairs
             }
         return sweep
 
@@ -192,5 +222,12 @@ def qos_sweep(
     sweep = SweepResult(levels=levels, classes=[c.name for c in chosen])
     cursor = iter(results)
     for cls in chosen:
-        sweep.results[cls.name] = {level: next(cursor) for level in levels}
+        per_level: Dict[float, LowerBoundResult] = {}
+        for level in levels:
+            outcome = next(cursor)
+            if isinstance(outcome, TaskFailure):
+                sweep.failures.setdefault(cls.name, {})[level] = outcome
+            else:
+                per_level[level] = outcome
+        sweep.results[cls.name] = per_level
     return sweep

@@ -28,7 +28,14 @@ from repro.core.deployment import plan_deployment
 from repro.core.goals import GoalScope, QoSGoal
 from repro.core.problem import MCPerfProblem
 from repro.core.selection import select_heuristic
-from repro.runner import BoundTask, HeuristicSpec, SimulateTask, make_runner
+from repro.runner import (
+    BoundTask,
+    HeuristicSpec,
+    ResultCache,
+    SimulateTask,
+    TaskFailure,
+    make_runner,
+)
 from repro.topology.generators import as_level_topology
 from repro.topology.io import load_topology, save_topology
 from repro.workload.demand import DemandMatrix
@@ -106,6 +113,36 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="write runs/<timestamp>-<digest>/ artifacts (manifest, per-task JSON, timings)",
         )
+        p.add_argument(
+            "--task-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock limit per task attempt (default: none)",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            metavar="N",
+            help="re-attempts per task after a failure/timeout (exponential backoff)",
+        )
+        p.add_argument(
+            "--on-error",
+            choices=["fail", "skip", "degrade"],
+            default="fail",
+            help=(
+                "after retries are exhausted: fail the whole run, skip (record a "
+                "structured TaskFailure and keep going), or degrade (one final "
+                "pure-simplex attempt for LP bound tasks, then skip)"
+            ),
+        )
+        p.add_argument(
+            "--resume",
+            default=None,
+            metavar="RUN_DIR",
+            help="serve ok results from a previous run directory; only its failed/pending tasks re-execute",
+        )
 
     bounds = sub.add_parser("bounds", help="compute a class's lower bound")
     problem_args(bounds)
@@ -167,6 +204,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--classes", nargs="*", default=None)
     sweep.add_argument("--csv", help="also write the sweep as CSV to this path")
 
+    cache = sub.add_parser("cache", help="inspect or clear a result cache")
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument(
+        "--cache-dir", required=True, metavar="DIR", help="cache root to operate on"
+    )
+    cache.add_argument("--json", action="store_true", help="machine-readable output")
+
     sub.add_parser("classes", help="print the Table-3 class registry")
     return parser
 
@@ -192,6 +236,10 @@ def _runner_for(args, label: str):
         cache_dir=args.cache_dir,
         run_dir=args.run_dir,
         label=label,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        on_error=args.on_error,
+        resume=args.resume,
     )
 
 
@@ -247,6 +295,12 @@ def _cmd_bounds(args) -> int:
     runner = _runner_for(args, "bounds")
     result = runner.map([task])[0]
     _finish_runner(args, runner)
+    if isinstance(result, TaskFailure):
+        if args.json:
+            print(json.dumps({"class": cls.name, "failed": result.to_dict()}))
+        else:
+            print(str(result))
+        return 1
     if args.json:
         print(
             json.dumps(
@@ -258,6 +312,7 @@ def _cmd_bounds(args) -> int:
                     "gap": result.gap,
                     "reason": result.reason,
                     "solve_seconds": result.solve_seconds,
+                    "backend_used": result.backend_used,
                 }
             )
         )
@@ -286,6 +341,7 @@ def _cmd_select(args) -> int:
                         name: report.bound(name) for name in report.results
                     },
                     "infeasible": report.infeasible,
+                    "failed": sorted(report.failures),
                 }
             )
         )
@@ -356,6 +412,12 @@ def _cmd_simulate(args) -> int:
     runner = _runner_for(args, "simulate")
     result = runner.map([task])[0]
     _finish_runner(args, runner)
+    if isinstance(result, TaskFailure):
+        if args.json:
+            print(json.dumps({"heuristic": args.heuristic, "failed": result.to_dict()}))
+        else:
+            print(str(result))
+        return 1
     faults = args.faults or None
     if args.json:
         payload = {
@@ -407,6 +469,9 @@ def _cmd_sweep(args) -> int:
                     "bounds": {
                         cls: sweep.series(cls) for cls in sweep.classes
                     },
+                    "failed_cells": [
+                        [cls, level] for cls, level in sweep.failed_cells()
+                    ],
                 }
             )
         )
@@ -415,6 +480,29 @@ def _cmd_sweep(args) -> int:
     if args.csv:
         Path(args.csv).write_text(render_csv(sweep) + "\n")
         print(f"\nwrote CSV to {args.csv}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats))
+        else:
+            print(f"cache at {stats['root']}")
+            print(
+                f"  {stats['entries']} entr{'y' if stats['entries'] == 1 else 'ies'}, "
+                f"{stats['bytes']} bytes, {stats['seconds']:.2f}s of solve time saved"
+            )
+            for kind, count in sorted(stats["kinds"].items()):
+                print(f"  {kind}: {count}")
+    else:
+        removed = cache.clear()
+        if args.json:
+            print(json.dumps({"removed": removed}))
+        else:
+            print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
     return 0
 
 
@@ -444,6 +532,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "deploy": _cmd_deploy,
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,
+        "cache": _cmd_cache,
         "classes": lambda a: (print(render_table3()), 0)[1],
     }
     try:

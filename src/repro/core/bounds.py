@@ -42,6 +42,10 @@ class LowerBoundResult:
     gap:
         Relative rounding gap ``(feasible_cost - lp_cost) / lp_cost``; the
         paper reports this stays within ~10 %.
+    backend_used:
+        The LP backend that actually produced the solve (``"scipy"`` /
+        ``"simplex"``) — records degradations, whether via the ``auto``
+        fallback or the runner's ``on_error="degrade"`` retry.
     """
 
     properties: HeuristicProperties
@@ -51,6 +55,7 @@ class LowerBoundResult:
     rounding: Optional[RoundingResult] = None
     status: str = ""
     reason: str = ""
+    backend_used: str = ""
     solve_seconds: float = 0.0
     round_seconds: float = 0.0
     num_variables: int = 0
@@ -87,6 +92,7 @@ class LowerBoundResult:
             "rounding": None if self.rounding is None else self.rounding.to_dict(),
             "status": self.status,
             "reason": self.reason,
+            "backend_used": self.backend_used,
             "solve_seconds": self.solve_seconds,
             "round_seconds": self.round_seconds,
             "num_variables": self.num_variables,
@@ -109,6 +115,7 @@ class LowerBoundResult:
             rounding=None if rounding is None else RoundingResult.from_dict(rounding),
             status=str(payload.get("status", "")),
             reason=str(payload.get("reason", "")),
+            backend_used=str(payload.get("backend_used", "")),
             solve_seconds=float(payload.get("solve_seconds", 0.0)),
             round_seconds=float(payload.get("round_seconds", 0.0)),
             num_variables=int(payload.get("num_variables", 0)),
@@ -169,6 +176,7 @@ def compute_lower_bound(
     solution = form.lp.solve(backend=backend)
     result.solve_seconds = time.perf_counter() - t0
     result.status = solution.status.value
+    result.backend_used = solution.backend
 
     if solution.status is SolveStatus.INFEASIBLE:
         result.reason = "LP relaxation infeasible: the class cannot meet the goal"

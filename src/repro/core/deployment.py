@@ -66,6 +66,15 @@ class DeploymentPlan:
     def recommended(self) -> Optional[str]:
         return self.selection.recommended if self.selection else None
 
+    @property
+    def failures(self) -> Dict[str, object]:
+        """Phase-2 bound tasks that failed (class name -> TaskFailure).
+
+        Empty when every bound solved or when phase 2 never ran; a failed
+        class is missing from the ranking, not proven infeasible.
+        """
+        return dict(self.selection.failures) if self.selection else {}
+
     def render(self) -> str:
         if not self.feasible:
             return f"Deployment planning failed: {self.reason}"

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 from repro.core.bounds import LowerBoundResult
 from repro.core.classes import FIGURE1_CLASSES, HeuristicClass, get_class
 from repro.core.problem import MCPerfProblem
+from repro.runner.resilience import TaskFailure
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.runner.execute import ExperimentRunner
@@ -23,7 +24,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 @dataclass
 class SelectionReport:
-    """Ranked per-class bounds plus the recommendation."""
+    """Ranked per-class bounds plus the recommendation.
+
+    ``failures`` holds classes whose bound task exhausted the runner's
+    recovery paths (key ``"general"`` for the general bound itself) — they
+    are excluded from the ranking but reported, so a partial batch still
+    yields a recommendation from the classes that did solve.
+    """
 
     problem: MCPerfProblem
     general: LowerBoundResult
@@ -32,6 +39,7 @@ class SelectionReport:
     near_optimal: bool = False
     comparable: List[str] = field(default_factory=list)
     infeasible: List[str] = field(default_factory=list)
+    failures: Dict[str, TaskFailure] = field(default_factory=dict)
 
     def bound(self, name: str) -> Optional[float]:
         result = self.results.get(name)
@@ -65,6 +73,9 @@ class SelectionReport:
             lines.append(f"{name:34s} {r.lp_cost:12.1f} {feas:>14s} {rel:>11s}")
         for name in self.infeasible:
             lines.append(f"{name:34s} {'cannot meet goal':>12s}")
+        for name, failure in self.failures.items():
+            what = "timed out" if failure.timed_out else failure.error_type
+            lines.append(f"{name:34s} {f'failed: {what}':>16s}")
         lines.append("")
         if self.recommended:
             qualifier = (
@@ -122,9 +133,30 @@ def assemble_report(
     near_optimal_factor: float = 1.5,
     comparable_factor: float = 1.1,
 ) -> SelectionReport:
-    """Rank per-class bounds and derive the recommendation (§6.1 rules)."""
-    report = SelectionReport(problem=problem, general=general)
+    """Rank per-class bounds and derive the recommendation (§6.1 rules).
+
+    ``general`` and entries of ``results`` may be
+    :class:`~repro.runner.resilience.TaskFailure` records (a resilient
+    runner with ``on_error`` ``skip``/``degrade``); failed classes are
+    reported but never ranked, and a failed general bound only disables the
+    near-optimality qualifier, not the recommendation itself.
+    """
+    failures: Dict[str, TaskFailure] = {}
+    if isinstance(general, TaskFailure):
+        failures["general"] = general
+        from repro.core.properties import HeuristicProperties
+
+        general = LowerBoundResult(
+            properties=HeuristicProperties(),
+            feasible=False,
+            status="failed",
+            reason=f"general bound failed: {general.error}",
+        )
+    report = SelectionReport(problem=problem, general=general, failures=failures)
     for cls, result in zip(candidates, results):
+        if isinstance(result, TaskFailure):
+            report.failures[cls.name] = result
+            continue
         report.results[cls.name] = result
         if not result.feasible:
             report.infeasible.append(cls.name)

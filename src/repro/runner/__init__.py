@@ -11,15 +11,24 @@ graphs and runs them through one scheduler with:
   (problem, class properties, goal level, backend, rounding flags), so a
   warm rerun performs zero LP solves and editing one class re-solves only
   that class;
-* **run artifacts** — ``runs/<timestamp>-<digest>/`` with ``manifest.json``
-  (including the cache-hit counters), per-task result JSON and a timing
-  summary.
+* **fault tolerance** — per-task wall-clock timeouts, bounded retry with
+  exponential backoff, worker-crash isolation (a ``BrokenProcessPool``
+  re-dispatches unfinished chunks instead of sinking the batch), graceful
+  degradation of bound solves to the pure-simplex backend, and structured
+  :class:`TaskFailure` records instead of batch-killing exceptions
+  (:mod:`repro.runner.resilience`);
+* **run artifacts & resume** — ``runs/<timestamp>-<digest>/`` with an
+  incrementally-flushed ``manifest.json`` (per-task ``ok``/``failed``/
+  ``pending`` status), per-task result JSON and a timing summary; a crashed
+  or partially-failed run resumes via :class:`ResumeState`, re-executing
+  only its incomplete tasks.
 
 The sweep (:func:`repro.analysis.sweep.qos_sweep`), selection
 (:func:`repro.core.selection.select_heuristic`), deployment
 (:func:`repro.core.deployment.plan_deployment`) and sensitivity
 (:mod:`repro.analysis.sensitivity`) pipelines all accept a ``runner=``; the
-CLI builds one from ``--jobs/--cache-dir/--run-dir``.
+CLI builds one from ``--jobs/--cache-dir/--run-dir/--task-timeout/--retries/
+--on-error/--resume``.
 """
 
 from __future__ import annotations
@@ -31,6 +40,13 @@ from repro.runner.artifacts import RunWriter, TaskRecord
 from repro.runner.cache import ResultCache
 from repro.runner.digest import digest_of, short_digest
 from repro.runner.execute import ExperimentRunner, run_tasks
+from repro.runner.resilience import (
+    RetryPolicy,
+    TaskFailure,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.runner.resume import ResumeState
 from repro.runner.tasks import BoundTask, HeuristicSpec, SimulateTask
 
 __all__ = [
@@ -38,9 +54,14 @@ __all__ = [
     "ExperimentRunner",
     "HeuristicSpec",
     "ResultCache",
+    "ResumeState",
+    "RetryPolicy",
     "RunWriter",
     "SimulateTask",
+    "TaskFailure",
     "TaskRecord",
+    "TaskTimeoutError",
+    "WorkerCrashError",
     "digest_of",
     "make_runner",
     "run_tasks",
@@ -53,12 +74,24 @@ def make_runner(
     cache_dir: Optional[os.PathLike | str] = None,
     run_dir: Optional[os.PathLike | str] = None,
     label: str = "",
+    task_timeout: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "fail",
+    resume: Optional[os.PathLike | str] = None,
 ) -> ExperimentRunner:
     """An :class:`ExperimentRunner` from CLI-style knobs.
 
     ``cache_dir=None`` disables caching; ``run_dir=None`` disables run
-    artifacts — the defaults reproduce the historical in-memory behavior.
+    artifacts; the default policy (no timeout, no retries, fail-fast) and
+    ``resume=None`` reproduce the historical in-memory behavior exactly.
+    ``resume`` points at a previous run directory — its ``ok`` results are
+    served by content digest, so only failed/pending tasks re-execute.
     """
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     artifacts = RunWriter(root=run_dir, label=label) if run_dir is not None else None
-    return ExperimentRunner(jobs=jobs, cache=cache, artifacts=artifacts)
+    policy = RetryPolicy(task_timeout=task_timeout, retries=retries, on_error=on_error)
+    resume_state = ResumeState(resume) if resume is not None else None
+    return ExperimentRunner(
+        jobs=jobs, cache=cache, artifacts=artifacts, policy=policy,
+        resume=resume_state,
+    )

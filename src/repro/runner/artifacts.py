@@ -3,12 +3,19 @@
 Every runner invocation can persist what it did under
 ``<root>/<timestamp>-<digest>/``:
 
-* ``manifest.json`` — run metadata, the task list (label, cache key, cached
-  or executed, seconds) and the cache-hit counters the acceptance checks
-  read;
+* ``manifest.json`` — run metadata, the task list (label, cache key, status,
+  cached or executed, attempts, seconds) and the cache-hit counters the
+  acceptance checks read;
 * ``tasks/NNN-<key12>.json`` — each task's full result payload (the same
-  encoding the cache uses);
+  encoding the cache uses), or the structured ``failure`` record for a task
+  that exhausted every recovery path;
 * ``timing.txt`` — a human-readable per-task timing summary.
+
+Tasks are *planned* before execution (status ``pending``) and updated to
+``ok`` or ``failed`` as they finish; the manifest is flushed incrementally so
+a run that crashes mid-sweep still leaves a resumable record behind
+(:class:`~repro.runner.resume.ResumeState` re-executes only the non-``ok``
+rows).
 
 The digest in the directory name is the digest of the run's task keys, so
 identical experiments land in recognizably-related directories while repeat
@@ -21,7 +28,7 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.runner.digest import SCHEMA_VERSION, digest_of
 
@@ -36,12 +43,15 @@ class TaskRecord:
     key: str
     cached: bool
     seconds: float
+    status: str = "ok"
+    attempts: int = 0
+    error: str = ""
     file: Optional[str] = None
 
 
 @dataclass
 class RunWriter:
-    """Collects task records and writes the run directory on ``finalize``."""
+    """Collects task records and writes the run directory incrementally."""
 
     root: Path
     label: str = ""
@@ -70,6 +80,29 @@ class RunWriter:
             self._dir = path
         return self._dir
 
+    def plan(self, entries: Sequence[Tuple[str, str, str]]) -> List[int]:
+        """Register a batch of pending tasks; returns their record indices.
+
+        ``entries`` is ``[(kind, label, key), ...]`` in task order.  Planned
+        rows appear in the manifest with status ``pending`` immediately, so a
+        crash before (or during) execution leaves a resumable record.
+        """
+        indices: List[int] = []
+        for kind, label, key in entries:
+            rec = TaskRecord(
+                index=len(self.records),
+                kind=kind,
+                label=label or f"{kind}-{len(self.records)}",
+                key=key,
+                cached=False,
+                seconds=0.0,
+                status="pending",
+            )
+            self.records.append(rec)
+            indices.append(rec.index)
+        self._flush_manifest()
+        return indices
+
     def record(
         self,
         *,
@@ -78,26 +111,48 @@ class RunWriter:
         key: str,
         cached: bool,
         seconds: float,
+        index: Optional[int] = None,
+        status: str = "ok",
+        attempts: int = 0,
+        error: str = "",
         payload: Optional[Dict[str, Any]] = None,
+        failure: Optional[Dict[str, Any]] = None,
     ) -> None:
-        rec = TaskRecord(
-            index=len(self.records),
-            kind=kind,
-            label=label or f"{kind}-{len(self.records)}",
-            key=key,
-            cached=cached,
-            seconds=seconds,
-        )
-        self.records.append(rec)
-        if payload is not None:
+        """Finalize one task's row (updating its planned entry when given)."""
+        if index is not None:
+            rec = self.records[index]
+            rec.kind, rec.label, rec.key = kind, label or rec.label, key
+        else:
+            rec = TaskRecord(
+                index=len(self.records),
+                kind=kind,
+                label=label or f"{kind}-{len(self.records)}",
+                key=key,
+                cached=cached,
+                seconds=seconds,
+            )
+            self.records.append(rec)
+        rec.cached = cached
+        rec.seconds = seconds
+        rec.status = status
+        rec.attempts = attempts
+        rec.error = error
+        body: Optional[Dict[str, Any]] = None
+        if failure is not None:
+            body = {"kind": kind, "key": key, "failure": failure}
+        elif payload is not None:
+            body = {"kind": kind, "key": key, "payload": payload}
+        if body is not None:
             run_dir = self._ensure_dir()
             rec.file = f"tasks/{rec.index:03d}-{key[:12]}.json"
-            (run_dir / rec.file).write_text(
-                json.dumps({"kind": kind, "key": key, "payload": payload})
-            )
+            (run_dir / rec.file).write_text(json.dumps(body))
+        self._flush_manifest()
 
     def manifest(self, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         hits = sum(1 for r in self.records if r.cached)
+        by_status = {"ok": 0, "failed": 0, "pending": 0}
+        for r in self.records:
+            by_status[r.status] = by_status.get(r.status, 0) + 1
         data: Dict[str, Any] = {
             "schema": SCHEMA_VERSION,
             "label": self.label,
@@ -108,6 +163,9 @@ class RunWriter:
             "cache_hits": hits,
             "cache_misses": len(self.records) - hits,
             "executed": len(self.records) - hits,
+            "ok": by_status["ok"],
+            "failed": by_status["failed"],
+            "pending": by_status["pending"],
             "seconds": sum(r.seconds for r in self.records),
             "wall_seconds": time.time() - self._started,
             "task_records": [vars(r) for r in self.records],
@@ -116,8 +174,15 @@ class RunWriter:
             data.update(extra)
         return data
 
+    def _flush_manifest(self, extra: Optional[Dict[str, Any]] = None) -> None:
+        """Write the current manifest snapshot (cheap; called per record)."""
+        run_dir = self._ensure_dir()
+        (run_dir / "manifest.json").write_text(
+            json.dumps(self.manifest(extra), indent=2)
+        )
+
     def finalize(self, extra: Optional[Dict[str, Any]] = None) -> Path:
-        """Write ``manifest.json`` and ``timing.txt``; returns the run dir."""
+        """Write the final ``manifest.json`` and ``timing.txt``; return the run dir."""
         run_dir = self._ensure_dir()
         manifest = self.manifest(extra)
         (run_dir / "manifest.json").write_text(json.dumps(manifest, indent=2))
@@ -126,11 +191,18 @@ class RunWriter:
         lines = [
             f"run {run_dir.name}  label={self.label or '-'}  "
             f"tasks={manifest['tasks']}  cache_hits={manifest['cache_hits']}  "
-            f"executed={manifest['executed']}",
+            f"executed={manifest['executed']}  failed={manifest['failed']}",
             f"{'task'.ljust(width)}  {'source':8s}  {'seconds':>8s}",
         ]
         for r in self.records:
-            source = "cache" if r.cached else "solve"
+            if r.cached:
+                source = "cache"
+            elif r.status == "failed":
+                source = "failed"
+            elif r.status == "pending":
+                source = "pending"
+            else:
+                source = "solve"
             lines.append(f"{r.label.ljust(width)}  {source:8s}  {r.seconds:8.3f}")
         lines.append(
             f"{'total'.ljust(width)}  {'':8s}  {manifest['seconds']:8.3f}"

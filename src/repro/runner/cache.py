@@ -33,8 +33,9 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def load(self, key: str, kind: str) -> Optional[Dict[str, Any]]:
-        """The stored payload for ``key``, or None on miss/corruption."""
+    def load_entry(self, key: str, kind: str) -> Optional[Dict[str, Any]]:
+        """The full stored entry for ``key`` (payload + original solve
+        ``seconds``), or None on miss/corruption."""
         path = self._path(key)
         try:
             entry = json.loads(path.read_text())
@@ -42,8 +43,14 @@ class ResultCache:
             return None
         if entry.get("schema") != SCHEMA_VERSION or entry.get("kind") != kind:
             return None
-        payload = entry.get("payload")
-        return payload if isinstance(payload, dict) else None
+        if not isinstance(entry.get("payload"), dict):
+            return None
+        return entry
+
+    def load(self, key: str, kind: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or None on miss/corruption."""
+        entry = self.load_entry(key, kind)
+        return None if entry is None else entry["payload"]
 
     def store(self, key: str, kind: str, payload: Dict[str, Any], seconds: float) -> None:
         """Persist a result atomically (write-to-temp + rename)."""
@@ -67,6 +74,52 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate view of the cache: entry count, bytes on disk, entries
+        per task kind, and the total solve seconds the entries saved."""
+        entries = 0
+        total_bytes = 0
+        kinds: Dict[str, int] = {}
+        seconds = 0.0
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                entry = json.loads(path.read_text())
+                size = path.stat().st_size
+            except (OSError, ValueError):
+                continue
+            entries += 1
+            total_bytes += size
+            kind = str(entry.get("kind", "?"))
+            kinds[kind] = kinds.get(kind, 0) + 1
+            try:
+                seconds += float(entry.get("seconds", 0.0) or 0.0)
+            except (TypeError, ValueError):
+                pass
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "seconds": seconds,
+            "kinds": kinds,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry (and empty shard directory); returns the count."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for shard in self.root.iterdir():
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass  # non-empty (stray files) — leave it
+        return removed
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))

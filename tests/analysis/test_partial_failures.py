@@ -1,0 +1,133 @@
+"""Partial-failure tolerance through the analysis pipelines.
+
+One poisoned task must never sink a sweep/selection/sensitivity batch:
+healthy cells keep their results, the poisoned cell surfaces as a structured
+:class:`TaskFailure`, and result objects carry the failures explicitly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import qos_sensitivity
+from repro.analysis.sweep import SweepResult, qos_sweep
+from repro.core.costs import CostModel
+from repro.core.deployment import plan_deployment
+from repro.core.selection import select_heuristic
+from repro.runner import ExperimentRunner, RetryPolicy, TaskFailure
+from repro.runner.tasks import BoundTask
+
+
+@pytest.fixture()
+def fail_label(monkeypatch):
+    """Make BoundTask.run raise for labels containing a chosen substring."""
+    real_run = BoundTask.run
+
+    def arm(substring):
+        def selective(self):
+            if substring in self.label:
+                raise RuntimeError(f"poisoned task {self.label!r}")
+            return real_run(self)
+
+        monkeypatch.setattr(BoundTask, "run", selective)
+
+    return arm
+
+
+def skip_runner() -> ExperimentRunner:
+    return ExperimentRunner(policy=RetryPolicy(on_error="skip"))
+
+
+def test_sweep_carries_one_failure_among_healthy_cells(web_problem, fail_label):
+    fail_label("caching@0.99]")
+    sweep = qos_sweep(
+        web_problem,
+        levels=[0.7, 0.99],
+        classes=["caching", "replica-constrained"],
+        runner=skip_runner(),
+    )
+    # Exactly the poisoned cell failed; every other cell has a real result.
+    assert sweep.failed_cells() == [("caching", 0.99)]
+    failure = sweep.failure("caching", 0.99)
+    assert isinstance(failure, TaskFailure)
+    assert "poisoned task" in failure.error
+    assert sweep.bound("caching", 0.99) is None
+    assert sweep.bound("caching", 0.7) is not None
+    assert all(
+        sweep.bound("replica-constrained", lvl) is not None for lvl in [0.7, 0.99]
+    )
+
+
+def test_sweep_failures_round_trip_through_dict(web_problem, fail_label):
+    fail_label("caching@0.99]")
+    sweep = qos_sweep(
+        web_problem,
+        levels=[0.7, 0.99],
+        classes=["caching", "replica-constrained"],
+        runner=skip_runner(),
+    )
+    clone = SweepResult.from_dict(sweep.to_dict())
+    assert clone.failed_cells() == sweep.failed_cells()
+    assert clone.failure("caching", 0.99).error == sweep.failure("caching", 0.99).error
+    assert clone.series("replica-constrained") == sweep.series("replica-constrained")
+
+
+def test_selection_skips_failed_class_but_still_recommends(web_problem, fail_label):
+    fail_label("bound[caching]")
+    report = select_heuristic(
+        web_problem,
+        classes=["storage-constrained", "caching"],
+        do_rounding=False,
+        runner=skip_runner(),
+    )
+    assert "caching" in report.failures
+    assert "caching" not in report.results
+    assert report.recommended == "storage-constrained"
+    assert "failed" in report.render()
+
+
+def test_selection_survives_failed_general_bound(web_problem, fail_label):
+    fail_label("bound[general]")
+    report = select_heuristic(
+        web_problem,
+        classes=["storage-constrained"],
+        do_rounding=False,
+        runner=skip_runner(),
+    )
+    assert "general" in report.failures
+    assert not report.general.feasible
+    assert report.general.status == "failed"
+    # The recommendation stands, but the near-optimality qualifier cannot.
+    assert report.recommended == "storage-constrained"
+    assert not report.near_optimal
+
+
+def test_sensitivity_points_flag_failed_classes(web_problem, fail_label):
+    fail_label("bound[caching]")
+    report = qos_sensitivity(
+        web_problem,
+        fractions=[0.8],
+        classes=["storage-constrained", "caching"],
+        runner=skip_runner(),
+    )
+    assert report.points[0].failed == ["caching"]
+    assert report.failed_points() == [report.points[0]]
+    assert "failed" in report.render()
+    assert report.points[0].recommended == "storage-constrained"
+
+
+def test_deployment_surfaces_phase2_failures(web_problem, fail_label):
+    fail_label("bound[caching]")
+    plan = plan_deployment(
+        web_problem.topology,
+        web_problem.demand,
+        web_problem.goal,
+        costs=CostModel.deployment_defaults(zeta=2000.0),
+        classes=["storage-constrained", "caching"],
+        do_rounding=False,
+        warmup_intervals=1,
+        runner=skip_runner(),
+    )
+    assert plan.feasible
+    assert set(plan.failures) == {"caching"}
+    assert plan.recommended == "storage-constrained"

@@ -176,3 +176,46 @@ def test_simulate_task_matches_direct_simulate(small_topology, web_trace):
 def test_jobs_must_be_positive():
     with pytest.raises(ValueError):
         ExperimentRunner(jobs=0)
+
+
+def test_undecodable_cache_entry_is_a_miss(web_problem, tmp_path):
+    """A stale/corrupt cached payload re-executes instead of crashing."""
+    from repro.runner.cache import ResultCache
+
+    task = bound_tasks(web_problem)[0]
+    cache = ResultCache(tmp_path / "cache")
+    cache.store(task.cache_key(), task.kind, {"garbage": True}, 0.1)
+
+    runner = ExperimentRunner(cache=cache)
+    result = runner.map([task])[0]
+    assert runner.executed == 1
+    assert runner.cache_hits == 0
+    assert result.feasible is not None  # a real LowerBoundResult, not garbage
+    # The re-executed result overwrote the bad entry.
+    assert "garbage" not in cache.load(task.cache_key(), task.kind)
+
+    warm = ExperimentRunner(cache=cache)
+    warm.map([task])
+    assert warm.cache_hits == 1
+
+
+def test_cache_hits_surface_original_solve_seconds(web_problem, tmp_path):
+    """A served task's manifest row shows the stored solve time, not 0.0."""
+    from pathlib import Path
+
+    from repro.runner.cache import ResultCache
+
+    task = bound_tasks(web_problem)[0]
+    cache = ResultCache(tmp_path / "cache")
+    cache.store(task.cache_key(), task.kind, task.encode(task.run()), 3.25)
+
+    runner = make_runner(cache_dir=tmp_path / "cache", run_dir=tmp_path / "runs")
+    runner.map([task])
+    assert runner.cache_hits == 1
+    manifest = json.loads(
+        (Path(runner.finalize()) / "manifest.json").read_text()
+    )
+    record = manifest["task_records"][0]
+    assert record["cached"] is True
+    assert record["seconds"] == 3.25
+    assert manifest["seconds"] >= 3.25

@@ -279,6 +279,88 @@ def test_simulate_cache_round_trip(artifacts, capsys, tmp_path):
     assert "cache_hits=1" in captured.err
 
 
+def test_cache_stats_and_clear(artifacts, capsys, tmp_path):
+    topo_path, trace_path = artifacts
+    cache_dir = str(tmp_path / "cache")
+    assert main(
+        [
+            "bounds", *problem_flags(topo_path, trace_path),
+            "--class", "general", "--no-rounding", "--json",
+            "--cache-dir", cache_dir,
+        ]
+    ) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["entries"] == 1
+    assert stats["kinds"] == {"bound": 1}
+    assert stats["bytes"] > 0
+
+    assert main(["cache", "clear", "--cache-dir", cache_dir, "--json"]) == 0
+    assert json.loads(capsys.readouterr().out) == {"removed": 1}
+    assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+
+def test_cache_stats_human_output(capsys, tmp_path):
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path / "empty")]) == 0
+    out = capsys.readouterr().out
+    assert "0 entries" in out
+
+
+def test_resilience_flags_accepted(artifacts, capsys):
+    topo_path, trace_path = artifacts
+    rc = main(
+        [
+            "bounds", *problem_flags(topo_path, trace_path),
+            "--class", "general", "--no-rounding", "--json",
+            "--task-timeout", "60", "--retries", "1", "--on-error", "skip",
+        ]
+    )
+    assert rc == 0
+    assert json.loads(capsys.readouterr().out)["feasible"]
+
+
+def test_chaos_sweep_then_resume_converges(artifacts, capsys, tmp_path, monkeypatch):
+    """The acceptance scenario: a partial run + --resume finishes the job."""
+    topo_path, trace_path = artifacts
+    base = [
+        "sweep", *problem_flags(topo_path, trace_path),
+        "--levels", "0.8", "0.9",
+        "--classes", "storage-constrained", "replica-constrained",
+        "--json", "--on-error", "skip",
+        "--cache-dir", str(tmp_path / "cache"), "--run-dir", str(tmp_path / "runs"),
+    ]
+    # Seed 0 deterministically fails 2 of these 4 task labels at fail=0.5.
+    monkeypatch.setenv("REPRO_CHAOS", "fail=0.5,seed=0")
+    assert main(base) == 0
+    captured = capsys.readouterr()
+    partial = json.loads(captured.out)
+    assert len(partial["failed_cells"]) == 2
+    assert "failed=2" in captured.err
+
+    run1 = sorted((tmp_path / "runs").iterdir())[-1]
+    manifest = json.loads((run1 / "manifest.json").read_text())
+    assert manifest["ok"] == 2 and manifest["failed"] == 2
+
+    monkeypatch.delenv("REPRO_CHAOS")
+    assert main([*base, "--resume", str(run1)]) == 0
+    captured = capsys.readouterr()
+    final = json.loads(captured.out)
+    assert final["failed_cells"] == []
+    # Only the two failed tasks re-executed; ok results were served.
+    assert "executed=2" in captured.err
+    assert "resumed=2" in captured.err
+    assert "failed=0" in captured.err
+
+    run2 = sorted((tmp_path / "runs").iterdir())[-1]
+    final_manifest = json.loads((run2 / "manifest.json").read_text())
+    assert final_manifest["ok"] == 4
+    assert final_manifest["failed"] == 0
+    assert final_manifest["pending"] == 0
+
+
 def test_verbosity_flags_accepted(artifacts, capsys):
     topo_path, trace_path = artifacts
     assert main(["-q", "classes"]) == 0
