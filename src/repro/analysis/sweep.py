@@ -145,6 +145,7 @@ def sweep_tasks(
     run_length: bool = False,
     backend: str = "scipy",
     reuse_formulation: bool = True,
+    rounding_mode: str = "greedy",
 ) -> List["BoundTask"]:
     """The sweep's task graph: one bound task per (class, level).
 
@@ -168,6 +169,7 @@ def sweep_tasks(
                     run_length=run_length,
                     backend=backend,
                     reuse_formulation=reuse_formulation,
+                    rounding_mode=rounding_mode,
                     label=f"bound[{cls.name}@{level:g}]",
                 )
             )
@@ -183,6 +185,7 @@ def qos_sweep(
     backend: str = "scipy",
     reuse_formulation: bool = True,
     runner: Optional["ExperimentRunner"] = None,
+    rounding_mode: str = "greedy",
 ) -> SweepResult:
     """Compute class bounds across QoS levels (the Figure-1 computation).
 
@@ -216,6 +219,7 @@ def qos_sweep(
         run_length=run_length,
         backend=backend,
         reuse_formulation=reuse_formulation,
+        rounding_mode=rounding_mode,
     )
     results = run_tasks(tasks, runner)
 

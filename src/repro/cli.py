@@ -143,6 +143,15 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="RUN_DIR",
             help="serve ok results from a previous run directory; only its failed/pending tasks re-execute",
         )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help=(
+                "emit per-stage timing/counter JSON (profile.json in the "
+                "--run-dir, stderr otherwise); counters cover this process "
+                "only, so pair with --jobs 1 for full coverage"
+            ),
+        )
 
     bounds = sub.add_parser("bounds", help="compute a class's lower bound")
     problem_args(bounds)
@@ -153,6 +162,15 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(STANDARD_CLASSES),
     )
     bounds.add_argument("--no-rounding", action="store_true")
+    bounds.add_argument(
+        "--rounding-mode",
+        choices=["greedy", "iterative"],
+        default="greedy",
+        help=(
+            "greedy = the paper's Appendix-C rounder; iterative = LP-guided "
+            "rounding whose re-solves patch the cached assembly in place"
+        ),
+    )
 
     select = sub.add_parser("select", help="run the §6.1 selection methodology")
     problem_args(select)
@@ -203,6 +221,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--classes", nargs="*", default=None)
     sweep.add_argument("--csv", help="also write the sweep as CSV to this path")
+    sweep.add_argument(
+        "--rounding", action="store_true", help="also round each bound to a feasible cost"
+    )
+    sweep.add_argument(
+        "--rounding-mode",
+        choices=["greedy", "iterative"],
+        default="greedy",
+        help="rounding algorithm when --rounding is on (see `bounds --help`)",
+    )
 
     cache = sub.add_parser("cache", help="inspect or clear a result cache")
     cache.add_argument("action", choices=["stats", "clear"])
@@ -246,6 +273,18 @@ def _runner_for(args, label: str):
 def _finish_runner(args, runner) -> None:
     """Finalize artifacts; report to stderr (stdout stays parseable JSON)."""
     run_dir = runner.finalize()
+    if getattr(args, "profile", False):
+        from pathlib import Path
+
+        from repro.perf import PERF
+
+        snapshot = PERF.snapshot()
+        if run_dir is not None:
+            path = Path(run_dir) / "profile.json"
+            path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+            print(f"profile written to {path}", file=sys.stderr)
+        else:
+            print(json.dumps({"profile": snapshot}), file=sys.stderr)
     if args.cache_dir is not None or run_dir is not None:
         message = runner.summary()
         if run_dir is not None:
@@ -290,6 +329,7 @@ def _cmd_bounds(args) -> int:
         properties=cls.properties,
         do_rounding=not args.no_rounding,
         diagnose=True,
+        rounding_mode=args.rounding_mode,
         label=f"bound[{cls.name}]",
     )
     runner = _runner_for(args, "bounds")
@@ -459,7 +499,14 @@ def _cmd_sweep(args) -> int:
 
     _topo, _trace, _demand, problem = _load_problem(args)
     runner = _runner_for(args, "sweep")
-    sweep = qos_sweep(problem, levels=args.levels, classes=args.classes, runner=runner)
+    sweep = qos_sweep(
+        problem,
+        levels=args.levels,
+        classes=args.classes,
+        do_rounding=args.rounding,
+        rounding_mode=args.rounding_mode,
+        runner=runner,
+    )
     _finish_runner(args, runner)
     if args.json:
         print(
@@ -524,6 +571,12 @@ def _configure_logging(args) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     _configure_logging(args)
+    if getattr(args, "profile", False):
+        # One command = one profile: drop anything accumulated at import
+        # time or by a previous main() call in the same process.
+        from repro.perf import PERF
+
+        PERF.reset()
     handlers = {
         "topology": _cmd_topology,
         "workload": _cmd_workload,

@@ -132,6 +132,7 @@ def compute_lower_bound(
     keep_store: bool = False,
     formulation: Optional[Formulation] = None,
     diagnose: bool = False,
+    rounding_mode: str = "greedy",
 ) -> LowerBoundResult:
     """Lower bound (and rounded feasible cost) for one heuristic class.
 
@@ -157,6 +158,12 @@ def compute_lower_bound(
         On LP infeasibility, run the constraint-family deletion filter
         (:mod:`repro.lp.diagnose`) and name the binding families in
         ``reason`` — a few extra solves, only on the failure path.
+    rounding_mode:
+        ``"greedy"`` (default) — the paper's Appendix-C closed-form
+        rounder; ``"iterative"`` — LP-guided rounding via the patch API
+        (:func:`~repro.core.rounding.round_solution_iterative`), whose
+        re-solves are assembly-free.  QoS goals only; average-latency
+        goals always use the add-then-trim constructor.
     """
     props = properties or HeuristicProperties()
     form = formulation or build_formulation(problem, props)
@@ -206,7 +213,14 @@ def compute_lower_bound(
     if do_rounding:
         t0 = time.perf_counter()
         if isinstance(problem.goal, QoSGoal):
-            rounding = round_solution(form, solution, run_length=run_length)
+            if rounding_mode == "iterative":
+                from repro.core.rounding import round_solution_iterative
+
+                rounding = round_solution_iterative(form, solution, backend=backend)
+            elif rounding_mode == "greedy":
+                rounding = round_solution(form, solution, run_length=run_length)
+            else:
+                raise ValueError(f"unknown rounding mode: {rounding_mode!r}")
         else:
             from repro.core.rounding_avg import round_average_latency
 

@@ -41,6 +41,7 @@ from repro.core.properties import (
     StorageConstraint,
 )
 from repro.lp.model import LinearProgram
+from repro.perf import PERF
 
 
 @dataclass
@@ -151,10 +152,13 @@ class Formulation:
         self.problem = dataclasses.replace(self.problem, goal=goal)
         self.structurally_infeasible = False
         self.infeasible_reason = ""
+        PERF.count("form.retarget")
         for key, (row, denom, const, max_possible) in self.qos_meta.items():
             required = fraction * denom
             if row >= 0:
-                self.lp.constraints[row].rhs = required - const
+                # Patch API: keeps the cached solver arrays in sync so the
+                # next solve at this level is assembly-free.
+                self.lp.set_rhs(row, required - const)
             if max_possible < required - 1e-9:
                 self.structurally_infeasible = True
                 self.infeasible_reason = (
@@ -218,6 +222,7 @@ def build_formulation(
     problem: MCPerfProblem,
     properties: Optional[HeuristicProperties] = None,
     with_open_vars: Optional[bool] = None,
+    assembly: str = "vectorized",
 ) -> Formulation:
     """Assemble the MC-PERF LP for one heuristic class.
 
@@ -230,7 +235,31 @@ def build_formulation(
     with_open_vars:
         Force node-opening variables on/off; by default they are created
         iff ``problem.costs.zeta > 0``.
+    assembly:
+        ``"vectorized"`` (default) builds the bulk row families as NumPy
+        blocks (:mod:`repro.core.assembly`); ``"legacy"`` keeps the
+        row-by-row builder.  Both produce the same model — the legacy path
+        exists as the equivalence-test oracle and a debugging fallback.
     """
+    if assembly == "vectorized":
+        from repro.core.assembly import build_formulation_vectorized
+
+        PERF.count("form.build.vectorized")
+        with PERF.timer("form.build"):
+            return build_formulation_vectorized(problem, properties, with_open_vars)
+    if assembly != "legacy":
+        raise ValueError(f"unknown assembly mode: {assembly!r}")
+    PERF.count("form.build.legacy")
+    with PERF.timer("form.build"):
+        return _build_formulation_legacy(problem, properties, with_open_vars)
+
+
+def _build_formulation_legacy(
+    problem: MCPerfProblem,
+    properties: Optional[HeuristicProperties] = None,
+    with_open_vars: Optional[bool] = None,
+) -> Formulation:
+    """The original row-by-row builder (the vectorized path's oracle)."""
     props = properties or HeuristicProperties()
     inst = problem.instance(props)
     costs = problem.costs

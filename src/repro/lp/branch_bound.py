@@ -167,20 +167,21 @@ def solve_integer(
 
 
 def _solve_with_fixings(model: LinearProgram, fixings: Dict[int, float]) -> LPSolution:
-    """Solve the LP with temporary variable fixings (bounds restored after)."""
+    """Solve the LP with temporary variable fixings (bounds restored after).
+
+    Fixings go through the model's patch API so the cached solver arrays
+    stay in sync and every node re-solve is assembly-free.
+    """
     saved = []
     try:
         for j, value in fixings.items():
             v = model.variables[j]
             saved.append((j, v.lower, v.upper))
-            v.lower = value
-            v.upper = value
+            model.fix_var(j, value)
         return model.solve(backend="scipy")
     finally:
         for j, lower, upper in saved:
-            v = model.variables[j]
-            v.lower = lower
-            v.upper = upper
+            model.set_bound(j, lower, upper)
 
 
 def _most_fractional(values, integer_vars: Sequence[int]) -> Optional[int]:

@@ -2,29 +2,65 @@
 
 :class:`LinearProgram` holds variables (with bounds and objective
 coefficients) and constraints (as sparse rows), and hands the assembled
-matrices to a solver backend.  Two construction styles are supported:
+matrices to a solver backend.  Three construction styles are supported:
 
 * expression based — readable, for small/structural constraints::
 
       x = lp.var("x", ub=1.0, obj=2.0)
       lp.add(x.expr() + y.expr() <= 1, name="pick-one")
 
-* array based — fast, for the bulk of MC-PERF's O(N*I*K) rows::
+* array based — for moderate row counts::
 
       lp.add_row([ix, iy], [1.0, 1.0], "<=", 1.0, name="pick-one")
 
+* block based — the fast path for MC-PERF's O(N*I*K) row families::
+
+      lp.add_rows_bulk(indptr, flat_indices, flat_coeffs, "<=", rhs)
+
 Variables are continuous; MC-PERF's integrality is recovered by the rounding
 algorithm in :mod:`repro.core.rounding`, exactly as in the paper.
+
+Assembled solver arrays are cached on the model and invalidated only by
+structural edits (new variables or rows).  Numeric edits go through the
+patch API — :meth:`~LinearProgram.fix_var`, :meth:`~LinearProgram.set_bound`,
+:meth:`~LinearProgram.set_rhs` — which updates the cached arrays in place,
+so re-solves after a patch are assembly-free.
 """
 
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from itertools import repeat as _repeat
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.lp.expr import ConstraintSpec, LinExpr
 from repro.lp.solution import LPSolution
+from repro.perf import PERF
+
+_np = None
+_sparse = None
+
+
+def _numpy():
+    """Lazy module-level numpy handle (imported once per process)."""
+    global _np
+    if _np is None:
+        import numpy
+
+        _np = numpy
+    return _np
+
+
+def _scipy_sparse():
+    """Lazy module-level scipy.sparse handle (imported once per process)."""
+    global _sparse
+    if _sparse is None:
+        from scipy import sparse
+
+        _sparse = sparse
+    return _sparse
 
 
 class Sense(str, enum.Enum):
@@ -81,14 +117,236 @@ class Constraint:
         return abs(act - self.rhs) <= tol
 
 
+#: Compact sense encoding used by the columnar row storage (LE=0, GE=1, EQ=2).
+_SENSE_CODE = {Sense.LE: 0, Sense.GE: 1, Sense.EQ: 2}
+_CODE_SENSE = {0: Sense.LE, 1: Sense.GE, 2: Sense.EQ}
+
+
+class _RowBlock:
+    """A homogeneous family of rows stored columnar (no per-row objects).
+
+    ``add_rows_bulk`` appends one of these per family: the CSR triple
+    (``indptr``/``indices``/``coeffs``), a shared sense, per-row ``rhs``,
+    and optional per-row names.  Individual :class:`Constraint` objects are
+    materialized lazily only when somebody actually indexes or iterates the
+    row (diagnostics, validation, the pure-Python simplex) — the hot
+    assembly path reads the columnar arrays directly.
+    """
+
+    __slots__ = ("start", "indptr", "indices", "coeffs", "sense", "rhs", "names")
+
+    def __init__(self, start, indptr, indices, coeffs, sense, rhs, names=None):
+        self.start = start  # global row index of the block's first row
+        self.indptr = indptr
+        self.indices = indices
+        self.coeffs = coeffs
+        self.sense = sense
+        self.rhs = rhs
+        self.names = names
+
+    def __len__(self) -> int:
+        return len(self.indptr) - 1
+
+    def materialize(self, offset: int) -> Constraint:
+        """Build the :class:`Constraint` view for row ``start + offset``."""
+        s = self.indptr[offset]
+        e = self.indptr[offset + 1]
+        name = self.names[offset] if self.names is not None else f"c{self.start + offset}"
+        return Constraint(
+            name=name,
+            indices=self.indices[s:e],
+            coeffs=self.coeffs[s:e],
+            sense=self.sense,
+            rhs=float(self.rhs[offset]),
+        )
+
+
+class ConstraintList:
+    """Sequence of constraints mixing per-row objects and columnar blocks.
+
+    Rows added one at a time (``add_row``/``add``) live as plain
+    :class:`Constraint` objects; families added via ``add_rows_bulk`` live
+    as :class:`_RowBlock` columns.  Indexing/iteration materialize block
+    rows on demand (memoized, so patching a materialized row's RHS stays
+    coherent); ``columnar()`` hands the assembly the flat arrays without
+    creating any row objects.
+    """
+
+    __slots__ = ("_segs", "_starts", "_len", "_cache")
+
+    def __init__(self, items=()):
+        self._segs: list = []  # each: list[Constraint] | _RowBlock
+        self._starts: List[int] = []  # global row index where each segment begins
+        self._len = 0
+        self._cache: Dict[int, Constraint] = {}
+        for item in items:
+            self.append(item)
+
+    def __len__(self) -> int:
+        return self._len
+
+    def _locate(self, row: int):
+        seg_i = bisect_right(self._starts, row) - 1
+        return self._segs[seg_i], row - self._starts[seg_i]
+
+    def __getitem__(self, row):
+        if isinstance(row, slice):
+            return [self[i] for i in range(*row.indices(self._len))]
+        row = int(row)
+        if row < 0:
+            row += self._len
+        if not 0 <= row < self._len:
+            raise IndexError("constraint index out of range")
+        seg, off = self._locate(row)
+        if isinstance(seg, list):
+            return seg[off]
+        con = self._cache.get(row)
+        if con is None:
+            con = seg.materialize(off)
+            self._cache[row] = con
+        return con
+
+    def __iter__(self):
+        for start, seg in zip(self._starts, self._segs):
+            if isinstance(seg, list):
+                yield from seg
+            else:
+                cache = self._cache
+                for off in range(len(seg)):
+                    row = start + off
+                    con = cache.get(row)
+                    if con is None:
+                        con = seg.materialize(off)
+                        cache[row] = con
+                    yield con
+
+    def __eq__(self, other):
+        if isinstance(other, (ConstraintList, list)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"ConstraintList(len={self._len}, segments={len(self._segs)})"
+
+    def append(self, con: Constraint) -> None:
+        if self._segs and isinstance(self._segs[-1], list):
+            self._segs[-1].append(con)
+        else:
+            self._starts.append(self._len)
+            self._segs.append([con])
+        self._len += 1
+
+    def append_block(self, block: _RowBlock) -> None:
+        self._starts.append(self._len)
+        self._segs.append(block)
+        self._len += len(block)
+
+    def set_rhs(self, row: int, rhs: float) -> None:
+        """Patch one row's RHS without materializing it."""
+        seg, off = self._locate(row)
+        if isinstance(seg, list):
+            seg[off].rhs = rhs
+        else:
+            seg.rhs[off] = rhs
+            con = self._cache.get(row)
+            if con is not None:
+                con.rhs = rhs
+
+    def columnar(self):
+        """Flatten to ``(lengths, sense_codes, rhs, flat_idx, flat_cf)``.
+
+        One concatenated view of every segment, block rows at zero per-row
+        cost; object-segment rows are converted on the fly (they are the
+        handful of goal/auxiliary rows, never the O(N·I·K) families).
+        """
+        np = _numpy()
+        lengths_parts = []
+        sense_parts = []
+        rhs_parts = []
+        idx_parts = []
+        cf_parts = []
+        for seg in self._segs:
+            if isinstance(seg, list):
+                n = len(seg)
+                if not n:
+                    continue
+                lengths_parts.append(
+                    np.fromiter((len(c.indices) for c in seg), dtype=np.int64, count=n)
+                )
+                sense_parts.append(
+                    np.fromiter((_SENSE_CODE[c.sense] for c in seg), dtype=np.int8, count=n)
+                )
+                rhs_parts.append(
+                    np.fromiter((c.rhs for c in seg), dtype=np.float64, count=n)
+                )
+                for c in seg:
+                    if len(c.indices):
+                        idx_parts.append(np.asarray(c.indices, dtype=np.int64))
+                        cf_parts.append(np.asarray(c.coeffs, dtype=np.float64))
+            else:
+                lengths_parts.append(np.diff(seg.indptr))
+                sense_parts.append(
+                    np.full(len(seg), _SENSE_CODE[seg.sense], dtype=np.int8)
+                )
+                rhs_parts.append(seg.rhs)
+                if len(seg.indices):
+                    idx_parts.append(seg.indices)
+                    cf_parts.append(seg.coeffs)
+        empty_i = np.empty(0, dtype=np.int64)
+        empty_f = np.empty(0, dtype=np.float64)
+        return (
+            np.concatenate(lengths_parts) if lengths_parts else empty_i,
+            np.concatenate(sense_parts) if sense_parts else np.empty(0, dtype=np.int8),
+            np.concatenate(rhs_parts) if rhs_parts else empty_f,
+            np.concatenate(idx_parts) if idx_parts else empty_i,
+            np.concatenate(cf_parts) if cf_parts else empty_f,
+        )
+
+
+class _ArrayCache:
+    """Assembled solver arrays plus the row map the patch API needs.
+
+    ``row_pos[r]`` is constraint ``r``'s row within its matrix (``a_eq`` when
+    ``row_is_eq[r]`` else ``a_ub``); ``row_flip[r]`` marks ``>=`` rows that
+    were negated into ``<=`` form, so an RHS patch knows to store ``-rhs``.
+    """
+
+    __slots__ = (
+        "c", "bounds", "a_ub", "b_ub", "a_eq", "b_eq",
+        "row_pos", "row_is_eq", "row_flip", "nvars", "nrows",
+    )
+
+    def __init__(self, c, bounds, a_ub, b_ub, a_eq, b_eq, row_pos, row_is_eq, row_flip):
+        self.c = c
+        self.bounds = bounds
+        self.a_ub = a_ub
+        self.b_ub = b_ub
+        self.a_eq = a_eq
+        self.b_eq = b_eq
+        self.row_pos = row_pos
+        self.row_is_eq = row_is_eq
+        self.row_flip = row_flip
+        self.nvars = len(bounds)
+        self.nrows = len(row_pos)
+
+
 @dataclass
 class LinearProgram:
     """A minimization LP over continuous bounded variables."""
 
     name: str = "lp"
     variables: List[Variable] = field(default_factory=list)
-    constraints: List[Constraint] = field(default_factory=list)
+    constraints: "ConstraintList" = field(default_factory=ConstraintList)
     _names: Dict[str, int] = field(default_factory=dict)
+    _arrays: Optional[_ArrayCache] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Accept a plain list of Constraint objects (diagnostics build
+        # filtered sub-models that way) and wrap it in the hybrid storage.
+        if not isinstance(self.constraints, ConstraintList):
+            self.constraints = ConstraintList(self.constraints)
 
     # -- variables ---------------------------------------------------------
 
@@ -110,6 +368,7 @@ class LinearProgram:
         v = Variable(index=len(self.variables), name=name, lower=lower, upper=upper, objective=obj)
         self.variables.append(v)
         self._names[name] = v.index
+        self._arrays = None
         return v
 
     def var_block(
@@ -120,20 +379,68 @@ class LinearProgram:
         upper: Optional[float] = None,
         obj: float = 0.0,
     ) -> range:
-        """Add ``count`` homogeneous variables named ``prefix[j]``; return their index range.
-
-        The bulk path for MC-PERF's store/create/covered blocks.
-        """
+        """Add ``count`` homogeneous variables named ``prefix[j]``; return their index range."""
         if count < 0:
             raise ValueError("count must be non-negative")
+        return self.add_vars_bulk(
+            [f"{prefix}[{j}]" for j in range(count)], lower=lower, upper=upper, obj=obj
+        )
+
+    def add_vars_bulk(
+        self,
+        names: Sequence[str],
+        lower=0.0,
+        upper=None,
+        obj=0.0,
+    ) -> range:
+        """Append a block of variables; return their index range.
+
+        ``lower``/``upper``/``obj`` may be scalars (applied to every
+        variable) or per-variable sequences.  The bulk path for MC-PERF's
+        store/create/covered blocks: one call per family instead of one
+        ``var()`` call per cell.
+        """
+        count = len(names)
         start = len(self.variables)
-        for j in range(count):
-            name = f"{prefix}[{j}]"
-            if name in self._names:
-                raise ValueError(f"duplicate variable name: {name!r}")
-            v = Variable(index=start + j, name=name, lower=lower, upper=upper, objective=obj)
-            self.variables.append(v)
-            self._names[name] = v.index
+        scalar_lo = not hasattr(lower, "__len__")
+        scalar_up = upper is None or not hasattr(upper, "__len__")
+        scalar_obj = not hasattr(obj, "__len__")
+        if scalar_up and upper is not None and scalar_lo and upper < lower:
+            raise ValueError(f"variable block: upper {upper} < lower {lower}")
+        lo_seq = None if scalar_lo else [float(x) for x in lower]
+        up_seq = None if scalar_up else [None if x is None else float(x) for x in upper]
+        obj_seq = None if scalar_obj else [float(x) for x in obj]
+        if not (scalar_lo and scalar_up):
+            for j in range(count):
+                lo = lower if scalar_lo else lo_seq[j]
+                up = upper if scalar_up else up_seq[j]
+                if up is not None and up < lo:
+                    raise ValueError(f"variable {names[j]!r}: upper {up} < lower {lo}")
+        # map() drives the construction loop in C — measurably faster than a
+        # comprehension for the O(N*I*K) variable families.
+        block = list(
+            map(
+                Variable,
+                range(start, start + count),
+                names,
+                _repeat(lower) if scalar_lo else lo_seq,
+                _repeat(upper) if scalar_up else up_seq,
+                _repeat(obj) if scalar_obj else obj_seq,
+            )
+        )
+        nametab = self._names
+        nametab.update(zip(names, range(start, start + count)))
+        if len(nametab) != start + count:
+            # Roll back (self.variables is still pristine) and name the offender.
+            self._names = {v.name: v.index for v in self.variables}
+            seen = set(self._names)
+            for name in names:
+                if name in seen:
+                    raise ValueError(f"duplicate variable name: {name!r}")
+                seen.add(name)
+            raise ValueError("duplicate variable name in bulk block")
+        self.variables.extend(block)
+        self._arrays = None
         return range(start, start + count)
 
     def variable_by_name(self, name: str) -> Variable:
@@ -141,20 +448,37 @@ class LinearProgram:
 
     def set_objective(self, index: int, coeff: float) -> None:
         self.variables[index].objective = float(coeff)
+        if self._arrays is not None:
+            self._arrays.c[index] = self.variables[index].objective
 
     def add_objective(self, index: int, coeff: float) -> None:
         self.variables[index].objective += float(coeff)
+        if self._arrays is not None:
+            self._arrays.c[index] = self.variables[index].objective
 
     def set_bounds(self, index: int, lower: float = 0.0, upper: Optional[float] = None) -> None:
+        """Patch a variable's bounds, updating cached arrays in place."""
         if upper is not None and upper < lower:
             raise ValueError(f"variable {index}: upper {upper} < lower {lower}")
         v = self.variables[index]
         v.lower = lower
         v.upper = upper
+        if self._arrays is not None:
+            self._arrays.bounds[index] = (lower, upper)
+        PERF.count("lp.patch.bound")
+
+    # ``set_bound`` is the patch-API name from the performance layer;
+    # ``set_bounds`` predates it.  Both patch in place.
+    set_bound = set_bounds
+
+    def fix_var(self, index: int, value: float) -> None:
+        """Fix a variable to a constant without invalidating the assembly."""
+        self.set_bounds(index, value, value)
+        PERF.count("lp.patch.fix_var")
 
     def fix(self, index: int, value: float) -> None:
         """Fix a variable to a constant (used for Know/Hist/React fixings)."""
-        self.set_bounds(index, value, value)
+        self.fix_var(index, value)
 
     @property
     def num_variables(self) -> int:
@@ -184,7 +508,7 @@ class LinearProgram:
         rhs: float,
         name: str = "",
     ) -> Constraint:
-        """Add a sparse constraint row directly (fast path)."""
+        """Add a sparse constraint row directly."""
         if len(indices) != len(coeffs):
             raise ValueError("indices and coeffs must have the same length")
         nvar = len(self.variables)
@@ -199,51 +523,162 @@ class LinearProgram:
             rhs=float(rhs),
         )
         self.constraints.append(con)
+        self._arrays = None
         return con
 
+    def add_rows_bulk(
+        self,
+        indptr,
+        indices,
+        coeffs,
+        sense: "Sense | str",
+        rhs,
+        names: Optional[Sequence[str]] = None,
+    ) -> range:
+        """Append a homogeneous block of sparse rows (fast path).
+
+        ``indptr`` delimits rows within the flat ``indices``/``coeffs``
+        arrays CSR-style (row ``r`` spans ``indptr[r]:indptr[r+1]``);
+        ``sense`` applies to the whole block; ``rhs`` is per-row.  The
+        block is stored columnar — no per-row objects are created, so a
+        10k-row family costs one validation pass plus one ``_RowBlock``;
+        :class:`Constraint` views materialize lazily only if somebody
+        indexes into the family.
+
+        Returns the block's row-index range.
+        """
+        np = _numpy()
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        rhs = np.asarray(rhs, dtype=np.float64)
+        nrows = len(indptr) - 1
+        if nrows < 0:
+            raise ValueError("indptr must have at least one entry")
+        if len(rhs) != nrows:
+            raise ValueError(f"rhs has {len(rhs)} entries for {nrows} rows")
+        if names is not None and len(names) != nrows:
+            raise ValueError(f"names has {len(names)} entries for {nrows} rows")
+        if indptr[0] != 0 or (nrows and indptr[-1] != len(indices)):
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if len(indices) != len(coeffs):
+            raise ValueError("indices and coeffs must have the same length")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(indices) and (indices.min() < 0 or indices.max() >= len(self.variables)):
+            raise IndexError("constraint block references unknown variable index")
+
+        parsed = Sense.parse(sense)
+        start = len(self.constraints)
+        block_names = None if names is None else list(names)
+        self.constraints.append_block(
+            _RowBlock(start, indptr, indices, coeffs, parsed, rhs, block_names)
+        )
+        self._arrays = None
+        return range(start, start + nrows)
+
+    def set_rhs(self, row: int, rhs: float) -> None:
+        """Patch one constraint's RHS, updating cached arrays in place.
+
+        ``>=`` rows live negated in ``A_ub``; the cache's flip map applies
+        the matching sign to the patched value.
+        """
+        rhs = float(rhs)
+        self.constraints.set_rhs(row, rhs)
+        cache = self._arrays
+        if cache is not None:
+            pos = cache.row_pos[row]
+            if cache.row_is_eq[row]:
+                cache.b_eq[pos] = rhs
+            else:
+                cache.b_ub[pos] = -rhs if cache.row_flip[row] else rhs
+        PERF.count("lp.patch.rhs")
+
     # -- assembly ----------------------------------------------------------
+
+    def _assemble(self) -> _ArrayCache:
+        """Run the full vectorized assembly into a fresh cache.
+
+        Reads the constraint store's columnar form — block families
+        contribute their flat CSR arrays directly, so assembly cost scales
+        with nnz, not with Python-level row objects.
+        """
+        np = _numpy()
+        sparse = _scipy_sparse()
+        n = len(self.variables)
+        c = np.fromiter((v.objective for v in self.variables), dtype=np.float64, count=n)
+        bounds: List[Tuple[float, Optional[float]]] = [
+            (v.lower, v.upper) for v in self.variables
+        ]
+        lengths, sense_codes, rhs_all, flat_idx, flat_cf = self.constraints.columnar()
+        row_is_eq = sense_codes == _SENSE_CODE[Sense.EQ]
+        row_flip = sense_codes == _SENSE_CODE[Sense.GE]
+        row_pos = np.where(
+            row_is_eq,
+            np.cumsum(row_is_eq) - 1,
+            np.cumsum(~row_is_eq) - 1,
+        ).astype(np.int64)
+
+        def build(lens, col, data, rhs, flip):
+            if not len(lens):
+                return None, None
+            if flip is not None and flip.any():
+                data = np.where(np.repeat(flip, lens), -data, data)
+                rhs = np.where(flip, -rhs, rhs)
+            indptr = np.zeros(len(lens) + 1, dtype=np.int64)
+            np.cumsum(lens, out=indptr[1:])
+            mat = sparse.csr_matrix((data, col, indptr), shape=(len(lens), n))
+            return mat, rhs
+
+        if not row_is_eq.any():
+            # Common case (MC-PERF has no equality rows): no boolean split.
+            a_ub, b_ub = build(lengths, flat_idx, flat_cf, rhs_all, row_flip)
+            a_eq, b_eq = None, None
+        elif row_is_eq.all():
+            a_ub, b_ub = None, None
+            a_eq, b_eq = build(lengths, flat_idx, flat_cf, rhs_all, None)
+        else:
+            nnz_eq = np.repeat(row_is_eq, lengths)
+            a_ub, b_ub = build(
+                lengths[~row_is_eq],
+                flat_idx[~nnz_eq],
+                flat_cf[~nnz_eq],
+                rhs_all[~row_is_eq],
+                row_flip[~row_is_eq],
+            )
+            a_eq, b_eq = build(
+                lengths[row_is_eq],
+                flat_idx[nnz_eq],
+                flat_cf[nnz_eq],
+                rhs_all[row_is_eq],
+                None,
+            )
+        return _ArrayCache(c, bounds, a_ub, b_ub, a_eq, b_eq, row_pos, row_is_eq, row_flip)
 
     def to_arrays(self):
         """Assemble ``(c, A_ub, b_ub, A_eq, b_eq, bounds)`` as scipy-ready data.
 
-        ``A_ub``/``A_eq`` are returned as ``scipy.sparse.csr_matrix`` (or None
-        when there are no rows of that kind).  ``>=`` rows are negated into
-        ``<=`` form.
+        ``A_ub``/``A_eq`` are ``scipy.sparse.csr_matrix`` (or None when there
+        are no rows of that kind); ``>=`` rows are negated into ``<=`` form.
+
+        The assembled arrays are cached on the model: structural edits (new
+        variables/rows) invalidate the cache, numeric edits via the patch
+        API update it in place, so repeated ``solve()`` calls skip assembly.
+        Callers must not mutate the returned arrays directly.
         """
-        import numpy as np
-        from scipy import sparse
-
-        n = len(self.variables)
-        c = np.array([v.objective for v in self.variables], dtype=float)
-        bounds = [(v.lower, v.upper) for v in self.variables]
-
-        ub_rows, eq_rows = [], []
-        for con in self.constraints:
-            if con.sense is Sense.EQ:
-                eq_rows.append(con)
-            else:
-                ub_rows.append(con)
-
-        def build(rows, flip_ge: bool):
-            if not rows:
-                return None, None
-            data, indices, indptr, rhs = [], [], [0], []
-            for con in rows:
-                flip = flip_ge and con.sense is Sense.GE
-                for i, coeff in zip(con.indices, con.coeffs):
-                    indices.append(i)
-                    data.append(-coeff if flip else coeff)
-                indptr.append(len(data))
-                rhs.append(-con.rhs if flip else con.rhs)
-            mat = sparse.csr_matrix(
-                (np.array(data, dtype=float), np.array(indices), np.array(indptr)),
-                shape=(len(rows), n),
-            )
-            return mat, np.array(rhs, dtype=float)
-
-        a_ub, b_ub = build(ub_rows, flip_ge=True)
-        a_eq, b_eq = build(eq_rows, flip_ge=False)
-        return c, a_ub, b_ub, a_eq, b_eq, bounds
+        cache = self._arrays
+        if (
+            cache is not None
+            and cache.nvars == len(self.variables)
+            and cache.nrows == len(self.constraints)
+        ):
+            PERF.count("lp.assembly.reuse")
+        else:
+            with PERF.timer("lp.assembly"):
+                cache = self._assemble()
+            self._arrays = cache
+            PERF.count("lp.assembly.rebuild")
+        return cache.c, cache.a_ub, cache.b_ub, cache.a_eq, cache.b_eq, cache.bounds
 
     # -- solving -----------------------------------------------------------
 
@@ -255,6 +690,11 @@ class LinearProgram:
         simplex — with a warning — when scipy is missing or its solve
         raises, so bounds still compute on scipy-less installs.
         """
+        PERF.count("lp.solve")
+        with PERF.timer("lp.solve"):
+            return self._solve(backend, **kwargs)
+
+    def _solve(self, backend: str, **kwargs) -> LPSolution:
         if backend == "auto":
             try:
                 from repro.lp.scipy_backend import solve_with_scipy

@@ -73,30 +73,29 @@ def _extract_duals(model, result) -> "np.ndarray | None":
     sign-corrected so every entry means d objective / d rhs of the
     *original* row.
     """
-    from repro.lp.model import Sense
-
     ineq = getattr(result, "ineqlin", None)
     eq = getattr(result, "eqlin", None)
     ineq_marg = getattr(ineq, "marginals", None) if ineq is not None else None
     eq_marg = getattr(eq, "marginals", None) if eq is not None else None
-    duals = np.zeros(len(model.constraints))
-    ub_at = 0
-    eq_at = 0
-    for row, con in enumerate(model.constraints):
-        if con.sense is Sense.EQ:
-            if eq_marg is None:
-                return None
-            duals[row] = float(eq_marg[eq_at])
-            eq_at += 1
-        else:
-            if ineq_marg is None:
-                return None
-            value = float(ineq_marg[ub_at])
-            ub_at += 1
-            # A >= row was negated into <= form: rhs' = -rhs, so the
-            # sensitivity to the original rhs flips sign.
-            duals[row] = -value if con.sense is Sense.GE else value
-    # scipy reports d fun / d b_ub with marginals <= 0 for binding <= rows;
-    # after the GE flip, duals of >= rows are >= 0 (more requirement costs
-    # more), matching the shadow-price convention used by callers.
+    # to_arrays() just ran, so the cache's row maps describe exactly the
+    # matrices scipy saw; scatter each marginals group back to model row
+    # order in one shot instead of walking the constraints.
+    cache = model._arrays
+    row_is_eq = cache.row_is_eq
+    duals = np.zeros(cache.nrows)
+    if row_is_eq.any():
+        if eq_marg is None:
+            return None
+        duals[row_is_eq] = eq_marg
+    if not row_is_eq.all():
+        if ineq_marg is None:
+            return None
+        duals[~row_is_eq] = ineq_marg
+    # A >= row was negated into <= form: rhs' = -rhs, so the sensitivity to
+    # the original rhs flips sign.  scipy reports d fun / d b_ub with
+    # marginals <= 0 for binding <= rows; after the GE flip, duals of >=
+    # rows are >= 0 (more requirement costs more), matching the
+    # shadow-price convention used by callers.
+    if cache.row_flip.any():
+        duals[cache.row_flip] = -duals[cache.row_flip]
     return duals

@@ -1,0 +1,106 @@
+"""Lightweight instrumentation for the hot paths (ISSUE 4).
+
+The pipeline's performance claims are measured, not asserted: every hot
+layer (LP assembly, incremental re-solve, simulator serve path) reports
+into a process-wide :class:`Profiler` singleton, ``PERF``.
+
+Two kinds of instruments:
+
+* **Counters** — plain integer increments (``PERF.count("lp.patch.rhs")``).
+  Always on: they are cheap (one dict update) and CI's perf-smoke job
+  asserts on them (e.g. "zero full rebuilds after the initial assembly"),
+  so they must not depend on a flag.
+* **Timers** — ``with PERF.timer("lp.solve"):`` accumulates wall-clock
+  seconds and call counts per phase.  Also always on; a
+  ``perf_counter()`` pair per phase is noise next to the phases being
+  timed (LP solves, trace replay).
+
+``--profile`` on the CLI does not *enable* anything — it only controls
+whether the snapshot is written out (per-stage timing JSON into the run
+directory, or stderr without one).
+
+Counter names in use across the tree::
+
+    lp.assembly.rebuild   to_arrays ran the full vectorized assembly
+    lp.assembly.reuse     to_arrays served the cached arrays
+    lp.patch.fix_var      fix_var() patched cached bounds in place
+    lp.patch.bound        set_bound() patched cached bounds in place
+    lp.patch.rhs          set_rhs() patched a cached RHS entry in place
+    lp.solve              LinearProgram.solve() calls
+    form.build.vectorized / form.build.legacy   formulation assembly mode
+    form.retarget         set_qos_fraction() RHS-only re-target
+    round.iterative.fix   LP-guided rounding fixings (== re-solves)
+    sim.serve.fast        _served_latency answered from the replica cache
+    sim.serve.scan        _served_latency fell back to the full scan
+    sim.cache.repair      nearest-replica cache column recomputed
+
+Multiprocessing caveat: each worker process has its own ``PERF``; the
+profile a runner emits covers the parent process only.  Run with
+``--jobs 1`` when you want the counters to cover the whole pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class Profiler:
+    """Accumulates named counters and phase timers.
+
+    All state is plain dicts; ``snapshot()`` returns a JSON-safe copy and
+    ``reset()`` clears everything (CLI entry points reset so one command
+    equals one profile).
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timer_seconds: Dict[str, float] = {}
+        self.timer_calls: Dict[str, int] = {}
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate wall-clock seconds (and a call count) under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            self.timer_seconds[name] = self.timer_seconds.get(name, 0.0) + elapsed
+            self.timer_calls[name] = self.timer_calls.get(name, 0) + 1
+
+    def get(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds under a timer (0.0 if never entered)."""
+        return self.timer_seconds.get(name, 0.0)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe copy of all instruments, sorted for stable output."""
+        return {
+            "timers": {
+                name: {
+                    "seconds": self.timer_seconds[name],
+                    "calls": self.timer_calls.get(name, 0),
+                }
+                for name in sorted(self.timer_seconds)
+            },
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+        }
+
+    def reset(self) -> None:
+        """Clear every counter and timer."""
+        self.counters.clear()
+        self.timer_seconds.clear()
+        self.timer_calls.clear()
+
+
+#: Process-wide profiler; every hot path reports here.
+PERF = Profiler()

@@ -64,6 +64,8 @@ class BoundTask:
     run_length: bool = False
     backend: str = "auto"
     diagnose: bool = False
+    #: "greedy" (Appendix-C) or "iterative" (patch-API LP-guided rounding).
+    rounding_mode: str = "greedy"
     #: Allow RHS-only formulation reuse across tasks sharing ``reuse_key()``.
     reuse_formulation: bool = False
     #: Display name for artifacts/reports; not part of the cache key.
@@ -80,6 +82,7 @@ class BoundTask:
             self.run_length,
             self.backend,
             self.diagnose,
+            self.rounding_mode,
         )
 
     def reuse_key(self) -> Optional[str]:
@@ -119,6 +122,7 @@ class BoundTask:
             backend=self.backend,
             formulation=form,
             diagnose=self.diagnose,
+            rounding_mode=self.rounding_mode,
         )
 
     @staticmethod

@@ -318,6 +318,9 @@ class Simulator:
 
         self.ctx.now_s = event.time_s
         self.fault_state.apply(event)
+        # Liveness/link changes shift effective latencies wholesale; drop
+        # the nearest-replica cache (drops below re-invalidate per column).
+        self.state.invalidate_serve_cache()
         if isinstance(event, NodeCrash):
             lost = self.state.lose_all(event.node, event.time_s)
             self.heuristic.on_failure(event, self.ctx, lost)
@@ -340,6 +343,7 @@ class Simulator:
         heuristic = self.heuristic
         period = heuristic.period_s
         demands: Optional[np.ndarray] = None
+        zero_demand: Optional[np.ndarray] = None
         if period is not None:
             num_periods = max(1, int(np.ceil(trace.duration_s / period)))
             demands = np.zeros((num_periods, trace.num_nodes, trace.num_objects))
@@ -347,6 +351,9 @@ class Simulator:
                 if not req.is_write:
                     p = min(int(req.time_s / period), num_periods - 1)
                     demands[p, req.node, req.obj] += 1
+            # Shared "no past demand yet" matrix for boundaries before
+            # period 1 (was reallocated per boundary inside the loop).
+            zero_demand = np.zeros((trace.num_nodes, trace.num_objects))
 
         heuristic.on_start(self.ctx)
 
@@ -374,11 +381,7 @@ class Simulator:
                     self._apply_fault(fevents[fi])
                     fi += 1
                     continue
-                past = (
-                    demands[period_index - 1]
-                    if period_index > 0
-                    else np.zeros((trace.num_nodes, trace.num_objects))
-                )
+                past = demands[period_index - 1] if period_index > 0 else zero_demand
                 nxt = (
                     demands[period_index]
                     if heuristic.clairvoyant and period_index < len(demands)

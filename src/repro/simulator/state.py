@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.perf import PERF
 from repro.topology.graph import Topology
 
 
@@ -53,6 +54,16 @@ class ReplicaState:
         self.interval_s = interval_s
 
         self._held: List[Set[int]] = [set() for _ in topology.nodes()]
+        #: Inverse index: per-object holder sets, so ``holders()`` is O(1)
+        #: instead of a scan over every node.
+        self._holders: List[Set[int]] = [set() for _ in range(num_objects)]
+        self._lat = np.asarray(topology.latency, dtype=float)
+        #: Nearest-live-replica cache: ``_best[n, k]`` = min latency from n
+        #: to the origin or any holder of k (ignoring n's own copy, which
+        #: short-circuits to 0 at read time).  Columns validate lazily and
+        #: update incrementally on ``create``; ``drop``/faults invalidate.
+        self._best = np.empty((topology.num_nodes, num_objects), dtype=float)
+        self._best_valid = np.zeros(num_objects, dtype=bool)
         self._since: Dict[Tuple[int, int], float] = {}
         self.storage_cost = 0.0
         self.creation_cost = 0.0
@@ -76,7 +87,7 @@ class ReplicaState:
 
     def holders(self, obj: int) -> Set[int]:
         """All non-origin nodes currently storing ``obj``."""
-        return {n for n in self.topology.nodes() if n != self.topology.origin and obj in self._held[n]}
+        return set(self._holders[obj])
 
     def occupancy(self, node: int) -> int:
         return len(self._held[node])
@@ -101,6 +112,10 @@ class ReplicaState:
         if not 0 <= obj < self.num_objects:
             raise IndexError(f"object {obj} out of range")
         self._held[node].add(obj)
+        self._holders[obj].add(node)
+        if self._best_valid[obj]:
+            # A new holder can only lower latencies: fold its column in.
+            np.minimum(self._best[:, obj], self._lat[:, node], out=self._best[:, obj])
         self._since[(node, obj)] = time_s
         self.creations += 1
         self.creation_cost += self.beta
@@ -128,6 +143,9 @@ class ReplicaState:
         if obj not in self._held[node]:
             return False
         self._held[node].discard(obj)
+        self._holders[obj].discard(node)
+        # Losing a holder can raise latencies; recompute the column lazily.
+        self._best_valid[obj] = False
         start = self._since.pop((node, obj))
         if time_s < start:
             raise ValueError("drop before create")
@@ -167,28 +185,67 @@ class ReplicaState:
         a request from a crashed node, or one partitioned from every replica
         and the origin, gets ``inf`` (an unavailable read).  Requests are
         otherwise served by the closest *surviving* replica or the origin.
+
+        The common path — fault-free, global scope, no explicit candidate
+        set — answers from the nearest-live-replica cache in O(1); explicit
+        ``holders`` and fault runs take the scan (:meth:`scan_latency`),
+        which is also the oracle the cache is cross-checked against in
+        tests.
         """
         if self.faults is not None:
             return self._best_latency_faulty(node, obj, scope, holders)
-        lat = self.topology.latency
-        best = float(lat[node][self.topology.origin])
         if scope == "local":
             if self.holds(node, obj):
-                best = 0.0
-            return best
+                return 0.0
+            return float(self.topology.latency[node][self.topology.origin])
         if scope != "global":
             raise ValueError(f"unknown routing scope: {scope!r}")
-        candidates = holders if holders is not None else self.holders(obj)
+        if holders is not None:
+            return self.scan_latency(node, obj, holders=holders)
+        PERF.count("sim.serve.fast")
+        if not self._best_valid[obj]:
+            self._repair_column(obj)
+        if node == self.topology.origin or obj in self._held[node]:
+            return 0.0
+        return float(self._best[node, obj])
+
+    def scan_latency(
+        self, node: int, obj: int, holders: Optional[Set[int]] = None
+    ) -> float:
+        """Full-scan global-scope serve latency (the cache's oracle).
+
+        Identical semantics to the cached path: closest of the origin and
+        every (given or current) holder, 0 for a node holding the object.
+        """
+        PERF.count("sim.serve.scan")
+        lat = self.topology.latency
+        best = float(lat[node][self.topology.origin])
+        candidates = holders if holders is not None else self._holders[obj]
         for m in candidates:
             best = min(best, float(lat[node][m]))
         if self.holds(node, obj):
             best = 0.0
         return best
 
+    def _repair_column(self, obj: int) -> None:
+        """Recompute one object's nearest-replica column (vectorized)."""
+        PERF.count("sim.cache.repair")
+        col = self._best[:, obj]
+        np.copyto(col, self._lat[:, self.topology.origin])
+        for m in self._holders[obj]:
+            np.minimum(col, self._lat[:, m], out=col)
+        self._best_valid[obj] = True
+
+    def invalidate_serve_cache(self) -> None:
+        """Drop every cached nearest-replica column (fault events call this:
+        liveness and link changes shift effective latencies wholesale)."""
+        self._best_valid[:] = False
+
     def _best_latency_faulty(
         self, node: int, obj: int, scope: str, holders: Optional[Set[int]]
     ) -> float:
         """The liveness-masked variant of :meth:`best_latency`."""
+        PERF.count("sim.serve.scan")
         faults = self.faults
         if not faults.is_alive(node):
             return float("inf")

@@ -87,6 +87,23 @@ class Topology:
         row = self.latency[node]
         return [m for m in self.nodes() if row[m] <= threshold_ms]
 
+    def latency_order(self) -> np.ndarray:
+        """Per-requester node order, nearest first (ties → lowest index).
+
+        ``latency_order()[n]`` lists every node sorted by latency from ``n``
+        (``n`` itself first, since the diagonal is zero).  Computed once per
+        topology and cached — the simulator's serve path and the deployment
+        assignment both consult latency-sorted candidates per request, and
+        re-sorting inside those loops dominated their profiles.
+        """
+        order = getattr(self, "_latency_order", None)
+        if order is None:
+            # Stable sort ⇒ equal latencies keep ascending node index, the
+            # same tie-break closest_node() applies.
+            order = np.argsort(self.latency, axis=1, kind="stable")
+            self._latency_order = order
+        return order
+
     def closest_node(self, node: int, candidates: Sequence[int]) -> int:
         """The candidate with the lowest latency from ``node`` (ties → lowest index).
 
@@ -95,6 +112,12 @@ class Topology:
         """
         if len(candidates) == 0:
             raise ValueError("candidates must be non-empty")
+        if len(candidates) > 4:
+            # Walk the precomputed nearest-first order and take the first hit.
+            cand = set(int(m) for m in candidates)
+            for m in self.latency_order()[node]:
+                if int(m) in cand:
+                    return int(m)
         best = min(candidates, key=lambda m: (self.latency[node][m], m))
         return int(best)
 

@@ -1,0 +1,153 @@
+"""Vectorized formulation assembly vs. the legacy row-at-a-time builder.
+
+The vectorized builder (ISSUE 4) must be a pure speedup: same variables,
+same rows, same solver arrays.  Names, senses, indices and coefficients are
+compared exactly; RHS values and the objective constant get 1e-9 tolerance
+(the vectorized path regroups floating-point sums).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import compute_lower_bound
+from repro.core.classes import FIGURE1_CLASSES, get_class
+from repro.core.formulation import build_formulation
+from repro.perf import PERF
+
+
+def assert_formulations_equivalent(legacy, vectorized):
+    lp_l, lp_v = legacy.lp, vectorized.lp
+    assert lp_l.num_variables == lp_v.num_variables
+    assert lp_l.num_constraints == lp_v.num_constraints
+    for vl, vv in zip(lp_l.variables, lp_v.variables):
+        assert vl.name == vv.name
+        assert vl.lower == vv.lower and vl.upper == vv.upper, vl.name
+        assert vl.objective == pytest.approx(vv.objective, abs=1e-9), vl.name
+    for cl, cv in zip(lp_l.constraints, lp_v.constraints):
+        assert cl.name == cv.name
+        assert cl.sense is cv.sense, cl.name
+        assert list(cl.indices) == list(cv.indices), cl.name
+        assert list(cl.coeffs) == list(cv.coeffs), cl.name
+        assert cl.rhs == pytest.approx(cv.rhs, abs=1e-9), cl.name
+    assert legacy.objective_constant == pytest.approx(
+        vectorized.objective_constant, abs=1e-9
+    )
+    # The index structures the rounding/simulation layers read must agree too.
+    np.testing.assert_array_equal(legacy.store_idx, vectorized.store_idx)
+    np.testing.assert_array_equal(legacy.create_idx, vectorized.create_idx)
+
+    c_l, aub_l, bub_l, aeq_l, beq_l, bnd_l = lp_l.to_arrays()
+    c_v, aub_v, bub_v, aeq_v, beq_v, bnd_v = lp_v.to_arrays()
+    np.testing.assert_allclose(c_l, c_v, atol=1e-9)
+    assert list(bnd_l) == list(bnd_v)
+    assert (aub_l is None) == (aub_v is None)
+    if aub_l is not None:
+        assert (aub_l != aub_v).nnz == 0
+        np.testing.assert_allclose(bub_l, bub_v, atol=1e-9)
+    assert (aeq_l is None) == (aeq_v is None)
+    if aeq_l is not None:
+        assert (aeq_l != aeq_v).nnz == 0
+        np.testing.assert_allclose(beq_l, beq_v, atol=1e-9)
+
+
+@pytest.mark.parametrize("class_name", FIGURE1_CLASSES)
+def test_vectorized_matches_legacy(web_problem, class_name):
+    props = get_class(class_name).properties
+    legacy = build_formulation(web_problem, props, assembly="legacy")
+    vectorized = build_formulation(web_problem, props, assembly="vectorized")
+    assert_formulations_equivalent(legacy, vectorized)
+
+
+def test_vectorized_matches_legacy_group_workload(group_problem):
+    props = get_class("cooperative-caching").properties
+    legacy = build_formulation(group_problem, props, assembly="legacy")
+    vectorized = build_formulation(group_problem, props, assembly="vectorized")
+    assert_formulations_equivalent(legacy, vectorized)
+
+
+def test_vectorized_matches_legacy_with_initial_placement(web_problem):
+    rng = np.random.default_rng(3)
+    n = web_problem.topology.num_nodes
+    k = web_problem.demand.num_objects
+    initial = (rng.random((n, k)) < 0.2).astype(np.int8)
+    problem = dataclasses.replace(web_problem, initial_placement=initial)
+    for class_name in ["general", "caching"]:
+        props = get_class(class_name).properties
+        legacy = build_formulation(problem, props, assembly="legacy")
+        vectorized = build_formulation(problem, props, assembly="vectorized")
+        assert_formulations_equivalent(legacy, vectorized)
+
+
+def test_unknown_assembly_mode_rejected(web_problem):
+    with pytest.raises(ValueError, match="assembly"):
+        build_formulation(web_problem, None, assembly="mystery")
+
+
+def test_build_counters(web_problem):
+    before_v = PERF.get("form.build.vectorized")
+    before_l = PERF.get("form.build.legacy")
+    build_formulation(web_problem, None)
+    build_formulation(web_problem, None, assembly="legacy")
+    assert PERF.get("form.build.vectorized") == before_v + 1
+    assert PERF.get("form.build.legacy") == before_l + 1
+
+
+def test_retarget_reuses_assembly(web_problem):
+    """set_qos_fraction is RHS-only: no assembly rebuild across sweep levels."""
+    form = build_formulation(web_problem, None)
+    form.lp.to_arrays()
+    rebuilds = PERF.get("lp.assembly.rebuild")
+    retargets = PERF.get("form.retarget")
+    for fraction in (0.8, 0.95, 0.9):
+        form.set_qos_fraction(fraction)
+        form.lp.to_arrays()
+    assert PERF.get("lp.assembly.rebuild") == rebuilds
+    assert PERF.get("form.retarget") == retargets + 3
+
+
+# -- iterative (patch-API) rounding ------------------------------------------
+
+
+def test_iterative_rounding_matches_greedy_feasibility(web_problem):
+    greedy = compute_lower_bound(web_problem, None, rounding_mode="greedy")
+    iterative = compute_lower_bound(web_problem, None, rounding_mode="iterative")
+    assert greedy.feasible and iterative.feasible
+    # Both roundings must be valid upper bounds on the same LP lower bound.
+    assert iterative.lp_cost == pytest.approx(greedy.lp_cost, rel=1e-6)
+    assert iterative.feasible_cost >= iterative.lp_cost - 1e-6
+    assert iterative.rounding is not None and iterative.rounding.feasible
+
+
+def test_iterative_rounding_is_assembly_free(web_problem):
+    """The acceptance criterion: zero rebuilds after the initial assembly —
+    every rounding iteration re-solves through the patch API instead."""
+    PERF.reset()
+    result = compute_lower_bound(web_problem, None, rounding_mode="iterative")
+    assert result.feasible
+    assert PERF.get("lp.assembly.rebuild") == 1  # the initial build, nothing else
+    fixes = PERF.get("round.iterative.fix")
+    assert fixes > 0
+    assert PERF.get("lp.patch.fix_var") == fixes
+    assert PERF.get("lp.assembly.reuse") >= 1
+
+
+def test_iterative_rounding_restores_bounds(web_problem):
+    """Rounding must leave the formulation reusable: original bounds back."""
+    from repro.core.rounding import round_solution_iterative
+
+    form = build_formulation(web_problem, None)
+    saved = [(v.lower, v.upper) for v in form.lp.variables]
+    solution = form.lp.solve(backend="auto")
+    result = round_solution_iterative(form, solution)
+    assert result.feasible
+    assert [(v.lower, v.upper) for v in form.lp.variables] == saved
+    # And the formulation still solves to the same relaxation optimum.
+    again = form.lp.solve(backend="auto")
+    assert again.objective == pytest.approx(solution.objective, abs=1e-6)
+
+
+def test_bounds_rejects_unknown_rounding_mode(web_problem):
+    with pytest.raises(ValueError, match="rounding mode"):
+        compute_lower_bound(web_problem, None, rounding_mode="mystery")

@@ -1,0 +1,328 @@
+"""Patch API and cached-assembly tests (ISSUE 4 hot-path layer).
+
+The invariant under test throughout: a model mutated through the patch API
+(``fix_var`` / ``set_bounds`` / ``set_rhs``) hands the solver exactly the
+arrays a cold rebuild of the same model would — without re-running assembly.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.lp.model import Constraint, ConstraintList, LinearProgram, Sense
+from repro.perf import PERF
+
+
+def small_lp():
+    """3 vars, mixed senses: one LE row, one GE row (flip path), one EQ row."""
+    lp = LinearProgram(name="patch-test")
+    x = lp.var("x", upper=4.0, obj=1.0)
+    y = lp.var("y", upper=4.0, obj=2.0)
+    z = lp.var("z", upper=4.0, obj=0.5)
+    lp.add_row([x.index, y.index], [1.0, 1.0], "<=", 5.0, name="le")
+    lp.add_row([x.index, z.index], [1.0, 1.0], ">=", 2.0, name="ge")
+    lp.add_row([y.index, z.index], [1.0, -1.0], "==", 0.5, name="eq")
+    return lp
+
+
+def bulk_lp(nrows=12, nvars=6):
+    """A model whose rows all come from one add_rows_bulk block (GE sense)."""
+    lp = LinearProgram(name="bulk-test")
+    lp.var_block("x", nvars, upper=1.0, obj=1.0)
+    indices = np.array([[j % nvars, (j + 1) % nvars] for j in range(nrows)]).ravel()
+    coeffs = np.ones(2 * nrows)
+    indptr = np.arange(0, 2 * nrows + 1, 2)
+    rhs = np.linspace(0.1, 0.5, nrows)
+    lp.add_rows_bulk(indptr, indices, coeffs, ">=", rhs)
+    return lp
+
+
+def assert_arrays_match(lp_patched, lp_cold):
+    """The patched cache must equal a cold assembly of an identical model."""
+    got = lp_patched.to_arrays()
+    want = lp_cold.to_arrays()
+    for g, w, label in zip(got, want, ["c", "A_ub", "b_ub", "A_eq", "b_eq", "bounds"]):
+        if label.startswith("A_"):
+            assert (g is None) == (w is None), label
+            if g is not None:
+                assert (g != w).nnz == 0, label
+        elif label == "bounds":
+            assert list(g) == list(w), label
+        else:
+            assert (g is None) == (w is None), label
+            if g is not None:
+                np.testing.assert_array_equal(np.asarray(g), np.asarray(w), err_msg=label)
+
+
+# -- cache lifecycle ---------------------------------------------------------
+
+
+def test_to_arrays_is_cached():
+    lp = small_lp()
+    before = PERF.get("lp.assembly.reuse")
+    first = lp.to_arrays()
+    second = lp.to_arrays()
+    assert PERF.get("lp.assembly.reuse") == before + 1
+    # Identical objects, not merely equal: the cache is served as-is.
+    assert first[0] is second[0]
+    assert first[1] is second[1]
+
+
+def test_structural_edits_invalidate():
+    lp = small_lp()
+    lp.to_arrays()
+    lp.var("w", upper=1.0)
+    rebuilds = PERF.get("lp.assembly.rebuild")
+    c, *_ = lp.to_arrays()
+    assert PERF.get("lp.assembly.rebuild") == rebuilds + 1
+    assert len(c) == 4
+
+    lp.add_row([0], [1.0], "<=", 1.0)
+    rebuilds = PERF.get("lp.assembly.rebuild")
+    lp.to_arrays()
+    assert PERF.get("lp.assembly.rebuild") == rebuilds + 1
+
+
+def test_bulk_rows_invalidate():
+    lp = bulk_lp()
+    lp.to_arrays()
+    lp.add_rows_bulk([0, 1], [0], [1.0], "<=", [1.0])
+    rebuilds = PERF.get("lp.assembly.rebuild")
+    _, a_ub, b_ub, _, _, _ = lp.to_arrays()
+    assert PERF.get("lp.assembly.rebuild") == rebuilds + 1
+    assert a_ub.shape[0] == 13
+
+
+# -- patches equal a cold rebuild -------------------------------------------
+
+
+def test_fix_var_patches_cached_arrays():
+    lp = small_lp()
+    lp.to_arrays()  # prime the cache
+    rebuilds = PERF.get("lp.assembly.rebuild")
+    lp.fix_var(1, 0.75)
+
+    cold = small_lp()
+    cold.fix_var(1, 0.75)
+    cold._arrays = None  # force the cold path
+    assert_arrays_match(lp, cold)
+    # The patched model never re-assembled.
+    assert PERF.get("lp.assembly.rebuild") == rebuilds + 1  # +1 is the cold model
+
+
+def test_set_bounds_patches_cached_arrays():
+    lp = small_lp()
+    lp.to_arrays()
+    lp.set_bounds(0, 0.25, 3.0)
+    lp.set_bounds(2, 0.0, None)
+
+    cold = small_lp()
+    cold.set_bounds(0, 0.25, 3.0)
+    cold.set_bounds(2, 0.0, None)
+    cold._arrays = None
+    assert_arrays_match(lp, cold)
+
+
+def test_set_rhs_patches_all_senses():
+    lp = small_lp()
+    lp.to_arrays()
+    lp.set_rhs(0, 7.0)   # LE
+    lp.set_rhs(1, 3.5)   # GE (flip path)
+    lp.set_rhs(2, -1.0)  # EQ
+
+    cold = small_lp()
+    cold.set_rhs(0, 7.0)
+    cold.set_rhs(1, 3.5)
+    cold.set_rhs(2, -1.0)
+    cold._arrays = None
+    assert_arrays_match(lp, cold)
+
+
+def test_ge_rhs_stored_negated():
+    """>= rows live negated in A_ub; a patched rhs must flip sign with them."""
+    lp = small_lp()
+    _, _, b_ub, _, _, _ = lp.to_arrays()
+    # Rows: le (rhs 5), ge (rhs 2, stored as -2).
+    assert b_ub[0] == pytest.approx(5.0)
+    assert b_ub[1] == pytest.approx(-2.0)
+    lp.set_rhs(1, 3.5)
+    _, _, b_ub, _, _, _ = lp.to_arrays()
+    assert b_ub[1] == pytest.approx(-3.5)
+    assert lp.constraints[1].rhs == pytest.approx(3.5)
+
+
+def test_patch_before_assembly_is_safe():
+    """Patching with no cache yet just edits the model; first assembly sees it."""
+    lp = small_lp()
+    lp.fix_var(0, 1.0)
+    lp.set_rhs(2, 9.0)
+    c, a_ub, b_ub, a_eq, b_eq, bounds = lp.to_arrays()
+    assert bounds[0] == (1.0, 1.0)
+    assert b_eq[0] == pytest.approx(9.0)
+
+
+def test_objective_patches():
+    lp = small_lp()
+    c0, *_ = lp.to_arrays()
+    lp.set_objective(0, 10.0)
+    lp.add_objective(2, 1.5)
+    c1, *_ = lp.to_arrays()
+    assert c1 is c0  # patched in place, no rebuild
+    assert c1[0] == pytest.approx(10.0)
+    assert c1[2] == pytest.approx(2.0)
+    assert lp.variables[0].objective == pytest.approx(10.0)
+
+
+def test_incremental_resolve_matches_cold_solve():
+    """A solve after fix_var patches equals a cold solve of the fixed model."""
+    lp = bulk_lp()
+    lp.solve(backend="auto")  # prime cache via initial solve
+    rebuilds = PERF.get("lp.assembly.rebuild")
+    lp.fix_var(0, 1.0)
+    lp.fix_var(3, 0.0)
+    warm = lp.solve(backend="auto")
+    assert PERF.get("lp.assembly.rebuild") == rebuilds  # assembly-free re-solve
+
+    cold = bulk_lp()
+    cold.fix_var(0, 1.0)
+    cold.fix_var(3, 0.0)
+    cold_sol = cold.solve(backend="auto")
+    assert warm.status == cold_sol.status
+    assert warm.objective == pytest.approx(cold_sol.objective, abs=1e-9)
+    np.testing.assert_allclose(warm.values, cold_sol.values, atol=1e-8)
+
+
+# -- _RowBlock / ConstraintList ----------------------------------------------
+
+
+def test_block_rows_materialize_lazily():
+    lp = bulk_lp(nrows=5)
+    cons = lp.constraints
+    assert len(cons) == 5
+    row = cons[2]
+    assert isinstance(row, Constraint)
+    assert row.sense is Sense.GE
+    assert list(row.indices) == [2, 3]
+    assert cons[2] is row  # memoized
+    assert cons[-1].name == "c4"  # auto names are global row ids
+
+
+def test_block_named_rows():
+    lp = LinearProgram()
+    lp.var_block("x", 2)
+    lp.add_rows_bulk([0, 1, 2], [0, 1], [1.0, 1.0], "<=", [1.0, 2.0], names=["a", "b"])
+    assert [c.name for c in lp.constraints] == ["a", "b"]
+
+
+def test_constraint_list_iteration_and_slices():
+    lp = small_lp()
+    lp.add_rows_bulk([0, 1, 2], [0, 1], [1.0, 1.0], "<=", [1.0, 2.0])
+    cons = lp.constraints
+    assert len(cons) == 5
+    assert [c.name for c in cons] == ["le", "ge", "eq", "c3", "c4"]
+    assert [c.rhs for c in cons[3:]] == [1.0, 2.0]
+    assert cons[-2].rhs == 1.0
+    with pytest.raises(IndexError):
+        cons[5]
+
+
+def test_set_rhs_before_and_after_materialization():
+    lp = bulk_lp(nrows=4)
+    # Patch before anyone materialized the row.
+    lp.set_rhs(1, 9.0)
+    assert lp.constraints[1].rhs == pytest.approx(9.0)
+    # Patch after materialization: the cached Constraint must stay coherent.
+    row = lp.constraints[2]
+    lp.set_rhs(2, 8.0)
+    assert row.rhs == pytest.approx(8.0)
+    assert lp.constraints[2].rhs == pytest.approx(8.0)
+
+
+def test_constraint_list_equality_with_plain_list():
+    lp = bulk_lp(nrows=3)
+    as_list = list(lp.constraints)
+    assert lp.constraints == as_list
+    assert lp.constraints == ConstraintList(as_list)
+    assert not (lp.constraints == as_list[:2])
+
+
+def test_constraint_list_wraps_plain_lists():
+    rows = [Constraint("a", [0], [1.0], Sense.LE, 1.0)]
+    lp = LinearProgram(name="wrapped", constraints=rows)
+    assert isinstance(lp.constraints, ConstraintList)
+    assert lp.constraints[0].name == "a"
+
+
+def test_mixed_segments_columnar_assembly():
+    """Object rows and block rows interleaved assemble in declaration order."""
+    lp = LinearProgram()
+    lp.var_block("x", 3, upper=1.0, obj=1.0)
+    lp.add_row([0], [1.0], "<=", 0.5, name="head")
+    lp.add_rows_bulk([0, 1, 2], [1, 2], [1.0, 1.0], ">=", [0.1, 0.2])
+    lp.add_row([0, 2], [1.0, 1.0], "<=", 1.5, name="tail")
+    c, a_ub, b_ub, a_eq, b_eq, bounds = lp.to_arrays()
+    assert a_eq is None
+    dense = a_ub.toarray()
+    np.testing.assert_allclose(dense[0], [1.0, 0.0, 0.0])
+    np.testing.assert_allclose(dense[1], [0.0, -1.0, 0.0])  # GE negated
+    np.testing.assert_allclose(dense[2], [0.0, 0.0, -1.0])
+    np.testing.assert_allclose(dense[3], [1.0, 0.0, 1.0])
+    np.testing.assert_allclose(b_ub, [0.5, -0.1, -0.2, 1.5])
+
+
+# -- add_rows_bulk validation ------------------------------------------------
+
+
+def test_add_rows_bulk_validation():
+    lp = LinearProgram()
+    lp.var_block("x", 2)
+    with pytest.raises(ValueError, match="rhs has"):
+        lp.add_rows_bulk([0, 1], [0], [1.0], "<=", [1.0, 2.0])
+    with pytest.raises(ValueError, match="names has"):
+        lp.add_rows_bulk([0, 1], [0], [1.0], "<=", [1.0], names=["a", "b"])
+    with pytest.raises(ValueError, match="indptr must start"):
+        lp.add_rows_bulk([1, 2], [0, 1], [1.0, 1.0], "<=", [1.0])
+    with pytest.raises(ValueError, match="same length"):
+        lp.add_rows_bulk([0, 1], [0], [1.0, 2.0], "<=", [1.0])
+    with pytest.raises(ValueError, match="non-decreasing"):
+        lp.add_rows_bulk([0, 2, 1, 3], [0, 1, 0], [1.0] * 3, "<=", [1.0] * 3)
+    with pytest.raises(IndexError, match="unknown variable"):
+        lp.add_rows_bulk([0, 1], [7], [1.0], "<=", [1.0])
+    with pytest.raises(ValueError, match="unknown constraint sense"):
+        lp.add_rows_bulk([0, 1], [0], [1.0], "!=", [1.0])
+    # Nothing was appended by the failed calls.
+    assert len(lp.constraints) == 0
+
+
+def test_add_vars_bulk_duplicate_rolls_back():
+    lp = LinearProgram()
+    lp.var("x[1]")
+    with pytest.raises(ValueError, match="duplicate variable name"):
+        lp.var_block("x", 3)
+    # The name table and variable list are back to their pre-call state.
+    assert lp.num_variables == 1
+    assert lp.variable_by_name("x[1]").index == 0
+    lp.var("y")  # still usable
+    assert lp.num_variables == 2
+
+
+def test_add_vars_bulk_per_var_bounds_validation():
+    lp = LinearProgram()
+    with pytest.raises(ValueError, match="upper"):
+        lp.add_vars_bulk(["a", "b"], lower=[0.0, 2.0], upper=[1.0, 1.0])
+    assert lp.num_variables == 0
+
+
+# -- pickling (multiprocessing workers ship whole models) --------------------
+
+
+def test_model_with_blocks_pickles():
+    lp = bulk_lp()
+    lp.to_arrays()
+    clone = pickle.loads(pickle.dumps(lp))
+    assert clone.num_constraints == lp.num_constraints
+    assert clone.constraints[3].rhs == pytest.approx(lp.constraints[3].rhs)
+    a = lp.solve(backend="auto")
+    b = clone.solve(backend="auto")
+    assert a.objective == pytest.approx(b.objective, abs=1e-9)
