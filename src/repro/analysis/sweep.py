@@ -146,6 +146,7 @@ def sweep_tasks(
     backend: str = "scipy",
     reuse_formulation: bool = True,
     rounding_mode: str = "greedy",
+    audit: Optional[str] = None,
 ) -> List["BoundTask"]:
     """The sweep's task graph: one bound task per (class, level).
 
@@ -171,6 +172,7 @@ def sweep_tasks(
                     reuse_formulation=reuse_formulation,
                     rounding_mode=rounding_mode,
                     label=f"bound[{cls.name}@{level:g}]",
+                    audit=audit,
                 )
             )
     return tasks
@@ -186,6 +188,7 @@ def qos_sweep(
     reuse_formulation: bool = True,
     runner: Optional["ExperimentRunner"] = None,
     rounding_mode: str = "greedy",
+    audit: Optional[str] = None,
 ) -> SweepResult:
     """Compute class bounds across QoS levels (the Figure-1 computation).
 
@@ -220,6 +223,7 @@ def qos_sweep(
         backend=backend,
         reuse_formulation=reuse_formulation,
         rounding_mode=rounding_mode,
+        audit=audit,
     )
     results = run_tasks(tasks, runner)
 

@@ -152,6 +152,19 @@ def _build_parser() -> argparse.ArgumentParser:
                 "only, so pair with --jobs 1 for full coverage"
             ),
         )
+        p.add_argument(
+            "--audit",
+            choices=["off", "fast", "full"],
+            default=None,
+            help=(
+                "re-certify results (default: the REPRO_AUDIT env var, else "
+                "off): fast = recomputed objective + sampled constraint "
+                "spot-checks + from-scratch placement certificates; full = "
+                "exact Fraction arithmetic on every row/bound + cross-"
+                "backend differential re-solve.  Cache hits are re-audited "
+                "and quarantined on failure.  Violations exit nonzero."
+            ),
+        )
 
     bounds = sub.add_parser("bounds", help="compute a class's lower bound")
     problem_args(bounds)
@@ -230,6 +243,28 @@ def _build_parser() -> argparse.ArgumentParser:
         default="greedy",
         help="rounding algorithm when --rounding is on (see `bounds --help`)",
     )
+
+    aud = sub.add_parser(
+        "audit", help="re-verify a completed run directory's artifacts"
+    )
+    aud.add_argument("run_dir", help="a --run-dir produced run directory")
+    aud.add_argument(
+        "-t", "--topology", default=None,
+        help="original topology input; with -w, enables full placement re-verification",
+    )
+    aud.add_argument(
+        "-w", "--workload", default=None,
+        help="original workload input (see -t)",
+    )
+    aud.add_argument(
+        "--eps", type=float, default=None,
+        help="slack for the rounded-cost >= lower-bound gate (default 1e-6)",
+    )
+    aud.add_argument(
+        "--sim-eps", type=float, default=None,
+        help="slack for the simulated-cost >= class-bound gate (default 1e-3)",
+    )
+    aud.add_argument("--json", action="store_true", help="machine-readable output")
 
     cache = sub.add_parser("cache", help="inspect or clear a result cache")
     cache.add_argument("action", choices=["stats", "clear"])
@@ -331,6 +366,7 @@ def _cmd_bounds(args) -> int:
         diagnose=True,
         rounding_mode=args.rounding_mode,
         label=f"bound[{cls.name}]",
+        audit=args.audit,
     )
     runner = _runner_for(args, "bounds")
     result = runner.map([task])[0]
@@ -341,6 +377,11 @@ def _cmd_bounds(args) -> int:
         else:
             print(str(result))
         return 1
+    # A cache-served result may predate auditing; certify it now so
+    # `bounds --audit` always reports a verdict.
+    audit_report = getattr(result, "audit", None)
+    if audit_report is None:
+        audit_report = task.audit_cached(result)
     if args.json:
         print(
             json.dumps(
@@ -353,11 +394,18 @@ def _cmd_bounds(args) -> int:
                     "reason": result.reason,
                     "solve_seconds": result.solve_seconds,
                     "backend_used": result.backend_used,
+                    "audit": None if audit_report is None else audit_report.to_dict(),
                 }
             )
         )
+        if audit_report is not None and not audit_report.ok:
+            return 1
     else:
         print(str(result))
+        if audit_report is not None:
+            print(audit_report.render())
+            if not audit_report.ok:
+                return 1
         if not result.feasible:
             return 1
     return 0
@@ -448,6 +496,7 @@ def _cmd_simulate(args) -> int:
         faults=args.faults or None,
         fault_seed=args.fault_seed,
         label=f"simulate[{args.heuristic}]",
+        audit=args.audit,
     )
     runner = _runner_for(args, "simulate")
     result = runner.map([task])[0]
@@ -506,6 +555,7 @@ def _cmd_sweep(args) -> int:
         do_rounding=args.rounding,
         rounding_mode=args.rounding_mode,
         runner=runner,
+        audit=args.audit,
     )
     _finish_runner(args, runner)
     if args.json:
@@ -528,6 +578,60 @@ def _cmd_sweep(args) -> int:
         Path(args.csv).write_text(render_csv(sweep) + "\n")
         print(f"\nwrote CSV to {args.csv}")
     return 0
+
+
+def _cmd_audit(args) -> int:
+    from repro.audit import DEFAULT_EPS, audit_run_dir
+    from repro.audit.posthoc import DEFAULT_SIM_EPS
+
+    problem_factory = None
+    if args.topology and args.workload:
+        topology = load_topology(args.topology)
+        trace = load_trace(args.workload)
+
+        def problem_factory(meta):
+            """Rebuild a bound cell's problem from its manifest metadata."""
+            qos = meta.get("qos")
+            if qos is None:
+                return None
+            try:
+                demand = DemandMatrix.from_trace(
+                    trace, num_intervals=int(meta.get("intervals", 8))
+                )
+                return MCPerfProblem(
+                    topology=topology,
+                    demand=demand,
+                    goal=QoSGoal(
+                        tlat_ms=float(meta.get("tlat_ms", 150.0)),
+                        fraction=float(qos),
+                        scope=GoalScope(meta.get("scope", GoalScope.PER_USER.value)),
+                    ),
+                    costs=CostModel(
+                        alpha=float(meta.get("alpha", 1.0)),
+                        beta=float(meta.get("beta", 1.0)),
+                        gamma=float(meta.get("gamma", 0.0)),
+                        delta=float(meta.get("delta", 0.0)),
+                        zeta=float(meta.get("zeta", 0.0)),
+                    ),
+                    warmup_intervals=int(meta.get("warmup", 0)),
+                )
+            except (TypeError, ValueError, KeyError):
+                return None
+    elif args.topology or args.workload:
+        print("audit: -t and -w must be given together", file=sys.stderr)
+        return 2
+
+    report = audit_run_dir(
+        args.run_dir,
+        problem_factory=problem_factory,
+        eps=args.eps if args.eps is not None else DEFAULT_EPS,
+        sim_eps=args.sim_eps if args.sim_eps is not None else DEFAULT_SIM_EPS,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict()))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_cache(args) -> int:
@@ -585,6 +689,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "deploy": _cmd_deploy,
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,
+        "audit": _cmd_audit,
         "cache": _cmd_cache,
         "classes": lambda a: (print(render_table3()), 0)[1],
     }

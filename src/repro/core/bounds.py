@@ -46,6 +46,10 @@ class LowerBoundResult:
         The LP backend that actually produced the solve (``"scipy"`` /
         ``"simplex"``) — records degradations, whether via the ``auto``
         fallback or the runner's ``on_error="degrade"`` retry.
+    audit:
+        The in-solve :class:`~repro.audit.report.AuditReport` when auditing
+        was on (``--audit`` / ``REPRO_AUDIT``); serialized so a resumed run
+        knows the cell was already verified.
     """
 
     properties: HeuristicProperties
@@ -61,6 +65,7 @@ class LowerBoundResult:
     num_variables: int = 0
     num_constraints: int = 0
     store_lp: Optional[np.ndarray] = None
+    audit: Optional[object] = None
     extras: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -97,16 +102,19 @@ class LowerBoundResult:
             "round_seconds": self.round_seconds,
             "num_variables": self.num_variables,
             "num_constraints": self.num_constraints,
+            "audit": None if self.audit is None else self.audit.to_dict(),
         }
 
     @staticmethod
     def from_dict(payload: Dict[str, object]) -> "LowerBoundResult":
         """Inverse of :meth:`to_dict`."""
+        from repro.audit.report import AuditReport
         from repro.core.properties import HeuristicProperties
         from repro.core.rounding import RoundingResult
         from repro.serialize import optional_float
 
         rounding = payload.get("rounding")
+        audit = payload.get("audit")
         return LowerBoundResult(
             properties=HeuristicProperties.from_dict(payload["properties"]),
             feasible=bool(payload["feasible"]),
@@ -120,6 +128,7 @@ class LowerBoundResult:
             round_seconds=float(payload.get("round_seconds", 0.0)),
             num_variables=int(payload.get("num_variables", 0)),
             num_constraints=int(payload.get("num_constraints", 0)),
+            audit=None if audit is None else AuditReport.from_dict(audit),
         )
 
 
@@ -133,6 +142,8 @@ def compute_lower_bound(
     formulation: Optional[Formulation] = None,
     diagnose: bool = False,
     rounding_mode: str = "greedy",
+    audit: Optional[str] = None,
+    audit_subject: str = "",
 ) -> LowerBoundResult:
     """Lower bound (and rounded feasible cost) for one heuristic class.
 
@@ -164,6 +175,17 @@ def compute_lower_bound(
         (:func:`~repro.core.rounding.round_solution_iterative`), whose
         re-solves are assembly-free.  QoS goals only; average-latency
         goals always use the add-then-trim constructor.
+    audit:
+        Audit mode (``"off"``/``"fast"``/``"full"``); None reads the
+        ``REPRO_AUDIT`` environment variable.  When on, the solve and the
+        rounding are re-certified (:mod:`repro.audit`) and the
+        :class:`~repro.audit.report.AuditReport` is attached to the result.
+        ``full`` adds exact :class:`fractions.Fraction` arithmetic and a
+        cross-backend differential re-solve.
+    audit_subject:
+        Identifier recorded on any violations — the runner passes the
+        task's content digest so a flagged cell is traceable to its
+        cached artifact.
     """
     props = properties or HeuristicProperties()
     form = formulation or build_formulation(problem, props)
@@ -200,6 +222,31 @@ def compute_lower_bound(
 
     result.feasible = True
     result.lp_cost = form.bound_cost(solution)
+
+    # Post-solve audit hook: certify the LP point before anything consumes
+    # it.  Lazy import — repro.audit re-exports the certificate layer that
+    # repro.lp/repro.core expose, so a module-level import would cycle.
+    from repro.audit import resolve_mode
+
+    audit_mode = resolve_mode(audit)
+    audit_report = None
+    if audit_mode != "off":
+        from repro.audit import (
+            audit_differential,
+            audit_lp_solution,
+            resolve_sample,
+            selected_for_sample,
+        )
+
+        t0 = time.perf_counter()
+        audit_report = audit_lp_solution(form.lp, solution, mode=audit_mode)
+        audit_report.subject = audit_subject
+        if audit_mode == "full" and selected_for_sample(audit_subject, resolve_sample()):
+            audit_report.merge(
+                audit_differential(form.lp, solution, mode=audit_mode, subject=audit_subject)
+            )
+        result.extras["audit_seconds"] = time.perf_counter() - t0
+
     logger.debug(
         "bound[%s] = %.3f (%d vars, %d rows, %.2fs)",
         props.describe(), result.lp_cost, result.num_variables,
@@ -216,9 +263,15 @@ def compute_lower_bound(
             if rounding_mode == "iterative":
                 from repro.core.rounding import round_solution_iterative
 
-                rounding = round_solution_iterative(form, solution, backend=backend)
+                # audit="off": the certificate runs below with the true
+                # lp_cost, so the bound gate is included exactly once.
+                rounding = round_solution_iterative(
+                    form, solution, backend=backend, audit="off"
+                )
             elif rounding_mode == "greedy":
-                rounding = round_solution(form, solution, run_length=run_length)
+                rounding = round_solution(
+                    form, solution, run_length=run_length, audit="off"
+                )
             else:
                 raise ValueError(f"unknown rounding mode: {rounding_mode!r}")
         else:
@@ -230,4 +283,14 @@ def compute_lower_bound(
         result.feasible_cost = rounding.total_cost
         if not rounding.feasible:
             result.extras["rounding_infeasible"] = True
+        if audit_report is not None:
+            from repro.audit import audit_rounding
+
+            audit_report.merge(
+                audit_rounding(
+                    form, rounding, result.lp_cost,
+                    mode=audit_mode, subject=audit_subject,
+                )
+            )
+    result.audit = audit_report
     return result

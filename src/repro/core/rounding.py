@@ -69,6 +69,8 @@ class RoundingResult:
     repaired: int
     legalized: int = 0
     qos: Dict[object, float] = field(default_factory=dict)
+    #: Attached AuditReport when the rounder ran with auditing on.
+    audit: Optional[object] = None
 
     @property
     def total_cost(self) -> float:
@@ -88,13 +90,16 @@ class RoundingResult:
             "repaired": self.repaired,
             "legalized": self.legalized,
             "qos": scope_items_to_jsonable(self.qos),
+            "audit": None if self.audit is None else self.audit.to_dict(),
         }
 
     @staticmethod
     def from_dict(payload: Dict[str, object]) -> "RoundingResult":
         """Inverse of :meth:`to_dict`."""
+        from repro.audit.report import AuditReport
         from repro.serialize import array_from_jsonable, scope_items_from_jsonable
 
+        audit = payload.get("audit")
         return RoundingResult(
             store=array_from_jsonable(payload["store"]),
             cost=CostBreakdown.from_dict(payload["cost"]),
@@ -105,6 +110,7 @@ class RoundingResult:
             repaired=int(payload["repaired"]),
             legalized=int(payload.get("legalized", 0)),
             qos=scope_items_from_jsonable(payload.get("qos", [])),
+            audit=None if audit is None else AuditReport.from_dict(audit),
         )
 
 
@@ -345,11 +351,22 @@ class _Rounder:
         return self.rounded_up, self.rounded_down
 
 
+def _attach_audit(form: Formulation, result: RoundingResult, audit) -> RoundingResult:
+    """Post-rounding hook: certify the placement when auditing is on."""
+    from repro.audit import audit_rounding, resolve_mode
+
+    mode = resolve_mode(audit)
+    if mode != "off":
+        result.audit = audit_rounding(form, result, lp_cost=None, mode=mode)
+    return result
+
+
 def round_solution(
     form: Formulation,
     solution,
     run_length: bool = False,
     repair: bool = True,
+    audit: Optional[str] = None,
 ) -> RoundingResult:
     """Round an LP point to a feasible integral MC-PERF solution.
 
@@ -365,6 +382,10 @@ def round_solution(
     repair:
         Greedily add replicas if numerical drift left the integral solution
         short of the goal (rare; counted in the result).
+    audit:
+        Audit mode (None reads ``REPRO_AUDIT``); when on, the integral
+        placement is re-certified from scratch (:mod:`repro.audit`) and the
+        report attached to ``result.audit``.
     """
     store = form.store_array(solution.values)
     np.clip(store, 0.0, 1.0, out=store)
@@ -393,7 +414,7 @@ def round_solution(
         count_opening=form.open_index is not None,
     )
     feasible = meets_goal(inst, goal, store)
-    return RoundingResult(
+    result = RoundingResult(
         store=store,
         cost=cost,
         feasible=feasible,
@@ -404,6 +425,7 @@ def round_solution(
         legalized=legalized,
         qos=qos_by_scope(inst, goal, store) if isinstance(goal, QoSGoal) else {},
     )
+    return _attach_audit(form, result, audit)
 
 
 def round_solution_iterative(
@@ -412,6 +434,7 @@ def round_solution_iterative(
     backend: str = "auto",
     repair: bool = True,
     up_threshold: float = 0.9,
+    audit: Optional[str] = None,
 ) -> RoundingResult:
     """LP-guided iterative rounding built on the patch API.
 
@@ -515,7 +538,7 @@ def round_solution_iterative(
         goal=goal,
         count_opening=form.open_index is not None,
     )
-    return RoundingResult(
+    result = RoundingResult(
         store=store,
         cost=cost,
         feasible=meets_goal(inst, goal, store),
@@ -526,6 +549,7 @@ def round_solution_iterative(
         legalized=legalized,
         qos=qos_by_scope(inst, goal, store),
     )
+    return _attach_audit(form, result, audit)
 
 
 def _enforce_create_legality(form: Formulation, store: np.ndarray) -> int:

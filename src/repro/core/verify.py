@@ -1,115 +1,16 @@
-"""Independent verification of MC-PERF placements.
+"""Independent verification of MC-PERF placements (compatibility shim).
 
-:func:`verify_placement` checks a concrete (integral) store matrix against
-everything a class-restricted MC-PERF solution must satisfy:
-
-1. **Integrality** — every cell is 0 or 1.
-2. **Creation legality** — every up-transition happens at an interval the
-   class's Know/Hist/React fixing permits (constraints (20)/(20a)/(21)).
-3. **Goal satisfaction** — the QoS or average-latency goal holds per scope.
-4. **Cost** — the class-accounted cost, for comparison against bounds.
-
-Used by tests, by the rounding pipeline's self-checks, and available to
-users validating placements produced by their own heuristics.
+.. deprecated::
+    The implementation moved to :mod:`repro.audit.certificates` so the
+    audit subsystem is the one source of truth for "is this result
+    trustworthy".  This module re-exports the historical names
+    (:func:`verify_placement`, :class:`PlacementReport`) unchanged;
+    existing imports keep working.  New code should import from
+    :mod:`repro.audit` — see docs/AUDIT.md for the migration note.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from repro.audit.certificates import PlacementReport, verify_placement
 
-import numpy as np
-
-from repro.core.evaluate import CostBreakdown, meets_goal, solution_cost
-from repro.core.formulation import Formulation, compute_allowed_create
-
-
-@dataclass
-class PlacementReport:
-    """Outcome of verifying a placement."""
-
-    valid: bool
-    integral: bool
-    creation_legal: bool
-    goal_met: bool
-    cost: Optional[CostBreakdown] = None
-    problems: List[str] = field(default_factory=list)
-
-    def __bool__(self) -> bool:
-        return self.valid
-
-    def __str__(self) -> str:
-        if self.valid:
-            return f"valid placement ({self.cost})"
-        return "invalid placement: " + "; ".join(self.problems)
-
-
-def verify_placement(
-    form: Formulation,
-    store: np.ndarray,
-    tol: float = 1e-6,
-    max_reported: int = 10,
-) -> PlacementReport:
-    """Verify a store matrix against a formulation's class and goal."""
-    inst = form.instance
-    problems: List[str] = []
-
-    expected = (inst.num_storers, inst.num_intervals, inst.num_objects)
-    if store.shape != expected:
-        raise ValueError(f"store has shape {store.shape}, expected {expected}")
-
-    # 1. integrality
-    fractional = np.nonzero((store > tol) & (store < 1 - tol))
-    integral = len(fractional[0]) == 0
-    if not integral:
-        for ns, i, k in list(zip(*fractional))[:max_reported]:
-            problems.append(f"fractional store[{ns},{i},{k}]={store[ns, i, k]:.4f}")
-
-    # 2. creation legality
-    allowed = form.allowed_create
-    creation_legal = True
-    if allowed is not None:
-        initial = (
-            inst.initial_store
-            if inst.initial_store is not None
-            else np.zeros((store.shape[0], store.shape[2]))
-        )
-        reported = 0
-        for ns in range(store.shape[0]):
-            for k in range(store.shape[2]):
-                prev = float(initial[ns, k])
-                for i in range(store.shape[1]):
-                    cur = float(store[ns, i, k])
-                    if cur > prev + tol and not allowed[ns, i, k]:
-                        creation_legal = False
-                        if reported < max_reported:
-                            problems.append(
-                                f"creation at store[{ns},{i},{k}] violates the "
-                                "class's history/knowledge restriction"
-                            )
-                            reported += 1
-                    prev = cur
-
-    # 3. goal
-    goal_met = meets_goal(inst, form.problem.goal, store)
-    if not goal_met:
-        problems.append("performance goal not met")
-
-    # 4. cost
-    cost = solution_cost(
-        inst,
-        form.properties,
-        form.problem.costs,
-        store,
-        goal=form.problem.goal,
-        count_opening=form.open_index is not None,
-    )
-
-    return PlacementReport(
-        valid=integral and creation_legal and goal_met,
-        integral=integral,
-        creation_legal=creation_legal,
-        goal_met=goal_met,
-        cost=cost,
-        problems=problems,
-    )
+__all__ = ["PlacementReport", "verify_placement"]

@@ -1,0 +1,18 @@
+"""Shared exception types.
+
+Kept dependency-free (no numpy, no package imports) so input-validation
+call sites — topology/workload deserialization, CLI argument handling —
+can raise a precise error class without pulling in heavier subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ValidationError(ValueError):
+    """Invalid input data: rejected before it can poison a computation.
+
+    Raised by the topology/trace loaders for non-finite latencies, NaN
+    request times, non-positive counts and similar malformed inputs.  A
+    subclass of :class:`ValueError` so existing ``except ValueError``
+    call sites keep working.
+    """

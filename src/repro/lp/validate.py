@@ -1,69 +1,16 @@
-"""Independent feasibility checking for LP/IP solutions.
+"""Independent feasibility checking for LP/IP solutions (compatibility shim).
 
-Used by tests (to validate both backends against the model), and by the
-rounding algorithm's self-checks (a rounded MC-PERF solution must satisfy the
-original integer model).
+.. deprecated::
+    The implementation moved to :mod:`repro.audit.certificates` so the
+    audit subsystem is the one source of truth for "is this result
+    trustworthy".  This module re-exports the historical names
+    (:func:`check_solution`, :class:`ValidationReport`, :class:`Violation`)
+    unchanged; existing imports keep working.  New code should import from
+    :mod:`repro.audit` — see docs/AUDIT.md for the migration note.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from repro.audit.certificates import ValidationReport, Violation, check_solution
 
-from repro.lp.model import LinearProgram, Sense
-
-
-@dataclass
-class Violation:
-    """One violated constraint or bound."""
-
-    kind: str  # "constraint" | "lower" | "upper"
-    name: str
-    amount: float
-
-    def __str__(self) -> str:
-        return f"{self.kind} {self.name}: violated by {self.amount:.3g}"
-
-
-@dataclass
-class ValidationReport:
-    """Outcome of checking a point against a model."""
-
-    feasible: bool
-    objective: float
-    violations: List[Violation] = field(default_factory=list)
-
-    def __bool__(self) -> bool:
-        return self.feasible
-
-
-def check_solution(model: LinearProgram, values, tol: float = 1e-6) -> ValidationReport:
-    """Check ``values`` against every bound and constraint of ``model``.
-
-    Returns a :class:`ValidationReport`; ``report.feasible`` is True when all
-    bounds and constraints hold within ``tol``.
-    """
-    if len(values) != model.num_variables:
-        raise ValueError(
-            f"value vector has length {len(values)}, model has {model.num_variables} variables"
-        )
-    violations: List[Violation] = []
-
-    for v in model.variables:
-        x = float(values[v.index])
-        if x < v.lower - tol:
-            violations.append(Violation("lower", v.name, v.lower - x))
-        if v.upper is not None and x > v.upper + tol:
-            violations.append(Violation("upper", v.name, x - v.upper))
-
-    for con in model.constraints:
-        act = con.activity(values)
-        if con.sense is Sense.LE and act > con.rhs + tol:
-            violations.append(Violation("constraint", con.name, act - con.rhs))
-        elif con.sense is Sense.GE and act < con.rhs - tol:
-            violations.append(Violation("constraint", con.name, con.rhs - act))
-        elif con.sense is Sense.EQ and abs(act - con.rhs) > tol:
-            violations.append(Violation("constraint", con.name, abs(act - con.rhs)))
-
-    objective = sum(v.objective * float(values[v.index]) for v in model.variables)
-    return ValidationReport(feasible=not violations, objective=objective, violations=violations)
+__all__ = ["ValidationReport", "Violation", "check_solution"]

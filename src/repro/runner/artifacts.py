@@ -47,6 +47,10 @@ class TaskRecord:
     attempts: int = 0
     error: str = ""
     file: Optional[str] = None
+    #: Serialized AuditReport for this task (None when auditing was off).
+    audit: Optional[Dict[str, Any]] = None
+    #: Task-described metadata (class, goal level, ...) for post-hoc audits.
+    meta: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -117,6 +121,8 @@ class RunWriter:
         error: str = "",
         payload: Optional[Dict[str, Any]] = None,
         failure: Optional[Dict[str, Any]] = None,
+        audit: Optional[Dict[str, Any]] = None,
+        meta: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Finalize one task's row (updating its planned entry when given)."""
         if index is not None:
@@ -137,6 +143,8 @@ class RunWriter:
         rec.status = status
         rec.attempts = attempts
         rec.error = error
+        rec.audit = audit
+        rec.meta = meta
         body: Optional[Dict[str, Any]] = None
         if failure is not None:
             body = {"kind": kind, "key": key, "failure": failure}
@@ -170,6 +178,21 @@ class RunWriter:
             "wall_seconds": time.time() - self._started,
             "task_records": [vars(r) for r in self.records],
         }
+        # Audit violations are first-class manifest rows, not crashes: the
+        # acceptance gates read them here without re-opening payload files.
+        audit_violations: List[Dict[str, Any]] = []
+        audited = 0
+        for r in self.records:
+            if r.audit is None:
+                continue
+            audited += 1
+            for violation in r.audit.get("violations", []):
+                audit_violations.append({"label": r.label, **violation})
+        data["audited"] = audited
+        data["audit_failed"] = len(
+            {v["label"] for v in audit_violations}
+        )
+        data["audit_violations"] = audit_violations
         if extra:
             data.update(extra)
         return data

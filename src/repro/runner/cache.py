@@ -75,6 +75,22 @@ class ResultCache:
                 pass
             raise
 
+    def quarantine(self, key: str) -> bool:
+        """Move a suspect entry aside as ``<key>.json.quarantined``.
+
+        Called when a cache-hit audit flags the stored payload (bit rot, a
+        hand-edited file, a stale digest).  The entry stops being served —
+        the next load is a miss and the re-solved result overwrites it — but
+        the bytes are preserved next to the cache for inspection.  Returns
+        False when the entry was already gone.
+        """
+        path = self._path(key)
+        try:
+            os.replace(path, path.with_name(path.name + ".quarantined"))
+        except OSError:
+            return False
+        return True
+
     def stats(self) -> Dict[str, Any]:
         """Aggregate view of the cache: entry count, bytes on disk, entries
         per task kind, and the total solve seconds the entries saved."""

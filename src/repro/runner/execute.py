@@ -100,6 +100,7 @@ class ExperimentRunner:
         self.executed = 0
         self.failed = 0
         self.resumed = 0
+        self.audit_quarantined = 0
 
     # -- execution -----------------------------------------------------------
 
@@ -135,12 +136,23 @@ class ExperimentRunner:
                 # re-executed result overwrites the bad entry.
                 pending.append(i)
                 continue
+            # Re-certify served payloads before trusting them: decode
+            # success only proves the JSON parses, not that the numbers
+            # still satisfy the constraints they claim to.
+            report = self._audit_hit(task, results[i], keys[i])
+            if report is not None and not report.ok:
+                if source == "cache" and self.cache is not None:
+                    self.cache.quarantine(keys[i])
+                self.audit_quarantined += 1
+                results[i] = None
+                pending.append(i)
+                continue
             cached[i] = True
             if source == "resume":
                 self.resumed += 1
             self._record(
                 i, tasks, keys, record_ids, cached=True, seconds=seconds,
-                result=results[i],
+                result=results[i], audit=report,
             )
 
         chunks = self._chunks(tasks, pending)
@@ -160,6 +172,24 @@ class ExperimentRunner:
         self.cache_hits += sum(1 for c in cached.values() if c)
         self.executed += len(pending)
         return results
+
+    def _audit_hit(self, task, result, key):
+        """Re-audit a served payload (None when the task has auditing off).
+
+        Audit crashes are demoted to a failing report rather than raised: a
+        broken certificate must cost a re-solve, never sink the batch.
+        """
+        audit_cached = getattr(task, "audit_cached", None)
+        if audit_cached is None:
+            return None
+        try:
+            return audit_cached(result, key)
+        except Exception as exc:
+            from repro.audit import AuditReport
+
+            report = AuditReport(mode="fast", subject=key)
+            report.flag("artifact", key, message=f"cache-hit audit crashed: {exc}")
+            return report
 
     def _load_prior(self, task, key):
         """A prior result for ``key`` as ``(payload, seconds, source)``, or None.
@@ -301,28 +331,32 @@ class ExperimentRunner:
                 i, tasks, keys, record_ids, cached=False,
                 seconds=outcome.seconds, result=outcome.result,
                 attempts=outcome.attempts,
+                audit=getattr(outcome.result, "audit", None),
             )
 
     def _record(
         self, i, tasks, keys, record_ids, *, cached, seconds,
-        result=None, failure=None, attempts=0,
+        result=None, failure=None, attempts=0, audit=None,
     ) -> None:
         if self.artifacts is None:
             return
         task = tasks[i]
         index = record_ids[i] if record_ids is not None else None
+        describe = getattr(task, "describe", None)
+        meta = describe() if describe is not None else None
         if failure is not None:
             self.artifacts.record(
                 index=index, kind=task.kind, label=task.label, key=keys[i],
                 cached=False, seconds=seconds, status="failed",
                 attempts=attempts, error=failure.error,
-                failure=failure.to_dict(),
+                failure=failure.to_dict(), meta=meta,
             )
         else:
             self.artifacts.record(
                 index=index, kind=task.kind, label=task.label, key=keys[i],
                 cached=cached, seconds=seconds, status="ok", attempts=attempts,
-                payload=task.encode(result),
+                payload=task.encode(result), meta=meta,
+                audit=None if audit is None else audit.to_dict(),
             )
 
     # -- bookkeeping ---------------------------------------------------------
@@ -352,6 +386,8 @@ class ExperimentRunner:
         )
         if self.resume is not None:
             text += f" resumed={self.resumed}"
+        if self.audit_quarantined:
+            text += f" audit_quarantined={self.audit_quarantined}"
         return text
 
 

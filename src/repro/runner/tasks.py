@@ -70,6 +70,11 @@ class BoundTask:
     reuse_formulation: bool = False
     #: Display name for artifacts/reports; not part of the cache key.
     label: str = ""
+    #: Audit mode ("off"/"fast"/"full"; None reads ``REPRO_AUDIT``).
+    #: Deliberately *not* part of the cache key: auditing verifies a result,
+    #: it never changes one, so an audited and an unaudited run must share
+    #: cache entries.  Cache hits are re-certified via :meth:`audit_cached`.
+    audit: Optional[str] = None
 
     kind = "bound"
 
@@ -114,6 +119,11 @@ class BoundTask:
                 _FORMULATIONS.move_to_end(reuse_key)
                 form.set_qos_fraction(problem.goal.fraction)
             problem = form.problem
+        from repro.audit import resolve_mode
+
+        # Full-mode violations carry the task's content digest, so a flagged
+        # cell is traceable to its exact cached artifact.
+        audit_subject = self.cache_key() if resolve_mode(self.audit) == "full" else ""
         return compute_lower_bound(
             problem,
             self.properties,
@@ -123,7 +133,61 @@ class BoundTask:
             formulation=form,
             diagnose=self.diagnose,
             rounding_mode=self.rounding_mode,
+            audit=self.audit,
+            audit_subject=audit_subject,
         )
+
+    def audit_cached(self, result: LowerBoundResult, key: str = ""):
+        """Artifact-level re-certification of a cache-served result.
+
+        Returns an :class:`~repro.audit.report.AuditReport` (None when
+        auditing is off).  The scheduler treats a failing report as a cache
+        miss: the entry is quarantined and the cell re-solved.
+        """
+        from repro.audit import audit_bound_result, resolve_mode
+
+        mode = resolve_mode(self.audit)
+        if mode == "off":
+            return None
+        return audit_bound_result(
+            self.problem, self.properties, result,
+            mode=mode, subject=key or self.label,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """Manifest metadata enabling post-hoc auditing (``repro audit``).
+
+        Records the class name (matched against the Table-3 registry), the
+        goal level and everything needed to rebuild the problem against the
+        original topology/workload inputs.
+        """
+        from repro.core.classes import STANDARD_CLASSES
+
+        props = self.properties or HeuristicProperties()
+        cls = None
+        for candidate in STANDARD_CLASSES.values():
+            if candidate.properties == props:
+                cls = candidate.name
+                break
+        goal = self.problem.goal
+        meta: Dict[str, object] = {
+            "class": cls,
+            "scope": goal.scope.value,
+            "tlat_ms": goal.tlat_ms,
+            "intervals": self.problem.demand.num_intervals,
+            "warmup": self.problem.warmup_intervals,
+            "backend": self.backend,
+            "rounding_mode": self.rounding_mode,
+            "do_rounding": self.do_rounding,
+        }
+        if isinstance(goal, QoSGoal):
+            meta["qos"] = goal.fraction
+        else:
+            meta["tavg_ms"] = goal.tavg_ms
+        costs = self.problem.costs
+        for name in ("alpha", "beta", "gamma", "delta", "zeta"):
+            meta[name] = getattr(costs, name)
+        return meta
 
     @staticmethod
     def encode(result: LowerBoundResult) -> Dict[str, object]:
@@ -206,6 +270,8 @@ class SimulateTask:
     faults: Optional[str] = None
     fault_seed: int = 0
     label: str = ""
+    #: Audit mode; see :class:`BoundTask.audit` (not part of the cache key).
+    audit: Optional[str] = None
 
     kind = "simulate"
 
@@ -251,6 +317,26 @@ class SimulateTask:
             beta=self.beta,
             faults=schedule,
         )
+
+    def audit_cached(self, result: SimulationResult, key: str = ""):
+        """Consistency re-check of a cache-served replay (None when off)."""
+        from repro.audit import audit_sim_result, resolve_mode
+
+        mode = resolve_mode(self.audit)
+        if mode == "off":
+            return None
+        return audit_sim_result(result, mode=mode, subject=key or self.label)
+
+    def describe(self) -> Dict[str, object]:
+        """Manifest metadata for the post-hoc sim-gate (``repro audit``)."""
+        return {
+            "heuristic": self.heuristic.name,
+            "tlat_ms": self.tlat_ms,
+            "warmup_s": self.warmup_s,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "faults": self.faults,
+        }
 
     @staticmethod
     def encode(result: SimulationResult) -> Dict[str, object]:

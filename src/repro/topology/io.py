@@ -12,6 +12,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.topology.graph import Topology
 
 _FORMAT_VERSION = 1
@@ -29,14 +30,42 @@ def topology_to_dict(topo: Topology) -> dict:
 
 
 def topology_from_dict(data: dict) -> Topology:
-    """Rebuild a topology from :func:`topology_to_dict` output."""
+    """Rebuild a topology from :func:`topology_to_dict` output.
+
+    Raises :class:`~repro.errors.ValidationError` on NaN/±inf latencies or
+    populations: a NaN latency compares False against every threshold, so it
+    would silently drop coverage terms from QoS constraint rows instead of
+    failing loudly at load time.
+    """
     version = data.get("version", _FORMAT_VERSION)
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported topology format version: {version}")
+    latency = np.asarray(data["latency"], dtype=float)
+    if not np.isfinite(latency).all():
+        i, j = (int(x) for x in np.argwhere(~np.isfinite(latency))[0])
+        raise ValidationError(
+            f"topology latency[{i},{j}] = {latency[i, j]!r}: latencies must "
+            "be finite (a NaN/inf entry silently poisons QoS constraint rows)"
+        )
+    if (latency < 0).any():
+        i, j = (int(x) for x in np.argwhere(latency < 0)[0])
+        raise ValidationError(
+            f"topology latency[{i},{j}] = {latency[i, j]!r}: latencies must "
+            "be non-negative"
+        )
+    populations = np.asarray(data["populations"], dtype=float)
+    if not np.isfinite(populations).all() or (populations < 0).any():
+        idx = int(
+            np.argwhere(~np.isfinite(populations) | (populations < 0))[0][0]
+        )
+        raise ValidationError(
+            f"topology population[{idx}] = {populations[idx]!r}: populations "
+            "must be finite and non-negative"
+        )
     return Topology(
-        latency=np.asarray(data["latency"], dtype=float),
+        latency=latency,
         origin=int(data["origin"]),
-        populations=np.asarray(data["populations"], dtype=float),
+        populations=populations,
         names=list(data.get("names", [])),
     )
 

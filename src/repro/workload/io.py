@@ -6,9 +6,11 @@ Compact column-oriented encoding so a 300 K-request trace stays a few MB.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Union
 
+from repro.errors import ValidationError
 from repro.workload.trace import Request, Trace
 
 _FORMAT_VERSION = 1
@@ -30,7 +32,13 @@ def trace_to_dict(trace: Trace) -> dict:
 
 
 def trace_from_dict(data: dict) -> Trace:
-    """Rebuild a trace from :func:`trace_to_dict` output."""
+    """Rebuild a trace from :func:`trace_to_dict` output.
+
+    Raises :class:`~repro.errors.ValidationError` on empty traces,
+    non-positive durations/dimensions, NaN/±inf request times, or
+    out-of-range node/object ids: a NaN timestamp lands the request in no
+    demand interval at all, silently shrinking request counts downstream.
+    """
     version = data.get("version", _FORMAT_VERSION)
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported trace format version: {version}")
@@ -38,15 +46,43 @@ def trace_from_dict(data: dict) -> Trace:
     lengths = {len(col) for col in columns}
     if len(lengths) != 1:
         raise ValueError("trace columns have inconsistent lengths")
-    requests = [
-        Request(float(t), int(n), int(k), bool(w))
-        for t, n, k, w in zip(*columns)
-    ]
+
+    duration_s = float(data["duration_s"])
+    num_nodes = int(data["num_nodes"])
+    num_objects = int(data["num_objects"])
+    if not math.isfinite(duration_s) or duration_s <= 0:
+        raise ValidationError(
+            f"trace duration_s = {duration_s!r}: must be finite and positive"
+        )
+    if num_nodes <= 0 or num_objects <= 0:
+        raise ValidationError(
+            f"trace covers {num_nodes} node(s) and {num_objects} object(s): "
+            "both counts must be positive"
+        )
+    if not data["times"]:
+        raise ValidationError("trace contains no requests")
+
+    requests = []
+    for idx, (t, n, k, w) in enumerate(zip(*columns)):
+        time_s, node, obj = float(t), int(n), int(k)
+        if not math.isfinite(time_s) or time_s < 0:
+            raise ValidationError(
+                f"request {idx}: time {time_s!r} is negative or non-finite"
+            )
+        if not 0 <= node < num_nodes:
+            raise ValidationError(
+                f"request {idx}: node {node} outside [0, {num_nodes})"
+            )
+        if not 0 <= obj < num_objects:
+            raise ValidationError(
+                f"request {idx}: object {obj} outside [0, {num_objects})"
+            )
+        requests.append(Request(time_s, node, obj, bool(w)))
     return Trace(
         requests=requests,
-        duration_s=float(data["duration_s"]),
-        num_nodes=int(data["num_nodes"]),
-        num_objects=int(data["num_objects"]),
+        duration_s=duration_s,
+        num_nodes=num_nodes,
+        num_objects=num_objects,
         name=str(data.get("name", "trace")),
     )
 

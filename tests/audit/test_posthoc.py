@@ -1,0 +1,128 @@
+"""Post-hoc run-directory auditing (the ``repro audit <run-dir>`` path)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis.sweep import sweep_tasks
+from repro.audit import audit_run_dir
+from repro.core.classes import get_class
+from repro.runner import make_runner
+from repro.runner.tasks import HeuristicSpec, SimulateTask
+
+LEVELS = [0.7, 0.9]
+CLASSES = ["storage-constrained", "replica-constrained"]
+
+
+@pytest.fixture()
+def run_dir(tmp_path, web_problem, small_topology, web_trace):
+    """A finalized sweep run (4 bound cells + 1 simulate cell), audit on."""
+    tasks = sweep_tasks(
+        web_problem,
+        LEVELS,
+        [get_class(c) for c in CLASSES],
+        do_rounding=True,
+        backend="scipy",
+        audit="fast",
+    )
+    sim = SimulateTask(
+        topology=small_topology,
+        trace=web_trace,
+        heuristic=HeuristicSpec(name="greedy-global", capacity=8, period_s=600.0),
+        tlat_ms=150.0,
+        audit="fast",
+        label="sim-greedy-global",
+    )
+    runner = make_runner(run_dir=tmp_path / "runs", label="posthoc")
+    runner.map(list(tasks) + [sim])
+    return runner.artifacts.finalize()
+
+
+def payload_files(run_dir, kind):
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    out = []
+    for rec in manifest["task_records"]:
+        if rec["kind"] == kind and rec.get("file"):
+            out.append((rec, run_dir / rec["file"]))
+    return out
+
+
+def edit_payload(path, mutate):
+    body = json.loads(path.read_text())
+    mutate(body["payload"])
+    path.write_text(json.dumps(body))
+
+
+def test_clean_run_audits_ok(run_dir):
+    report = audit_run_dir(run_dir)
+    assert report.ok, report.render()
+    for check in ("artifact", "stored-audit", "placement", "bound-gate",
+                  "monotonicity", "sim-gate"):
+        assert check in report.checks, f"{check} never ran"
+
+
+def test_problem_factory_enables_full_recheck(run_dir, web_problem):
+    def factory(meta):
+        if meta.get("qos") is None:
+            return None
+        goal = dataclasses.replace(web_problem.goal, fraction=float(meta["qos"]))
+        return dataclasses.replace(web_problem, goal=goal)
+
+    report = audit_run_dir(run_dir, problem_factory=factory)
+    assert report.ok, report.render()
+    assert "cost" in report.checks
+
+
+def test_corrupted_bound_payload_is_flagged(run_dir):
+    _, path = payload_files(run_dir, "bound")[0]
+    edit_payload(path, lambda p: p.update(lp_cost=p["lp_cost"] * 3.0 + 1.0))
+    report = audit_run_dir(run_dir)
+    assert not report.ok
+    assert any(v.check == "bound-gate" for v in report.violations)
+
+
+def test_monotonicity_violation_is_flagged(run_dir):
+    cells = {
+        (rec["meta"]["class"], rec["meta"]["qos"]): path
+        for rec, path in payload_files(run_dir, "bound")
+    }
+    low = json.loads(cells["storage-constrained", 0.7].read_text())
+    # Forge the tighter level's bound below the looser level's: the feasible
+    # region only shrinks as QoS tightens, so this cannot happen honestly.
+    forged = low["payload"]["lp_cost"] / 2.0
+    edit_payload(
+        cells["storage-constrained", 0.9], lambda p: p.update(lp_cost=forged)
+    )
+    report = audit_run_dir(run_dir)
+    assert not report.ok
+    assert any(v.check == "monotonicity" for v in report.violations)
+
+
+def test_sim_gate_violation_is_flagged(run_dir):
+    def undercut(p):
+        p["storage_cost"] = 0.0
+        p["creation_cost"] = 0.0
+        p["update_cost"] = 0.0
+        p["covered_reads"] = p["reads"]  # forged sim now "meets" every level
+
+    _, path = payload_files(run_dir, "simulate")[0]
+    edit_payload(path, undercut)
+    report = audit_run_dir(run_dir)
+    assert not report.ok
+    assert any(v.check == "sim-gate" for v in report.violations)
+
+
+def test_missing_payload_file_is_flagged(run_dir):
+    _, path = payload_files(run_dir, "bound")[0]
+    path.unlink()
+    report = audit_run_dir(run_dir)
+    assert not report.ok
+    assert any(v.check == "artifact" for v in report.violations)
+
+
+def test_missing_manifest_is_flagged(tmp_path):
+    report = audit_run_dir(tmp_path / "nope")
+    assert not report.ok

@@ -1,0 +1,111 @@
+"""AuditReport/AuditViolation structure and mode resolution."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.audit import AUDIT_MODES, MODE_ENV, AuditReport, AuditViolation, resolve_mode
+
+
+def test_empty_report_is_ok():
+    report = AuditReport(mode="fast", subject="x")
+    assert report.ok
+    assert bool(report)
+    assert report.worst() is None
+
+
+def test_flag_records_violation_and_flips_ok():
+    report = AuditReport(mode="fast")
+    report.flag("objective", "cell-1", 0.5, message="drifted")
+    assert not report.ok
+    assert not bool(report)
+    assert report.worst().check == "objective"
+    assert report.worst().amount == 0.5
+
+
+def test_ran_is_idempotent():
+    report = AuditReport()
+    report.ran("constraint")
+    report.ran("constraint")
+    assert report.checks.count("constraint") == 1
+
+
+def test_merge_combines_checks_violations_and_skips():
+    a = AuditReport(mode="full")
+    a.ran("objective")
+    b = AuditReport(mode="full")
+    b.flag("constraint", "row-3", 1.0)
+    b.skip("differential", "too large")
+    a.merge(b)
+    assert "constraint" in a.checks
+    assert not a.ok
+    assert any("differential" in s for s in a.skipped)
+
+
+def test_worst_returns_largest_amount():
+    report = AuditReport()
+    report.flag("a", "x", 0.1)
+    report.flag("b", "y", 2.0)
+    report.flag("c", "z", 0.5)
+    assert report.worst().check == "b"
+
+
+def test_render_mentions_subject_and_violations():
+    report = AuditReport(mode="full", subject="deadbeef")
+    report.ran("objective")
+    assert "OK" in report.render()
+    report.flag("objective", "deadbeef", 0.25, message="objective drifted")
+    text = report.render()
+    assert "objective drifted" in text
+    assert "OK" not in text
+
+
+def test_round_trip_through_json():
+    report = AuditReport(mode="full", subject="s")
+    report.ran("objective")
+    report.flag("constraint", "row", 0.5, message="m")
+    report.skip("differential", "r")
+    back = AuditReport.from_dict(json.loads(json.dumps(report.to_dict())))
+    assert back.mode == report.mode
+    assert back.subject == report.subject
+    assert back.checks == report.checks
+    assert back.skipped == report.skipped
+    assert len(back.violations) == 1
+    assert back.violations[0].check == "constraint"
+    assert back.violations[0].amount == 0.5
+    assert not back.ok
+
+
+def test_violation_str_and_round_trip():
+    v = AuditViolation(check="bound-gate", subject="cell", amount=1.5, message="below")
+    assert "bound-gate" in str(v)
+    back = AuditViolation.from_dict(v.to_dict())
+    assert back == v
+
+
+def test_resolve_mode_explicit_wins(monkeypatch):
+    monkeypatch.setenv(MODE_ENV, "full")
+    assert resolve_mode("fast") == "fast"
+
+
+def test_resolve_mode_reads_env(monkeypatch):
+    monkeypatch.setenv(MODE_ENV, "full")
+    assert resolve_mode(None) == "full"
+    monkeypatch.delenv(MODE_ENV)
+    assert resolve_mode(None) == "off"
+
+
+def test_resolve_mode_ignores_env_typo(monkeypatch):
+    monkeypatch.setenv(MODE_ENV, "fulll")
+    assert resolve_mode(None) == "off"
+
+
+def test_resolve_mode_rejects_unknown_explicit():
+    with pytest.raises(ValueError, match="unknown audit mode"):
+        resolve_mode("paranoid")
+
+
+def test_mode_registry():
+    assert AUDIT_MODES == ("off", "fast", "full")

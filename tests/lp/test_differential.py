@@ -1,0 +1,109 @@
+"""Property-style differential testing of the two LP backends.
+
+Random small MC-PERF instances (seeded, so deterministic in CI) are solved
+with both scipy/HiGHS and the pure-Python simplex; the objectives must agree
+within the differential tolerance, the exact-arithmetic audit must accept
+both solutions, and :func:`repro.audit.audit_differential` must report
+agreement.  This is satellite (c) of the audit subsystem: the cross-backend
+check that catches a miscompiled scipy or a simplex regression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.audit import (
+    DIFFERENTIAL_TOL,
+    audit_differential,
+    audit_lp_solution,
+)
+from repro.core.classes import get_class
+from repro.core.costs import CostModel
+from repro.core.formulation import build_formulation
+from repro.core.goals import QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.topology.generators import as_level_topology
+from repro.workload.demand import DemandMatrix
+from repro.workload.generators import web_workload
+
+SEEDS = [3, 11, 29, 47]
+
+
+def random_problem(seed):
+    """A small random MC-PERF instance, different per seed."""
+    rng = np.random.default_rng(seed)
+    num_nodes = int(rng.integers(4, 7))
+    num_objects = int(rng.integers(2, 5))
+    trace = web_workload(
+        num_nodes=num_nodes,
+        num_objects=num_objects,
+        requests_scale=0.01,
+        duration_s=7200.0,
+        seed=seed,
+    )
+    demand = DemandMatrix.from_trace(trace, num_intervals=2)
+    level = float(rng.choice([0.6, 0.75, 0.9]))
+    tlat = float(rng.choice([100.0, 150.0]))
+    return MCPerfProblem(
+        topology=as_level_topology(num_nodes=num_nodes, seed=seed),
+        demand=demand,
+        goal=QoSGoal(tlat_ms=tlat, fraction=level),
+        costs=CostModel.paper_defaults(),
+    )
+
+
+@pytest.fixture(params=SEEDS, ids=[f"seed{s}" for s in SEEDS])
+def formulation(request):
+    problem = random_problem(request.param)
+    cls = get_class(
+        ["general", "storage-constrained", "replica-constrained"][
+            request.param % 3
+        ]
+    )
+    return build_formulation(problem, cls.properties)
+
+
+def test_backends_agree_and_both_pass_exact_audit(formulation):
+    lp = formulation.lp
+    scipy_sol = lp.solve(backend="scipy")
+    simplex_sol = lp.solve(backend="simplex")
+
+    assert scipy_sol.status == simplex_sol.status
+    if not scipy_sol.is_optimal:
+        return  # both agree the instance is infeasible — nothing to compare
+
+    scale = max(1.0, abs(scipy_sol.objective))
+    assert abs(scipy_sol.objective - simplex_sol.objective) <= (
+        DIFFERENTIAL_TOL * scale * 10
+    ), (
+        f"objective disagreement: scipy={scipy_sol.objective!r} "
+        f"simplex={simplex_sol.objective!r}"
+    )
+
+    for name, solution in (("scipy", scipy_sol), ("simplex", simplex_sol)):
+        report = audit_lp_solution(lp, solution, mode="full")
+        assert report.ok, f"{name} solution failed exact audit:\n{report.render()}"
+
+
+def test_audit_differential_reports_agreement(formulation):
+    lp = formulation.lp
+    scipy_sol = lp.solve(backend="scipy")
+    report = audit_differential(lp, scipy_sol, mode="full")
+    assert report.ok, report.render()
+    assert "differential" in report.checks or report.skipped
+
+
+def test_audit_differential_flags_forged_objective(formulation):
+    import dataclasses
+
+    lp = formulation.lp
+    scipy_sol = lp.solve(backend="scipy")
+    if not scipy_sol.is_optimal:
+        pytest.skip("instance infeasible; no objective to forge")
+    forged = dataclasses.replace(
+        scipy_sol, objective=scipy_sol.objective + 10.0
+    )
+    report = audit_differential(lp, forged, mode="full")
+    assert not report.ok
+    assert any(v.check == "differential" for v in report.violations)

@@ -389,3 +389,82 @@ def test_python_dash_m_entry_point(artifacts, tmp_path):
     assert proc.returncode == 0, proc.stderr
     payload = json.loads(proc.stdout)
     assert payload["feasible"] is True
+
+
+# -- audit flag and the `repro audit` post-hoc command ------------------------
+
+
+def test_bounds_audit_full_reports_ok(artifacts, capsys):
+    topo_path, trace_path = artifacts
+    rc = main(
+        ["bounds", *problem_flags(topo_path, trace_path),
+         "--class", "storage-constrained", "--audit", "full"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "audit[full]" in out
+    assert "OK" in out
+
+
+def test_bounds_audit_json_carries_report(artifacts, capsys):
+    topo_path, trace_path = artifacts
+    rc = main(
+        ["bounds", *problem_flags(topo_path, trace_path),
+         "--class", "storage-constrained", "--audit", "fast", "--json"]
+    )
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["audit"] is not None
+    assert data["audit"]["violations"] == []
+    assert "placement" in data["audit"]["checks"]
+
+
+def sweep_with_run_dir(artifacts, tmp_path, name):
+    topo_path, trace_path = artifacts
+    run_root = str(tmp_path / name)
+    rc = main(
+        ["sweep", *problem_flags(topo_path, trace_path),
+         "--levels", "0.8", "0.9",
+         "--classes", "storage-constrained",
+         "--rounding", "--audit", "fast", "--run-dir", run_root]
+    )
+    assert rc == 0
+    import pathlib
+
+    [run_dir] = [p for p in pathlib.Path(run_root).iterdir() if p.is_dir()]
+    return run_dir
+
+
+def test_audit_command_clean_run_exits_zero(artifacts, capsys, tmp_path):
+    topo_path, trace_path = artifacts
+    run_dir = sweep_with_run_dir(artifacts, tmp_path, "clean")
+    capsys.readouterr()
+    rc = main(["audit", str(run_dir), "-t", topo_path, "-w", trace_path, "--json"])
+    out = capsys.readouterr().out
+    data = json.loads(out)
+    assert rc == 0, out
+    assert data["violations"] == []
+    assert "monotonicity" in data["checks"]
+
+
+def test_audit_command_flags_corrupted_payload(artifacts, capsys, tmp_path):
+    run_dir = sweep_with_run_dir(artifacts, tmp_path, "corrupt")
+    capsys.readouterr()
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    rec = next(r for r in manifest["task_records"] if r["kind"] == "bound" and r["file"])
+    body = json.loads((run_dir / rec["file"]).read_text())
+    body["payload"]["lp_cost"] = body["payload"]["lp_cost"] * 5.0 + 1.0
+    (run_dir / rec["file"]).write_text(json.dumps(body))
+
+    rc = main(["audit", str(run_dir)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "bound-gate" in out
+
+
+def test_audit_command_requires_both_inputs(artifacts, capsys, tmp_path):
+    run_dir = sweep_with_run_dir(artifacts, tmp_path, "lonely")
+    topo_path, _ = artifacts
+    capsys.readouterr()
+    rc = main(["audit", str(run_dir), "-t", topo_path])
+    assert rc == 2

@@ -43,3 +43,60 @@ def test_dict_is_json_serializable():
 
     topo = as_level_topology(num_nodes=5, seed=0)
     json.dumps(topology_to_dict(topo))  # should not raise
+
+
+# -- load-time validation (repro.errors.ValidationError) ----------------------
+
+
+def corrupt(mutate):
+    data = topology_to_dict(as_level_topology(num_nodes=5, seed=0))
+    mutate(data)
+    return data
+
+
+def test_nan_latency_rejected():
+    from repro.errors import ValidationError
+
+    data = corrupt(lambda d: d["latency"][1].__setitem__(2, float("nan")))
+    with pytest.raises(ValidationError, match=r"latency\[1,2\]"):
+        topology_from_dict(data)
+
+
+def test_inf_latency_rejected():
+    from repro.errors import ValidationError
+
+    data = corrupt(lambda d: d["latency"][0].__setitem__(3, float("inf")))
+    with pytest.raises(ValidationError, match="finite"):
+        topology_from_dict(data)
+
+
+def test_negative_latency_rejected():
+    from repro.errors import ValidationError
+
+    data = corrupt(lambda d: d["latency"][2].__setitem__(0, -1.0))
+    with pytest.raises(ValidationError, match="non-negative"):
+        topology_from_dict(data)
+
+
+def test_nan_population_rejected():
+    from repro.errors import ValidationError
+
+    data = corrupt(lambda d: d["populations"].__setitem__(1, float("nan")))
+    with pytest.raises(ValidationError, match=r"population\[1\]"):
+        topology_from_dict(data)
+
+
+def test_negative_population_rejected():
+    from repro.errors import ValidationError
+
+    data = corrupt(lambda d: d["populations"].__setitem__(0, -3.0))
+    with pytest.raises(ValidationError, match="population"):
+        topology_from_dict(data)
+
+
+def test_validation_error_is_a_value_error():
+    from repro.errors import ValidationError
+
+    data = corrupt(lambda d: d["latency"][1].__setitem__(2, float("nan")))
+    with pytest.raises(ValueError):
+        topology_from_dict(data)

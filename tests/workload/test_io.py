@@ -44,3 +44,79 @@ def test_inconsistent_columns_rejected():
     data["nodes"] = []
     with pytest.raises(ValueError, match="inconsistent"):
         trace_from_dict(data)
+
+
+# -- load-time validation (repro.errors.ValidationError) ----------------------
+
+
+def corrupt(mutate):
+    data = trace_to_dict(make_trace([(1, 0, 0), (2, 1, 1)]))
+    mutate(data)
+    return data
+
+
+def test_nan_time_rejected():
+    from repro.errors import ValidationError
+
+    data = corrupt(lambda d: d["times"].__setitem__(1, float("nan")))
+    with pytest.raises(ValidationError, match="request 1"):
+        trace_from_dict(data)
+
+
+def test_negative_time_rejected():
+    from repro.errors import ValidationError
+
+    data = corrupt(lambda d: d["times"].__setitem__(0, -5.0))
+    with pytest.raises(ValidationError, match="negative or non-finite"):
+        trace_from_dict(data)
+
+
+def test_nonpositive_duration_rejected():
+    from repro.errors import ValidationError
+
+    data = corrupt(lambda d: d.update(duration_s=0.0))
+    with pytest.raises(ValidationError, match="duration"):
+        trace_from_dict(data)
+
+
+def test_nan_duration_rejected():
+    from repro.errors import ValidationError
+
+    data = corrupt(lambda d: d.update(duration_s=float("nan")))
+    with pytest.raises(ValidationError, match="duration"):
+        trace_from_dict(data)
+
+
+def test_nonpositive_counts_rejected():
+    from repro.errors import ValidationError
+
+    for field in ("num_nodes", "num_objects"):
+        data = corrupt(lambda d: d.update({field: 0}))
+        with pytest.raises(ValidationError, match="must be positive"):
+            trace_from_dict(data)
+
+
+def test_empty_trace_rejected():
+    from repro.errors import ValidationError
+
+    data = corrupt(
+        lambda d: d.update(times=[], nodes=[], objects=[], writes=[])
+    )
+    with pytest.raises(ValidationError, match="no requests"):
+        trace_from_dict(data)
+
+
+def test_out_of_range_node_rejected():
+    from repro.errors import ValidationError
+
+    data = corrupt(lambda d: d["nodes"].__setitem__(0, 99))
+    with pytest.raises(ValidationError, match="node 99"):
+        trace_from_dict(data)
+
+
+def test_out_of_range_object_rejected():
+    from repro.errors import ValidationError
+
+    data = corrupt(lambda d: d["objects"].__setitem__(1, -1))
+    with pytest.raises(ValidationError, match="object -1"):
+        trace_from_dict(data)
