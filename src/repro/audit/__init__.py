@@ -40,6 +40,7 @@ from repro.audit.certificates import (
     audit_bound_result,
     audit_placement,
     audit_rounding,
+    audit_continuous_result,
     audit_sim_result,
     check_solution,
     sim_gate_violation,
@@ -84,6 +85,7 @@ __all__ = [
     "audit_placement",
     "audit_rounding",
     "audit_run_dir",
+    "audit_continuous_result",
     "audit_sim_result",
     "check_solution",
     "exact_objective",

@@ -47,6 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.problem import MCPerfProblem
     from repro.core.properties import HeuristicProperties
     from repro.lp.model import LinearProgram
+    from repro.simulator.continuous import ContinuousResult
     from repro.simulator.engine import SimulationResult
 
 #: Which Table-3 class bounds each simulated heuristic must respect: a
@@ -476,6 +477,66 @@ def audit_sim_result(
                 "artifact", name, abs(float(q)),
                 message=f"qos_per_node[{node}] = {q!r} outside [0, 1]",
             )
+    return report
+
+
+def audit_continuous_result(
+    result: "ContinuousResult",
+    mode: str = "fast",
+    tol: float = DEFAULT_TOL,
+    subject: str = "",
+) -> AuditReport:
+    """Internal-consistency certificate for a continuous-run payload.
+
+    The epoch reports are the source of truth the aggregates derive from;
+    a cache flip that corrupts either side breaks one of these identities:
+    non-finite/negative per-epoch costs or migration, availabilities
+    outside [0, 1], SLO flags contradicting the stated target, or a final
+    placement inconsistent with the last epoch's recorded size.
+    """
+    report = AuditReport(mode=mode, subject=subject)
+    report.ran("artifact")
+    name = subject or "continuous"
+    for epoch in result.epochs:
+        for label, value in (
+            ("serve_cost", epoch.serve_cost),
+            ("migration_bytes", epoch.migration_bytes),
+        ):
+            if not np.isfinite(value) or value < -tol:
+                report.flag(
+                    "artifact", name, abs(float(value)),
+                    message=f"epoch {epoch.index} {label} = {value!r} "
+                    "is negative or non-finite",
+                )
+        if not (-tol <= epoch.availability <= 1.0 + tol):
+            report.flag(
+                "artifact", name, abs(float(epoch.availability)),
+                message=f"epoch {epoch.index} availability "
+                f"{epoch.availability!r} outside [0, 1]",
+            )
+        if min(epoch.reads, epoch.unavailable_reads, epoch.creations) < 0:
+            report.flag(
+                "artifact", name,
+                message=f"epoch {epoch.index} has a negative event counter",
+            )
+        if result.slo_target is not None:
+            expect = epoch.availability < result.slo_target - tol
+            if epoch.slo_violated != expect and abs(
+                epoch.availability - result.slo_target
+            ) > tol:
+                report.flag(
+                    "artifact", name,
+                    message=f"epoch {epoch.index} slo_violated="
+                    f"{epoch.slo_violated} contradicts availability "
+                    f"{epoch.availability!r} vs target {result.slo_target!r}",
+                )
+    if result.epochs and len(result.final_placement) != result.epochs[-1].placement_size:
+        report.flag(
+            "artifact", name,
+            message=f"final placement has {len(result.final_placement)} "
+            f"replicas but the last epoch recorded "
+            f"{result.epochs[-1].placement_size}",
+        )
     return report
 
 

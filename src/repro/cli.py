@@ -8,6 +8,8 @@ Gives system designers the paper's workflow without writing Python::
     repro select    -t topo.json -w trace.json --qos 0.95
     repro deploy    -t topo.json -w trace.json --qos 0.95 --zeta 3000
     repro simulate  -t topo.json -w trace.json --heuristic lru --capacity 20
+    repro continuous -t topo.json --heuristic qiu --epochs 4 --drift 0.25 \
+                     --zones 3 --faults 'zoneout:mtbf=21600,mttr=1800' --slo 0.99
 
 Every subcommand prints a human-readable report; ``--json`` switches to a
 machine-readable dump.  Entry point: ``python -m repro.cli`` (also installed
@@ -23,6 +25,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.classes import STANDARD_CLASSES, get_class, render_table3
+from repro.errors import ValidationError
 from repro.core.costs import CostModel
 from repro.core.deployment import plan_deployment
 from repro.core.goals import GoalScope, QoSGoal
@@ -65,6 +68,15 @@ def _build_parser() -> argparse.ArgumentParser:
     topo.add_argument("--nodes", type=int, default=20)
     topo.add_argument("--seed", type=int, default=0)
     topo.add_argument("--skew", type=float, default=0.8, help="population skew")
+    topo.add_argument(
+        "--zones",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "attach a zone map: an integer K (round-robin into K zones) or "
+            "explicit groups like '0+1+2;3+4;5' covering every node"
+        ),
+    )
     topo.add_argument("-o", "--output", required=True)
 
     wl = sub.add_parser("workload", help="generate a WEB or GROUP trace")
@@ -79,20 +91,8 @@ def _build_parser() -> argparse.ArgumentParser:
     wl.add_argument("--topology", help="take site populations from this topology")
     wl.add_argument("-o", "--output", required=True)
 
-    def problem_args(p):
-        p.add_argument("-t", "--topology", required=True)
-        p.add_argument("-w", "--workload", required=True)
-        p.add_argument("--qos", type=float, default=0.95, help="QoS fraction")
-        p.add_argument("--tlat", type=float, default=150.0, help="latency threshold (ms)")
-        p.add_argument("--intervals", type=int, default=8)
-        p.add_argument("--warmup", type=int, default=1)
-        p.add_argument(
-            "--scope",
-            choices=[s.value for s in GoalScope],
-            default=GoalScope.PER_USER.value,
-        )
-        p.add_argument("--alpha", type=float, default=1.0)
-        p.add_argument("--beta", type=float, default=1.0)
+    def runner_args(p):
+        """Execution-infrastructure flags shared by every solver command."""
         p.add_argument("--json", action="store_true", help="machine-readable output")
         p.add_argument(
             "--jobs",
@@ -166,6 +166,22 @@ def _build_parser() -> argparse.ArgumentParser:
             ),
         )
 
+    def problem_args(p):
+        p.add_argument("-t", "--topology", required=True)
+        p.add_argument("-w", "--workload", required=True)
+        p.add_argument("--qos", type=float, default=0.95, help="QoS fraction")
+        p.add_argument("--tlat", type=float, default=150.0, help="latency threshold (ms)")
+        p.add_argument("--intervals", type=int, default=8)
+        p.add_argument("--warmup", type=int, default=1)
+        p.add_argument(
+            "--scope",
+            choices=[s.value for s in GoalScope],
+            default=GoalScope.PER_USER.value,
+        )
+        p.add_argument("--alpha", type=float, default=1.0)
+        p.add_argument("--beta", type=float, default=1.0)
+        runner_args(p)
+
     bounds = sub.add_parser("bounds", help="compute a class's lower bound")
     problem_args(bounds)
     bounds.add_argument(
@@ -225,6 +241,102 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--heal-copies", type=int, default=2, help="live replicas HealingPolicy restores"
     )
+    sim.add_argument(
+        "--heal-zones",
+        type=int,
+        default=1,
+        help="minimum distinct zones replicas must span (needs a zoned topology)",
+    )
+    sim.add_argument(
+        "--heal-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max healing creations per budget window (default: unlimited)",
+    )
+
+    cont = sub.add_parser(
+        "continuous",
+        help="epoch-driven continuous placement under faults with SLO enforcement",
+    )
+    cont.add_argument("-t", "--topology", required=True)
+    cont.add_argument(
+        "--heuristic",
+        required=True,
+        choices=["lru", "lfu", "coop-lru", "greedy-global", "qiu", "random"],
+    )
+    cont.add_argument("--epochs", type=int, default=4, help="number of epochs")
+    cont.add_argument(
+        "--epoch-length", type=float, default=3600.0, metavar="S",
+        help="seconds per epoch",
+    )
+    cont.add_argument(
+        "--drift", type=float, default=0.25,
+        help="per-epoch workload drift in [0,1]: popularity-rank rotation "
+             "plus node-weight blending",
+    )
+    cont.add_argument(
+        "--slo", type=float, default=None, metavar="FRACTION",
+        help="per-epoch availability SLO target (e.g. 0.99); violations exit nonzero",
+    )
+    cont.add_argument(
+        "--zones",
+        default=None,
+        metavar="SPEC",
+        help="zone map overriding the topology's own: an integer K or "
+             "explicit groups like '0+1;2+3'",
+    )
+    cont.add_argument("--requests", type=int, default=2000, help="requests per epoch")
+    cont.add_argument("--objects", type=int, default=64, help="objects in the universe")
+    cont.add_argument("--seed", type=int, default=0, help="workload seed")
+    cont.add_argument("--tlat", type=float, default=150.0, help="latency threshold (ms)")
+    cont.add_argument("--alpha", type=float, default=1.0)
+    cont.add_argument("--beta", type=float, default=1.0)
+    cont.add_argument("--capacity", type=int, default=10, help="cache capacity (objects)")
+    cont.add_argument("--replicas", type=int, default=2, help="replicas per object")
+    cont.add_argument("--period", type=float, default=None, help="placement period (s)")
+    cont.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault spec over the whole horizon; zone clauses "
+             "('zoneout:...', 'zonepart:...') need a zone map",
+    )
+    cont.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for generated fault schedules"
+    )
+    cont.add_argument(
+        "--heal", action="store_true",
+        help="wrap the heuristic in a re-replicating HealingPolicy",
+    )
+    cont.add_argument(
+        "--heal-copies", type=int, default=2, help="live replicas HealingPolicy restores"
+    )
+    cont.add_argument(
+        "--heal-zones",
+        type=int,
+        default=1,
+        help="minimum distinct zones replicas must span (needs a zone map)",
+    )
+    cont.add_argument(
+        "--heal-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max healing creations per budget window (default: unlimited)",
+    )
+    cont.add_argument(
+        "--shed-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="carried-replica cap between epochs; lowest-value replicas shed first",
+    )
+    cont.add_argument(
+        "--object-size", type=float, default=1.0, metavar="BYTES",
+        help="bytes per object for migration accounting",
+    )
+    runner_args(cont)
 
     sweep = sub.add_parser("sweep", help="Figure-1 style QoS sweep of class bounds")
     problem_args(sweep)
@@ -327,10 +439,28 @@ def _finish_runner(args, runner) -> None:
         print(message, file=sys.stderr)
 
 
+def _with_zones(topology, spec):
+    """Attach a ``--zones`` map to ``topology`` (no-op when spec is None)."""
+    if spec is None:
+        return topology
+    import dataclasses
+
+    from repro.topology.zones import parse_zones
+
+    return dataclasses.replace(
+        topology, zones=parse_zones(spec, topology.num_nodes)
+    )
+
+
 def _cmd_topology(args) -> int:
     topo = as_level_topology(
         num_nodes=args.nodes, seed=args.seed, population_skew=args.skew
     )
+    try:
+        topo = _with_zones(topo, args.zones)
+    except ValidationError as exc:
+        print(f"topology: bad --zones: {exc}", file=sys.stderr)
+        return 2
     save_topology(topo, args.output)
     print(f"wrote {topo} to {args.output}")
     return 0
@@ -482,6 +612,8 @@ def _cmd_simulate(args) -> int:
         tlat_ms=args.tlat,
         heal=args.heal,
         heal_copies=args.heal_copies,
+        heal_zones=args.heal_zones,
+        heal_budget=args.heal_budget,
     )
     interval_s = trace.duration_s / args.intervals
     task = SimulateTask(
@@ -538,6 +670,105 @@ def _cmd_simulate(args) -> int:
         verdict = "meets" if result.meets(args.qos) else "MISSES"
         print(f"-> {verdict} the {args.qos:.3%} per-user goal")
     return 0 if result.meets(args.qos) else 1
+
+
+def _cmd_continuous(args) -> int:
+    from repro.errors import ValidationError
+    from repro.runner import ContinuousTask
+
+    topology = load_topology(args.topology)
+    try:
+        topology = _with_zones(topology, args.zones)
+    except ValidationError as exc:
+        print(f"continuous: bad --zones: {exc}", file=sys.stderr)
+        return 2
+    period = args.period if args.period is not None else args.epoch_length / 8.0
+    spec = HeuristicSpec(
+        name=args.heuristic,
+        capacity=args.capacity,
+        replicas=args.replicas,
+        period_s=period,
+        tlat_ms=args.tlat,
+        heal=args.heal,
+        heal_copies=args.heal_copies,
+        heal_zones=args.heal_zones,
+        heal_budget=args.heal_budget,
+    )
+    task = ContinuousTask(
+        topology=topology,
+        heuristic=spec,
+        epochs=args.epochs,
+        epoch_s=args.epoch_length,
+        requests_per_epoch=args.requests,
+        num_objects=args.objects,
+        drift=args.drift,
+        workload_seed=args.seed,
+        tlat_ms=args.tlat,
+        cost_interval_s=args.epoch_length,
+        alpha=args.alpha,
+        beta=args.beta,
+        faults=args.faults or None,
+        fault_seed=args.fault_seed,
+        slo=args.slo,
+        shed_capacity=args.shed_capacity,
+        object_size_bytes=args.object_size,
+        label=f"continuous[{args.heuristic}]",
+        audit=args.audit,
+    )
+    runner = _runner_for(args, "continuous")
+    try:
+        result = runner.map([task])[0]
+    except ValidationError as exc:
+        runner.finalize()
+        print(f"continuous: {exc}", file=sys.stderr)
+        return 2
+    _finish_runner(args, runner)
+    if isinstance(result, TaskFailure):
+        if args.json:
+            print(json.dumps({"heuristic": args.heuristic, "failed": result.to_dict()}))
+        else:
+            print(str(result))
+        return 1
+    violated = result.slo_target is not None and result.slo_violations > 0
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "heuristic": result.heuristic,
+                    "epochs": len(result.epochs),
+                    "serve_cost": result.serve_cost,
+                    "migration_bytes": result.migration_bytes,
+                    "reads": result.reads,
+                    "unavailable_reads": result.unavailable_reads,
+                    "availability": result.availability,
+                    "worst_epoch_availability": result.worst_epoch_availability,
+                    "slo_target": result.slo_target,
+                    "slo_violations": result.slo_violations,
+                    "slo_violation_epochs": result.slo_violation_epochs,
+                    "shed_replicas": result.shed_replicas,
+                    "final_unique_zones": result.final_unique_zones,
+                    "epoch_reports": [e.to_dict() for e in result.epochs],
+                }
+            )
+        )
+    else:
+        print(str(result))
+        for e in result.epochs:
+            flag = "  SLO VIOLATED" if e.slo_violated else ""
+            print(
+                f"  epoch {e.index}: serve={e.serve_cost:.1f} "
+                f"migrated={e.migration_bytes:.0f}B "
+                f"avail={e.availability:.4f} reads={e.reads} "
+                f"unavailable={e.unavailable_reads} shed={e.shed_replicas}{flag}"
+            )
+        if result.slo_target is not None:
+            verdict = (
+                f"VIOLATES in {result.slo_violations} epoch(s)"
+                if violated
+                else "meets in every epoch"
+            )
+            print(f"-> {verdict} the {result.slo_target:.3%} availability SLO")
+    return 1 if violated else 0
 
 
 def _cmd_sweep(args) -> int:
@@ -688,6 +919,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "select": _cmd_select,
         "deploy": _cmd_deploy,
         "simulate": _cmd_simulate,
+        "continuous": _cmd_continuous,
         "sweep": _cmd_sweep,
         "audit": _cmd_audit,
         "cache": _cmd_cache,

@@ -32,9 +32,12 @@ from repro.faults.generators import (
     flaky_link,
     poisson_crashes,
     random_replica_loss,
+    zone_outages,
+    zone_partition,
 )
 from repro.faults.runtime import AvailabilityStats, FaultState
 from repro.faults.healing import HealingPolicy
+from repro.faults.slo import AvailabilitySLO, SLOLedger, apply_slo
 from repro.faults.spec import parse_faults
 
 __all__ = [
@@ -49,8 +52,13 @@ __all__ = [
     "flaky_link",
     "correlated_outage",
     "random_replica_loss",
+    "zone_outages",
+    "zone_partition",
     "FaultState",
     "AvailabilityStats",
     "HealingPolicy",
+    "AvailabilitySLO",
+    "SLOLedger",
+    "apply_slo",
     "parse_faults",
 ]

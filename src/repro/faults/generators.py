@@ -127,6 +127,114 @@ def correlated_outage(
     return FaultSchedule(events)
 
 
+def zone_outages(
+    zones: Sequence[int],
+    duration_s: float,
+    mtbf_s: float,
+    mttr_s: float,
+    seed: int = 0,
+    exclude: Iterable[int] = (0,),
+) -> FaultSchedule:
+    """Whole-zone crash/recover processes (region loss, power-feed failure).
+
+    Every distinct zone in the per-node ``zones`` map runs an independent
+    exponential up/down process (substream ``(seed, marker, zone)``); when a
+    zone goes down, *all* its member nodes crash together and recover
+    together — the failure correlation that independent-crash healing
+    assumptions are blind to.
+
+    Parameters
+    ----------
+    zones:
+        Per-node zone ids (one entry per node); validated via
+        :class:`~repro.errors.ValidationError`.
+    exclude:
+        Nodes never crashed (default: node 0, the conventional origin).
+        A zone whose members are all excluded generates nothing.
+    """
+    from repro.topology.zones import validate_zone_map
+
+    zone_map = validate_zone_map(zones, len(zones))
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if mtbf_s <= 0 or mttr_s <= 0:
+        raise ValueError("mtbf and mttr must be positive")
+    excluded = set(exclude)
+    events: List[FaultEvent] = []
+    for zid in sorted(int(z) for z in np.unique(zone_map)):
+        members = [
+            int(n) for n in np.flatnonzero(zone_map == zid) if int(n) not in excluded
+        ]
+        if not members:
+            continue
+        # The 104729 marker separates zone substreams from the per-node
+        # streams of poisson_crashes at the same base seed.
+        rng = np.random.default_rng([seed, 104729, zid])
+        t = float(rng.exponential(mtbf_s))
+        while t < duration_s:
+            for node in members:
+                events.append(NodeCrash(t, node))
+            recover_at = t + float(rng.exponential(mttr_s))
+            if recover_at >= duration_s:
+                break  # the zone ends the run down
+            for node in members:
+                events.append(NodeRecover(recover_at, node))
+            t = recover_at + float(rng.exponential(mtbf_s))
+    return FaultSchedule(events)
+
+
+def zone_partition(
+    zones: Sequence[int],
+    zone: int,
+    start_s: float,
+    outage_s: float,
+    duration_s: Optional[float] = None,
+    every_s: Optional[float] = None,
+    factor: float = math.inf,
+) -> FaultSchedule:
+    """Partition one zone from the rest of the system (zone-correlated links).
+
+    Every cross-zone link touching ``zone`` degrades by ``factor`` (default
+    ``inf`` — a clean partition) during ``[start_s, start_s + outage_s)``.
+    Intra-zone links stay healthy, so members keep serving each other — the
+    scenario where replica spread across zones decides availability.
+
+    With ``every_s`` the partition recurs (a sustained fault storm): windows
+    open at ``start_s + k * every_s`` until ``duration_s``.
+    """
+    from repro.topology.zones import validate_zone_map
+
+    zone_map = validate_zone_map(zones, len(zones))
+    members = [int(n) for n in np.flatnonzero(zone_map == int(zone))]
+    if not members:
+        from repro.errors import ValidationError
+
+        raise ValidationError(f"zone {zone} has no members in the zone map")
+    outsiders = [int(n) for n in np.flatnonzero(zone_map != int(zone))]
+    if start_s < 0:
+        raise ValueError("start must be non-negative")
+    if outage_s <= 0:
+        raise ValueError("outage length must be positive")
+    if every_s is not None:
+        if every_s <= outage_s:
+            raise ValueError("recurrence period must exceed the outage length")
+        if duration_s is None:
+            raise ValueError("recurring partitions need a duration")
+    starts = [start_s]
+    if every_s is not None:
+        starts = list(np.arange(start_s, duration_s, every_s))
+    events: List[FaultEvent] = []
+    for t in starts:
+        end = t + outage_s
+        if duration_s is not None:
+            end = min(end, duration_s)
+        for a in members:
+            for b in outsiders:
+                events.append(LinkDegrade(float(t), a, b, factor))
+                events.append(LinkRestore(float(end), a, b))
+    return FaultSchedule(events)
+
+
 def random_replica_loss(
     num_nodes: int,
     num_objects: int,

@@ -11,11 +11,22 @@ enforcement):
   backoff on failed creations (e.g. the chosen target crashed too);
 * when a crashed node recovers, it optionally restores the contents the
   node lost at the crash instant (``restore_on_recovery``), re-warming
-  local caches that would otherwise start cold.
+  local caches that would otherwise start cold;
+* with ``min_unique_zones > 1`` it additionally enforces *zone spread* at
+  every placement interval: each replicated object must have live copies
+  (the durable origin included) in at least that many distinct topology
+  zones, and repair targets are picked anti-affine — a zone not yet
+  holding the object wins over a nearer node in an already-covered zone.
+  Without a zone map every node is its own zone, so the same knob degrades
+  to plain distinct-node spread;
+* ``repair_budget`` applies backpressure: at most that many healing
+  creations per ``budget_window_s`` of simulated time.  Over-budget work
+  is deferred (it stays queued without burning retry attempts), modelling
+  a bandwidth-limited repair service rather than an infinitely fast one.
 
 For a ``routing == "local"`` inner heuristic a replica on another node can
-never serve the wrapped cache's reads, so the crash-repair queue is skipped
-and only recovery restoration applies.
+never serve the wrapped cache's reads, so the crash-repair queue and zone
+spread are skipped and only recovery restoration applies.
 
 Each healed replica is announced to the inner heuristic via its
 ``on_replicate`` hook so private metadata (LRU orders, frequency sets)
@@ -60,6 +71,14 @@ class HealingPolicy(PlacementHeuristic):
         Initial retry delay; doubles per failed attempt.
     restore_on_recovery:
         Re-create a recovered node's lost contents (re-warm its cache).
+    min_unique_zones:
+        Zone-spread floor for replicated objects (origin's zone counts —
+        it always serves).  1 disables spread enforcement; anti-affinity
+        still biases repair targets when > 1.
+    repair_budget:
+        Max healing creations per ``budget_window_s``; ``None`` = unlimited.
+    budget_window_s:
+        Budget accounting window (simulated seconds).
     """
 
     def __init__(
@@ -69,6 +88,9 @@ class HealingPolicy(PlacementHeuristic):
         max_retries: int = 5,
         backoff_s: float = 60.0,
         restore_on_recovery: bool = True,
+        min_unique_zones: int = 1,
+        repair_budget: Optional[int] = None,
+        budget_window_s: float = 3600.0,
     ):
         if copies < 1:
             raise ValueError("copies must be >= 1")
@@ -76,13 +98,24 @@ class HealingPolicy(PlacementHeuristic):
             raise ValueError("max_retries must be non-negative")
         if backoff_s <= 0:
             raise ValueError("backoff must be positive")
+        if min_unique_zones < 1:
+            raise ValueError("min_unique_zones must be >= 1")
+        if repair_budget is not None and repair_budget < 1:
+            raise ValueError("repair_budget must be >= 1 (or None for unlimited)")
+        if budget_window_s <= 0:
+            raise ValueError("budget window must be positive")
         self.inner = inner
         self.copies = copies
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.restore_on_recovery = restore_on_recovery
+        self.min_unique_zones = min_unique_zones
+        self.repair_budget = repair_budget
+        self.budget_window_s = budget_window_s
         self._queue: List[_Repair] = []
         self._lost_contents: dict = {}
+        self._budget_window = -1
+        self._budget_used = 0
 
     # The engine reads these per request; always reflect the inner choice.
     @property
@@ -98,22 +131,34 @@ class HealingPolicy(PlacementHeuristic):
         return self.inner.clairvoyant
 
     def describe(self) -> str:
-        return f"Healing({self.inner.describe()}, copies={self.copies})"
+        extras = ""
+        if self.min_unique_zones > 1:
+            extras += f", zones>={self.min_unique_zones}"
+        if self.repair_budget is not None:
+            extras += f", budget={self.repair_budget}/{self.budget_window_s:g}s"
+        return f"Healing({self.inner.describe()}, copies={self.copies}{extras})"
 
     # -- delegated lifecycle ----------------------------------------------
 
     def on_start(self, ctx) -> None:
-        self._queue = []
-        self._lost_contents = {}
+        self._reset()
         self.inner.on_start(ctx)
+        self._enforce_spread(ctx)
 
     def on_adopt(self, ctx) -> None:
+        self._reset()
+        self.inner.on_adopt(ctx)
+        self._enforce_spread(ctx)
+
+    def _reset(self) -> None:
         self._queue = []
         self._lost_contents = {}
-        self.inner.on_adopt(ctx)
+        self._budget_window = -1
+        self._budget_used = 0
 
     def on_interval(self, index, ctx, past_demand, next_demand) -> None:
         self.inner.on_interval(index, ctx, past_demand, next_demand)
+        self._enforce_spread(ctx)
 
     def on_access(self, request, served_ms, ctx) -> None:
         self.inner.on_access(request, served_ms, ctx)
@@ -132,13 +177,33 @@ class HealingPolicy(PlacementHeuristic):
 
     def on_recovery(self, event: FaultEvent, ctx) -> None:
         self.inner.on_recovery(event, ctx)
-        if isinstance(event, NodeRecover) and self.restore_on_recovery:
-            for obj in self._lost_contents.pop(event.node, []):
-                if self.inner.routing != "local" and len(self._live_holders(ctx, obj)) >= self.copies:
-                    continue  # already healed elsewhere; don't over-replicate
-                if ctx.create_replica(event.node, obj):
-                    self._stats(ctx).healing_creations += 1
-                    self.inner.on_replicate(event.node, obj, ctx)
+        if isinstance(event, NodeRecover):
+            # Always pop: leaving stale lost-content entries behind when
+            # restoration is off (or skipped) would replay an *old* crash's
+            # contents after a later crash/recover cycle of the same node.
+            lost_objs = self._lost_contents.pop(event.node, [])
+            if self.restore_on_recovery:
+                for obj in lost_objs:
+                    if (
+                        self.inner.routing != "local"
+                        and len(self._live_holders(ctx, obj)) >= self.copies
+                    ):
+                        continue  # already healed elsewhere; don't over-replicate
+                    if not self._budget_allows(ctx.now_s):
+                        break  # backpressure: the node simply restarts colder
+                    if ctx.create_replica(event.node, obj):
+                        self._spend_budget(ctx.now_s)
+                        self._stats(ctx).healing_creations += 1
+                        self.inner.on_replicate(event.node, obj, ctx)
+            # A recovery may have restored the copy count by itself: cancel
+            # queued repairs it satisfied so they cannot fire later and
+            # over-replicate (the recovering-node-vs-queued-repair race).
+            if self._queue:
+                self._queue = [
+                    t
+                    for t in self._queue
+                    if len(self._live_holders(ctx, t.obj)) < self.copies
+                ]
         self._pump(ctx)
 
     # -- the repair queue --------------------------------------------------
@@ -156,8 +221,15 @@ class HealingPolicy(PlacementHeuristic):
                 continue
             if len(self._live_holders(ctx, task.obj)) >= self.copies:
                 continue  # copy count already restored by other activity
+            if not self._budget_allows(now):
+                # Deferred, not failed: keep the task without burning a
+                # retry attempt; it becomes due again in the next window.
+                task.next_attempt_s = self._next_window_start(now)
+                remaining.append(task)
+                continue
             target = self._pick_target(ctx, task)
             if target is not None and ctx.create_replica(target, task.obj):
+                self._spend_budget(now)
                 stats.healing_creations += 1
                 stats.repairs += 1
                 stats.repair_time_s += now - task.lost_at_s
@@ -173,13 +245,17 @@ class HealingPolicy(PlacementHeuristic):
         self._queue = remaining
 
     def _pick_target(self, ctx, task: _Repair) -> Optional[int]:
-        """Closest live non-origin node (to the node that lost the replica)
-        that does not already hold the object."""
+        """Closest live non-origin non-holder to the node that lost the
+        replica — anti-affine first: when the object's live zone spread is
+        below ``min_unique_zones``, candidates in uncovered zones win over
+        nearer candidates in zones that already hold it."""
         fstate = getattr(ctx, "fault_state", None)
         topo = ctx.topology
         holders: Set[int] = ctx.state.holders(task.obj)
+        covered_zones = self._holder_zones(ctx, task.obj)
+        spread_short = len(covered_zones) < self.min_unique_zones
         best = None
-        best_key = (math.inf, -1)
+        best_key = (1, math.inf, -1)
         for node in range(ctx.num_nodes):
             if node == topo.origin or node in holders:
                 continue
@@ -192,10 +268,81 @@ class HealingPolicy(PlacementHeuristic):
             )
             if math.isinf(lat):
                 continue
-            key = (lat, node)
+            new_zone = spread_short and topo.zone_of(node) not in covered_zones
+            key = (0 if new_zone else 1, lat, node)
             if key < best_key:
                 best, best_key = node, key
         return best
+
+    # -- zone spread -------------------------------------------------------
+
+    def _enforce_spread(self, ctx) -> None:
+        """Top up zone diversity for every replicated object (SNIPPETS-style
+        ``min_unique_zones`` policy enforcement)."""
+        if self.min_unique_zones <= 1 or self.inner.routing == "local":
+            return
+        stats = self._stats(ctx)
+        now = ctx.now_s
+        for obj in range(ctx.num_objects):
+            if not ctx.state.holders(obj):
+                continue  # the inner heuristic chose not to replicate it
+            while len(self._holder_zones(ctx, obj)) < self.min_unique_zones:
+                if not self._budget_allows(now):
+                    return  # backpressure: resume at the next interval
+                target = self._pick_spread_target(ctx, obj)
+                if target is None or not ctx.create_replica(target, obj):
+                    if target is not None:
+                        stats.failed_heal_attempts += 1
+                    break  # no zone left to add (all down/full) — retry next interval
+                self._spend_budget(now)
+                stats.healing_creations += 1
+                self.inner.on_replicate(target, obj, ctx)
+
+    def _pick_spread_target(self, ctx, obj: int) -> Optional[int]:
+        """Live node in an uncovered zone, closest to the origin (ties to
+        the lowest node id), that does not already hold the object."""
+        fstate = getattr(ctx, "fault_state", None)
+        topo = ctx.topology
+        holders: Set[int] = ctx.state.holders(obj)
+        covered = self._holder_zones(ctx, obj)
+        best = None
+        best_key = (math.inf, -1)
+        for node in range(ctx.num_nodes):
+            if node == topo.origin or node in holders:
+                continue
+            if topo.zone_of(node) in covered:
+                continue
+            if fstate is not None and not fstate.is_alive(node):
+                continue
+            key = (float(topo.latency[topo.origin][node]), node)
+            if key < best_key:
+                best, best_key = node, key
+        return best
+
+    def _holder_zones(self, ctx, obj: int) -> Set[int]:
+        """Zones with a live copy of ``obj`` — the durable origin included."""
+        topo = ctx.topology
+        zones = {topo.zone_of(topo.origin)}
+        zones.update(topo.zone_of(n) for n in self._live_holders(ctx, obj))
+        return zones
+
+    # -- repair budget -----------------------------------------------------
+
+    def _budget_allows(self, now_s: float) -> bool:
+        if self.repair_budget is None:
+            return True
+        window = int(now_s // self.budget_window_s)
+        if window != self._budget_window:
+            self._budget_window = window
+            self._budget_used = 0
+        return self._budget_used < self.repair_budget
+
+    def _spend_budget(self, now_s: float) -> None:
+        if self.repair_budget is not None:
+            self._budget_used += 1
+
+    def _next_window_start(self, now_s: float) -> float:
+        return (int(now_s // self.budget_window_s) + 1) * self.budget_window_s
 
     def _live_holders(self, ctx, obj: int) -> Set[int]:
         fstate = getattr(ctx, "fault_state", None)

@@ -15,9 +15,11 @@ Schedules compose with ``+`` (or :meth:`merge`), so independent generators
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Set, Tuple
 
+from repro.errors import ValidationError
 from repro.faults.events import (
     FaultEvent,
     LinkDegrade,
@@ -75,7 +77,9 @@ class FaultSchedule:
         Returns ``self`` so callers can chain.  Link events may touch the
         origin (a flaky WAN link to headquarters is physical); node crashes
         and replica losses at the origin contradict the paper's durable-origin
-        model and are rejected.
+        model and are rejected.  Violations raise
+        :class:`~repro.errors.ValidationError` (a :class:`ValueError`
+        subclass), matching the topology/trace loader contract.
         """
         n = topology.num_nodes
         origin = topology.origin
@@ -83,12 +87,14 @@ class FaultSchedule:
             if isinstance(ev, (LinkDegrade, LinkRestore)):
                 for node in (ev.a, ev.b):
                     if node >= n:
-                        raise ValueError(f"link endpoint {node} out of range for {n} nodes")
+                        raise ValidationError(
+                            f"link endpoint {node} out of range for {n} nodes"
+                        )
             elif isinstance(ev, (NodeCrash, NodeRecover, ReplicaLoss)):
                 if ev.node >= n:
-                    raise ValueError(f"node {ev.node} out of range for {n} nodes")
+                    raise ValidationError(f"node {ev.node} out of range for {n} nodes")
                 if ev.node == origin:
-                    raise ValueError(
+                    raise ValidationError(
                         f"fault schedule targets the origin node {origin}; "
                         "the origin is assumed durable"
                     )
@@ -118,6 +124,54 @@ class FaultSchedule:
         for node, start in sorted(open_at.items()):
             out.setdefault(node, []).append((start, float("inf")))
         return out
+
+    def slice(self, start_s: float, end_s: float) -> "FaultSchedule":
+        """The ``[start_s, end_s)`` window as a standalone schedule at t=0.
+
+        Open state is carried in: a node down at ``start_s`` (crashed before
+        the window, recovering inside or after it) enters as a crash at
+        t=0, and likewise for active link degradations — so epoch-sliced
+        replays (:mod:`repro.simulator.continuous`) see the same world the
+        un-sliced run would.  Events at or after ``end_s`` are dropped; a
+        carried-in fault whose recovery falls outside the window simply
+        stays open.
+        """
+        if not 0 <= start_s < end_s:
+            raise ValueError("need 0 <= start_s < end_s")
+        down: Set[int] = set()
+        degraded: Dict[Tuple[int, int], FaultEvent] = {}
+        window: List[FaultEvent] = []
+        for ev in self.events:
+            if ev.time_s < start_s:
+                if isinstance(ev, NodeCrash):
+                    down.add(ev.node)
+                elif isinstance(ev, NodeRecover):
+                    down.discard(ev.node)
+                elif isinstance(ev, LinkDegrade):
+                    degraded[ev._ids()] = ev
+                elif isinstance(ev, LinkRestore):
+                    degraded.pop(ev._ids(), None)
+            elif ev.time_s < end_s:
+                window.append(dataclasses.replace(ev, time_s=ev.time_s - start_s))
+            else:
+                break  # events are time-sorted
+        # A carried-in fault healing exactly at the window start would sort
+        # its t=0 recovery *before* the t=0 carried crash (recoveries-first
+        # tie-break); the pair is a zero-length outage — drop both.
+        kept: List[FaultEvent] = []
+        for ev in window:
+            if ev.time_s == 0.0 and isinstance(ev, NodeRecover) and ev.node in down:
+                down.discard(ev.node)
+                continue
+            if ev.time_s == 0.0 and isinstance(ev, LinkRestore) and ev._ids() in degraded:
+                degraded.pop(ev._ids())
+                continue
+            kept.append(ev)
+        carried: List[FaultEvent] = [NodeCrash(0.0, node) for node in sorted(down)]
+        carried.extend(
+            dataclasses.replace(ev, time_s=0.0) for _, ev in sorted(degraded.items())
+        )
+        return FaultSchedule(carried + kept)
 
     # -- composition -------------------------------------------------------
 

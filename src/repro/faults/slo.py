@@ -1,0 +1,91 @@
+"""Availability service-level objectives.
+
+An :class:`AvailabilitySLO` is the contract a continuous deployment is
+judged against: each evaluation window (an epoch of
+:mod:`repro.simulator.continuous`, or a whole single run) must serve at
+least ``target`` of its issued reads.  The record is a frozen dataclass so
+it participates in the runner's content-addressed digests, and
+:func:`apply_slo` stamps the verdict onto a
+:class:`~repro.simulator.engine.SimulationResult` so manifests and CLI
+summaries carry it without recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class AvailabilitySLO:
+    """Minimum availability (served fraction of issued reads) per window.
+
+    Parameters
+    ----------
+    target:
+        Required availability in ``[0, 1]``; e.g. ``0.99`` demands that at
+        most 1% of issued post-warmup reads go unserved in any window.
+    """
+
+    target: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.target <= 1.0:
+            raise ValueError("SLO target must be a fraction in [0, 1]")
+
+    def met(self, availability: float) -> bool:
+        return availability >= self.target - _EPS
+
+    def violated(self, availability: float) -> bool:
+        return not self.met(availability)
+
+    def check(self, result) -> bool:
+        """Whether a :class:`SimulationResult` satisfies the objective."""
+        return self.met(result.availability)
+
+    def describe(self) -> str:
+        return f"SLO(availability>={self.target:g})"
+
+
+def apply_slo(result, slo: AvailabilitySLO):
+    """Stamp the SLO verdict onto a result (returns the result for chaining)."""
+    result.slo_target = slo.target
+    result.slo_violated = slo.violated(result.availability)
+    return result
+
+
+@dataclass
+class SLOLedger:
+    """Per-epoch availability bookkeeping against one SLO."""
+
+    slo: AvailabilitySLO
+    availabilities: List[float]
+
+    def __init__(self, slo: AvailabilitySLO):
+        self.slo = slo
+        self.availabilities = []
+
+    def observe(self, availability: float) -> bool:
+        """Record one epoch; returns True when the epoch violated the SLO."""
+        self.availabilities.append(float(availability))
+        return self.slo.violated(availability)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.availabilities)
+
+    @property
+    def violation_epochs(self) -> List[int]:
+        return [
+            i for i, a in enumerate(self.availabilities) if self.slo.violated(a)
+        ]
+
+    @property
+    def violations(self) -> int:
+        return len(self.violation_epochs)
+
+    @property
+    def worst(self) -> float:
+        return min(self.availabilities) if self.availabilities else 1.0

@@ -9,22 +9,29 @@
     outage:nodes=4+5+6,at=40000,down=1800
     loss:node=1,obj=5,at=100
     lossrate:rate=2
+    zoneout:mtbf=43200,mttr=1800
+    zonepart:zone=1,at=2000,down=1000,every=7200
 
 Clauses compose (their schedules are merged); randomized clauses draw from
-``--fault-seed`` so the same seed replays the identical fault trace.
+``--fault-seed`` so the same seed replays the identical fault trace.  The
+``zone*`` clauses need a zone map (the topology's ``zones`` or ``--zones``)
+and reject its absence with :class:`~repro.errors.ValidationError`.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
+from repro.errors import ValidationError
 from repro.faults.events import LinkDegrade, LinkRestore, NodeCrash, NodeRecover, ReplicaLoss
 from repro.faults.generators import (
     correlated_outage,
     flaky_link,
     poisson_crashes,
     random_replica_loss,
+    zone_outages,
+    zone_partition,
 )
 from repro.faults.schedule import FaultSchedule
 
@@ -37,6 +44,7 @@ def parse_faults(
     duration_s: float,
     origin: int = 0,
     seed: int = 0,
+    zones: Optional[Sequence[int]] = None,
 ) -> FaultSchedule:
     """Parse a ``--faults`` spec string into a composed schedule."""
     schedules: List[FaultSchedule] = []
@@ -55,7 +63,7 @@ def parse_faults(
             ) from None
         schedules.append(
             maker(params, num_nodes=num_nodes, num_objects=num_objects,
-                  duration_s=duration_s, origin=origin, seed=seed)
+                  duration_s=duration_s, origin=origin, seed=seed, zones=zones)
         )
         if params:
             raise ValueError(f"unknown keys {sorted(params)} in fault clause {clause!r}")
@@ -92,7 +100,7 @@ def _pop_int(params: Dict[str, str], key: str, default=None) -> int:
     return int(_pop_float(params, key, default))
 
 
-def _make_poisson(params, *, num_nodes, num_objects, duration_s, origin, seed):
+def _make_poisson(params, *, num_nodes, num_objects, duration_s, origin, seed, zones):
     mtbf = _pop_float(params, "mtbf")
     mttr = _pop_float(params, "mttr")
     return poisson_crashes(
@@ -100,7 +108,7 @@ def _make_poisson(params, *, num_nodes, num_objects, duration_s, origin, seed):
     )
 
 
-def _make_crash(params, *, num_nodes, num_objects, duration_s, origin, seed):
+def _make_crash(params, *, num_nodes, num_objects, duration_s, origin, seed, zones):
     node = _pop_int(params, "node")
     at = _pop_float(params, "at")
     down = _pop_float(params, "down", default=math.inf)
@@ -110,7 +118,7 @@ def _make_crash(params, *, num_nodes, num_objects, duration_s, origin, seed):
     return FaultSchedule(events)
 
 
-def _make_flaky(params, *, num_nodes, num_objects, duration_s, origin, seed):
+def _make_flaky(params, *, num_nodes, num_objects, duration_s, origin, seed, zones):
     a = _pop_int(params, "a")
     b = _pop_int(params, "b")
     up = _pop_float(params, "up")
@@ -119,7 +127,7 @@ def _make_flaky(params, *, num_nodes, num_objects, duration_s, origin, seed):
     return flaky_link(a, b, duration_s, mean_up_s=up, mean_down_s=down, factor=factor, seed=seed)
 
 
-def _make_degrade(params, *, num_nodes, num_objects, duration_s, origin, seed):
+def _make_degrade(params, *, num_nodes, num_objects, duration_s, origin, seed, zones):
     a = _pop_int(params, "a")
     b = _pop_int(params, "b")
     at = _pop_float(params, "at")
@@ -131,7 +139,7 @@ def _make_degrade(params, *, num_nodes, num_objects, duration_s, origin, seed):
     return FaultSchedule(events)
 
 
-def _make_outage(params, *, num_nodes, num_objects, duration_s, origin, seed):
+def _make_outage(params, *, num_nodes, num_objects, duration_s, origin, seed, zones):
     raw_nodes = params.pop("nodes", None)
     if raw_nodes is None:
         raise ValueError("fault clause missing required key 'nodes'")
@@ -141,17 +149,52 @@ def _make_outage(params, *, num_nodes, num_objects, duration_s, origin, seed):
     return correlated_outage(nodes, start_s=at, outage_s=down)
 
 
-def _make_loss(params, *, num_nodes, num_objects, duration_s, origin, seed):
+def _make_loss(params, *, num_nodes, num_objects, duration_s, origin, seed, zones):
     node = _pop_int(params, "node")
     obj = _pop_int(params, "obj")
     at = _pop_float(params, "at")
     return FaultSchedule([ReplicaLoss(at, node, obj)])
 
 
-def _make_lossrate(params, *, num_nodes, num_objects, duration_s, origin, seed):
+def _make_lossrate(params, *, num_nodes, num_objects, duration_s, origin, seed, zones):
     rate = _pop_float(params, "rate")
     return random_replica_loss(
         num_nodes, num_objects, duration_s, rate_per_hour=rate, seed=seed, exclude=(origin,)
+    )
+
+
+def _require_zones(zones, kind):
+    if zones is None:
+        raise ValidationError(
+            f"fault clause {kind!r} needs a zone map (topology zones or --zones)"
+        )
+    return zones
+
+
+def _make_zoneout(params, *, num_nodes, num_objects, duration_s, origin, seed, zones):
+    zone_map = _require_zones(zones, "zoneout")
+    mtbf = _pop_float(params, "mtbf")
+    mttr = _pop_float(params, "mttr")
+    return zone_outages(
+        zone_map, duration_s, mtbf_s=mtbf, mttr_s=mttr, seed=seed, exclude=(origin,)
+    )
+
+
+def _make_zonepart(params, *, num_nodes, num_objects, duration_s, origin, seed, zones):
+    zone_map = _require_zones(zones, "zonepart")
+    zone = _pop_int(params, "zone")
+    at = _pop_float(params, "at")
+    down = _pop_float(params, "down")
+    every = _pop_float(params, "every", default=math.nan)
+    factor = _pop_float(params, "factor", default=math.inf)
+    return zone_partition(
+        zone_map,
+        zone,
+        start_s=at,
+        outage_s=down,
+        duration_s=duration_s,
+        every_s=None if math.isnan(every) else every,
+        factor=factor,
     )
 
 
@@ -163,4 +206,6 @@ _MAKERS = {
     "outage": _make_outage,
     "loss": _make_loss,
     "lossrate": _make_lossrate,
+    "zoneout": _make_zoneout,
+    "zonepart": _make_zonepart,
 }

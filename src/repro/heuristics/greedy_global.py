@@ -153,6 +153,10 @@ class GreedyGlobalPlacement(PlacementHeuristic):
             demand = next_demand
         else:
             demand = self._windowed_demand(past_demand)
+        if float(demand.sum()) <= 0.0:
+            # A window with no observed demand carries no signal; keep the
+            # current (possibly adopted) placement instead of dropping it.
+            return
         self._last_demand = demand
         self._apply_plan(ctx, demand)
 

@@ -123,6 +123,10 @@ class QiuGreedyPlacement(PlacementHeuristic):
             demand = next_demand
         else:
             demand = self._windowed_demand(past_demand)
+        if float(demand.sum()) <= 0.0 and not self.place_inactive:
+            # A window with no observed demand carries no signal; keep the
+            # current (possibly adopted) placement instead of dropping it.
+            return
         num_nodes = ctx.num_nodes
         targets: List[Set[int]] = [set() for _ in range(num_nodes)]
         for k in range(ctx.num_objects):

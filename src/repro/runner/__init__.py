@@ -47,10 +47,11 @@ from repro.runner.resilience import (
     WorkerCrashError,
 )
 from repro.runner.resume import ResumeState
-from repro.runner.tasks import BoundTask, HeuristicSpec, SimulateTask
+from repro.runner.tasks import BoundTask, ContinuousTask, HeuristicSpec, SimulateTask
 
 __all__ = [
     "BoundTask",
+    "ContinuousTask",
     "ExperimentRunner",
     "HeuristicSpec",
     "ResultCache",

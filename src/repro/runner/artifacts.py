@@ -193,6 +193,31 @@ class RunWriter:
             {v["label"] for v in audit_violations}
         )
         data["audit_violations"] = audit_violations
+        # Availability aggregates: simulate/continuous tasks attach a digest
+        # under meta["availability"] (see ExperimentRunner._record); roll it
+        # up here so fault-injection sweeps surface unavailability and SLO
+        # verdicts without payload spelunking.
+        digests = [
+            r.meta["availability"]
+            for r in self.records
+            if r.meta is not None and "availability" in r.meta
+        ]
+        if digests:
+            data["availability"] = {
+                "tasks": len(digests),
+                "unavailable_reads": sum(
+                    int(d.get("unavailable_reads", 0)) for d in digests
+                ),
+                "min_availability": min(
+                    float(d.get("availability", 1.0)) for d in digests
+                ),
+                "slo_violations": sum(
+                    int(d.get("slo_violations", 0)) for d in digests
+                ),
+                "slo_judged": sum(
+                    1 for d in digests if d.get("slo_target") is not None
+                ),
+            }
         if extra:
             data.update(extra)
         return data

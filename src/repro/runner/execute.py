@@ -344,6 +344,12 @@ class ExperimentRunner:
         index = record_ids[i] if record_ids is not None else None
         describe = getattr(task, "describe", None)
         meta = describe() if describe is not None else None
+        # Availability digests ride in the meta row so the manifest can
+        # aggregate them without re-opening per-task payload files.
+        summarize = getattr(task, "summarize", None)
+        if summarize is not None and result is not None:
+            meta = dict(meta or {})
+            meta["availability"] = summarize(result)
         if failure is not None:
             self.artifacts.record(
                 index=index, kind=task.kind, label=task.label, key=keys[i],

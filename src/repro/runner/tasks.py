@@ -214,6 +214,10 @@ class HeuristicSpec:
     tlat_ms: float = 150.0
     heal: bool = False
     heal_copies: int = 2
+    #: Zone-spread floor for the healing wrapper (1 = off).
+    heal_zones: int = 1
+    #: Healing creations per hour of simulated time (None = unlimited).
+    heal_budget: Optional[int] = None
 
     def build(self):
         from repro.heuristics import (
@@ -246,7 +250,12 @@ class HeuristicSpec:
         if self.heal:
             from repro.faults import HealingPolicy
 
-            heuristic = HealingPolicy(heuristic, copies=self.heal_copies)
+            heuristic = HealingPolicy(
+                heuristic,
+                copies=self.heal_copies,
+                min_unique_zones=self.heal_zones,
+                repair_budget=self.heal_budget,
+            )
         return heuristic
 
 
@@ -305,7 +314,9 @@ class SimulateTask:
                 duration_s=self.trace.duration_s,
                 origin=self.topology.origin,
                 seed=self.fault_seed,
+                zones=self.topology.zones,
             )
+            schedule.validate_for(self.topology)
         return simulate(
             self.topology,
             self.trace,
@@ -339,9 +350,172 @@ class SimulateTask:
         }
 
     @staticmethod
+    def summarize(result: SimulationResult) -> Dict[str, object]:
+        """Availability digest the manifest aggregates (``availability`` block)."""
+        return {
+            "availability": result.availability,
+            "unavailable_reads": result.unavailable_reads,
+            "slo_target": result.slo_target,
+            "slo_violations": 1 if result.slo_violated else 0,
+        }
+
+    @staticmethod
     def encode(result: SimulationResult) -> Dict[str, object]:
         return result.to_dict()
 
     @staticmethod
     def decode(payload: Dict[str, object]) -> SimulationResult:
         return SimulationResult.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class ContinuousTask:
+    """One epoch-driven continuous-placement run (drift + faults + SLO).
+
+    The workload is synthesized *inside* ``run()`` from the drift
+    parameters (deterministic in ``workload_seed``), and the fault spec
+    string is parsed over the full ``epochs * epoch_s`` horizon with the
+    topology's zone map — so the task pickles small and replays identically
+    everywhere, exactly like :class:`SimulateTask`.
+    """
+
+    topology: Topology
+    heuristic: HeuristicSpec
+    epochs: int = 4
+    epoch_s: float = 3600.0
+    requests_per_epoch: int = 2000
+    num_objects: int = 64
+    drift: float = 0.25
+    zipf_exponent: float = 0.9
+    workload_seed: int = 0
+    tlat_ms: float = 150.0
+    warmup_s: float = 0.0
+    cost_interval_s: float = 3600.0
+    alpha: float = 1.0
+    beta: float = 1.0
+    faults: Optional[str] = None
+    fault_seed: int = 0
+    #: Per-epoch availability SLO target (None = unjudged).
+    slo: Optional[float] = None
+    #: Per-node cap applied to carried placements at epoch boundaries.
+    shed_capacity: Optional[int] = None
+    object_size_bytes: float = 1.0
+    label: str = ""
+    #: Audit mode; see :class:`BoundTask.audit` (not part of the cache key).
+    audit: Optional[str] = None
+
+    kind = "continuous"
+
+    def cache_key(self) -> str:
+        return digest_of(
+            "continuous-task",
+            self.topology,
+            self.heuristic,
+            self.epochs,
+            self.epoch_s,
+            self.requests_per_epoch,
+            self.num_objects,
+            self.drift,
+            self.zipf_exponent,
+            self.workload_seed,
+            self.tlat_ms,
+            self.warmup_s,
+            self.cost_interval_s,
+            self.alpha,
+            self.beta,
+            self.faults,
+            self.fault_seed,
+            self.slo,
+            self.shed_capacity,
+            self.object_size_bytes,
+        )
+
+    def reuse_key(self) -> Optional[str]:
+        return None
+
+    def run(self):
+        from repro.faults import AvailabilitySLO, parse_faults
+        from repro.simulator.continuous import run_continuous
+        from repro.workload.drift import drifting_traces
+
+        duration_s = self.epochs * self.epoch_s
+        schedule = None
+        if self.faults:
+            schedule = parse_faults(
+                self.faults,
+                num_nodes=self.topology.num_nodes,
+                num_objects=self.num_objects,
+                duration_s=duration_s,
+                origin=self.topology.origin,
+                seed=self.fault_seed,
+                zones=self.topology.zones,
+            )
+            schedule.validate_for(self.topology)
+        traces = drifting_traces(
+            self.topology.num_nodes,
+            self.num_objects,
+            epochs=self.epochs,
+            epoch_s=self.epoch_s,
+            requests_per_epoch=self.requests_per_epoch,
+            drift=self.drift,
+            zipf_exponent=self.zipf_exponent,
+            populations=self.topology.populations,
+            seed=self.workload_seed,
+        )
+        return run_continuous(
+            self.topology,
+            traces,
+            self.heuristic.build,
+            tlat_ms=self.tlat_ms,
+            faults=schedule,
+            slo=None if self.slo is None else AvailabilitySLO(self.slo),
+            capacity=self.shed_capacity,
+            object_size_bytes=self.object_size_bytes,
+            alpha=self.alpha,
+            beta=self.beta,
+            cost_interval_s=self.cost_interval_s,
+            warmup_s=self.warmup_s,
+        )
+
+    def audit_cached(self, result, key: str = ""):
+        """Consistency re-check of a cache-served continuous run."""
+        from repro.audit import audit_continuous_result, resolve_mode
+
+        mode = resolve_mode(self.audit)
+        if mode == "off":
+            return None
+        return audit_continuous_result(result, mode=mode, subject=key or self.label)
+
+    def describe(self) -> Dict[str, object]:
+        """Manifest metadata for post-hoc inspection."""
+        return {
+            "heuristic": self.heuristic.name,
+            "heal": self.heuristic.heal,
+            "heal_zones": self.heuristic.heal_zones,
+            "epochs": self.epochs,
+            "epoch_s": self.epoch_s,
+            "drift": self.drift,
+            "tlat_ms": self.tlat_ms,
+            "faults": self.faults,
+            "slo": self.slo,
+        }
+
+    @staticmethod
+    def summarize(result) -> Dict[str, object]:
+        """Availability digest the manifest aggregates (``availability`` block)."""
+        return {
+            "availability": result.availability,
+            "unavailable_reads": result.unavailable_reads,
+            "slo_target": result.slo_target,
+            "slo_violations": result.slo_violations,
+        }
+
+    @staticmethod
+    def encode(result) -> Dict[str, object]:
+        return result.to_dict()
+
+    @staticmethod
+    def decode(payload: Dict[str, object]):
+        from repro.simulator.continuous import ContinuousResult
+
+        return ContinuousResult.from_dict(payload)

@@ -10,6 +10,12 @@ achieved QoS against a latency threshold.
 
 from repro.simulator.state import ReplicaState
 from repro.simulator.engine import SimulationResult, Simulator, simulate
+from repro.simulator.continuous import (
+    ContinuousResult,
+    EpochReport,
+    run_continuous,
+    shed_to_capacity,
+)
 from repro.simulator.metrics import availability_report, heuristic_cost
 from repro.simulator.sizing import (
     SizingResult,
@@ -22,6 +28,10 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "simulate",
+    "ContinuousResult",
+    "EpochReport",
+    "run_continuous",
+    "shed_to_capacity",
     "heuristic_cost",
     "availability_report",
     "SizingResult",

@@ -69,6 +69,11 @@ class SimulationResult:
     healing_cost: float = 0.0
     #: Total node-seconds spent down across the run.
     node_downtime_s: float = 0.0
+    # -- SLO verdict (stamped by repro.faults.slo.apply_slo; None = unjudged) --
+    #: Availability target this run was judged against, if any.
+    slo_target: Optional[float] = None
+    #: Whether the run's availability fell below ``slo_target``.
+    slo_violated: bool = False
 
     @property
     def total_cost(self) -> float:
@@ -120,6 +125,8 @@ class SimulationResult:
             "healing_creations": self.healing_creations,
             "healing_cost": self.healing_cost,
             "node_downtime_s": self.node_downtime_s,
+            "slo_target": self.slo_target,
+            "slo_violated": self.slo_violated,
         }
 
     @staticmethod
@@ -147,6 +154,12 @@ class SimulationResult:
             healing_creations=int(payload.get("healing_creations", 0)),
             healing_cost=float(payload.get("healing_cost", 0.0)),
             node_downtime_s=float(payload.get("node_downtime_s", 0.0)),
+            slo_target=(
+                None
+                if payload.get("slo_target") is None
+                else float(payload["slo_target"])
+            ),
+            slo_violated=bool(payload.get("slo_violated", False)),
         )
 
     def __str__(self) -> str:
@@ -162,6 +175,9 @@ class SimulationResult:
                 f"{self.repairs} repairs, "
                 f"MTTR={self.mean_repair_time_s:.0f}s)"
             )
+        if self.slo_target is not None:
+            verdict = "VIOLATED" if self.slo_violated else "met"
+            text += f", SLO>={self.slo_target:g} {verdict}"
         return text
 
 
@@ -238,6 +254,12 @@ class Simulator:
         Optional :class:`~repro.faults.schedule.FaultSchedule` consumed in
         time order alongside the trace.  An empty (or absent) schedule takes
         the exact fault-free code path.
+    initial_placement:
+        Optional ``(node, obj)`` pairs adopted (creation-cost-free) before
+        the trace starts — replicas carried across an epoch boundary by
+        :mod:`repro.simulator.continuous`.  When given, the heuristic is
+        started via ``on_adopt`` instead of ``on_start`` so it inherits the
+        pre-existing state instead of assuming an empty system.
     """
 
     def __init__(
@@ -253,6 +275,7 @@ class Simulator:
         warmup_s: float = 0.0,
         assignment: Optional[np.ndarray] = None,
         faults=None,
+        initial_placement: Optional[List[Tuple[int, int]]] = None,
     ):
         if trace.num_nodes > topology.num_nodes:
             raise ValueError("trace references more nodes than the topology has")
@@ -279,6 +302,7 @@ class Simulator:
             self.fault_events = list(faults)
             self.fault_state = FaultState(topology)
             self.state.faults = self.fault_state
+        self.initial_placement = initial_placement
         self.stats = AvailabilityStats()
         self.ctx = SimulationContext(
             topology,
@@ -355,7 +379,12 @@ class Simulator:
             # period 1 (was reallocated per boundary inside the loop).
             zero_demand = np.zeros((trace.num_nodes, trace.num_objects))
 
-        heuristic.on_start(self.ctx)
+        if self.initial_placement is not None:
+            for node, obj in self.initial_placement:
+                self.state.adopt(int(node), int(obj), 0.0)
+            heuristic.on_adopt(self.ctx)
+        else:
+            heuristic.on_start(self.ctx)
 
         reads = 0
         covered = 0

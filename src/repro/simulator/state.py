@@ -126,6 +126,35 @@ class ReplicaState:
         )
         return True
 
+    def adopt(self, node: int, obj: int, time_s: float) -> bool:
+        """Install a replica carried over from a previous run segment.
+
+        Identical to :meth:`create` except that no creation cost (beta) is
+        charged and ``creations`` does not advance — the replica was paid
+        for when it was first created; an epoch boundary
+        (:mod:`repro.simulator.continuous`) merely hands it to the next
+        simulator instance.  Storage accrues from ``time_s`` as usual.
+        """
+        if node == self.topology.origin:
+            return False
+        if obj in self._held[node]:
+            return False
+        if self.faults is not None and not self.faults.is_alive(node):
+            return False
+        if not 0 <= obj < self.num_objects:
+            raise IndexError(f"object {obj} out of range")
+        self._held[node].add(obj)
+        self._holders[obj].add(node)
+        if self._best_valid[obj]:
+            np.minimum(self._best[:, obj], self._lat[:, node], out=self._best[:, obj])
+        self._since[(node, obj)] = time_s
+        self.peak_occupancy[node] = max(self.peak_occupancy[node], len(self._held[node]))
+        self._replica_counts[obj] += 1
+        self.max_replicas_per_object[obj] = max(
+            self.max_replicas_per_object[obj], self._replica_counts[obj]
+        )
+        return True
+
     def record_write(self, obj: int) -> float:
         """Charge one update message per current replica (extension (12)).
 

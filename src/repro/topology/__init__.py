@@ -24,9 +24,19 @@ from repro.topology.latency import (
     uniform_latency,
 )
 from repro.topology.io import topology_from_dict, topology_to_dict
+from repro.topology.zones import (
+    parse_zones,
+    round_robin_zones,
+    validate_zone_map,
+    zone_map_or_none,
+)
 
 __all__ = [
     "Topology",
+    "parse_zones",
+    "round_robin_zones",
+    "validate_zone_map",
+    "zone_map_or_none",
     "as_level_topology",
     "star_topology",
     "topology_from_edges",

@@ -30,12 +30,19 @@ class Topology:
         Relative user-population weights per node (used to skew demand).
     names:
         Optional human-readable site names.
+    zones:
+        Optional per-node failure-zone ids (region, rack, power feed).
+        Nodes sharing a zone are assumed failure-correlated: zone-aware
+        fault generators crash them together and zone-aware healing spreads
+        replicas across zones.  ``None`` means no correlation information —
+        every node is treated as its own zone.
     """
 
     latency: np.ndarray
     origin: int = 0
     populations: Optional[np.ndarray] = None
     names: List[str] = field(default_factory=list)
+    zones: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         self.latency = np.asarray(self.latency, dtype=float)
@@ -62,6 +69,12 @@ class Topology:
             self.names = [f"site-{i}" for i in range(n)]
         elif len(self.names) != n:
             raise ValueError("names must have one entry per node")
+        if self.zones is not None:
+            self.zones = np.asarray(self.zones, dtype=np.int64)
+            if self.zones.shape != (n,):
+                raise ValueError("zones must have one entry per node")
+            if np.any(self.zones < 0):
+                raise ValueError("zone ids must be non-negative")
 
     # -- basic queries -----------------------------------------------------
 
@@ -71,6 +84,41 @@ class Topology:
 
     def nodes(self) -> range:
         return range(self.num_nodes)
+
+    # -- zones ---------------------------------------------------------------
+
+    @property
+    def has_zones(self) -> bool:
+        """Whether an explicit failure-zone map was supplied."""
+        return self.zones is not None
+
+    def zone_of(self, node: int) -> int:
+        """Failure zone of ``node``; without a zone map each node is its own
+        zone (no correlation — the uncorrelated-failure default)."""
+        if not 0 <= node < self.num_nodes:
+            raise IndexError(f"node {node} out of range")
+        if self.zones is None:
+            return node
+        return int(self.zones[node])
+
+    def zones_of(self, nodes) -> set:
+        """The set of zones spanned by ``nodes``."""
+        return {self.zone_of(int(n)) for n in nodes}
+
+    def zone_nodes(self, zone: int) -> List[int]:
+        """All nodes in ``zone`` (singleton ``[zone]`` without a zone map)."""
+        if self.zones is None:
+            if not 0 <= zone < self.num_nodes:
+                raise IndexError(f"zone {zone} out of range")
+            return [zone]
+        return [int(n) for n in np.flatnonzero(self.zones == zone)]
+
+    @property
+    def num_zones(self) -> int:
+        """Distinct failure zones (``num_nodes`` without a zone map)."""
+        if self.zones is None:
+            return self.num_nodes
+        return int(np.unique(self.zones).size)
 
     def dist_matrix(self, threshold_ms: float) -> np.ndarray:
         """The binary ``dist`` matrix of the paper: reachable within ``threshold_ms``.
@@ -169,6 +217,7 @@ class Topology:
             origin=new_origin,
             populations=self.populations[idx].copy(),
             names=[self.names[k] for k in keep],
+            zones=self.zones[idx].copy() if self.zones is not None else None,
         )
 
     def diameter_ms(self) -> float:

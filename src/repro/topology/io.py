@@ -20,13 +20,16 @@ _FORMAT_VERSION = 1
 
 def topology_to_dict(topo: Topology) -> dict:
     """A JSON-serializable representation of a topology."""
-    return {
+    data = {
         "version": _FORMAT_VERSION,
         "latency": topo.latency.tolist(),
         "origin": topo.origin,
         "populations": topo.populations.tolist(),
         "names": list(topo.names),
     }
+    if topo.zones is not None:
+        data["zones"] = topo.zones.tolist()
+    return data
 
 
 def topology_from_dict(data: dict) -> Topology:
@@ -62,11 +65,17 @@ def topology_from_dict(data: dict) -> Topology:
             f"topology population[{idx}] = {populations[idx]!r}: populations "
             "must be finite and non-negative"
         )
+    zones = data.get("zones")
+    if zones is not None:
+        from repro.topology.zones import validate_zone_map
+
+        zones = validate_zone_map(zones, latency.shape[0])
     return Topology(
         latency=latency,
         origin=int(data["origin"]),
         populations=populations,
         names=list(data.get("names", [])),
+        zones=zones,
     )
 
 

@@ -1,0 +1,126 @@
+"""Failure-zone maps: parsing, validation and generation.
+
+A zone map assigns every node a failure-correlation domain (a region, a
+rack, a power feed).  Zone-aware fault generators
+(:func:`repro.faults.generators.zone_outages`) crash whole zones together
+and zone-aware healing (:class:`repro.faults.healing.HealingPolicy` with
+``min_unique_zones``) spreads replicas across zones so one domain failure
+cannot take out every copy.
+
+The CLI accepts zone maps in two spellings (``--zones``):
+
+* an integer ``K`` — nodes are striped round-robin into K zones
+  (``node % K``), the conventional quick-start layout;
+* explicit groups ``0+1+2;3+4;5`` — semicolon-separated zones, ``+``-joined
+  node ids; every node must appear exactly once.
+
+Both are validated with :class:`~repro.errors.ValidationError` against the
+concrete topology size, matching the loader-validation pattern of the
+topology/trace readers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def validate_zone_map(zones: Sequence[int], num_nodes: int) -> np.ndarray:
+    """Check a per-node zone array against a topology size.
+
+    Enforces the loader contract: one entry per node, integral non-negative
+    ids.  Returns the normalized ``int64`` array.  Raises
+    :class:`~repro.errors.ValidationError` on any violation so malformed
+    zone maps are rejected before they can poison fault generation or
+    healing decisions.
+    """
+    arr = np.asarray(zones)
+    if arr.ndim != 1 or arr.shape[0] != num_nodes:
+        raise ValidationError(
+            f"zone map has {arr.shape[0] if arr.ndim == 1 else arr.shape} "
+            f"entries; need exactly one per node ({num_nodes})"
+        )
+    if arr.dtype.kind == "f":
+        if not np.isfinite(arr).all() or np.any(arr != np.trunc(arr)):
+            bad = int(np.flatnonzero(~np.isfinite(arr) | (arr != np.trunc(arr)))[0])
+            raise ValidationError(
+                f"zone map entry [{bad}] = {arr[bad]!r}: zone ids must be integers"
+            )
+    elif arr.dtype.kind not in "iu":
+        raise ValidationError(f"zone map dtype {arr.dtype} is not integral")
+    arr = arr.astype(np.int64)
+    if np.any(arr < 0):
+        bad = int(np.flatnonzero(arr < 0)[0])
+        raise ValidationError(
+            f"zone map entry [{bad}] = {arr[bad]}: zone ids must be non-negative"
+        )
+    return arr
+
+
+def round_robin_zones(num_nodes: int, num_zones: int) -> np.ndarray:
+    """Stripe nodes into ``num_zones`` zones (``node % num_zones``)."""
+    if num_nodes <= 0:
+        raise ValidationError("num_nodes must be positive")
+    if not 1 <= num_zones <= num_nodes:
+        raise ValidationError(
+            f"num_zones must be in [1, {num_nodes}], got {num_zones}"
+        )
+    return np.arange(num_nodes, dtype=np.int64) % num_zones
+
+
+def parse_zones(spec: Union[str, int], num_nodes: int) -> np.ndarray:
+    """Parse a CLI ``--zones`` spec into a validated per-node zone array.
+
+    ``spec`` is either an integer zone count (round-robin striping) or
+    explicit ``;``-separated groups of ``+``-joined node ids covering every
+    node exactly once, e.g. ``"0+1+2;3+4;5"``.
+    """
+    if isinstance(spec, int):
+        return round_robin_zones(num_nodes, spec)
+    text = spec.strip()
+    if not text:
+        raise ValidationError("empty zone spec")
+    try:
+        return round_robin_zones(num_nodes, int(text))
+    except ValueError:
+        pass  # not a bare integer: explicit groups
+    zones = np.full(num_nodes, -1, dtype=np.int64)
+    for zid, group in enumerate(text.split(";")):
+        group = group.strip()
+        if not group:
+            raise ValidationError(f"empty zone group in spec {spec!r}")
+        for item in group.split("+"):
+            try:
+                node = int(item)
+            except ValueError:
+                raise ValidationError(
+                    f"malformed node id {item!r} in zone spec {spec!r}"
+                ) from None
+            if not 0 <= node < num_nodes:
+                raise ValidationError(
+                    f"zone spec node {node} out of range for {num_nodes} nodes"
+                )
+            if zones[node] != -1:
+                raise ValidationError(
+                    f"node {node} appears in more than one zone in spec {spec!r}"
+                )
+            zones[node] = zid
+    uncovered = np.flatnonzero(zones == -1)
+    if uncovered.size:
+        raise ValidationError(
+            f"zone spec {spec!r} does not cover node(s) "
+            f"{[int(n) for n in uncovered]}: zones must cover all nodes"
+        )
+    return zones
+
+
+def zone_map_or_none(
+    spec: Optional[Union[str, int]], num_nodes: int
+) -> Optional[np.ndarray]:
+    """``parse_zones`` that passes ``None`` through (no zone information)."""
+    if spec is None:
+        return None
+    return parse_zones(spec, num_nodes)

@@ -23,6 +23,7 @@ from repro.workload.generators import (
     synthetic_workload,
     web_workload,
 )
+from repro.workload.drift import drifting_traces, epoch_slices
 from repro.workload.stats import (
     WorkloadStats,
     characterize,
@@ -44,6 +45,8 @@ __all__ = [
     "flash_crowd_workload",
     "group_workload",
     "synthetic_workload",
+    "drifting_traces",
+    "epoch_slices",
     "WorkloadStats",
     "characterize",
     "fit_zipf_exponent",

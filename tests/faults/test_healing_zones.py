@@ -1,0 +1,335 @@
+"""Zone-aware healing: spread enforcement, anti-affinity, budgets, ordering.
+
+The ordering regressions pin down two races in :class:`HealingPolicy`:
+
+* a node recovering (and restoring its contents) must *cancel* queued
+  repairs it satisfied, or the deferred repair fires later and
+  over-replicates;
+* lost-content bookkeeping must be popped on every recovery — even when
+  restoration is skipped — so a later crash/recover cycle of the same node
+  cannot replay a previous crash's contents.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultSchedule,
+    HealingPolicy,
+    NodeCrash,
+    NodeRecover,
+    ReplicaLoss,
+)
+from repro.faults.healing import _Repair
+from repro.heuristics import LRUCaching
+from repro.heuristics.base import PlacementHeuristic
+from repro.simulator import simulate
+from repro.simulator.engine import Simulator
+from repro.topology.generators import line_topology, star_topology
+from repro.topology.graph import Topology
+from tests.conftest import make_trace
+
+
+class FixedPlacement(PlacementHeuristic):
+    """Places a given replica set at start and never changes it."""
+
+    routing = "global"
+
+    def __init__(self, placements):
+        self.placements = placements
+
+    def on_start(self, ctx) -> None:
+        for node, obj in self.placements:
+            ctx.create_replica(node, obj)
+
+
+def zoned_line(zones=(0, 0, 1, 1, 2, 2)):
+    base = line_topology(num_nodes=len(zones), hop_latency_ms=40.0)
+    return Topology(latency=base.latency, zones=np.asarray(zones))
+
+
+def run_sim(topo, trace, heuristic, faults=None, tlat_ms=150.0):
+    sim = Simulator(topo, trace, heuristic, tlat_ms, faults=faults)
+    return sim, sim.run()
+
+
+# -- constructor validation -------------------------------------------------
+
+
+def test_parameter_validation():
+    inner = FixedPlacement([])
+    with pytest.raises(ValueError):
+        HealingPolicy(inner, min_unique_zones=0)
+    with pytest.raises(ValueError):
+        HealingPolicy(inner, repair_budget=0)
+    with pytest.raises(ValueError):
+        HealingPolicy(inner, repair_budget=1, budget_window_s=0.0)
+
+
+def test_describe_mentions_zones_and_budget():
+    text = HealingPolicy(
+        FixedPlacement([]), copies=2, min_unique_zones=3,
+        repair_budget=5, budget_window_s=600.0,
+    ).describe()
+    assert "zones>=3" in text
+    assert "budget=5/600s" in text
+
+
+# -- zone-spread enforcement ------------------------------------------------
+
+
+def test_spread_enforced_at_start():
+    """One replica in the origin's zone gets topped up to three zones."""
+    topo = zoned_line()
+    trace = make_trace([(100, 4, 0)], num_nodes=6, num_objects=1)
+    policy = HealingPolicy(FixedPlacement([(1, 0)]), copies=1, min_unique_zones=3)
+    sim, result = run_sim(topo, trace, policy)
+    holders = {n for n in topo.nodes() if 0 in sim.state.contents(n)}
+    holders.add(topo.origin)
+    assert len(topo.zones_of(holders)) >= 3
+    assert result.healing_creations == 2  # zones 1 and 2 were uncovered
+
+
+def test_origin_zone_counts_toward_spread():
+    """A replica in a different zone than the origin already spans two."""
+    topo = zoned_line()
+    trace = make_trace([(100, 2, 0)], num_nodes=6, num_objects=1)
+    policy = HealingPolicy(FixedPlacement([(2, 0)]), copies=1, min_unique_zones=2)
+    sim, result = run_sim(topo, trace, policy)
+    assert result.healing_creations == 0  # origin z0 + node2 z1 = 2 zones
+
+
+def test_unreplicated_objects_not_force_replicated():
+    """Spread applies to objects the inner heuristic chose to replicate."""
+    topo = zoned_line()
+    trace = make_trace([(100, 1, 1)], num_nodes=6, num_objects=2)
+    policy = HealingPolicy(FixedPlacement([(1, 0)]), copies=1, min_unique_zones=3)
+    sim, _ = run_sim(topo, trace, policy)
+    assert not any(1 in sim.state.contents(n) for n in topo.nodes())
+
+
+def test_local_routing_skips_spread():
+    """Remote copies can't serve a local cache; spread would be waste."""
+    topo = zoned_line()
+    trace = make_trace([(100, 1, 0), (200, 1, 0)], num_nodes=6, num_objects=1)
+    policy = HealingPolicy(LRUCaching(2), copies=1, min_unique_zones=3)
+    _, result = run_sim(topo, trace, policy)
+    assert result.healing_creations == 0
+
+
+def test_without_zone_map_spread_degrades_to_distinct_nodes():
+    topo = line_topology(num_nodes=6, hop_latency_ms=40.0)  # no zones
+    trace = make_trace([(100, 4, 0)], num_nodes=6, num_objects=1)
+    policy = HealingPolicy(FixedPlacement([(1, 0)]), copies=1, min_unique_zones=3)
+    sim, result = run_sim(topo, trace, policy)
+    holders = {n for n in topo.nodes() if 0 in sim.state.contents(n)}
+    assert len(holders) == 2  # origin + 2 = the 3-"zone" floor
+    assert result.healing_creations == 1
+
+
+# -- anti-affine repair targets ---------------------------------------------
+#
+# Spread enforcement tops up zone coverage at every interval, so by the
+# time a repair fires mid-epoch the only uncovered zone is usually the one
+# that just lost its copy — where the lost node itself is also the nearest
+# candidate.  The target *ranking* is therefore pinned at unit level.
+
+
+class _StubState:
+    def __init__(self, holders):
+        self._holders = set(holders)
+
+    def holders(self, obj):
+        return set(self._holders)
+
+
+class _StubCtx:
+    """The slice of SimulationContext that _pick_target consumes."""
+
+    def __init__(self, topo, holders):
+        self.topology = topo
+        self.num_nodes = topo.num_nodes
+        self.state = _StubState(holders)
+
+
+def test_repair_prefers_uncovered_zone_over_nearer_node():
+    """Obj 0 lives in zones {0 (origin), 1}; node 3 lost its copy.  The
+    nearest candidate is node 3 itself (latency 0, zone 1 = covered); the
+    zone-aware pick jumps to node 4 (zone 2, uncovered) instead."""
+    topo = zoned_line()  # zones (0, 0, 1, 1, 2, 2), origin 0
+    policy = HealingPolicy(FixedPlacement([]), copies=2, min_unique_zones=3)
+    ctx = _StubCtx(topo, holders={2})  # node 2 (zone 1) still holds obj 0
+    task = _Repair(obj=0, lost_node=3, lost_at_s=0.0)
+    assert policy._pick_target(ctx, task) == 4
+
+
+def test_repair_reverts_to_nearest_when_spread_satisfied():
+    topo = zoned_line()
+    policy = HealingPolicy(FixedPlacement([]), copies=2, min_unique_zones=1)
+    ctx = _StubCtx(topo, holders={2})
+    task = _Repair(obj=0, lost_node=3, lost_at_s=0.0)
+    assert policy._pick_target(ctx, task) == 3  # latency 0 to itself
+
+
+def test_repair_ties_break_on_node_id_within_a_zone():
+    topo = zoned_line()
+    policy = HealingPolicy(FixedPlacement([]), copies=2, min_unique_zones=3)
+    # Holder in zone 2; zones 1 is uncovered.  From lost node 5, nodes 3
+    # (zone 1) is nearer than node 1 (zone 0, also covered by the origin).
+    ctx = _StubCtx(topo, holders={4})
+    task = _Repair(obj=0, lost_node=5, lost_at_s=0.0)
+    assert policy._pick_target(ctx, task) == 3
+
+
+def test_silent_loss_repair_end_to_end():
+    """ReplicaLoss keeps the losing node alive, so the repair fires at the
+    loss instant and restores the copy count immediately."""
+    topo = zoned_line()
+    trace = make_trace([(200, 1, 0)], num_nodes=6, num_objects=1)
+    faults = FaultSchedule([ReplicaLoss(100.0, 3, 0)])
+    policy = HealingPolicy(
+        FixedPlacement([(2, 0), (3, 0)]), copies=2, min_unique_zones=1
+    )
+    sim, result = run_sim(topo, trace, policy, faults=faults)
+    assert result.repairs == 1
+    assert result.mean_repair_time_s == 0.0  # healed at the loss instant
+    holders = {n for n in topo.nodes() if 0 in sim.state.contents(n)}
+    assert len(holders) == 2
+
+
+# -- repair-budget backpressure ---------------------------------------------
+
+
+def test_budget_defers_without_burning_attempts():
+    """Two simultaneous silent losses, budget 1/window: the second repair
+    waits for the next window instead of consuming retry attempts."""
+    topo = star_topology(num_leaves=4, hub_latency_ms=100.0)
+    trace = make_trace(
+        [(1100, 1, 0), (1200, 1, 1)], num_nodes=5, num_objects=2
+    )
+    faults = FaultSchedule([ReplicaLoss(100.0, 1, 0), ReplicaLoss(100.0, 2, 1)])
+    # max_retries=0: if deferral burned an attempt, the repair would be
+    # abandoned and repairs would stop at 1.
+    policy = HealingPolicy(
+        FixedPlacement([(1, 0), (2, 1)]),
+        copies=1,
+        max_retries=0,
+        repair_budget=1,
+        budget_window_s=1000.0,
+    )
+    sim, result = run_sim(topo, trace, policy, faults=faults)
+    assert result.repairs == 2
+    assert sim.stats.failed_heal_attempts == 0
+    assert result.healing_creations == 2
+    # The deferred repair completed in the next window: its repair time
+    # spans the wait (lost at 100, healed at the first post-window pump).
+    assert result.mean_repair_time_s * 2 >= 1000.0 - 100.0
+
+
+def test_budget_caps_spread_creations_per_window():
+    topo = zoned_line()
+    trace = make_trace([(100, 1, 0)], num_nodes=6, num_objects=1)
+    policy = HealingPolicy(
+        FixedPlacement([(1, 0)]),
+        copies=1,
+        min_unique_zones=3,
+        repair_budget=1,
+        budget_window_s=10_000.0,  # longer than the run: one creation total
+    )
+    _, result = run_sim(topo, trace, policy)
+    assert result.healing_creations == 1
+
+
+# -- event-ordering regressions ---------------------------------------------
+
+
+def test_recovery_cancels_queued_repair_it_satisfied():
+    """The recovering-node-vs-queued-repair race: node 1 crashes while no
+    target survives, recovers (restoring its copy) before the backed-off
+    repair becomes due — the repair must be cancelled, not fire later and
+    over-replicate."""
+    topo = star_topology(num_leaves=3, hub_latency_ms=100.0)
+    trace = make_trace([(500, 2, 0), (600, 3, 0)], num_nodes=4, num_objects=1)
+    faults = FaultSchedule(
+        [
+            NodeCrash(50.0, 2),
+            NodeCrash(50.0, 3),
+            NodeCrash(100.0, 1),  # loses the only replica; no live target
+            NodeRecover(120.0, 1),  # restores it before the repair retries
+            NodeRecover(200.0, 2),
+            NodeRecover(200.0, 3),
+        ]
+    )
+    policy = HealingPolicy(
+        FixedPlacement([(1, 0)]), copies=1, backoff_s=60.0
+    )
+    sim, result = run_sim(topo, trace, policy, faults=faults)
+    holders = [n for n in topo.nodes() if 0 in sim.state.contents(n)]
+    assert holders == [1], f"over-replicated to {holders}"
+    assert result.repairs == 0  # the queued repair never fired
+    assert result.healing_creations == 1  # only the recovery restore
+
+
+def test_recovery_bookkeeping_popped_even_when_restore_skipped():
+    """When the copy count is already satisfied at recovery, restoration is
+    skipped — but the lost-content entry must still be popped, or a later
+    crash/recover cycle of the same node would replay the stale contents."""
+    topo = star_topology(num_leaves=3, hub_latency_ms=100.0)
+    trace = make_trace([(500, 2, 0)], num_nodes=4, num_objects=1)
+    faults = FaultSchedule([NodeCrash(100.0, 1), NodeRecover(300.0, 1)])
+    # Three holders, copies=2: after the crash two live copies remain, so
+    # neither the repair queue nor the recovery restore has work to do.
+    policy = HealingPolicy(
+        FixedPlacement([(1, 0), (2, 0), (3, 0)]), copies=2
+    )
+    sim, result = run_sim(topo, trace, policy, faults=faults)
+    assert policy._lost_contents == {}
+    assert 0 not in sim.state.contents(1)  # restoration really was skipped
+    assert result.repairs == 0
+    assert result.healing_creations == 0
+
+
+def test_restore_off_pops_bookkeeping_too():
+    topo = star_topology(num_leaves=3, hub_latency_ms=100.0)
+    trace = make_trace([(500, 2, 0)], num_nodes=4, num_objects=1)
+    faults = FaultSchedule([NodeCrash(100.0, 1), NodeRecover(300.0, 1)])
+    policy = HealingPolicy(
+        FixedPlacement([(1, 0)]), copies=1, restore_on_recovery=False
+    )
+    _, _ = run_sim(topo, trace, policy, faults=faults)
+    assert policy._lost_contents == {}
+
+
+# -- determinism across the new knobs ---------------------------------------
+
+
+def test_zone_aware_runs_deterministic(small_topology, web_trace):
+    from repro.faults import zone_outages
+
+    zones = np.arange(8) % 3
+    topo = Topology(
+        latency=small_topology.latency,
+        origin=small_topology.origin,
+        populations=small_topology.populations,
+        zones=zones,
+    )
+    faults = zone_outages(
+        zones, web_trace.duration_s, mtbf_s=4 * 3600, mttr_s=900, seed=11
+    )
+    results = [
+        simulate(
+            topo,
+            web_trace,
+            HealingPolicy(
+                FixedPlacement([(1, 0), (2, 1)]),
+                copies=2,
+                min_unique_zones=2,
+                repair_budget=4,
+                budget_window_s=1800.0,
+            ),
+            faults=faults,
+            tlat_ms=150.0,
+        )
+        for _ in range(2)
+    ]
+    assert results[0].to_dict() == results[1].to_dict()

@@ -1,0 +1,179 @@
+"""Zone-correlated fault generators, spec clauses, and schedule slicing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.faults import (
+    FaultSchedule,
+    LinkDegrade,
+    LinkRestore,
+    NodeCrash,
+    NodeRecover,
+    parse_faults,
+    poisson_crashes,
+    zone_outages,
+    zone_partition,
+)
+from repro.topology.generators import line_topology
+from repro.topology.graph import Topology
+
+ZONES = [0, 0, 1, 1, 2, 2]
+
+
+def zoned_topology():
+    base = line_topology(num_nodes=6, hop_latency_ms=40.0)
+    return Topology(latency=base.latency, zones=np.asarray(ZONES))
+
+
+class TestZoneOutages:
+    def test_deterministic_in_seed(self):
+        a = zone_outages(ZONES, 86400.0, 7200.0, 900.0, seed=5)
+        b = zone_outages(ZONES, 86400.0, 7200.0, 900.0, seed=5)
+        assert a.events == b.events
+        c = zone_outages(ZONES, 86400.0, 7200.0, 900.0, seed=6)
+        assert a.events != c.events
+
+    def test_zone_members_crash_and_recover_together(self):
+        sched = zone_outages(ZONES, 86400.0, 7200.0, 900.0, seed=1)
+        crashes = [e for e in sched.events if isinstance(e, NodeCrash)]
+        assert crashes, "expected at least one outage over a day"
+        by_time = {}
+        for e in crashes:
+            by_time.setdefault(e.time_s, set()).add(e.node)
+        zone_map = np.asarray(ZONES)
+        for nodes in by_time.values():
+            zones_hit = {int(zone_map[n]) for n in nodes}
+            assert len(zones_hit) == 1, "one crash instant spans one zone"
+            members = set(
+                int(n) for n in np.flatnonzero(zone_map == zones_hit.pop())
+            ) - {0}
+            assert nodes == members, "the whole (non-excluded) zone goes down"
+
+    def test_origin_excluded_by_default(self):
+        sched = zone_outages(ZONES, 86400.0, 3600.0, 600.0, seed=2)
+        assert all(
+            e.node != 0
+            for e in sched.events
+            if isinstance(e, (NodeCrash, NodeRecover))
+        )
+
+    def test_substream_disjoint_from_poisson_crashes(self):
+        zoned = zone_outages(ZONES, 86400.0, 7200.0, 900.0, seed=3)
+        independent = poisson_crashes(6, 86400.0, 7200.0, 900.0, seed=3)
+        assert zoned.events != independent.events
+
+    def test_bad_zone_map_rejected(self):
+        with pytest.raises(ValidationError):
+            zone_outages([0, -1, 1], 3600.0, 600.0, 60.0)
+
+
+class TestZonePartition:
+    def test_partitions_only_cross_zone_links(self):
+        sched = zone_partition(ZONES, 1, start_s=100.0, outage_s=50.0)
+        degrades = [e for e in sched.events if isinstance(e, LinkDegrade)]
+        members, outsiders = {2, 3}, {0, 1, 4, 5}
+        touched = {(e.a, e.b) for e in degrades}
+        assert touched == {(a, b) for a in members for b in outsiders}
+        assert all(math.isinf(e.factor) for e in degrades)
+        restores = [e for e in sched.events if isinstance(e, LinkRestore)]
+        assert len(restores) == len(degrades)
+        assert all(e.time_s == 150.0 for e in restores)
+
+    def test_recurring_storm_generates_multiple_windows(self):
+        sched = zone_partition(
+            ZONES, 2, start_s=0.0, outage_s=100.0, duration_s=1000.0, every_s=250.0
+        )
+        starts = sorted({e.time_s for e in sched.events if isinstance(e, LinkDegrade)})
+        assert starts == [0.0, 250.0, 500.0, 750.0]
+
+    def test_recurrence_must_exceed_outage(self):
+        with pytest.raises(ValueError):
+            zone_partition(
+                ZONES, 0, start_s=0.0, outage_s=300.0, duration_s=1000.0, every_s=100.0
+            )
+
+    def test_empty_zone_rejected(self):
+        with pytest.raises(ValidationError):
+            zone_partition(ZONES, 9, start_s=0.0, outage_s=10.0)
+
+
+class TestZoneSpecClauses:
+    def kwargs(self, **extra):
+        base = dict(
+            num_nodes=6, num_objects=8, duration_s=86400.0, origin=0, seed=4
+        )
+        base.update(extra)
+        return base
+
+    def test_zoneout_clause_parses(self):
+        sched = parse_faults(
+            "zoneout:mtbf=7200,mttr=900", zones=ZONES, **self.kwargs()
+        )
+        expected = zone_outages(ZONES, 86400.0, 7200.0, 900.0, seed=4)
+        assert sched.events == expected.events
+
+    def test_zonepart_clause_parses(self):
+        sched = parse_faults(
+            "zonepart:zone=1,at=600,down=300", zones=ZONES, **self.kwargs()
+        )
+        expected = zone_partition(
+            ZONES, 1, start_s=600.0, outage_s=300.0, duration_s=86400.0
+        )
+        assert sched.events == expected.events
+
+    def test_zone_clause_without_zone_map_rejected(self):
+        with pytest.raises(ValidationError, match="needs a zone map"):
+            parse_faults("zoneout:mtbf=7200,mttr=900", **self.kwargs())
+        with pytest.raises(ValidationError, match="needs a zone map"):
+            parse_faults("zonepart:zone=1,at=0,down=60", **self.kwargs())
+
+    def test_zone_clause_composes_with_plain_clauses(self):
+        sched = parse_faults(
+            "poisson:mtbf=7200,mttr=900;zonepart:zone=2,at=600,down=300",
+            zones=ZONES,
+            **self.kwargs(),
+        )
+        assert any(isinstance(e, NodeCrash) for e in sched.events)
+        assert any(isinstance(e, LinkDegrade) for e in sched.events)
+
+    def test_validate_for_accepts_zoned_schedule(self):
+        topo = zoned_topology()
+        sched = parse_faults(
+            "zoneout:mtbf=7200,mttr=900", zones=topo.zones, **self.kwargs()
+        )
+        assert sched.validate_for(topo) is sched
+
+
+class TestScheduleSlice:
+    def test_slice_rebases_and_carries_open_crash(self):
+        sched = FaultSchedule(
+            [NodeCrash(100.0, 3), NodeRecover(700.0, 3), NodeCrash(900.0, 2)]
+        )
+        window = sched.slice(500.0, 1000.0)
+        kinds = [(type(e).__name__, e.time_s, e.node) for e in window.events]
+        assert ("NodeCrash", 0.0, 3) in kinds, "open crash carried in at t=0"
+        assert ("NodeRecover", 200.0, 3) in kinds
+        assert ("NodeCrash", 400.0, 2) in kinds
+
+    def test_slice_drops_zero_length_closed_faults(self):
+        sched = FaultSchedule([NodeCrash(100.0, 1), NodeRecover(400.0, 1)])
+        window = sched.slice(500.0, 900.0)
+        assert len(window) == 0
+
+    def test_sliced_epochs_cover_the_full_storm(self):
+        sched = zone_partition(
+            ZONES, 1, start_s=0.0, outage_s=600.0, duration_s=7200.0, every_s=1800.0
+        )
+        total_degrades = sum(
+            1 for e in sched.events if isinstance(e, LinkDegrade)
+        )
+        sliced = sum(
+            1
+            for k in range(4)
+            for e in sched.slice(k * 1800.0, (k + 1) * 1800.0).events
+            if isinstance(e, LinkDegrade)
+        )
+        assert sliced == total_degrades

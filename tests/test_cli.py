@@ -468,3 +468,127 @@ def test_audit_command_requires_both_inputs(artifacts, capsys, tmp_path):
     capsys.readouterr()
     rc = main(["audit", str(run_dir), "-t", topo_path])
     assert rc == 2
+
+
+# -- zones and continuous placement -----------------------------------------
+
+
+@pytest.fixture(scope="module")
+def zoned_topology_path(tmp_path_factory):
+    """A 6-node topology with three explicit zones, written by the CLI."""
+    path = str(tmp_path_factory.mktemp("zoned") / "topo.json")
+    rc = main(
+        ["topology", "--nodes", "6", "--seed", "5",
+         "--zones", "0+1;2+3;4+5", "-o", path]
+    )
+    assert rc == 0
+    return path
+
+
+def test_topology_zones_flag_persists_the_zone_map(zoned_topology_path):
+    topo = load_topology(zoned_topology_path)
+    assert topo.has_zones
+    assert topo.num_zones == 3
+    assert topo.zone_nodes(0) == [0, 1]
+
+
+def test_topology_bad_zones_spec_exits_two(tmp_path, capsys):
+    rc = main(
+        ["topology", "--nodes", "6", "--zones", "0+1;2",
+         "-o", str(tmp_path / "t.json")]
+    )
+    assert rc == 2
+    assert "zone" in capsys.readouterr().err
+
+
+def continuous_flags(topo_path, *extra):
+    return [
+        "continuous", "-t", topo_path, "--heuristic", "qiu",
+        "--epochs", "2", "--epoch-length", "1800", "--requests", "300",
+        "--objects", "8", "--replicas", "1", "--tlat", "80", "--seed", "3",
+        *extra,
+    ]
+
+
+def test_continuous_json_reports_epochs_and_migration(zoned_topology_path, capsys):
+    rc = main([*continuous_flags(zoned_topology_path), "--json"])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["epochs"] == 2
+    assert data["reads"] > 0
+    assert data["migration_bytes"] > 0
+    assert data["slo_target"] is None
+    assert len(data["epoch_reports"]) == 2
+    assert {"serve_cost", "migration_bytes", "availability"} <= set(
+        data["epoch_reports"][0]
+    )
+
+
+def test_continuous_slo_violation_exits_one(zoned_topology_path, capsys):
+    rc = main(
+        [*continuous_flags(
+            zoned_topology_path,
+            "--faults", "zonepart:zone=1,at=300,down=900",
+            "--slo", "0.999",
+        ), "--json"]
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert data["slo_target"] == 0.999
+    assert data["slo_violations"] >= 1
+    assert data["slo_violation_epochs"]
+
+
+def test_continuous_text_report_prints_verdict(zoned_topology_path, capsys):
+    rc = main(
+        continuous_flags(
+            zoned_topology_path,
+            "--faults", "zonepart:zone=1,at=300,down=900",
+            "--slo", "0.999",
+        )
+    )
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "epoch 0:" in out
+    assert "SLO VIOLATED" in out
+    assert "VIOLATES" in out
+
+
+def test_continuous_zone_clause_needs_zone_map(artifacts, capsys):
+    topo_path, _ = artifacts
+    rc = main(
+        continuous_flags(topo_path, "--faults", "zoneout:mtbf=7200,mttr=900")
+    )
+    assert rc == 2
+    assert "zone map" in capsys.readouterr().err
+
+
+def test_continuous_zones_override_applies(artifacts, capsys):
+    """--zones grafts a map onto an unzoned topology file."""
+    topo_path, _ = artifacts
+    rc = main(
+        [*continuous_flags(
+            topo_path, "--zones", "3",
+            "--faults", "zoneout:mtbf=7200,mttr=900",
+        ), "--json"]
+    )
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["epochs"] == 2
+
+
+def test_continuous_bad_zones_spec_exits_two(zoned_topology_path, capsys):
+    rc = main(continuous_flags(zoned_topology_path, "--zones", "0+1;2"))
+    assert rc == 2
+    assert "bad --zones" in capsys.readouterr().err
+
+
+def test_continuous_results_cache_across_invocations(zoned_topology_path, capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    flags = [*continuous_flags(zoned_topology_path), "--cache-dir", cache, "--json"]
+    assert main(flags) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert main(flags) == 0
+    captured = capsys.readouterr()
+    assert json.loads(captured.out) == first
+    assert "cache" in captured.err

@@ -1,0 +1,132 @@
+"""Zone model: maps on Topology, parsing, validation, and io round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.topology.generators import line_topology, star_topology
+from repro.topology.graph import Topology
+from repro.topology.io import load_topology, save_topology
+from repro.topology.zones import (
+    parse_zones,
+    round_robin_zones,
+    validate_zone_map,
+    zone_map_or_none,
+)
+
+
+def zoned_line(num_nodes=6, zones=(0, 0, 1, 1, 2, 2)):
+    topo = line_topology(num_nodes=num_nodes, hop_latency_ms=50.0)
+    return Topology(
+        latency=topo.latency,
+        origin=topo.origin,
+        populations=topo.populations,
+        zones=np.asarray(zones),
+    )
+
+
+class TestValidateZoneMap:
+    def test_normalizes_to_int64(self):
+        out = validate_zone_map([0, 1, 1], 3)
+        assert out.dtype == np.int64
+        assert out.tolist() == [0, 1, 1]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_zone_map([0, 1], 3)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_zone_map([0, -1, 1], 3)
+
+    def test_non_integral_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_zone_map([0.0, 0.5, 1.0], 3)
+
+
+class TestParseZones:
+    def test_integer_count_stripes_round_robin(self):
+        assert parse_zones(3, 6).tolist() == round_robin_zones(6, 3).tolist()
+        assert parse_zones("3", 6).tolist() == round_robin_zones(6, 3).tolist()
+
+    def test_explicit_groups(self):
+        out = parse_zones("0+1;2+3;4", 5)
+        assert out[0] == out[1]
+        assert out[2] == out[3]
+        assert len({int(z) for z in out}) == 3
+
+    def test_uncovered_node_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_zones("0+1;2", 5)
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_zones("0+1;1+2", 3)
+
+    def test_too_many_zones_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_zones(7, 6)
+
+    def test_none_passthrough(self):
+        assert zone_map_or_none(None, 4) is None
+        assert zone_map_or_none(2, 4) is not None
+
+
+class TestTopologyZoneAccessors:
+    def test_unzoned_topology_every_node_its_own_zone(self):
+        topo = star_topology(num_leaves=3, hub_latency_ms=100.0)
+        assert not topo.has_zones
+        assert topo.num_zones == topo.num_nodes
+        assert topo.zone_of(2) == 2
+        assert topo.zones_of([0, 2]) == {0, 2}
+
+    def test_zoned_accessors(self):
+        topo = zoned_line()
+        assert topo.has_zones
+        assert topo.num_zones == 3
+        assert topo.zone_of(0) == 0 and topo.zone_of(5) == 2
+        assert topo.zones_of([0, 1, 2]) == {0, 1}
+        assert topo.zone_nodes(1) == [2, 3]
+
+    def test_bad_zone_length_rejected_at_construction(self):
+        base = line_topology(num_nodes=4, hop_latency_ms=10.0)
+        # Topology's own field checks use plain ValueError, like its other
+        # fields; ValidationError (a subclass) guards the loader boundary.
+        with pytest.raises(ValueError):
+            Topology(latency=base.latency, zones=np.asarray([0, 1]))
+
+    def test_restrict_carries_zone_map(self):
+        topo = zoned_line()
+        sub = topo.restrict([0, 2, 4])
+        assert sub.has_zones
+        assert [sub.zone_of(n) for n in sub.nodes()] == [0, 1, 2]
+
+
+class TestZoneIO:
+    def test_round_trip_preserves_zones(self, tmp_path):
+        topo = zoned_line()
+        path = tmp_path / "zoned.json"
+        save_topology(topo, path)
+        back = load_topology(path)
+        assert back.has_zones
+        assert back.zones.tolist() == topo.zones.tolist()
+
+    def test_unzoned_file_loads_without_zones(self, tmp_path):
+        topo = line_topology(num_nodes=4, hop_latency_ms=10.0)
+        path = tmp_path / "plain.json"
+        save_topology(topo, path)
+        data = json.loads(path.read_text())
+        assert "zones" not in data
+        assert not load_topology(path).has_zones
+
+    def test_malformed_zone_map_rejected_at_load(self, tmp_path):
+        topo = line_topology(num_nodes=4, hop_latency_ms=10.0)
+        path = tmp_path / "bad.json"
+        save_topology(topo, path)
+        data = json.loads(path.read_text())
+        data["zones"] = [0, 1]  # wrong length
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValidationError):
+            load_topology(path)

@@ -1,0 +1,130 @@
+"""Drifting workload generation and epoch slicing."""
+
+import numpy as np
+import pytest
+
+from repro.workload.drift import drifting_traces, epoch_slices
+from repro.workload.generators import WorkloadSpec, synthetic_workload
+from repro.workload.trace import Trace
+
+
+def per_object_counts(trace):
+    counts = np.zeros(trace.num_objects, dtype=np.int64)
+    for r in trace.requests:
+        counts[r.obj] += 1
+    return counts
+
+
+def per_node_counts(trace):
+    counts = np.zeros(trace.num_nodes, dtype=np.int64)
+    for r in trace.requests:
+        counts[r.node] += 1
+    return counts
+
+
+class TestDriftingTraces:
+    def test_one_trace_per_epoch_with_constant_volume(self):
+        traces = drifting_traces(
+            4, 8, epochs=3, epoch_s=600.0, requests_per_epoch=200, seed=1
+        )
+        assert len(traces) == 3
+        for i, t in enumerate(traces):
+            assert t.duration_s == 600.0
+            assert t.name == f"drift[{i}]"
+            # Rounding the Zipf split can shave a request or two.
+            assert abs(len(t.requests) - 200) <= t.num_objects
+
+    def test_deterministic_in_seed(self):
+        a = drifting_traces(4, 8, epochs=2, epoch_s=600.0, requests_per_epoch=100, seed=5)
+        b = drifting_traces(4, 8, epochs=2, epoch_s=600.0, requests_per_epoch=100, seed=5)
+        c = drifting_traces(4, 8, epochs=2, epoch_s=600.0, requests_per_epoch=100, seed=6)
+        for x, y in zip(a, b):
+            assert x.requests == y.requests
+        assert a[0].requests != c[0].requests
+
+    def test_epochs_draw_distinct_substreams(self):
+        a, b = drifting_traces(
+            4, 8, epochs=2, epoch_s=600.0, requests_per_epoch=100, drift=0.0, seed=2
+        )
+        assert a.requests != b.requests, "same distribution, different draw"
+
+    def test_zero_drift_keeps_the_distribution_fixed(self):
+        traces = drifting_traces(
+            4, 8, epochs=3, epoch_s=600.0, requests_per_epoch=4000, drift=0.0, seed=3
+        )
+        first = per_object_counts(traces[0])
+        for t in traces[1:]:
+            # Same Zipf ranking every epoch: per-object counts match up to
+            # sampling noise on 4000 draws.
+            assert np.abs(per_object_counts(t) - first).max() < 200
+
+    def test_drift_rotates_the_popularity_ranking(self):
+        traces = drifting_traces(
+            4, 8, epochs=2, epoch_s=600.0, requests_per_epoch=4000, drift=0.5, seed=3
+        )
+        hot0 = int(np.argmax(per_object_counts(traces[0])))
+        hot1 = int(np.argmax(per_object_counts(traces[1])))
+        # drift=0.5 over 8 objects shifts the ranking by 4 positions.
+        assert hot1 == (hot0 + 4) % 8
+
+    def test_drift_blends_node_populations(self):
+        traces = drifting_traces(
+            4, 8, epochs=2, epoch_s=600.0, requests_per_epoch=4000,
+            drift=0.5, populations=[8.0, 0.0, 0.0, 0.0], seed=4,
+        )
+        assert per_node_counts(traces[0])[0] == pytest.approx(4000, abs=8)
+        later = per_node_counts(traces[1])
+        # Half the weight rolled from node 0 onto node 1.
+        assert later[0] > 0 and later[1] > 0
+        assert later[0] + later[1] == pytest.approx(4000, abs=8)
+
+    def test_parameter_validation(self):
+        ok = dict(epochs=1, epoch_s=600.0, requests_per_epoch=10)
+        with pytest.raises(ValueError):
+            drifting_traces(4, 8, **{**ok, "epochs": 0})
+        with pytest.raises(ValueError):
+            drifting_traces(4, 8, **{**ok, "requests_per_epoch": 0})
+        with pytest.raises(ValueError):
+            drifting_traces(4, 8, drift=1.5, **ok)
+        with pytest.raises(ValueError):
+            drifting_traces(4, 8, populations=[1.0, 2.0], **ok)
+
+
+class TestEpochSlices:
+    def trace(self, duration=1000.0):
+        spec = WorkloadSpec(
+            num_nodes=4, num_objects=4, counts=np.array([40, 30, 20, 10]),
+            duration_s=duration, seed=9, name="long",
+        )
+        return synthetic_workload(spec)
+
+    def test_slices_cover_every_request_rebased(self):
+        trace = self.trace()
+        slices = epoch_slices(trace, 300.0)
+        assert [s.duration_s for s in slices] == [300.0, 300.0, 300.0, 100.0]
+        assert sum(len(s.requests) for s in slices) == len(trace.requests)
+        for s in slices:
+            assert all(0.0 <= r.time_s < s.duration_s or
+                       r.time_s == s.duration_s for r in s.requests)
+        assert [s.name for s in slices] == [f"long[{i}]" for i in range(4)]
+
+    def test_slice_order_preserves_the_original_stream(self):
+        trace = self.trace()
+        slices = epoch_slices(trace, 400.0)
+        rebuilt = [
+            (r.time_s + i * 400.0, r.node, r.obj)
+            for i, s in enumerate(slices)
+            for r in s.requests
+        ]
+        original = [(r.time_s, r.node, r.obj) for r in trace.requests]
+        assert rebuilt == original
+
+    def test_epoch_longer_than_trace_yields_single_slice(self):
+        trace = self.trace(duration=500.0)
+        slices = epoch_slices(trace, 900.0)
+        assert len(slices) == 1
+        assert slices[0].duration_s == 500.0
+
+    def test_nonpositive_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            epoch_slices(self.trace(), 0.0)
