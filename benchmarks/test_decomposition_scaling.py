@@ -1,0 +1,253 @@
+"""Structural-backend scaling benches (ISSUE 7): tree-DP and decomposition.
+
+The monolithic MC-PERF LP grows as O(storers * intervals * objects)
+variables; the structural backends in ``repro.solvers`` sidestep it.  This
+module records their scaling in ``benchmarks/out/BENCH_decomposition.json``:
+
+* **Exact tree-DP at 1000 nodes** — a random recursive tree far past
+  monolithic-LP reach is bounded *exactly* (``lp_cost == feasible_cost``,
+  integral store) by the per-cell ball-cover greedy, and the auto-selector
+  picks it from structure alone.  The backend is verified against the LP
+  on a parent-closed subsample of the same tree (a connected subtree, so
+  the induced latency submatrix is still a tree metric).
+* **Per-object decomposition at >=10x Figure-2 scale** — 800 objects /
+  ~450 K requests (10x the fig-2 bench's 80 objects / ~45 K), demand built
+  through the streamed ``from_stream`` path, solved by the pooled
+  per-object decomposition.  The backend differential audit re-solves a
+  sampled object slice through the monolithic LP and must agree.
+
+``REPRO_BENCH_QUICK=1`` (CI's decomposition-smoke job) shrinks both
+instances but keeps every exactness/agreement assertion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import OUT_DIR, SCALE, TLAT_MS, write_report
+from repro.core.bounds import compute_lower_bound
+from repro.core.costs import CostModel
+from repro.core.goals import GoalScope, QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.solvers.decompose import solve_decomposed
+from repro.solvers.registry import (
+    BACKEND_AUTO,
+    BACKEND_DECOMPOSED,
+    BACKEND_STRUCTURE,
+    BACKEND_TREE_DP,
+    DECOMPOSITION_MIN_VARIABLES,
+    estimated_lp_variables,
+    select_backend,
+)
+from repro.topology.generators import as_level_topology, tree_topology
+from repro.topology.graph import Topology
+from repro.workload.demand import DemandMatrix
+from repro.workload.generators import WorkloadSpec, synthetic_request_stream
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+TREE_NODES = 200 if QUICK else 1000
+TREE_OBJECTS = 8 if QUICK else 20
+TREE_INTERVALS = 4
+VERIFY_NODES = 40 if QUICK else 80
+
+DECOMP_NODES = 20
+DECOMP_INTERVALS = 8
+#: 10x the fig-2 bench's 80 objects / ~45 K requests (2x in quick mode —
+#: still past DECOMPOSITION_MIN_VARIABLES, so auto-selection is exercised).
+DECOMP_OBJECTS = 160 if QUICK else 800
+DECOMP_REQUESTS = 90_000 if QUICK else 450_000
+AUDIT_SLICE = 12 if QUICK else 24
+
+#: Populated by the benches below; the final test writes it out.
+RESULTS: dict = {"scale": SCALE, "quick": QUICK}
+
+
+@pytest.fixture(scope="module")
+def tree_instance():
+    """A 1000-node tree instance in the tree-DP fragment (full coverage)."""
+    topo = tree_topology(TREE_NODES, seed=7)
+    rng = np.random.default_rng(7)
+    reads = rng.integers(0, 3, size=(TREE_NODES, TREE_INTERVALS, TREE_OBJECTS))
+    writes = rng.integers(0, 2, size=(TREE_NODES, TREE_INTERVALS, TREE_OBJECTS))
+    return MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix(reads=reads.astype(float), writes=writes.astype(float)),
+        goal=QoSGoal(tlat_ms=250.0, fraction=1.0),
+        costs=CostModel(alpha=1.0, beta=0.0, gamma=0.0, delta=0.1),
+    )
+
+
+@pytest.fixture(scope="module")
+def big_instance():
+    """>=10x fig-2 scale, demand bucketed through the streamed path."""
+    topo = as_level_topology(DECOMP_NODES, seed=2)
+    ranks = np.arange(1, DECOMP_OBJECTS + 1, dtype=float)
+    weights = ranks**-0.8
+    counts = np.floor(weights / weights.sum() * DECOMP_REQUESTS).astype(np.int64)
+    spec = WorkloadSpec(
+        num_nodes=DECOMP_NODES,
+        num_objects=DECOMP_OBJECTS,
+        counts=counts,
+        populations=topo.populations,
+        seed=11,
+    )
+    demand = DemandMatrix.from_stream(
+        synthetic_request_stream(spec),
+        num_nodes=DECOMP_NODES,
+        num_objects=DECOMP_OBJECTS,
+        num_intervals=DECOMP_INTERVALS,
+        duration_s=spec.duration_s,
+    )
+    return MCPerfProblem(
+        topology=topo,
+        demand=demand,
+        goal=QoSGoal(tlat_ms=TLAT_MS, fraction=0.9, scope=GoalScope.PER_OBJECT),
+        costs=CostModel.paper_defaults(),
+    )
+
+
+# -- 1. exact tree-DP at 1000 nodes ------------------------------------------
+
+
+def test_tree_dp_bound_at_scale(tree_instance):
+    assert select_backend(tree_instance) == BACKEND_TREE_DP
+    t0 = time.perf_counter()
+    res = compute_lower_bound(tree_instance, backend=BACKEND_STRUCTURE)
+    elapsed = time.perf_counter() - t0
+    assert res.backend_used == BACKEND_TREE_DP and res.feasible
+    # Exact: the greedy cover IS the LP optimum, with an integral store.
+    assert res.feasible_cost == pytest.approx(res.lp_cost, rel=1e-9)
+    RESULTS["tree_dp"] = {
+        "nodes": TREE_NODES,
+        "objects": TREE_OBJECTS,
+        "intervals": TREE_INTERVALS,
+        "estimated_lp_variables": estimated_lp_variables(tree_instance),
+        "lp_cost": round(res.lp_cost, 6),
+        "replicas": res.extras["tree_dp"]["replicas"],
+        "solve_s": round(elapsed, 4),
+    }
+
+
+def test_tree_dp_matches_lp_on_subsampled_topology(tree_instance):
+    # The first m nodes in construction order form a parent-closed set: the
+    # path between any two of them runs through ancestors also in the set,
+    # so the induced submatrix is itself a tree metric.
+    order, _parent, _pdist = tree_instance.topology.tree_parents()
+    keep = np.sort(np.asarray(order[:VERIFY_NODES], dtype=int))
+    origin = int(np.searchsorted(keep, tree_instance.topology.origin))
+    sub_topo = Topology(
+        latency=tree_instance.topology.latency[np.ix_(keep, keep)], origin=origin
+    )
+    assert sub_topo.is_tree()
+    sub_problem = MCPerfProblem(
+        topology=sub_topo,
+        demand=DemandMatrix(
+            reads=tree_instance.demand.reads[keep].copy(),
+            writes=tree_instance.demand.writes[keep].copy(),
+            interval_s=tree_instance.demand.interval_s,
+        ),
+        goal=tree_instance.goal,
+        costs=tree_instance.costs,
+    )
+    dp = compute_lower_bound(sub_problem, backend=BACKEND_TREE_DP, do_rounding=False)
+    lp = compute_lower_bound(sub_problem, backend=BACKEND_AUTO, do_rounding=False)
+    assert dp.feasible and lp.feasible
+    assert dp.lp_cost == pytest.approx(lp.lp_cost, rel=1e-6, abs=1e-6)
+    RESULTS["tree_dp_verification"] = {
+        "nodes": VERIFY_NODES,
+        "tree_dp_cost": round(dp.lp_cost, 6),
+        "lp_cost": round(lp.lp_cost, 6),
+    }
+
+
+# -- 2. per-object decomposition at >=10x fig-2 scale ------------------------
+
+
+def test_decomposed_solves_ten_x_fig2(big_instance):
+    est = estimated_lp_variables(big_instance)
+    assert est >= DECOMPOSITION_MIN_VARIABLES
+    assert select_backend(big_instance) == BACKEND_DECOMPOSED
+    t0 = time.perf_counter()
+    res = compute_lower_bound(big_instance, backend=BACKEND_STRUCTURE)
+    elapsed = time.perf_counter() - t0
+    assert res.backend_used == BACKEND_DECOMPOSED and res.feasible
+    info = res.extras["decomposition"]
+    assert info["mode"] == "separable"
+    assert res.rounding is not None and res.rounding.feasible
+    assert res.feasible_cost >= res.lp_cost - 1e-6
+    RESULTS["decomposed"] = {
+        "nodes": DECOMP_NODES,
+        "objects": DECOMP_OBJECTS,
+        "intervals": DECOMP_INTERVALS,
+        "requests": int(big_instance.demand.reads.sum() + big_instance.demand.writes.sum()),
+        "estimated_lp_variables": est,
+        "lp_cost": round(res.lp_cost, 6),
+        "feasible_cost": round(res.feasible_cost, 6),
+        "jobs": info["jobs"],
+        "solve_s": round(elapsed, 4),
+    }
+
+
+def test_backend_differential_on_sampled_slice(big_instance):
+    # The monolithic LP on the full instance is exactly what decomposition
+    # avoids, so the audit agreement runs on a sampled object slice.
+    rng = np.random.default_rng(5)
+    sample = rng.choice(big_instance.demand.num_objects, size=AUDIT_SLICE, replace=False)
+    slice_problem = dataclasses.replace(
+        big_instance,
+        demand=big_instance.demand.restrict_objects(sorted(int(k) for k in sample)),
+    )
+    res = solve_decomposed(slice_problem, audit="full", audit_subject="bench-decomp-slice")
+    assert res.audit is not None
+    assert "backend-differential" in res.audit.checks
+    assert res.audit.ok, [v.message for v in res.audit.violations]
+    RESULTS["backend_differential"] = {
+        "slice_objects": AUDIT_SLICE,
+        "lp_cost": round(res.lp_cost, 6),
+        "checks": list(res.audit.checks),
+        "violations": len(res.audit.violations),
+    }
+
+
+# -- report ------------------------------------------------------------------
+
+
+def test_write_decomposition_report():
+    """Runs last (file order): persists the JSON record + a readable table."""
+    expected = {"tree_dp", "tree_dp_verification", "decomposed", "backend_differential"}
+    assert expected <= set(RESULTS), (
+        "scaling benches must run before the report (run the whole module)"
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_decomposition.json").write_text(
+        json.dumps(RESULTS, indent=2, sort_keys=True) + "\n"
+    )
+    t, v, d, a = (
+        RESULTS["tree_dp"],
+        RESULTS["tree_dp_verification"],
+        RESULTS["decomposed"],
+        RESULTS["backend_differential"],
+    )
+    lines = [
+        "Structural-backend scaling (scale=%s%s)" % (SCALE, ", quick" if QUICK else ""),
+        "",
+        f"  tree-dp     {t['nodes']} nodes x {t['objects']} objects x"
+        f" {t['intervals']} intervals  (~{t['estimated_lp_variables']} LP vars avoided)",
+        f"              exact bound {t['lp_cost']} with {t['replicas']} replicas"
+        f" in {t['solve_s']}s; == LP at {v['nodes']} nodes"
+        f" ({v['tree_dp_cost']} vs {v['lp_cost']})",
+        f"  decomposed  {d['objects']} objects / {d['requests']} requests"
+        f" (~{d['estimated_lp_variables']} LP vars monolithic)",
+        f"              bound {d['lp_cost']} / rounded {d['feasible_cost']}"
+        f" via {d['jobs']} jobs in {d['solve_s']}s",
+        f"  audit       backend-differential agrees on a {a['slice_objects']}-object"
+        f" slice ({a['violations']} violations)",
+    ]
+    write_report("decomposition", "\n".join(lines))

@@ -13,7 +13,7 @@ heuristic's cost sits at or above its class's bound.  This package
 * :mod:`repro.audit.certificates` — placement/rounding/bound-result
   certificates recomputed from scratch, plus the historical
   ``check_solution`` / ``verify_placement`` APIs (one source of truth;
-  ``repro.lp.validate`` and ``repro.core.verify`` re-export from here);
+  ``repro.lp`` and ``repro.core`` re-export them from here);
 * :mod:`repro.audit.differential` — cross-backend re-solves on the
   pure-Python simplex with objective-agreement assertions;
 * :mod:`repro.audit.posthoc` — ``repro audit <run-dir>``: re-verify a
@@ -48,6 +48,7 @@ from repro.audit.certificates import (
 )
 from repro.audit.differential import (
     DIFFERENTIAL_TOL,
+    audit_backend_agreement,
     audit_differential,
     resolve_sample,
     selected_for_sample,
@@ -79,6 +80,7 @@ __all__ = [
     "ValidationReport",
     "Violation",
     "allowance",
+    "audit_backend_agreement",
     "audit_bound_result",
     "audit_differential",
     "audit_lp_solution",

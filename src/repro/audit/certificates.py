@@ -1,10 +1,10 @@
 """Solution certificates: the one source of truth for "is this result trustworthy".
 
-Consolidates the checks that used to live in :mod:`repro.lp.validate`
-(float-tolerance LP feasibility) and :mod:`repro.core.verify` (placement
-integrality / creation legality / goal / cost) — both of those modules are
-now thin re-export shims over this one — and adds the result-level
-certificates the audit subsystem is built on:
+Consolidates the checks that historically lived in ``repro.lp.validate``
+(float-tolerance LP feasibility) and ``repro.core.verify`` (placement
+integrality / creation legality / goal / cost) — both deleted; ``repro.lp``
+and ``repro.core`` re-export the names from here — and adds the
+result-level certificates the audit subsystem is built on:
 
 * :func:`check_solution` / :func:`verify_placement` — the historical APIs,
   unchanged semantics.
@@ -69,7 +69,7 @@ def allowance(tol: float, reference: float) -> float:
 
 
 # ---------------------------------------------------------------------------
-# Historical APIs (moved verbatim from lp/validate.py and core/verify.py).
+# Historical APIs (formerly lp/validate.py and core/verify.py).
 # ---------------------------------------------------------------------------
 
 

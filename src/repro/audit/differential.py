@@ -126,3 +126,71 @@ def audit_differential(
             f"(tolerance {limit:.3g})",
         )
     return report
+
+
+#: Largest monolithic LP (estimated variables) the backend-agreement check
+#: will assemble and solve.  Far looser than the simplex gate above — the
+#: reference here is the scipy path, which handles large sparse models.
+MAX_BACKEND_AGREEMENT_VARIABLES = 400_000
+
+
+def audit_backend_agreement(
+    problem,
+    properties,
+    result,
+    mode: str = "full",
+    tol: float = DIFFERENTIAL_TOL,
+    max_variables: int = MAX_BACKEND_AGREEMENT_VARIABLES,
+    subject: str = "",
+) -> AuditReport:
+    """Differentially check a structural backend against the monolithic LP.
+
+    ``result`` is a :class:`~repro.core.bounds.LowerBoundResult` produced by
+    the tree-DP or decomposition backend; the check re-solves the *same*
+    problem through the monolithic ``auto`` path and compares feasibility
+    and ``lp_cost``.  Instances whose monolithic LP would exceed
+    ``max_variables`` (estimated, never assembled) are skipped with a
+    reason — the whole point of the structural backends is that the
+    monolith is sometimes too big to build.
+    """
+    report = AuditReport(mode=mode, subject=subject)
+    from repro.solvers.registry import estimated_lp_variables
+
+    estimate = estimated_lp_variables(problem)
+    if estimate > max_variables:
+        report.skip(
+            "backend-differential",
+            f"monolithic LP would have ~{estimate} variables "
+            f"(> {max_variables}); reference re-solve skipped",
+        )
+        return report
+
+    from repro.core.bounds import compute_lower_bound
+
+    report.ran("backend-differential")
+    name = subject or "backend-differential"
+    backend = result.backend_used or "structural"
+    reference = compute_lower_bound(
+        problem, properties, do_rounding=False, backend="auto", audit="off"
+    )
+    if bool(reference.feasible) != bool(result.feasible):
+        report.flag(
+            "backend-differential", name,
+            message=f"feasibility disagreement: {backend} says "
+            f"{'feasible' if result.feasible else 'infeasible'}, the monolithic "
+            f"LP says {'feasible' if reference.feasible else 'infeasible'} "
+            f"({reference.reason or reference.status})",
+        )
+        return report
+    if not result.feasible:
+        return report
+
+    drift = abs(float(result.lp_cost) - float(reference.lp_cost))
+    limit = max(tol, tol * abs(float(reference.lp_cost)))
+    if drift > limit:
+        report.flag(
+            "backend-differential", name, drift,
+            message=f"bound disagreement: {backend} {result.lp_cost:.9g} vs "
+            f"monolithic LP {reference.lp_cost:.9g} (tolerance {limit:.3g})",
+        )
+    return report

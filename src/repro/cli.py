@@ -39,6 +39,7 @@ from repro.runner import (
     TaskFailure,
     make_runner,
 )
+from repro.solvers.registry import BACKEND_AUTO, BOUND_BACKENDS
 from repro.topology.generators import as_level_topology
 from repro.topology.io import load_topology, save_topology
 from repro.workload.demand import DemandMatrix
@@ -191,6 +192,16 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(STANDARD_CLASSES),
     )
     bounds.add_argument("--no-rounding", action="store_true")
+    bounds.add_argument(
+        "--backend",
+        choices=list(BOUND_BACKENDS),
+        default=BACKEND_AUTO,
+        help=(
+            "solver backend: auto/scipy/simplex solve the monolithic LP; "
+            "tree-dp and decomposed use the structural backends in "
+            "repro.solvers; structure introspects the problem and picks"
+        ),
+    )
     bounds.add_argument(
         "--rounding-mode",
         choices=["greedy", "iterative"],
@@ -493,6 +504,7 @@ def _cmd_bounds(args) -> int:
         problem=problem,
         properties=cls.properties,
         do_rounding=not args.no_rounding,
+        backend=args.backend,
         diagnose=True,
         rounding_mode=args.rounding_mode,
         label=f"bound[{cls.name}]",

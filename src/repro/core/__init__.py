@@ -29,7 +29,7 @@ from repro.core.evaluate import (
 )
 from repro.core.rounding import RoundingResult, round_solution
 from repro.core.rounding_avg import round_average_latency
-from repro.core.verify import PlacementReport, verify_placement
+from repro.audit.certificates import PlacementReport, verify_placement
 from repro.core.bounds import LowerBoundResult, compute_lower_bound
 from repro.core.exact import ExactBoundResult, compute_exact_bound
 from repro.core.classes import (

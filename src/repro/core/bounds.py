@@ -22,6 +22,13 @@ from repro.core.problem import MCPerfProblem
 from repro.core.properties import HeuristicProperties
 from repro.core.rounding import RoundingResult, round_solution
 from repro.lp.solution import SolveStatus
+from repro.solvers.registry import (
+    BACKEND_AUTO,
+    BACKEND_DECOMPOSED,
+    BACKEND_STRUCTURE,
+    BACKEND_TREE_DP,
+    select_backend,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -137,7 +144,7 @@ def compute_lower_bound(
     properties: Optional[HeuristicProperties] = None,
     do_rounding: bool = True,
     run_length: bool = False,
-    backend: str = "auto",
+    backend: str = BACKEND_AUTO,
     keep_store: bool = False,
     formulation: Optional[Formulation] = None,
     diagnose: bool = False,
@@ -160,7 +167,13 @@ def compute_lower_bound(
     run_length:
         Use run-length rounding (faster, slightly costlier solutions).
     backend:
-        LP backend (``"auto"``, ``"scipy"`` or ``"simplex"``).
+        Solver backend (:data:`~repro.solvers.registry.BOUND_BACKENDS`).
+        ``"auto"``/``"scipy"``/``"simplex"`` solve the monolithic LP;
+        ``"tree-dp"`` and ``"decomposed"`` route to the structural
+        backends in :mod:`repro.solvers` (which ignore ``formulation``,
+        ``run_length``, ``diagnose`` and ``rounding_mode``); and
+        ``"structure"`` introspects the problem to pick among them
+        (:func:`~repro.solvers.registry.select_backend`).
     keep_store:
         Retain the fractional LP store matrix on the result.
     formulation:
@@ -188,6 +201,24 @@ def compute_lower_bound(
         cached artifact.
     """
     props = properties or HeuristicProperties()
+    if backend == BACKEND_STRUCTURE:
+        backend = select_backend(problem, props)
+    if backend == BACKEND_TREE_DP:
+        from repro.solvers.tree_dp import solve_tree_dp
+
+        return solve_tree_dp(
+            problem, props,
+            do_rounding=do_rounding, keep_store=keep_store,
+            audit=audit, audit_subject=audit_subject,
+        )
+    if backend == BACKEND_DECOMPOSED:
+        from repro.solvers.decompose import solve_decomposed
+
+        return solve_decomposed(
+            problem, props,
+            do_rounding=do_rounding, keep_store=keep_store,
+            audit=audit, audit_subject=audit_subject,
+        )
     form = formulation or build_formulation(problem, props)
     result = LowerBoundResult(
         properties=props,

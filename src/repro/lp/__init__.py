@@ -12,8 +12,9 @@ A small, self-contained LP modeling layer used by the MC-PERF formulation in
   built on ``scipy.optimize.linprog`` (HiGHS).
 * :func:`~repro.lp.simplex.solve_with_simplex` — a pure-Python two-phase dense
   simplex used for differential testing and for environments without scipy.
-* :func:`~repro.lp.validate.check_solution` — an independent feasibility
-  checker used by tests and by the rounding algorithm.
+* :func:`~repro.audit.certificates.check_solution` — an independent
+  feasibility checker used by tests and by the rounding algorithm
+  (re-exported here; it lives in the audit subsystem).
 * :func:`~repro.lp.diagnose.diagnose_infeasibility` — constraint-family
   deletion filter that names what an infeasibility runs through.
 
@@ -29,7 +30,7 @@ from repro.lp.solution import LPSolution, SolveStatus
 from repro.lp.scipy_backend import solve_with_scipy
 from repro.lp.simplex import SimplexError, solve_with_simplex
 from repro.lp.branch_bound import IPResult, solve_integer
-from repro.lp.validate import ValidationReport, check_solution
+from repro.audit.certificates import ValidationReport, check_solution
 from repro.lp.diagnose import InfeasibilityDiagnosis, diagnose_infeasibility
 
 __all__ = [

@@ -685,6 +685,7 @@ class LinearProgram:
     def solve(self, backend: str = "auto", **kwargs) -> LPSolution:
         """Solve the LP with the chosen backend.
 
+        Backends are looked up in the :mod:`repro.solvers.registry`:
         ``"scipy"`` uses scipy/HiGHS, ``"simplex"`` the pure-Python
         fallback.  ``"auto"`` (default) tries scipy and falls back to the
         simplex — with a warning — when scipy is missing or its solve
@@ -695,32 +696,9 @@ class LinearProgram:
             return self._solve(backend, **kwargs)
 
     def _solve(self, backend: str, **kwargs) -> LPSolution:
-        if backend == "auto":
-            try:
-                from repro.lp.scipy_backend import solve_with_scipy
+        from repro.solvers.registry import solve_lp
 
-                return solve_with_scipy(self, **kwargs)
-            except Exception as exc:  # ImportError or a solver crash
-                import warnings
-
-                from repro.lp.simplex import solve_with_simplex
-
-                warnings.warn(
-                    f"scipy LP backend unavailable ({exc!r}); falling back to "
-                    "the pure-Python simplex (slow for large models)",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                return solve_with_simplex(self)
-        if backend == "scipy":
-            from repro.lp.scipy_backend import solve_with_scipy
-
-            return solve_with_scipy(self, **kwargs)
-        if backend == "simplex":
-            from repro.lp.simplex import solve_with_simplex
-
-            return solve_with_simplex(self, **kwargs)
-        raise ValueError(f"unknown LP backend: {backend!r}")
+        return solve_lp(self, backend, **kwargs)
 
     def __repr__(self) -> str:
         return (

@@ -250,12 +250,20 @@ def chaos_should_fail(identity: str, attempt: int) -> bool:
 
 
 def _degraded_task(task):
-    """A pure-simplex copy of a bound task, or None when not applicable."""
+    """A degrade-target copy of a bound task, or None when not applicable.
+
+    The target backend comes from the solver registry
+    (:data:`~repro.solvers.registry.DEGRADE_TARGET`, the pure-Python
+    simplex) — the one backend with no native dependencies to fail.
+    """
     if getattr(task, "kind", "") != "bound":
         return None
-    if getattr(task, "backend", None) in (None, "simplex"):
+    from repro.solvers.registry import degrade_backend
+
+    target = degrade_backend(getattr(task, "backend", None))
+    if target is None:
         return None
-    return dataclasses.replace(task, backend="simplex")
+    return dataclasses.replace(task, backend=target)
 
 
 def _diagnose_failure(task, exc: BaseException) -> str:
@@ -322,7 +330,7 @@ def run_with_policy(task, policy: RetryPolicy) -> TaskOutcome:
         degraded = _degraded_task(task)
         if degraded is not None:
             attempts += 1
-            backends.append("simplex")
+            backends.append(degraded.backend)
             try:
                 result = call_with_timeout(degraded.run, policy.task_timeout)
                 return TaskOutcome(

@@ -1,0 +1,207 @@
+"""Solver-backend registry — the single source of truth for backend names.
+
+Historically the backend choice was an ad-hoc string comparison repeated in
+``lp/model.py`` (the scipy→simplex ``"auto"`` fallback), ``core/bounds.py``
+(the default backend) and ``runner/resilience.py`` (the ``degrade`` retry
+target).  This module centralizes both the *names* and the *dispatch*:
+
+* :data:`BACKEND_AUTO` / :data:`BACKEND_SCIPY` / :data:`BACKEND_SIMPLEX` —
+  the LP-level backends :meth:`~repro.lp.model.LinearProgram.solve` accepts;
+* :data:`BACKEND_STRUCTURE` / :data:`BACKEND_TREE_DP` /
+  :data:`BACKEND_DECOMPOSED` — the bound-level backends
+  :func:`~repro.core.bounds.compute_lower_bound` accepts on top of those.
+  ``structure`` introspects the problem (:func:`select_backend`) and picks
+  the exact tree DP when the topology is a tree metric, the per-object
+  decomposition when the monolithic LP would be large, and the monolithic
+  ``auto`` path otherwise.
+
+This module is deliberately a leaf: it imports no other ``repro`` module at
+import time (solver modules load lazily inside the dispatch functions), so
+``lp``, ``core`` and ``runner`` may all import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+#: LP-level backend names (accepted by ``LinearProgram.solve``).
+BACKEND_AUTO = "auto"
+BACKEND_SCIPY = "scipy"
+BACKEND_SIMPLEX = "simplex"
+
+#: Bound-level backend names (accepted by ``compute_lower_bound`` on top of
+#: the LP-level names).
+BACKEND_STRUCTURE = "structure"
+BACKEND_TREE_DP = "tree-dp"
+BACKEND_DECOMPOSED = "decomposed"
+
+LP_BACKENDS: Tuple[str, ...] = (BACKEND_AUTO, BACKEND_SCIPY, BACKEND_SIMPLEX)
+BOUND_BACKENDS: Tuple[str, ...] = LP_BACKENDS + (
+    BACKEND_STRUCTURE,
+    BACKEND_TREE_DP,
+    BACKEND_DECOMPOSED,
+)
+
+#: The backend the runner's ``on_error="degrade"`` retry falls back to.
+DEGRADE_TARGET = BACKEND_SIMPLEX
+
+#: ``structure`` prefers the per-object decomposition only when the
+#: monolithic LP would be at least this large — below it one scipy solve is
+#: faster than coordinating per-object subproblems.
+DECOMPOSITION_MIN_VARIABLES = 50_000
+
+
+def _solve_auto(model, **kwargs):
+    """scipy/HiGHS when available, else the pure-Python simplex (with a warning)."""
+    try:
+        from repro.lp.scipy_backend import solve_with_scipy
+
+        return solve_with_scipy(model, **kwargs)
+    except Exception as exc:  # ImportError or a solver crash
+        import warnings
+
+        from repro.lp.simplex import solve_with_simplex
+
+        warnings.warn(
+            f"scipy LP backend unavailable ({exc!r}); falling back to "
+            "the pure-Python simplex (slow for large models)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return solve_with_simplex(model)
+
+
+def _solve_scipy(model, **kwargs):
+    from repro.lp.scipy_backend import solve_with_scipy
+
+    return solve_with_scipy(model, **kwargs)
+
+
+def _solve_simplex(model, **kwargs):
+    from repro.lp.simplex import solve_with_simplex
+
+    return solve_with_simplex(model, **kwargs)
+
+
+def _scipy_available() -> bool:
+    try:
+        import scipy.optimize  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class SolverBackend:
+    """One registered LP backend: a name, a solve callable, an availability probe."""
+
+    name: str
+    solve: Callable
+    available: Callable[[], bool] = field(default=lambda: True)
+    description: str = ""
+
+
+_REGISTRY: Dict[str, SolverBackend] = {}
+
+
+def register_backend(backend: SolverBackend) -> SolverBackend:
+    """Register (or replace) an LP backend under its name."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> SolverBackend:
+    """Look a backend up by name; unknown names raise ``ValueError``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown LP backend: {name!r}") from None
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Names of every registered LP backend, registration order."""
+    return tuple(_REGISTRY)
+
+
+register_backend(
+    SolverBackend(
+        name=BACKEND_AUTO,
+        solve=_solve_auto,
+        description="scipy/HiGHS when available, warned simplex fallback otherwise",
+    )
+)
+register_backend(
+    SolverBackend(
+        name=BACKEND_SCIPY,
+        solve=_solve_scipy,
+        available=_scipy_available,
+        description="scipy.optimize.linprog (HiGHS)",
+    )
+)
+register_backend(
+    SolverBackend(
+        name=BACKEND_SIMPLEX,
+        solve=_solve_simplex,
+        description="pure-Python two-phase dense simplex",
+    )
+)
+
+
+def solve_lp(model, backend: str = BACKEND_AUTO, **kwargs):
+    """Dispatch ``model`` to the named LP backend.
+
+    This is the registry-backed implementation behind
+    :meth:`repro.lp.model.LinearProgram.solve`; the historical ``"auto"``
+    semantics (try scipy, fall back to the simplex with a warning) are
+    preserved exactly.
+    """
+    return get_backend(backend).solve(model, **kwargs)
+
+
+def degrade_backend(backend: Optional[str]) -> Optional[str]:
+    """The backend a failed bound task should retry on, or None.
+
+    ``None`` means the task either carries no backend choice or already runs
+    on the degrade target — nothing further to fall back to.
+    """
+    if backend in (None, DEGRADE_TARGET):
+        return None
+    return DEGRADE_TARGET
+
+
+def estimated_lp_variables(problem) -> int:
+    """Cheap upper-ballpark of the monolithic MC-PERF variable count.
+
+    Two variables (store/create) per (storer, interval, object) plus one
+    covered variable per demanded cell — before pruning, so it errs high,
+    which is the safe direction for the decomposition-size gate.
+    """
+    import numpy as np
+
+    storers = len(problem.storer_ids())
+    cells = int(np.count_nonzero(problem.demand.reads))
+    return 2 * storers * problem.demand.num_intervals * problem.demand.num_objects + cells
+
+
+def select_backend(problem, properties=None) -> str:
+    """Structure-aware backend selection for ``backend="structure"``.
+
+    Order of preference: the exact tree DP (polynomial, bypasses the LP)
+    when the instance is in its class; the per-object decomposition when it
+    applies and the monolithic LP would be large
+    (:data:`DECOMPOSITION_MIN_VARIABLES`); otherwise the monolithic
+    ``auto`` path.
+    """
+    from repro.solvers.tree_dp import tree_dp_applicable
+
+    ok, _reason = tree_dp_applicable(problem, properties)
+    if ok:
+        return BACKEND_TREE_DP
+
+    from repro.solvers.decompose import decomposition_applicable
+
+    ok, _reason = decomposition_applicable(problem, properties)
+    if ok and estimated_lp_variables(problem) >= DECOMPOSITION_MIN_VARIABLES:
+        return BACKEND_DECOMPOSED
+    return BACKEND_AUTO

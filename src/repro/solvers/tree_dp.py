@@ -1,0 +1,246 @@
+"""Exact tree backend: bottom-up replica placement on tree metrics.
+
+When the topology's latency matrix is a tree metric
+(:meth:`~repro.topology.graph.Topology.is_tree`), MC-PERF's full-coverage
+special case reduces, per (interval, object), to covering every demanding
+site with balls of radius Tlat centered on storage nodes — and on trees the
+classic bottom-up greedy (place a replica at the highest ancestor still
+within range of the deepest uncovered demander) solves that cover *exactly*
+in linear time per cell (Benoit–Rehn–Robert-style bottom-up traversal).
+Because ball hypergraphs on trees are totally balanced, the set-cover LP
+relaxation is integral, so the greedy's cost equals the LP lower bound: the
+backend returns ``lp_cost == feasible_cost`` with zero rounding gap, without
+ever assembling the LP.
+
+Applicability (:func:`tree_dp_applicable`) is deliberately narrow and
+checked structurally — anything outside the class falls back to the LP:
+
+* QoS goal at ``fraction == 1.0``: full coverage collapses every goal scope
+  to the same per-cell condition ("each demanded, non-origin-covered cell
+  must be covered"), which is what makes the cells independent.
+* The general heuristic class (no SC/RC rows, global routing/knowledge, no
+  history/reactive create fixings) — constrained classes couple cells.
+* ``gamma == zeta == 0`` (no penalty or opening terms) and either a single
+  interval or ``beta == 0`` (creation cost would otherwise couple
+  consecutive intervals).
+* Default placement universe: ``origin_free``, no ``storage_nodes`` /
+  ``assignment`` / ``initial_placement`` overrides.
+
+Within the class the instance is never structurally infeasible: every
+demanding site outside the origin's radius is itself a storage node at
+distance zero.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.bounds import LowerBoundResult
+from repro.core.evaluate import solution_cost
+from repro.core.goals import QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.core.properties import HeuristicProperties
+from repro.core.rounding import RoundingResult
+from repro.solvers.registry import BACKEND_TREE_DP
+
+_EPS = 1e-9
+
+
+def tree_dp_applicable(
+    problem: MCPerfProblem, properties: Optional[HeuristicProperties] = None
+) -> Tuple[bool, str]:
+    """Whether :func:`solve_tree_dp` computes the exact bound for this instance.
+
+    Returns ``(ok, reason)`` — ``reason`` names the first failed condition,
+    so auto-selection diagnostics can say why the LP path was kept.
+    """
+    props = properties or HeuristicProperties()
+    goal = problem.goal
+    if not isinstance(goal, QoSGoal):
+        return False, "tree DP needs a QoS goal"
+    if goal.fraction < 1.0 - 1e-12:
+        return False, "tree DP needs fraction == 1 (full coverage decouples the cells)"
+    if not props.is_general:
+        return False, "tree DP covers only the general heuristic class"
+    costs = problem.costs
+    if costs.gamma != 0:
+        return False, "gamma penalties couple coverage with the objective"
+    if costs.zeta != 0:
+        return False, "node-opening costs couple cells across objects"
+    if not problem.origin_free:
+        return False, "tree DP assumes the origin-free placement universe"
+    if problem.storage_nodes is not None:
+        return False, "explicit storage_nodes restrict the candidate set"
+    if problem.assignment is not None:
+        return False, "deployment assignment changes the access metric"
+    if problem.initial_placement is not None:
+        return False, "an initial placement changes creation accounting"
+    if problem.demand.num_intervals > 1 and costs.beta != 0:
+        return False, "creation cost couples intervals (needs one interval or beta == 0)"
+    if not problem.topology.is_tree():
+        return False, "latency matrix is not a tree metric"
+    return True, ""
+
+
+def _cover_tree(
+    order: np.ndarray,
+    parent: np.ndarray,
+    pdist: np.ndarray,
+    demand_mask: np.ndarray,
+    radius: float,
+) -> np.ndarray:
+    """Minimum vertex ball cover of the masked demanders on a rooted tree.
+
+    ``order`` lists nodes with every parent before its children (root
+    first); processing it in reverse visits children before parents.  Two
+    per-node quantities propagate upward: ``d_unc`` — distance to the
+    farthest still-uncovered demander in the subtree (−inf when none) — and
+    ``d_cov`` — remaining reach (radius minus distance) of the best replica
+    placed in the subtree.  A replica is placed at a node exactly when
+    deferring to its parent would put the deepest uncovered demander out of
+    range; on trees this greedy is optimal, and the root (the origin, not a
+    placement site) can never be left with uncovered demand because any
+    demander within ``radius`` of the root is origin-covered and excluded
+    from the mask.
+    """
+    n = len(order)
+    neg_inf = -np.inf
+    d_unc = np.full(n, neg_inf)
+    d_cov = np.full(n, neg_inf)
+    placed = np.zeros(n, dtype=bool)
+    root = int(order[0])
+
+    for v in order[::-1]:
+        v = int(v)
+        if demand_mask[v] and d_unc[v] < 0.0:
+            d_unc[v] = 0.0
+        if d_cov[v] >= d_unc[v] - _EPS:
+            d_unc[v] = neg_inf
+        if v == root:
+            if d_unc[v] > neg_inf:
+                raise RuntimeError(
+                    "tree cover left uncovered demand at the origin; "
+                    "instance is outside the tree-DP class"
+                )
+            continue
+        w = pdist[v]
+        if d_unc[v] > neg_inf and d_unc[v] + w > radius + _EPS:
+            placed[v] = True
+            d_cov[v] = radius
+            d_unc[v] = neg_inf
+        p = int(parent[v])
+        if d_unc[v] > neg_inf and d_unc[v] + w > d_unc[p]:
+            d_unc[p] = d_unc[v] + w
+        if d_cov[v] > neg_inf and d_cov[v] - w > d_cov[p]:
+            d_cov[p] = d_cov[v] - w
+    return placed
+
+
+def solve_tree_dp(
+    problem: MCPerfProblem,
+    properties: Optional[HeuristicProperties] = None,
+    do_rounding: bool = True,
+    keep_store: bool = False,
+    audit: Optional[str] = None,
+    audit_subject: str = "",
+) -> LowerBoundResult:
+    """Exact lower bound (and integral placement) via the tree cover.
+
+    The returned :class:`~repro.core.bounds.LowerBoundResult` mirrors the LP
+    path: ``lp_cost`` is the exact optimum, and with ``do_rounding`` the
+    attached rounding carries the optimal *integral* store matrix — the gap
+    is identically zero.
+    """
+    props = properties or HeuristicProperties()
+    ok, reason = tree_dp_applicable(problem, props)
+    if not ok:
+        raise ValueError(f"tree-DP backend not applicable: {reason}")
+
+    t0 = time.perf_counter()
+    inst = problem.instance(props)
+    order, parent, pdist = problem.topology.tree_parents()
+    goal = problem.goal
+    radius = float(goal.tlat_ms)
+    costs = problem.costs
+
+    reads = inst.qos_reads()  # (Nd, I, K); demanders are topology nodes
+    nd_count, intervals, objects = reads.shape
+    origin_covered = inst.origin_covers.astype(bool)
+
+    # Per-cell uniform replica weight: alpha per stored interval, delta
+    # update traffic, plus beta when storing implies creating (single
+    # interval, empty initial placement); beta == 0 in the multi-interval
+    # branch of the applicability predicate.
+    writes_per_ik = inst.writes.sum(axis=0)  # (I, K)
+    weight = costs.alpha + costs.delta * writes_per_ik  # (I, K)
+    if intervals == 1:
+        weight = weight + costs.beta
+
+    storers = inst.storer_ids  # topology ids, origin excluded
+    node_to_storer = np.full(problem.topology.num_nodes, -1, dtype=np.int64)
+    node_to_storer[storers] = np.arange(len(storers))
+
+    store = np.zeros((len(storers), intervals, objects))
+    lp_cost = 0.0
+    cells_solved = 0
+    for k in range(objects):
+        col = reads[:, :, k]
+        if not col.any():
+            continue
+        for i in range(intervals):
+            demand_mask = (col[:, i] > 0) & ~origin_covered
+            if not demand_mask.any():
+                continue
+            placed = _cover_tree(order, parent, pdist, demand_mask, radius)
+            nodes = np.flatnonzero(placed)
+            if len(nodes):
+                store[node_to_storer[nodes], i, k] = 1.0
+                lp_cost += float(weight[i, k]) * len(nodes)
+            cells_solved += 1
+
+    result = LowerBoundResult(
+        properties=props,
+        feasible=True,
+        lp_cost=lp_cost,
+        status="optimal",
+        backend_used=BACKEND_TREE_DP,
+        solve_seconds=time.perf_counter() - t0,
+    )
+    result.extras["tree_dp"] = {
+        "cells": cells_solved,
+        "replicas": int(store.sum()),
+    }
+    if keep_store:
+        result.store_lp = store
+
+    if do_rounding:
+        t1 = time.perf_counter()
+        cost = solution_cost(inst, props, costs, store, goal=goal)
+        result.rounding = RoundingResult(
+            store=store,
+            cost=cost,
+            feasible=True,
+            fractional_units=0,
+            rounded_up=0,
+            rounded_down=0,
+            repaired=0,
+        )
+        result.feasible_cost = cost.total
+        result.round_seconds = time.perf_counter() - t1
+
+    from repro.audit import resolve_mode
+
+    mode = resolve_mode(audit)
+    if mode != "off":
+        from repro.audit import audit_backend_agreement, resolve_sample, selected_for_sample
+
+        if mode == "full" and selected_for_sample(audit_subject, resolve_sample()):
+            ta = time.perf_counter()
+            result.audit = audit_backend_agreement(
+                problem, props, result, mode=mode, subject=audit_subject
+            )
+            result.extras["audit_seconds"] = time.perf_counter() - ta
+    return result

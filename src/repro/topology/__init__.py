@@ -18,6 +18,7 @@ from repro.topology.generators import (
     ring_topology,
     star_topology,
     topology_from_edges,
+    tree_topology,
 )
 from repro.topology.latency import (
     exponential_latency,
@@ -43,6 +44,7 @@ __all__ = [
     "line_topology",
     "ring_topology",
     "grid_topology",
+    "tree_topology",
     "uniform_latency",
     "exponential_latency",
     "topology_to_dict",

@@ -154,6 +154,38 @@ def ring_topology(num_nodes: int = 6, hop_latency_ms: float = 100.0) -> Topology
     return Topology(latency=_latency_matrix(graph, num_nodes), origin=0)
 
 
+def tree_topology(
+    num_nodes: int = 10,
+    seed: int = 0,
+    latency_model: Optional[LatencyModel] = None,
+    population_skew: float = 0.0,
+) -> Topology:
+    """A random recursive tree; node 0 is the root and origin.
+
+    Node ``i`` attaches to a uniformly random earlier node, giving the
+    broad, shallow shape typical of hub-dominated WANs.  The pairwise
+    matrix is built incrementally (each node's distance row is its
+    parent's row plus the connecting edge) rather than through networkx
+    Dijkstra, so thousand-node instances assemble in milliseconds — these
+    are the inputs the exact tree-DP backend exists for, and
+    :meth:`Topology.is_tree` recognizes them by construction.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least 1 node")
+    rng = np.random.default_rng(seed)
+    draw = latency_model or uniform_latency
+    lat = np.zeros((num_nodes, num_nodes))
+    for v in range(1, num_nodes):
+        p = int(rng.integers(0, v))
+        w = float(draw(rng))
+        lat[v, :v] = lat[p, :v] + w
+        lat[:v, v] = lat[v, :v]
+    populations = (
+        _skewed_populations(rng, num_nodes, population_skew) if population_skew > 0 else None
+    )
+    return Topology(latency=lat, origin=0, populations=populations)
+
+
 def grid_topology(rows: int = 3, cols: int = 3, hop_latency_ms: float = 100.0) -> Topology:
     """A rows×cols mesh; the top-left corner is the origin."""
     if rows < 1 or cols < 1:

@@ -152,6 +152,95 @@ class Topology:
             self._latency_order = order
         return order
 
+    # -- tree-metric recognition ---------------------------------------------
+
+    def _tree_structure(self):
+        """``(is_tree, order, parent, pdist)``, computed once and cached.
+
+        The latency matrix is a *tree metric* iff it equals the path metric
+        of some edge-weighted tree on the same nodes.  If such a tree
+        exists, the minimum spanning tree of the complete latency graph is
+        one (every tree edge is the unique shortest path between its
+        endpoints), so: build the MST with Prim from the origin, then
+        reconstruct all pairwise path distances incrementally in Prim order
+        (each node's row is its parent's row plus the connecting edge) and
+        compare against the matrix.  O(n^2) time/space, pure numpy.
+        """
+        cached = getattr(self, "_tree_cache", None)
+        if cached is not None:
+            return cached
+
+        lat = np.asarray(self.latency, dtype=float)
+        n = self.num_nodes
+        root = self.origin
+        if n == 1:
+            cached = (True, np.array([root]), np.full(1, -1), np.zeros(1))
+            self._tree_cache = cached
+            return cached
+        if not np.all(np.isfinite(lat)):
+            cached = (False, None, None, None)
+            self._tree_cache = cached
+            return cached
+
+        # Prim's algorithm over the dense matrix: `best` holds each
+        # unvisited node's cheapest connection into the visited set.
+        order = np.empty(n, dtype=np.int64)
+        parent = np.full(n, -1, dtype=np.int64)
+        pdist = np.zeros(n)
+        visited = np.zeros(n, dtype=bool)
+        best = lat[root].copy()
+        best_from = np.full(n, root, dtype=np.int64)
+        visited[root] = True
+        order[0] = root
+        for step in range(1, n):
+            best_masked = np.where(visited, np.inf, best)
+            v = int(np.argmin(best_masked))
+            visited[v] = True
+            order[step] = v
+            parent[v] = best_from[v]
+            pdist[v] = lat[parent[v], v]
+            closer = lat[v] < best
+            best = np.where(closer, lat[v], best)
+            best_from = np.where(closer, v, best_from)
+
+        # Path metric of the MST, built parent-row-by-parent-row: when node
+        # v joins, its distance to every earlier node goes through parent[v].
+        tree_dist = np.zeros((n, n))
+        for step in range(1, n):
+            v = int(order[step])
+            prior = order[:step]
+            d = tree_dist[parent[v], prior] + pdist[v]
+            tree_dist[v, prior] = d
+            tree_dist[prior, v] = d
+
+        ok = bool(np.allclose(tree_dist, lat, rtol=1e-9, atol=1e-6))
+        cached = (ok, order, parent, pdist) if ok else (False, None, None, None)
+        self._tree_cache = cached
+        return cached
+
+    def is_tree(self) -> bool:
+        """Whether the latency matrix is exactly a tree metric.
+
+        True iff some edge-weighted tree on these nodes reproduces every
+        pairwise latency as its unique path length — the structure the
+        exact tree-DP solver backend (:mod:`repro.solvers.tree_dp`)
+        requires.  Cached with the topology.
+        """
+        return self._tree_structure()[0]
+
+    def tree_parents(self):
+        """``(order, parent, pdist)`` of the underlying tree, rooted at the origin.
+
+        ``order`` lists nodes with every parent before its children (the
+        origin first); ``parent[v]`` is v's parent (−1 for the root) and
+        ``pdist[v]`` the connecting edge's latency.  Raises ``ValueError``
+        when the matrix is not a tree metric (:meth:`is_tree`).
+        """
+        ok, order, parent, pdist = self._tree_structure()
+        if not ok:
+            raise ValueError("latency matrix is not a tree metric")
+        return order, parent, pdist
+
     def closest_node(self, node: int, candidates: Sequence[int]) -> int:
         """The candidate with the lowest latency from ``node`` (ties → lowest index).
 

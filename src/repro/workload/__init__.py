@@ -20,6 +20,7 @@ from repro.workload.generators import (
     WorkloadSpec,
     flash_crowd_workload,
     group_workload,
+    synthetic_request_stream,
     synthetic_workload,
     web_workload,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "web_workload",
     "flash_crowd_workload",
     "group_workload",
+    "synthetic_request_stream",
     "synthetic_workload",
     "drifting_traces",
     "epoch_slices",

@@ -52,6 +52,31 @@ class DemandMatrix:
     # -- construction --------------------------------------------------------
 
     @staticmethod
+    def _accumulate(
+        reads: np.ndarray,
+        writes: np.ndarray,
+        interval_s: float,
+        nodes,
+        times_s,
+        objs,
+        is_write,
+    ) -> None:
+        """Scatter-add one batch of requests into the count arrays."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        objs = np.asarray(objs, dtype=np.int64)
+        is_write = np.asarray(is_write, dtype=bool)
+        intervals = np.minimum(
+            (np.asarray(times_s, dtype=float) / interval_s).astype(np.int64),
+            reads.shape[1] - 1,
+        )
+        if is_write.any():
+            w = is_write
+            np.add.at(writes, (nodes[w], intervals[w], objs[w]), 1.0)
+        if not is_write.all():
+            r = ~is_write
+            np.add.at(reads, (nodes[r], intervals[r], objs[r]), 1.0)
+
+    @staticmethod
     def from_trace(trace: Trace, num_intervals: int) -> "DemandMatrix":
         """Bucket a trace into ``num_intervals`` equal evaluation intervals."""
         if num_intervals <= 0:
@@ -59,10 +84,45 @@ class DemandMatrix:
         interval_s = trace.duration_s / num_intervals
         reads = np.zeros((trace.num_nodes, num_intervals, trace.num_objects))
         writes = np.zeros_like(reads)
-        for req in trace.requests:
-            i = min(int(req.time_s / interval_s), num_intervals - 1)
-            target = writes if req.is_write else reads
-            target[req.node, i, req.obj] += 1
+        reqs = trace.requests
+        if reqs:
+            DemandMatrix._accumulate(
+                reads, writes, interval_s,
+                [q.node for q in reqs],
+                [q.time_s for q in reqs],
+                [q.obj for q in reqs],
+                [q.is_write for q in reqs],
+            )
+        return DemandMatrix(reads=reads, writes=writes, interval_s=interval_s)
+
+    @staticmethod
+    def from_stream(
+        chunks,
+        num_nodes: int,
+        num_objects: int,
+        num_intervals: int,
+        duration_s: float,
+    ) -> "DemandMatrix":
+        """Bucket a streamed request sequence without materializing it.
+
+        ``chunks`` yields ``(nodes, times_s, objs, is_write)`` array
+        batches (see
+        :func:`repro.workload.generators.synthetic_request_stream`); each
+        batch is scatter-added into the ``(N, I, K)`` counts and dropped.
+        Peak memory is one chunk plus the counts — million-request traces
+        bucket without a million ``Request`` objects ever existing.
+        """
+        if num_intervals <= 0:
+            raise ValueError("num_intervals must be positive")
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        interval_s = duration_s / num_intervals
+        reads = np.zeros((num_nodes, num_intervals, num_objects))
+        writes = np.zeros_like(reads)
+        for nodes, times_s, objs, is_write in chunks:
+            DemandMatrix._accumulate(
+                reads, writes, interval_s, nodes, times_s, objs, is_write
+            )
         return DemandMatrix(reads=reads, writes=writes, interval_s=interval_s)
 
     # -- shape ----------------------------------------------------------------
@@ -137,6 +197,19 @@ class DemandMatrix:
         return DemandMatrix(
             reads=self.reads[keep].copy(),
             writes=self.writes[keep].copy(),
+            interval_s=self.interval_s,
+        )
+
+    def restrict_objects(self, keep) -> "DemandMatrix":
+        """Project onto an object subset (order preserved).
+
+        The per-object decomposition (:mod:`repro.solvers.decompose`)
+        slices one object out per subproblem with this.
+        """
+        keep = list(keep)
+        return DemandMatrix(
+            reads=self.reads[:, :, keep].copy(),
+            writes=self.writes[:, :, keep].copy(),
             interval_s=self.interval_s,
         )
 

@@ -135,6 +135,51 @@ def synthetic_workload(spec: WorkloadSpec) -> Trace:
     )
 
 
+def synthetic_request_stream(spec: WorkloadSpec, chunk_size: int = 65_536):
+    """Stream a :class:`WorkloadSpec` as ``(nodes, times_s, objs, is_write)`` batches.
+
+    The streaming counterpart of :func:`synthetic_workload` for traces too
+    large to materialize as :class:`~repro.workload.trace.Request` lists:
+    each yielded batch holds at most ``chunk_size`` requests as parallel
+    numpy arrays, ready for
+    :meth:`~repro.workload.demand.DemandMatrix.from_stream`.  Requests are
+    drawn i.i.d. from the spec's popularity/population curves (a
+    multinomial view of the same distribution ``synthetic_workload``
+    realizes with exact per-object counts); the total request count equals
+    ``spec.counts.sum()`` and the draw is deterministic per seed.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    rng = np.random.default_rng(spec.seed)
+    pops = (
+        spec.populations
+        if spec.populations is not None
+        else np.ones(spec.num_nodes, dtype=float)
+    )
+    node_probs = pops / pops.sum()
+    total = int(spec.counts.sum())
+    if total == 0:
+        return
+    obj_probs = spec.counts / float(total)
+
+    remaining = total
+    while remaining > 0:
+        size = min(chunk_size, remaining)
+        objs = rng.choice(spec.num_objects, size=size, p=obj_probs)
+        nodes = rng.choice(spec.num_nodes, size=size, p=node_probs)
+        times = np.minimum(
+            _sample_times(rng, size, spec.duration_s, spec.diurnal),
+            spec.duration_s * (1 - 1e-12),
+        )
+        is_write = (
+            rng.random(size) < spec.write_fraction
+            if spec.write_fraction > 0
+            else np.zeros(size, dtype=bool)
+        )
+        yield nodes, times, objs, is_write
+        remaining -= size
+
+
 def web_workload(
     num_nodes: int = 20,
     num_objects: int = 1000,

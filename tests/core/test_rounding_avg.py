@@ -78,7 +78,7 @@ def test_rounding_respects_reactive_class():
     if result.feasible:
         store = result.rounding.store
         form = build_formulation(problem, props)
-        from repro.core.verify import verify_placement
+        from repro.audit.certificates import verify_placement
 
         report = verify_placement(form, store)
         assert report.creation_legal

@@ -9,7 +9,7 @@ from repro.core.goals import QoSGoal
 from repro.core.problem import MCPerfProblem
 from repro.core.properties import HeuristicProperties
 from repro.core.rounding import round_solution
-from repro.core.verify import verify_placement
+from repro.audit.certificates import verify_placement
 from repro.topology.generators import star_topology
 from repro.workload.demand import DemandMatrix
 

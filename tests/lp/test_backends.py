@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.lp.model import LinearProgram
 from repro.lp.solution import SolveStatus
-from repro.lp.validate import check_solution
+from repro.audit.certificates import check_solution
 
 BACKENDS = ["scipy", "simplex"]
 

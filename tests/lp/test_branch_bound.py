@@ -5,7 +5,7 @@ import pytest
 
 from repro.lp.branch_bound import IPResult, solve_integer
 from repro.lp.model import LinearProgram
-from repro.lp.validate import check_solution
+from repro.audit.certificates import check_solution
 
 
 def knapsack(values, weights, capacity):

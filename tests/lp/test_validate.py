@@ -3,7 +3,7 @@
 import pytest
 
 from repro.lp.model import LinearProgram
-from repro.lp.validate import check_solution
+from repro.audit.certificates import check_solution
 
 
 def model():

@@ -1,0 +1,153 @@
+"""Per-object decomposition: equivalence with the monolithic LP per scope."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import compute_lower_bound
+from repro.core.costs import CostModel
+from repro.core.goals import GoalScope, QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.core.properties import (
+    HeuristicProperties,
+    ReplicaConstraint,
+    StorageConstraint,
+)
+from repro.solvers.decompose import (
+    decomposition_applicable,
+    solve_decomposed,
+)
+from repro.topology.generators import as_level_topology
+from repro.workload.demand import DemandMatrix
+from repro.workload.generators import web_workload
+
+
+@pytest.fixture(scope="module")
+def fig2_instance():
+    """A small fig-2-style instance: AS topology + WEB trace + paper costs."""
+    topo = as_level_topology(10, seed=2)
+    trace = web_workload(num_nodes=10, num_objects=8, requests_scale=0.01, seed=4)
+    demand = DemandMatrix.from_trace(trace, 3)
+    return topo, demand
+
+
+def _problem(fig2, scope, fraction=0.9, **kwargs):
+    topo, demand = fig2
+    return MCPerfProblem(
+        topology=topo,
+        demand=demand,
+        goal=QoSGoal(tlat_ms=150.0, fraction=fraction, scope=scope),
+        costs=kwargs.pop("costs", CostModel.paper_defaults()),
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize(
+    "scope",
+    [GoalScope.PER_OBJECT, GoalScope.PER_USER_OBJECT, GoalScope.PER_USER, GoalScope.OVERALL],
+)
+def test_decomposed_matches_monolith(fig2_instance, scope):
+    problem = _problem(fig2_instance, scope)
+    reference = compute_lower_bound(problem, backend="auto", do_rounding=False)
+    decomposed = compute_lower_bound(problem, backend="decomposed", do_rounding=False)
+    assert decomposed.feasible == reference.feasible
+    assert decomposed.backend_used == "decomposed"
+    assert decomposed.lp_cost == pytest.approx(reference.lp_cost, rel=1e-6)
+    info = decomposed.extras["decomposition"]
+    expected_mode = (
+        "separable"
+        if scope in (GoalScope.PER_OBJECT, GoalScope.PER_USER_OBJECT)
+        else "dantzig-wolfe"
+    )
+    assert info["mode"] == expected_mode
+
+
+def test_separable_rounding_is_feasible_and_bounded(fig2_instance):
+    problem = _problem(fig2_instance, GoalScope.PER_OBJECT)
+    decomposed = solve_decomposed(problem, jobs=2)
+    assert decomposed.rounding is not None and decomposed.rounding.feasible
+    assert decomposed.feasible_cost >= decomposed.lp_cost - 1e-6
+    assert decomposed.extras["decomposition"]["jobs"] == 2
+    # The stitched store covers every object slot.
+    serial = solve_decomposed(problem, jobs=1, keep_store=True)
+    assert serial.store_lp.shape[2] == problem.demand.num_objects
+    assert serial.lp_cost == pytest.approx(decomposed.lp_cost, rel=1e-9)
+
+
+@pytest.mark.parametrize("scope", [GoalScope.PER_USER_OBJECT, GoalScope.PER_USER])
+def test_infeasible_detected(fig2_instance, scope):
+    # One distant storage node at full coverage: structurally impossible.
+    problem = _problem(fig2_instance, scope, fraction=1.0, storage_nodes=[1])
+    problem = MCPerfProblem(
+        topology=problem.topology,
+        demand=problem.demand,
+        goal=QoSGoal(tlat_ms=1.0, fraction=1.0, scope=scope),
+        costs=problem.costs,
+        storage_nodes=[1],
+    )
+    reference = compute_lower_bound(problem, backend="auto", do_rounding=False)
+    decomposed = compute_lower_bound(problem, backend="decomposed", do_rounding=False)
+    assert not reference.feasible and not decomposed.feasible
+    assert decomposed.reason
+
+
+def test_zero_demand(fig2_instance):
+    topo, _demand = fig2_instance
+    problem = MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix(reads=np.zeros((10, 2, 4))),
+        goal=QoSGoal(tlat_ms=150.0, fraction=0.9),
+        costs=CostModel.paper_defaults(),
+    )
+    decomposed = solve_decomposed(problem)
+    assert decomposed.feasible and decomposed.lp_cost == 0.0
+    assert decomposed.feasible_cost == 0.0
+    assert decomposed.extras["decomposition"]["mode"] == "empty"
+
+
+def test_applicability_gates(fig2_instance):
+    problem = _problem(fig2_instance, GoalScope.PER_USER)
+    assert decomposition_applicable(problem)[0]
+    ok, reason = decomposition_applicable(
+        problem, HeuristicProperties(storage_constraint=StorageConstraint.PER_NODE)
+    )
+    assert not ok and "storage" in reason
+    ok, reason = decomposition_applicable(
+        problem, HeuristicProperties(replica_constraint=ReplicaConstraint.UNIFORM)
+    )
+    assert not ok and "replica" in reason
+    zeta = _problem(
+        fig2_instance, GoalScope.PER_USER, costs=CostModel.paper_defaults().with_zeta(100.0)
+    )
+    ok, reason = decomposition_applicable(zeta)
+    assert not ok and "opening" in reason
+
+
+def test_inapplicable_instances_fall_back_to_monolith(fig2_instance):
+    problem = _problem(fig2_instance, GoalScope.PER_USER)
+    props = HeuristicProperties(storage_constraint=StorageConstraint.PER_NODE)
+    decomposed = solve_decomposed(problem, properties=props, do_rounding=False)
+    reference = compute_lower_bound(problem, props, backend="auto", do_rounding=False)
+    assert "decomposition_fallback" in decomposed.extras
+    assert decomposed.feasible == reference.feasible
+    if reference.feasible:
+        assert decomposed.lp_cost == pytest.approx(reference.lp_cost, rel=1e-9)
+
+
+def test_full_audit_attaches_backend_differential(fig2_instance):
+    problem = _problem(fig2_instance, GoalScope.PER_OBJECT)
+    result = solve_decomposed(problem, audit="full", audit_subject="decompose-test")
+    assert result.audit is not None
+    assert result.audit.ok, [v.message for v in result.audit.violations]
+
+
+def test_constrained_classes_still_match_when_separable(fig2_instance):
+    # Knowledge/routing fixings are per-object, so decomposition still applies.
+    from repro.core.classes import get_class
+
+    props = get_class("caching").properties
+    problem = _problem(fig2_instance, GoalScope.PER_USER)
+    reference = compute_lower_bound(problem, props, backend="auto", do_rounding=False)
+    decomposed = solve_decomposed(problem, props, do_rounding=False)
+    assert decomposed.feasible == reference.feasible
+    if reference.feasible:
+        assert decomposed.lp_cost == pytest.approx(reference.lp_cost, rel=1e-6)

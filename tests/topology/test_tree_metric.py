@@ -1,0 +1,93 @@
+"""Tree-metric recognition and the random tree generator."""
+
+import numpy as np
+import pytest
+
+from repro.topology.generators import (
+    grid_topology,
+    line_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+
+
+@pytest.mark.parametrize(
+    "topo",
+    [
+        tree_topology(20, seed=0),
+        tree_topology(3, seed=5),
+        star_topology(6, hub_latency_ms=120.0, jitter_ms=30.0, seed=2),
+        line_topology(7, hop_latency_ms=80.0),
+        grid_topology(1, 5),  # a 1xN grid is a path
+    ],
+)
+def test_is_tree_accepts_tree_metrics(topo):
+    assert topo.is_tree()
+
+
+@pytest.mark.parametrize("topo", [ring_topology(6), grid_topology(3, 3)])
+def test_is_tree_rejects_cyclic_metrics(topo):
+    assert not topo.is_tree()
+    with pytest.raises(ValueError, match="not a tree metric"):
+        topo.tree_parents()
+
+
+def test_is_tree_single_node():
+    from repro.topology.graph import Topology
+
+    topo = Topology(latency=np.zeros((1, 1)), origin=0)
+    assert topo.is_tree()
+    order, parent, pdist = topo.tree_parents()
+    assert list(order) == [0] and parent[0] == -1 and pdist[0] == 0.0
+
+
+def test_tree_parents_structure():
+    topo = tree_topology(25, seed=3)
+    order, parent, pdist = topo.tree_parents()
+    n = topo.num_nodes
+    assert sorted(order) == list(range(n))
+    assert int(order[0]) == topo.origin and parent[topo.origin] == -1
+    seen = {int(order[0])}
+    for v in order[1:]:
+        v = int(v)
+        p = int(parent[v])
+        assert p in seen  # parents precede children
+        assert pdist[v] == pytest.approx(topo.latency[p][v])
+        seen.add(v)
+    # Root-to-node distance along parents reproduces the matrix row.
+    for v in range(n):
+        dist, node = 0.0, v
+        while parent[node] != -1:
+            dist += pdist[node]
+            node = int(parent[node])
+        assert dist == pytest.approx(topo.latency[topo.origin][v])
+
+
+def test_tree_topology_shape_and_determinism():
+    a = tree_topology(40, seed=11)
+    b = tree_topology(40, seed=11)
+    c = tree_topology(40, seed=12)
+    assert a.num_nodes == 40 and a.origin == 0
+    assert np.array_equal(a.latency, b.latency)
+    assert not np.array_equal(a.latency, c.latency)
+    assert a.is_tree()
+    # Latency matrix is a valid symmetric metric with zero diagonal.
+    assert np.allclose(a.latency, np.asarray(a.latency).T)
+    assert np.all(np.diag(a.latency) == 0.0)
+
+
+def test_tree_topology_population_skew():
+    skewed = tree_topology(30, seed=4, population_skew=1.0)
+    assert skewed.populations is not None
+    assert np.asarray(skewed.populations).std() > 0
+
+
+def test_tree_cache_is_per_instance():
+    topo = tree_topology(10, seed=1)
+    assert topo.is_tree()
+    # Second call hits the cache and agrees.
+    assert topo.is_tree()
+    order1, _, _ = topo.tree_parents()
+    order2, _, _ = topo.tree_parents()
+    assert np.array_equal(order1, order2)

@@ -1,0 +1,94 @@
+"""Streamed demand-matrix construction and object restriction."""
+
+import numpy as np
+import pytest
+
+from repro.workload.demand import DemandMatrix
+from repro.workload.generators import (
+    WorkloadSpec,
+    synthetic_request_stream,
+    web_workload,
+)
+
+
+def _trace_chunks(trace, chunk_size):
+    """Chunk a materialized trace into the stream-batch format."""
+    reqs = trace.requests
+    for start in range(0, len(reqs), chunk_size):
+        batch = reqs[start : start + chunk_size]
+        yield (
+            np.array([q.node for q in batch]),
+            np.array([q.time_s for q in batch]),
+            np.array([q.obj for q in batch]),
+            np.array([q.is_write for q in batch]),
+        )
+
+
+def test_from_stream_matches_from_trace():
+    trace = web_workload(num_nodes=8, num_objects=20, requests_scale=0.02, seed=3)
+    dense = DemandMatrix.from_trace(trace, 5)
+    streamed = DemandMatrix.from_stream(
+        _trace_chunks(trace, 37),
+        num_nodes=trace.num_nodes,
+        num_objects=trace.num_objects,
+        num_intervals=5,
+        duration_s=trace.duration_s,
+    )
+    assert np.array_equal(streamed.reads, dense.reads)
+    assert np.array_equal(streamed.writes, dense.writes)
+    assert streamed.interval_s == dense.interval_s
+
+
+def test_from_stream_empty():
+    dm = DemandMatrix.from_stream(
+        iter(()), num_nodes=4, num_objects=3, num_intervals=2, duration_s=100.0
+    )
+    assert dm.total_reads == 0.0 and dm.reads.shape == (4, 2, 3)
+
+
+def test_synthetic_request_stream_counts_and_determinism():
+    spec = WorkloadSpec(
+        num_nodes=6,
+        num_objects=10,
+        counts=np.arange(10, dtype=np.int64) * 7,
+        write_fraction=0.25,
+        seed=9,
+    )
+    total = int(spec.counts.sum())
+    chunks = list(synthetic_request_stream(spec, chunk_size=50))
+    assert sum(len(c[0]) for c in chunks) == total
+    assert all(len(c[0]) <= 50 for c in chunks)
+
+    dm1 = DemandMatrix.from_stream(
+        synthetic_request_stream(spec, chunk_size=50),
+        num_nodes=6, num_objects=10, num_intervals=4, duration_s=spec.duration_s,
+    )
+    dm2 = DemandMatrix.from_stream(
+        synthetic_request_stream(spec, chunk_size=50),
+        num_nodes=6, num_objects=10, num_intervals=4, duration_s=spec.duration_s,
+    )
+    assert np.array_equal(dm1.reads, dm2.reads)
+    assert np.array_equal(dm1.writes, dm2.writes)
+    assert float((dm1.reads + dm1.writes).sum()) == pytest.approx(total)
+    # Object 0 has zero popularity weight: never drawn.
+    assert (dm1.reads[:, :, 0] + dm1.writes[:, :, 0]).sum() == 0.0
+
+
+def test_synthetic_request_stream_zero_total():
+    spec = WorkloadSpec(num_nodes=3, num_objects=2, counts=np.zeros(2, dtype=np.int64))
+    assert list(synthetic_request_stream(spec)) == []
+
+
+def test_restrict_objects():
+    rng = np.random.default_rng(0)
+    reads = rng.integers(0, 5, size=(4, 3, 6)).astype(float)
+    writes = rng.integers(0, 2, size=(4, 3, 6)).astype(float)
+    dm = DemandMatrix(reads=reads, writes=writes, interval_s=60.0)
+    sub = dm.restrict_objects([4, 1])
+    assert sub.reads.shape == (4, 3, 2)
+    assert np.array_equal(sub.reads[:, :, 0], reads[:, :, 4])
+    assert np.array_equal(sub.writes[:, :, 1], writes[:, :, 1])
+    assert sub.interval_s == 60.0
+    # The slice is a copy, not a view.
+    sub.reads[0, 0, 0] += 1
+    assert dm.reads[0, 0, 4] == reads[0, 0, 4]
