@@ -349,6 +349,89 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     runner_args(cont)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the continuous loop as a supervised, checkpointed query service",
+    )
+    serve.add_argument("-t", "--topology", required=True)
+    serve.add_argument(
+        "--heuristic",
+        required=True,
+        choices=["lru", "lfu", "coop-lru", "greedy-global", "qiu", "random"],
+    )
+    serve.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="journal + snapshots + endpoint.json; restarting with the same "
+             "dir resumes from the last durable epoch",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 = ephemeral; the bound port lands in endpoint.json)",
+    )
+    serve.add_argument("--epochs", type=int, default=4, help="number of epochs")
+    serve.add_argument(
+        "--epoch-length", type=float, default=3600.0, metavar="S",
+        help="simulated seconds per epoch",
+    )
+    serve.add_argument(
+        "--epoch-interval", type=float, default=0.0, metavar="S",
+        help="wall-clock pacing between epochs (0 = step as fast as possible)",
+    )
+    serve.add_argument("--drift", type=float, default=0.25)
+    serve.add_argument("--slo", type=float, default=None, metavar="FRACTION")
+    serve.add_argument("--zones", default=None, metavar="SPEC")
+    serve.add_argument("--requests", type=int, default=2000)
+    serve.add_argument("--objects", type=int, default=64)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--tlat", type=float, default=150.0)
+    serve.add_argument("--alpha", type=float, default=1.0)
+    serve.add_argument("--beta", type=float, default=1.0)
+    serve.add_argument("--capacity", type=int, default=10)
+    serve.add_argument("--replicas", type=int, default=2)
+    serve.add_argument("--period", type=float, default=None)
+    serve.add_argument("--faults", default=None, metavar="SPEC")
+    serve.add_argument("--fault-seed", type=int, default=0)
+    serve.add_argument("--shed-capacity", type=int, default=None, metavar="N")
+    serve.add_argument("--object-size", type=float, default=1.0, metavar="BYTES")
+    serve.add_argument(
+        "--snapshot-every", type=int, default=4, metavar="N",
+        help="full snapshot (and journal truncation) every N epochs",
+    )
+    serve.add_argument(
+        "--admission-limit", type=int, default=8, metavar="N",
+        help="concurrent bound solves before requests are shed with 429",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="S",
+        help="Retry-After hint on shed requests",
+    )
+    serve.add_argument(
+        "--breaker-failures", type=int, default=3, metavar="N",
+        help="consecutive solver failures before the circuit opens",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=5.0, metavar="S",
+        help="open-state cooldown before a half-open probe",
+    )
+    serve.add_argument(
+        "--solve-timeout", type=float, default=30.0, metavar="S",
+        help="per-request ceiling on bound solves (expiry counts a breaker failure)",
+    )
+    serve.add_argument(
+        "--max-restarts", type=int, default=3, metavar="N",
+        help="in-process supervisor restarts before escalating",
+    )
+    serve.add_argument(
+        "--exit-when-done", action="store_true",
+        help="exit after the final epoch instead of serving until SIGTERM",
+    )
+    serve.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="fault-injection spec (overrides $REPRO_SERVICE_CHAOS); see docs/SERVICE.md",
+    )
+    serve.add_argument("--json", action="store_true", help="machine-readable output")
+
     sweep = sub.add_parser("sweep", help="Figure-1 style QoS sweep of class bounds")
     problem_args(sweep)
     sweep.add_argument(
@@ -728,12 +811,39 @@ def _cmd_continuous(args) -> int:
         audit=args.audit,
     )
     runner = _runner_for(args, "continuous")
+    # SIGTERM/SIGINT finish the current epoch, write the final manifest and
+    # exit 3 — a partial-but-consistent result, not a stack trace.  The stop
+    # flag is process-global (install_stop_check) because the task object
+    # must stay picklable; with --jobs > 1 the workers cannot see it and a
+    # signal falls back to the runner's normal teardown.
+    import signal
+
+    from repro.simulator.continuous import install_stop_check
+
+    stop = {"requested": False}
+
+    def _drain(signum, frame):
+        if not stop["requested"]:
+            print(
+                "continuous: caught signal, finishing the current epoch ...",
+                file=sys.stderr,
+            )
+        stop["requested"] = True
+
+    old_handlers = {
+        sig: signal.signal(sig, _drain) for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    install_stop_check(lambda: stop["requested"])
     try:
         result = runner.map([task])[0]
     except ValidationError as exc:
         runner.finalize()
         print(f"continuous: {exc}", file=sys.stderr)
         return 2
+    finally:
+        install_stop_check(None)
+        for sig, handler in old_handlers.items():
+            signal.signal(sig, handler)
     _finish_runner(args, runner)
     if isinstance(result, TaskFailure):
         if args.json:
@@ -759,6 +869,7 @@ def _cmd_continuous(args) -> int:
                     "slo_violation_epochs": result.slo_violation_epochs,
                     "shed_replicas": result.shed_replicas,
                     "final_unique_zones": result.final_unique_zones,
+                    "interrupted": result.interrupted,
                     "epoch_reports": [e.to_dict() for e in result.epochs],
                 }
             )
@@ -780,7 +891,181 @@ def _cmd_continuous(args) -> int:
                 else "meets in every epoch"
             )
             print(f"-> {verdict} the {result.slo_target:.3%} availability SLO")
+    if result.interrupted:
+        # Distinct from both success (0) and SLO violation (1): the run was
+        # drained early and the epochs reported are a prefix, not the plan.
+        return 3
     return 1 if violated else 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the placement daemon + query front-end until done or signalled.
+
+    Exit codes: 0 — all epochs completed (and, without --exit-when-done, a
+    signal ended the serving phase afterwards); 3 — drained by SIGTERM/
+    SIGINT before the final epoch (state checkpointed, restart resumes);
+    1 — the supervisor exhausted its restarts; 2 — bad configuration.
+    ``REPRO_SERVICE_CHAOS`` crashes exit with their own code (57).
+    """
+    import asyncio
+    import os
+    import signal
+    import threading
+
+    from repro.errors import ValidationError
+    from repro.runner import ContinuousTask
+    from repro.runner.artifacts import atomic_write_text
+    from repro.service import (
+        AdmissionQueue,
+        CheckpointStore,
+        CircuitBreaker,
+        PlacementDaemon,
+        PlacementService,
+        Supervisor,
+        parse_service_chaos,
+    )
+
+    topology = load_topology(args.topology)
+    try:
+        topology = _with_zones(topology, args.zones)
+        chaos = parse_service_chaos(args.chaos) if args.chaos else parse_service_chaos()
+    except (ValidationError, ValueError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    period = args.period if args.period is not None else args.epoch_length / 8.0
+    spec = HeuristicSpec(
+        name=args.heuristic,
+        capacity=args.capacity,
+        replicas=args.replicas,
+        period_s=period,
+        tlat_ms=args.tlat,
+    )
+    task = ContinuousTask(
+        topology=topology,
+        heuristic=spec,
+        epochs=args.epochs,
+        epoch_s=args.epoch_length,
+        requests_per_epoch=args.requests,
+        num_objects=args.objects,
+        drift=args.drift,
+        workload_seed=args.seed,
+        tlat_ms=args.tlat,
+        cost_interval_s=args.epoch_length,
+        alpha=args.alpha,
+        beta=args.beta,
+        faults=args.faults or None,
+        fault_seed=args.fault_seed,
+        slo=args.slo,
+        shed_capacity=args.shed_capacity,
+        object_size_bytes=args.object_size,
+        label=f"serve[{args.heuristic}]",
+    )
+    from pathlib import Path
+
+    state_dir = Path(args.state_dir)
+    store = CheckpointStore(state_dir, task.cache_key(), snapshot_every=args.snapshot_every)
+    try:
+        daemon = PlacementDaemon(
+            task, store, chaos=chaos, epoch_interval_s=args.epoch_interval
+        )
+    except ValidationError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    resumed_at = daemon.recover()
+    if resumed_at:
+        print(f"serve: recovered checkpoint, resuming at epoch {resumed_at}", file=sys.stderr)
+    supervisor = Supervisor(daemon, max_restarts=args.max_restarts)
+    service = PlacementService(
+        daemon,
+        admission=AdmissionQueue(limit=args.admission_limit, retry_after_s=args.retry_after),
+        breaker=CircuitBreaker(
+            failure_threshold=args.breaker_failures, cooldown_s=args.breaker_cooldown
+        ),
+        supervisor=supervisor,
+        chaos=chaos,
+        solve_timeout_s=args.solve_timeout,
+    )
+
+    stop_event = threading.Event()
+    loop_failure: List[BaseException] = []
+
+    def _loop():
+        try:
+            supervisor.run(stop=stop_event.is_set)
+        except BaseException as exc:  # noqa: BLE001 — reported by the watcher
+            loop_failure.append(exc)
+
+    async def _main() -> int:
+        host, port = await service.start(args.host, args.port)
+        atomic_write_text(
+            state_dir / "endpoint.json",
+            json.dumps({"host": host, "port": port, "pid": os.getpid()}),
+        )
+        print(f"serve: listening on {host}:{port} (state in {state_dir})", file=sys.stderr)
+        aio_loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            aio_loop.add_signal_handler(sig, stop_event.set)
+        worker = threading.Thread(target=_loop, name="placement-daemon", daemon=True)
+        worker.start()
+        announced_done = False
+        while True:
+            if stop_event.is_set():
+                break
+            if loop_failure:
+                break
+            if daemon.done and not announced_done:
+                announced_done = True
+                _write_result(interrupted=False)
+                print("serve: all epochs complete", file=sys.stderr)
+                if args.exit_when_done:
+                    stop_event.set()
+                    break
+            await asyncio.sleep(0.05)
+        stop_event.set()
+        # Drain: the worker returns at the next epoch boundary; its state is
+        # already durable (the loop journals before publishing).
+        await aio_loop.run_in_executor(None, lambda: worker.join(timeout=600.0))
+        await service.stop()
+        if loop_failure:
+            print(f"serve: daemon failed: {loop_failure[0]}", file=sys.stderr)
+            return 1
+        if not daemon.done:
+            _write_result(interrupted=True)
+            print(
+                f"serve: drained at epoch {daemon.state.index}/{task.epochs}; "
+                "state checkpointed, restart to resume",
+                file=sys.stderr,
+            )
+            return 3
+        _write_result(interrupted=False)
+        return 0
+
+    def _write_result(interrupted: bool) -> None:
+        store.snapshot(daemon.state)
+        atomic_write_text(
+            state_dir / "result.json",
+            json.dumps(daemon.result(interrupted=interrupted).to_dict(), indent=2),
+        )
+
+    try:
+        code = asyncio.run(_main())
+    except ValidationError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "epochs_completed": daemon.state.index,
+                    "epochs_total": task.epochs,
+                    "done": daemon.done,
+                    "recovered_from": daemon.recovered_from,
+                    "restarts": supervisor.restarts,
+                    "exit": code,
+                }
+            )
+        )
+    return code
 
 
 def _cmd_sweep(args) -> int:
@@ -824,8 +1109,27 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_audit(args) -> int:
+    from pathlib import Path
+
     from repro.audit import DEFAULT_EPS, audit_run_dir
     from repro.audit.posthoc import DEFAULT_SIM_EPS
+
+    # A torn or truncated manifest is an artifact-integrity failure, not an
+    # audit verdict: nothing in the run can be verified from it.  Diagnose
+    # it up front and exit 2 (configuration/integrity) instead of letting
+    # the audit report a wall of unverifiable cells.
+    manifest = Path(args.run_dir) / "manifest.json"
+    if manifest.is_file():
+        try:
+            json.loads(manifest.read_text())
+        except (OSError, ValueError) as exc:
+            print(
+                f"audit: {manifest} is corrupt (torn or truncated write): {exc}\n"
+                "audit: the run directory cannot be verified; re-run the "
+                "experiment or restore the manifest from backup",
+                file=sys.stderr,
+            )
+            return 2
 
     problem_factory = None
     if args.topology and args.workload:
@@ -932,6 +1236,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "deploy": _cmd_deploy,
         "simulate": _cmd_simulate,
         "continuous": _cmd_continuous,
+        "serve": _cmd_serve,
         "sweep": _cmd_sweep,
         "audit": _cmd_audit,
         "cache": _cmd_cache,

@@ -33,6 +33,17 @@ Counter names in use across the tree::
     sim.serve.fast        _served_latency answered from the replica cache
     sim.serve.scan        _served_latency fell back to the full scan
     sim.cache.repair      nearest-replica cache column recomputed
+    service.requests      HTTP requests the placement service accepted
+    service.epoch         daemon epochs stepped (also a timer)
+    service.cache.hit / service.cache.miss   bound-query result cache
+    service.coalesced     queries folded into an identical in-flight solve
+    service.shed          admission-queue rejections (HTTP 429)
+    service.deadline      per-request deadlines that expired (HTTP 504)
+    service.stale         degraded last-known-good answers (stale=true)
+    service.breaker.trip  circuit breaker transitions to open
+    service.drop          connections dropped by chaos injection
+    service.recover       daemon restarts that resumed from a checkpoint
+    service.supervisor.restart   in-process supervisor restarts
 
 Multiprocessing caveat: each worker process has its own ``PERF``; the
 profile a runner emits covers the parent process only.  Run with

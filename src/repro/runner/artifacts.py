@@ -25,12 +25,37 @@ runs still get fresh timestamped homes.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.runner.digest import SCHEMA_VERSION, digest_of
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via mkstemp + ``os.replace``.
+
+    The manifest is rewritten after every task; a crash (or a ``kill -9``)
+    mid-flush must never leave a torn ``manifest.json`` behind — readers
+    (``--resume``, ``repro audit``, the service checkpoint recovery) always
+    see either the previous complete snapshot or the new one.  Same pattern
+    as :meth:`repro.runner.cache.ResultCache.store`.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 @dataclass
@@ -153,7 +178,7 @@ class RunWriter:
         if body is not None:
             run_dir = self._ensure_dir()
             rec.file = f"tasks/{rec.index:03d}-{key[:12]}.json"
-            (run_dir / rec.file).write_text(json.dumps(body))
+            atomic_write_text(run_dir / rec.file, json.dumps(body))
         self._flush_manifest()
 
     def manifest(self, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
@@ -225,15 +250,15 @@ class RunWriter:
     def _flush_manifest(self, extra: Optional[Dict[str, Any]] = None) -> None:
         """Write the current manifest snapshot (cheap; called per record)."""
         run_dir = self._ensure_dir()
-        (run_dir / "manifest.json").write_text(
-            json.dumps(self.manifest(extra), indent=2)
+        atomic_write_text(
+            run_dir / "manifest.json", json.dumps(self.manifest(extra), indent=2)
         )
 
     def finalize(self, extra: Optional[Dict[str, Any]] = None) -> Path:
         """Write the final ``manifest.json`` and ``timing.txt``; return the run dir."""
         run_dir = self._ensure_dir()
         manifest = self.manifest(extra)
-        (run_dir / "manifest.json").write_text(json.dumps(manifest, indent=2))
+        atomic_write_text(run_dir / "manifest.json", json.dumps(manifest, indent=2))
 
         width = max([len(r.label) for r in self.records], default=5)
         lines = [
@@ -256,5 +281,5 @@ class RunWriter:
             f"{'total'.ljust(width)}  {'':8s}  {manifest['seconds']:8.3f}"
             f"  (wall {manifest['wall_seconds']:.3f}s)"
         )
-        (run_dir / "timing.txt").write_text("\n".join(lines) + "\n")
+        atomic_write_text(run_dir / "timing.txt", "\n".join(lines) + "\n")
         return run_dir

@@ -322,7 +322,14 @@ class ExperimentRunner:
                 )
                 continue
             results[i] = outcome.result
-            if self.cache is not None:
+            # A gracefully-interrupted result (SIGTERM between epochs) covers
+            # only part of the task's horizon: caching it under the full
+            # task digest would poison every later warm run, and a resume
+            # must re-execute it — so it is recorded but never cached and
+            # its manifest row carries status "interrupted", which
+            # ResumeState refuses to serve.
+            interrupted = bool(getattr(outcome.result, "interrupted", False))
+            if self.cache is not None and not interrupted:
                 self.cache.store(
                     keys[i], tasks[i].kind, tasks[i].encode(outcome.result),
                     outcome.seconds,
@@ -332,11 +339,12 @@ class ExperimentRunner:
                 seconds=outcome.seconds, result=outcome.result,
                 attempts=outcome.attempts,
                 audit=getattr(outcome.result, "audit", None),
+                status="interrupted" if interrupted else "ok",
             )
 
     def _record(
         self, i, tasks, keys, record_ids, *, cached, seconds,
-        result=None, failure=None, attempts=0, audit=None,
+        result=None, failure=None, attempts=0, audit=None, status="ok",
     ) -> None:
         if self.artifacts is None:
             return
@@ -360,7 +368,7 @@ class ExperimentRunner:
         else:
             self.artifacts.record(
                 index=index, kind=task.kind, label=task.label, key=keys[i],
-                cached=cached, seconds=seconds, status="ok", attempts=attempts,
+                cached=cached, seconds=seconds, status=status, attempts=attempts,
                 payload=task.encode(result), meta=meta,
                 audit=None if audit is None else audit.to_dict(),
             )

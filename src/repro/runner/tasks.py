@@ -433,9 +433,15 @@ class ContinuousTask:
     def reuse_key(self) -> Optional[str]:
         return None
 
-    def run(self):
+    def materialize(self):
+        """``(traces, schedule, slo)`` deterministically from the task's fields.
+
+        The placement-service daemon steps epochs itself (checkpointing at
+        each boundary), so the workload/fault materialization is factored
+        out of :meth:`run` — both paths must see byte-identical inputs for
+        crash recovery to converge on the batch run's placements.
+        """
         from repro.faults import AvailabilitySLO, parse_faults
-        from repro.simulator.continuous import run_continuous
         from repro.workload.drift import drifting_traces
 
         duration_s = self.epochs * self.epoch_s
@@ -462,19 +468,27 @@ class ContinuousTask:
             populations=self.topology.populations,
             seed=self.workload_seed,
         )
+        slo = None if self.slo is None else AvailabilitySLO(self.slo)
+        return traces, schedule, slo
+
+    def run(self, stop=None):
+        from repro.simulator.continuous import run_continuous
+
+        traces, schedule, slo = self.materialize()
         return run_continuous(
             self.topology,
             traces,
             self.heuristic.build,
             tlat_ms=self.tlat_ms,
             faults=schedule,
-            slo=None if self.slo is None else AvailabilitySLO(self.slo),
+            slo=slo,
             capacity=self.shed_capacity,
             object_size_bytes=self.object_size_bytes,
             alpha=self.alpha,
             beta=self.beta,
             cost_interval_s=self.cost_interval_s,
             warmup_s=self.warmup_s,
+            stop=stop,
         )
 
     def audit_cached(self, result, key: str = ""):

@@ -1,0 +1,58 @@
+"""Placement-as-a-service: query front-end + supervised placement daemon.
+
+The batch pipeline answers "where should object X live / what does class C
+cost" once per invocation and forgets everything when the process exits.
+This package keeps answering — robustness-first:
+
+* :mod:`repro.service.server` — a stdlib-asyncio HTTP/JSON endpoint serving
+  placement / bound / cost queries against the daemon's live state, with
+  single-flight request coalescing, per-request deadlines and an in-memory
+  result cache keyed by the runner's content digests;
+* :mod:`repro.service.daemon` — the continuous-placement epoch loop
+  (:mod:`repro.simulator.continuous`) wrapped in a supervisor with a
+  write-ahead journal + atomic snapshots (:mod:`repro.service.checkpoint`),
+  so a ``kill -9`` mid-epoch restarts from the last epoch boundary and
+  converges to the same placements an uninterrupted run produces;
+* :mod:`repro.service.admission` / :mod:`repro.service.breaker` — overload
+  and failure hardening: a bounded admission queue shedding load with
+  429-style rejections, and a circuit breaker around the solver tier
+  (:mod:`repro.solvers.registry`) that trips on repeated timeouts and
+  degrades to serving last-known-good answers marked ``stale``;
+* :mod:`repro.service.chaos` — deterministic ``REPRO_SERVICE_CHAOS`` fault
+  injection (dropped connections, slow solves, crash-on-checkpoint) so
+  every recovery path is testable;
+* :mod:`repro.service.loadgen` — a closed-loop load generator (used by
+  ``benchmarks/test_service_load.py`` and CI's service-smoke job) that
+  accounts for every request it issues, so a silently dropped response is
+  a hard failure, not a gap in a histogram.
+
+Entry point: ``repro serve`` (see :mod:`repro.cli`); docs in
+``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+from repro.service.admission import AdmissionQueue, QueueFullError
+from repro.service.breaker import BreakerOpenError, CircuitBreaker
+from repro.service.chaos import SERVICE_CHAOS_ENV, ServiceChaos, parse_service_chaos
+from repro.service.checkpoint import CheckpointStore
+from repro.service.client import ServiceClient
+from repro.service.daemon import PlacementDaemon, Supervisor
+from repro.service.loadgen import run_load
+from repro.service.server import PlacementService
+
+__all__ = [
+    "AdmissionQueue",
+    "BreakerOpenError",
+    "CheckpointStore",
+    "CircuitBreaker",
+    "PlacementDaemon",
+    "PlacementService",
+    "QueueFullError",
+    "SERVICE_CHAOS_ENV",
+    "ServiceChaos",
+    "ServiceClient",
+    "Supervisor",
+    "parse_service_chaos",
+    "run_load",
+]

@@ -1,0 +1,83 @@
+"""Bounded admission for the solver tier: shed load instead of queueing it.
+
+An unbounded queue converts overload into latency until every deadline in
+the system is blown; a bounded one converts it into fast, honest
+rejections the client can retry.  Only the *expensive* endpoints (bound /
+cost queries that may dispatch an LP solve) pass through admission — the
+cheap ones (placement lookups, health probes) must stay answerable even
+when the solver tier is saturated, because that is exactly when operators
+need them.
+
+Rejections carry ``retry_after_s`` and surface as HTTP 429 with a
+``Retry-After`` header; the ``service.shed`` counter feeds the /stats
+endpoint and BENCH_service.json.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from repro.perf import PERF
+
+
+class QueueFullError(RuntimeError):
+    """The admission queue is at capacity; retry after ``retry_after_s``."""
+
+    def __init__(self, retry_after_s: float):
+        super().__init__(
+            f"admission queue full; retry after {retry_after_s:g}s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionQueue:
+    """A counting semaphore that refuses instead of blocking."""
+
+    def __init__(self, limit: int = 8, retry_after_s: float = 1.0):
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self.admitted = 0
+        self.shed = 0
+
+    def acquire(self) -> None:
+        """Admit one request or raise :class:`QueueFullError` immediately."""
+        with self._lock:
+            if self._in_flight >= self.limit:
+                self.shed += 1
+                PERF.count("service.shed")
+                raise QueueFullError(self.retry_after_s)
+            self._in_flight += 1
+            self.admitted += 1
+
+    def release(self) -> None:
+        with self._lock:
+            if self._in_flight > 0:
+                self._in_flight -= 1
+
+    def __enter__(self) -> "AdmissionQueue":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def status(self) -> Dict[str, object]:
+        """JSON-safe snapshot for ``/stats``."""
+        with self._lock:
+            return {
+                "limit": self.limit,
+                "in_flight": self._in_flight,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "retry_after_s": self.retry_after_s,
+            }

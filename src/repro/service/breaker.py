@@ -1,0 +1,165 @@
+"""Circuit breaker around the solver tier.
+
+A placement service that re-solves an LP per query dies the moment the
+solver tier degrades: every request queues behind a hung solve, the
+admission queue fills, and the cheap queries (placement lookups, health
+probes) starve behind the expensive ones.  The breaker cuts that failure
+mode off:
+
+* **closed** — solves flow; consecutive failures (timeouts, solver
+  crashes) are counted;
+* **open** — after ``failure_threshold`` consecutive failures the breaker
+  trips: solver dispatches fail *immediately* with
+  :class:`BreakerOpenError` and the service answers from its
+  last-known-good results marked ``stale=true`` instead of erroring;
+* **half-open** — after ``cooldown_s`` one probe solve is allowed through;
+  success closes the breaker, failure re-opens it and re-arms the
+  cooldown.
+
+The service installs :meth:`CircuitBreaker.guard` as the solver registry's
+dispatch guard (:func:`repro.solvers.registry.install_solve_guard`), so
+every LP solve in the process — query-driven or daemon-driven — feeds the
+same failure accounting and is refused fast while the breaker is open.
+
+Thread-safe: solves run on executor threads while the asyncio loop checks
+state.  The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+from repro.perf import PERF
+
+#: Breaker states (exposed via :attr:`CircuitBreaker.state` and /stats).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class BreakerOpenError(RuntimeError):
+    """Raised instead of dispatching a solve while the breaker is open."""
+
+
+class CircuitBreaker:
+    """Trip after consecutive solver failures; recover via half-open probes."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.trips = 0
+        self.successes = 0
+        self.failures_total = 0
+        self.refused = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._peek()
+
+    def _peek(self) -> str:
+        """Current state under the lock, promoting open -> half-open."""
+        if self._state == OPEN and self._clock() - self._opened_at >= self.cooldown_s:
+            self._state = HALF_OPEN
+            self._probing = False
+        return self._state
+
+    @property
+    def is_open(self) -> bool:
+        return self.state == OPEN
+
+    def allow(self) -> bool:
+        """Whether a solve may be dispatched right now.
+
+        In half-open state exactly one caller wins the probe slot; everyone
+        else keeps being refused until the probe settles.
+        """
+        with self._lock:
+            state = self._peek()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            self.refused += 1
+            return False
+
+    # -- accounting ----------------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            self.successes += 1
+            if self._state != CLOSED:
+                self._state = CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures_total += 1
+            self._probing = False
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open, cooldown re-armed.
+                self._trip()
+                return
+            self._failures += 1
+            if self._state == CLOSED and self._failures >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._failures = 0
+        self.trips += 1
+        PERF.count("service.breaker.trip")
+
+    # -- call wrappers -------------------------------------------------------
+
+    def call(self, fn: Callable[[], object]) -> object:
+        """Run ``fn`` under breaker accounting; refuse fast when open."""
+        if not self.allow():
+            raise BreakerOpenError(
+                f"solver circuit open (cooldown {self.cooldown_s:g}s)"
+            )
+        try:
+            result = fn()
+        except BaseException:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def guard(self, backend: str, thunk: Callable[[], object]) -> object:
+        """Adapter matching :func:`repro.solvers.registry.install_solve_guard`."""
+        return self.call(thunk)
+
+    def status(self) -> Dict[str, object]:
+        """JSON-safe snapshot for ``/stats``."""
+        return {
+            "state": self.state,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_s": self.cooldown_s,
+            "trips": self.trips,
+            "successes": self.successes,
+            "failures": self.failures_total,
+            "refused": self.refused,
+        }

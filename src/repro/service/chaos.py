@@ -1,0 +1,122 @@
+"""Deterministic fault injection for the placement service.
+
+Every recovery path the service claims to have must be drivable from a
+test, so the failure modes are injected, not hoped for.  The
+``REPRO_SERVICE_CHAOS`` environment variable configures the injection with
+comma-separated clauses, mirroring the runner's ``REPRO_CHAOS`` grammar
+(:mod:`repro.runner.resilience`)::
+
+    REPRO_SERVICE_CHAOS="drop=0.1,slow=0.5,slow_ms=200,seed=7"
+    REPRO_SERVICE_CHAOS="crash_at_epoch=2"
+    REPRO_SERVICE_CHAOS="crash_checkpoint_at=3"
+
+Clauses:
+
+``drop=<p>``
+    Probability of closing an accepted connection without responding —
+    the load generator must account these as connection errors, never as
+    silent losses.
+``slow=<p>`` / ``slow_ms=<n>``
+    Probability of sleeping ``slow_ms`` inside a solver-tier solve; with a
+    short ``--solve-timeout`` this deterministically trips the circuit
+    breaker.
+``crash_at_epoch=<n>``
+    ``os._exit`` the process while epoch ``n`` is being computed, *before*
+    its journal record is written — the "kill -9 mid-epoch" case; recovery
+    replays epoch ``n`` from the previous boundary.
+``crash_checkpoint_at=<n>``
+    ``os._exit`` after epoch ``n``'s journal append but *before* the
+    snapshot is rewritten — the torn-checkpoint case; recovery must take
+    the journal record over the stale snapshot.
+``seed=<n>``
+    Seed for the probabilistic draws (deterministic per site + counter).
+
+All probabilistic draws are a SHA-256 of ``(seed, site, counter)``, so a
+run with a fixed seed injects the same faults every time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+#: Environment hook configuring service-level fault injection.
+SERVICE_CHAOS_ENV = "REPRO_SERVICE_CHAOS"
+
+#: Exit status used by injected crashes, distinguishable from SIGKILL's 137
+#: so tests can tell an injected crash from an external kill.
+CHAOS_EXIT_CODE = 57
+
+
+@dataclass(frozen=True)
+class ServiceChaos:
+    """Parsed ``REPRO_SERVICE_CHAOS`` configuration."""
+
+    drop: float = 0.0
+    slow: float = 0.0
+    slow_ms: float = 100.0
+    crash_at_epoch: int = -1
+    crash_checkpoint_at: int = -1
+    seed: int = 0
+
+    def _draw(self, site: str, counter: int) -> float:
+        token = f"{self.seed}:{site}:{counter}".encode()
+        return int.from_bytes(hashlib.sha256(token).digest()[:4], "big") / 2**32
+
+    def should_drop(self, counter: int) -> bool:
+        return self.drop > 0.0 and self._draw("drop", counter) < self.drop
+
+    def should_slow(self, counter: int) -> bool:
+        return self.slow > 0.0 and self._draw("slow", counter) < self.slow
+
+    def maybe_crash_epoch(self, index: int) -> None:
+        """Die mid-epoch (before the journal record) when configured."""
+        if index == self.crash_at_epoch:
+            _crash(f"mid-epoch {index}")
+
+    def maybe_crash_checkpoint(self, index: int) -> None:
+        """Die between journal append and snapshot when configured."""
+        if index == self.crash_checkpoint_at:
+            _crash(f"checkpoint after epoch {index}")
+
+
+def _crash(where: str) -> None:
+    """Simulate a hard crash: no cleanup, no flushes, no excuses."""
+    os.write(2, f"chaos: injected crash ({where})\n".encode())
+    os._exit(CHAOS_EXIT_CODE)
+
+
+def parse_service_chaos(raw: Optional[str] = None) -> Optional[ServiceChaos]:
+    """Parse a chaos spec string (default: the env var); None when unset."""
+    if raw is None:
+        raw = os.environ.get(SERVICE_CHAOS_ENV, "")
+    raw = raw.strip()
+    if not raw:
+        return None
+    fields = {
+        "drop": 0.0,
+        "slow": 0.0,
+        "slow_ms": 100.0,
+        "crash_at_epoch": -1.0,
+        "crash_checkpoint_at": -1.0,
+        "seed": 0.0,
+    }
+    for clause in raw.split(","):
+        name, _, value = clause.partition("=")
+        name = name.strip()
+        if name not in fields or not value:
+            raise ValueError(f"bad {SERVICE_CHAOS_ENV} clause: {clause!r}")
+        try:
+            fields[name] = float(value)
+        except ValueError:
+            raise ValueError(f"bad {SERVICE_CHAOS_ENV} clause: {clause!r}") from None
+    return ServiceChaos(
+        drop=fields["drop"],
+        slow=fields["slow"],
+        slow_ms=fields["slow_ms"],
+        crash_at_epoch=int(fields["crash_at_epoch"]),
+        crash_checkpoint_at=int(fields["crash_checkpoint_at"]),
+        seed=int(fields["seed"]),
+    )

@@ -1,0 +1,145 @@
+"""A minimal blocking HTTP client for the placement service.
+
+Used by the load generator, the tests and CI's service-smoke job — all of
+which need exact failure taxonomy more than throughput.  Every call
+resolves to one of three outcomes:
+
+* a parsed :class:`ServiceResponse` (any HTTP status — 429 and 503 are
+  *answers*, not errors);
+* :class:`ServiceConnectionError` — the connection was refused, reset or
+  closed before a full response arrived (chaos ``drop`` lands here);
+* ``socket.timeout`` propagated from the deadline.
+
+There is deliberately no retry logic here: callers (the load generator,
+the smoke script) decide retry policy, because blind client retries would
+hide exactly the shedding and breaker behaviour this service exists to
+make visible.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class ServiceConnectionError(ConnectionError):
+    """The service dropped the connection before answering."""
+
+
+@dataclass
+class ServiceResponse:
+    """One parsed HTTP response."""
+
+    status: int
+    payload: Dict[str, object] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def retry_after_s(self) -> Optional[float]:
+        value = self.headers.get("retry-after")
+        return None if value is None else float(value)
+
+
+class ServiceClient:
+    """One-request-per-connection client matching the server's HTTP subset."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 10.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, object]] = None
+    ) -> ServiceResponse:
+        raw_body = b"" if body is None else json.dumps(body).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(raw_body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            ) as sock:
+                sock.sendall(head.encode() + raw_body)
+                chunks = []
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+        except socket.timeout:
+            raise
+        except OSError as exc:
+            raise ServiceConnectionError(f"connection failed: {exc}") from exc
+        return self._parse(b"".join(chunks))
+
+    @staticmethod
+    def _parse(raw: bytes) -> ServiceResponse:
+        if b"\r\n\r\n" not in raw:
+            raise ServiceConnectionError("connection closed before response")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServiceConnectionError(f"malformed status line: {lines[0]!r}")
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", len(body)))
+        if len(body) < length:
+            raise ServiceConnectionError("connection closed mid-body")
+        payload: Dict[str, object] = {}
+        if body:
+            try:
+                payload = json.loads(body[:length].decode())
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                raise ServiceConnectionError("response body is not JSON") from None
+        return ServiceResponse(status=int(parts[1]), payload=payload, headers=headers)
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> ServiceResponse:
+        return self._request("GET", "/health")
+
+    def ready(self) -> ServiceResponse:
+        return self._request("GET", "/ready")
+
+    def stats(self) -> ServiceResponse:
+        return self._request("GET", "/stats")
+
+    def query(self, **query: object) -> ServiceResponse:
+        return self._request("POST", "/query", query)
+
+    def placement(self) -> ServiceResponse:
+        return self.query(kind="placement")
+
+    def cost(self) -> ServiceResponse:
+        return self.query(kind="cost")
+
+    def bound(self, klass: str = "general", **extra: object) -> ServiceResponse:
+        return self.query(kind="bound", **{"class": klass, **extra})
+
+    def wait_ready(self, timeout_s: float = 60.0, poll_s: float = 0.1) -> bool:
+        """Poll ``/ready`` until it flips (True) or the timeout lapses."""
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            try:
+                if self.ready().ok:
+                    return True
+            except (ServiceConnectionError, OSError):
+                pass
+            time.sleep(poll_s)
+        return False

@@ -1,0 +1,233 @@
+"""The supervised placement daemon: epoch loop + checkpoints + recovery.
+
+:class:`PlacementDaemon` owns one :class:`~repro.runner.tasks.ContinuousTask`
+and advances it epoch by epoch with the pure stepper
+(:func:`repro.simulator.continuous.step_epoch`), persisting every completed
+epoch through a :class:`~repro.service.checkpoint.CheckpointStore` before
+the next one starts.  Because the per-epoch inputs (drifted traces, fault
+slices) are deterministic in the task's seeds, a process that dies at any
+point — mid-epoch, mid-append, between journal and snapshot — restarts,
+recovers the newest durable state, replays the interrupted epoch, and
+converges on exactly the placements an uninterrupted run produces.
+
+:class:`Supervisor` is the in-process restart policy around that loop:
+an epoch that raises is retried from the last durable checkpoint with
+exponential backoff, up to ``max_restarts`` — past that the failure is
+structural and escalating is correct.  Process-level crashes (``kill -9``,
+injected :mod:`~repro.service.chaos` exits) are handled one level up, by
+whatever respawns ``repro serve``; recovery is identical either way.
+
+Thread model: the daemon loop runs on a worker thread while the asyncio
+server (:mod:`repro.service.server`) reads ``state`` for queries; the
+state reference is swapped atomically under a lock and states are never
+mutated after publication.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.perf import PERF
+from repro.runner.tasks import ContinuousTask
+from repro.service.chaos import ServiceChaos
+from repro.service.checkpoint import CheckpointStore
+from repro.simulator.continuous import (
+    ContinuousResult,
+    ContinuousState,
+    finalize_continuous,
+    step_epoch,
+)
+
+
+class PlacementDaemon:
+    """Epoch-at-a-time driver for one continuous-placement task."""
+
+    def __init__(
+        self,
+        task: ContinuousTask,
+        store: CheckpointStore,
+        *,
+        chaos: Optional[ServiceChaos] = None,
+        epoch_interval_s: float = 0.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.task = task
+        self.store = store
+        self.chaos = chaos
+        self.epoch_interval_s = epoch_interval_s
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._state = ContinuousState()
+        # Deterministic in the task's seeds — the crash-recovery contract.
+        self._traces, self._schedule, self._slo = task.materialize()
+        self.recovered_from: Optional[int] = None
+
+    # -- state access (server-facing) ----------------------------------------
+
+    @property
+    def state(self) -> ContinuousState:
+        with self._lock:
+            return self._state
+
+    def _publish(self, state: ContinuousState) -> None:
+        with self._lock:
+            self._state = state
+
+    @property
+    def done(self) -> bool:
+        return self.state.index >= self.task.epochs
+
+    @property
+    def ready(self) -> bool:
+        """Readiness = at least one epoch completed and durable."""
+        return self.state.index >= 1
+
+    def result(self, interrupted: bool = False) -> ContinuousResult:
+        return finalize_continuous(
+            self.task.topology,
+            self.state,
+            object_size_bytes=self.task.object_size_bytes,
+            slo=self._slo,
+            interrupted=interrupted,
+        )
+
+    def placement_payload(self) -> Dict[str, object]:
+        """The current placement answer, straight from published state."""
+        state = self.state
+        topo = self.task.topology
+        spread = {topo.origin}
+        spread.update(n for n, _ in state.carried)
+        return {
+            "epoch": state.index,
+            "epochs_total": self.task.epochs,
+            "heuristic": state.heuristic_name or self.task.heuristic.name,
+            "placement": [[int(n), int(o)] for n, o in state.carried],
+            "replicas": len(state.carried),
+            "unique_zones": len(topo.zones_of(spread)),
+            "done": state.index >= self.task.epochs,
+        }
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self) -> int:
+        """Restore the newest durable state; returns the resume epoch index."""
+        state = self.store.recover()
+        if state is not None:
+            self._publish(state)
+            self.recovered_from = state.index
+            PERF.count("service.recover")
+        return self.state.index
+
+    # -- the loop ------------------------------------------------------------
+
+    def run_epoch(self) -> bool:
+        """Advance one epoch; False when the task is already complete.
+
+        Durability ordering per epoch ``i``: compute → journal append
+        (fsynced) → snapshot on schedule → publish to queries.  The chaos
+        hooks sit exactly on the two crash windows recovery must cover:
+        before the journal record (replay epoch ``i``) and between append
+        and snapshot (journal must win over the stale snapshot).
+        """
+        state = self.state
+        if state.index >= self.task.epochs:
+            return False
+        idx = state.index
+        if self.chaos is not None:
+            self.chaos.maybe_crash_epoch(idx)
+        with PERF.timer("service.epoch"):
+            new_state, _report, _sim = step_epoch(
+                self.task.topology,
+                self._traces[idx],
+                self.task.heuristic.build,
+                state,
+                self.task.tlat_ms,
+                faults=self._schedule,
+                slo=self._slo,
+                capacity=self.task.shed_capacity,
+                object_size_bytes=self.task.object_size_bytes,
+                alpha=self.task.alpha,
+                beta=self.task.beta,
+                cost_interval_s=self.task.cost_interval_s,
+                warmup_s=self.task.warmup_s,
+            )
+        self.store.append(new_state)
+        if self.chaos is not None:
+            self.chaos.maybe_crash_checkpoint(idx)
+        if new_state.index % self.store.snapshot_every == 0:
+            self.store.snapshot(new_state)
+        self._publish(new_state)
+        PERF.count("service.epoch")
+        return True
+
+    def run_to_completion(self, stop: Optional[Callable[[], bool]] = None) -> bool:
+        """Step epochs until done or ``stop()``; True when the task finished.
+
+        The pacing sleep comes *before* each epoch so a freshly started
+        service is observably unready until its first epoch lands — the
+        readiness flip CI's smoke test asserts on.
+        """
+        while not self.done:
+            if stop is not None and stop():
+                return False
+            if self.epoch_interval_s > 0:
+                self._sleep(self.epoch_interval_s)
+                if stop is not None and stop():
+                    return False
+            self.run_epoch()
+        return True
+
+
+class Supervisor:
+    """Restart-from-checkpoint policy around the daemon loop."""
+
+    def __init__(
+        self,
+        daemon: PlacementDaemon,
+        max_restarts: int = 3,
+        backoff_s: float = 0.5,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.daemon = daemon
+        self.max_restarts = max_restarts
+        self.backoff_s = backoff_s
+        self._sleep = sleep
+        self.restarts = 0
+        self.last_error: Optional[str] = None
+
+    def run(self, stop: Optional[Callable[[], bool]] = None) -> bool:
+        """Drive the daemon to completion; True when all epochs finished.
+
+        A raising epoch is retried from the last durable checkpoint with
+        exponential backoff.  More than ``max_restarts`` consecutive
+        failures means the fault is deterministic, not transient — the
+        exception escalates rather than looping forever.
+        """
+        while True:
+            try:
+                return self.daemon.run_to_completion(stop)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                self.restarts += 1
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                PERF.count("service.supervisor.restart")
+                if self.restarts > self.max_restarts:
+                    raise
+                self._sleep(self.backoff_s * 2 ** (self.restarts - 1))
+                self.daemon.recover()
+
+    def status(self) -> Dict[str, object]:
+        """JSON-safe snapshot for ``/stats``."""
+        return {
+            "restarts": self.restarts,
+            "max_restarts": self.max_restarts,
+            "last_error": self.last_error,
+            "recovered_from": self.daemon.recovered_from,
+            "epoch": self.daemon.state.index,
+            "epochs_total": self.daemon.task.epochs,
+            "done": self.daemon.done,
+            "ready": self.daemon.ready,
+        }

@@ -23,6 +23,16 @@ sequence of epochs:
 The result aggregates per-epoch reports plus the final placement and its
 zone spread, so heuristics can be ranked by the three axes that matter for
 continuous operation: serve cost, migration traffic, and SLO compliance.
+
+The loop is factored into a *pure* per-epoch step so long-running callers
+can checkpoint at epoch boundaries: :class:`ContinuousState` is the entire
+inter-epoch carry (cursor, adopted placement, shed-value demand, reports)
+and :func:`step_epoch` maps ``(state, trace) -> state'`` without mutating
+its input.  :func:`run_continuous` is the batch driver over that step; the
+placement service daemon (:mod:`repro.service.daemon`) is the supervised
+one, journaling each post-epoch state so a ``kill -9`` mid-epoch replays
+the interrupted epoch deterministically and converges to the same
+placements an uninterrupted run produces.
 """
 
 from __future__ import annotations
@@ -98,6 +108,10 @@ class ContinuousResult:
     epochs: List[EpochReport] = field(default_factory=list)
     final_placement: List[Tuple[int, int]] = field(default_factory=list)
     final_unique_zones: int = 0
+    #: True when the run was stopped early (SIGTERM drain / daemon stop):
+    #: the epochs recorded are valid, but the horizon was not completed, so
+    #: the result must never be cached under the full task's digest.
+    interrupted: bool = False
 
     @property
     def serve_cost(self) -> float:
@@ -146,6 +160,7 @@ class ContinuousResult:
             "epochs": [e.to_dict() for e in self.epochs],
             "final_placement": [[int(n), int(o)] for n, o in self.final_placement],
             "final_unique_zones": self.final_unique_zones,
+            "interrupted": self.interrupted,
         }
 
     @staticmethod
@@ -163,11 +178,13 @@ class ContinuousResult:
                 (int(n), int(o)) for n, o in payload.get("final_placement", [])
             ],
             final_unique_zones=int(payload.get("final_unique_zones", 0)),
+            interrupted=bool(payload.get("interrupted", False)),
         )
 
     def __str__(self) -> str:
         text = (
-            f"{self.heuristic}: {len(self.epochs)} epochs, "
+            f"{self.heuristic}: {len(self.epochs)} epochs"
+            f"{' (interrupted)' if self.interrupted else ''}, "
             f"serve_cost={self.serve_cost:.1f}, "
             f"migration={self.migration_bytes:.0f}B, "
             f"availability={self.availability:.5f} "
@@ -227,6 +244,175 @@ def _epoch_demand(trace: Trace) -> Dict[Tuple[int, int], float]:
     return demand
 
 
+@dataclass
+class ContinuousState:
+    """The complete inter-epoch carry of a continuous run.
+
+    Everything the next :func:`step_epoch` call depends on lives here, so a
+    JSON round-trip of this state at an epoch boundary is a *checkpoint*:
+    restoring it and replaying the remaining epoch traces (which are
+    deterministic in their seed) reproduces the uninterrupted run exactly.
+    """
+
+    #: Index of the next epoch to run (== number of epochs completed).
+    index: int = 0
+    #: Fault-schedule time offset of the next epoch's start.
+    offset: float = 0.0
+    #: The placement carried out of the last completed epoch.
+    carried: List[Tuple[int, int]] = field(default_factory=list)
+    #: Last epoch's per-``(node, obj)`` read demand (shed-value signal);
+    #: only tracked when a shed capacity is configured.
+    prev_demand: Optional[Dict[Tuple[int, int], float]] = None
+    #: Display name captured from the first epoch's heuristic.
+    heuristic_name: str = ""
+    epochs: List[EpochReport] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding (checkpoint snapshot / journal record)."""
+        return {
+            "index": self.index,
+            "offset": self.offset,
+            "carried": [[int(n), int(o)] for n, o in self.carried],
+            "prev_demand": (
+                None
+                if self.prev_demand is None
+                else [[int(n), int(o), float(v)] for (n, o), v in sorted(self.prev_demand.items())]
+            ),
+            "heuristic_name": self.heuristic_name,
+            "epochs": [e.to_dict() for e in self.epochs],
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "ContinuousState":
+        prev = payload.get("prev_demand")
+        return ContinuousState(
+            index=int(payload["index"]),
+            offset=float(payload["offset"]),
+            carried=[(int(n), int(o)) for n, o in payload.get("carried", [])],
+            prev_demand=(
+                None
+                if prev is None
+                else {(int(n), int(o)): float(v) for n, o, v in prev}
+            ),
+            heuristic_name=str(payload.get("heuristic_name", "")),
+            epochs=[EpochReport.from_dict(e) for e in payload.get("epochs", [])],
+        )
+
+
+def step_epoch(
+    topology: Topology,
+    trace: Trace,
+    heuristic_factory: Callable[[], PlacementHeuristic],
+    state: ContinuousState,
+    tlat_ms: float,
+    *,
+    faults=None,
+    slo: Optional[AvailabilitySLO] = None,
+    capacity: Optional[int] = None,
+    object_size_bytes: float = 1.0,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    delta: float = 0.0,
+    cost_interval_s: float = 3600.0,
+    warmup_s: float = 0.0,
+) -> Tuple[ContinuousState, EpochReport, SimulationResult]:
+    """Run exactly one epoch; returns ``(new_state, report, sim_result)``.
+
+    Pure with respect to ``state``: the input is not mutated, so a caller
+    that crashes mid-step can retry from the same state and get the same
+    answer (the trace and the fault-schedule slice are both deterministic).
+    ``faults`` is the *full-horizon* schedule — the step slices out its own
+    ``[offset, offset + trace.duration_s)`` window, exactly like the batch
+    loop always did.
+    """
+    index = state.index
+    epoch_faults = None
+    if faults is not None and len(faults) > 0:
+        epoch_faults = faults.slice(state.offset, state.offset + trace.duration_s)
+    placement, shed = shed_to_capacity(state.carried, capacity, state.prev_demand)
+    heuristic = heuristic_factory()
+    sim = Simulator(
+        topology,
+        trace,
+        heuristic,
+        tlat_ms,
+        alpha=alpha,
+        beta=beta,
+        delta=delta,
+        cost_interval_s=cost_interval_s,
+        warmup_s=warmup_s if index == 0 else 0.0,
+        faults=epoch_faults,
+        initial_placement=placement if index > 0 else None,
+    )
+    result = sim.run()
+    if slo is not None:
+        apply_slo(result, slo)
+    non_origin = [n for n in topology.nodes() if n != topology.origin]
+    final = sorted(
+        (node, obj) for node in non_origin for obj in sim.state.contents(node)
+    )
+    migrated = len(set(final) - set(placement if index > 0 else []))
+    report = EpochReport(
+        index=index,
+        serve_cost=result.total_cost,
+        migration_bytes=migrated * object_size_bytes,
+        reads=result.reads,
+        unavailable_reads=result.unavailable_reads,
+        availability=result.availability,
+        qos=result.qos,
+        slo_violated=result.slo_violated,
+        creations=result.creations,
+        repairs=result.repairs,
+        shed_replicas=shed,
+        placement_size=len(final),
+    )
+    new_state = ContinuousState(
+        index=index + 1,
+        offset=state.offset + trace.duration_s,
+        carried=final,
+        prev_demand=_epoch_demand(trace) if capacity is not None else None,
+        heuristic_name=state.heuristic_name or result.heuristic,
+        epochs=state.epochs + [report],
+    )
+    return new_state, report, result
+
+
+def finalize_continuous(
+    topology: Topology,
+    state: ContinuousState,
+    *,
+    object_size_bytes: float = 1.0,
+    slo: Optional[AvailabilitySLO] = None,
+    interrupted: bool = False,
+) -> ContinuousResult:
+    """Package an inter-epoch state as the run's :class:`ContinuousResult`."""
+    # The durable origin counts toward spread — it serves like any replica.
+    spread_nodes = {topology.origin}
+    spread_nodes.update(n for n, _ in state.carried)
+    return ContinuousResult(
+        heuristic=state.heuristic_name,
+        object_size_bytes=object_size_bytes,
+        slo_target=None if slo is None else slo.target,
+        epochs=list(state.epochs),
+        final_placement=list(state.carried),
+        final_unique_zones=len(topology.zones_of(spread_nodes)),
+        interrupted=interrupted,
+    )
+
+
+#: Process-wide stop predicate consulted by :func:`run_continuous` when the
+#: caller passes no explicit ``stop``.  The CLI's signal handlers install a
+#: flag check here because the task object itself must stay picklable (a
+#: callable field would break the process-pool path).
+_GLOBAL_STOP: Optional[Callable[[], bool]] = None
+
+
+def install_stop_check(fn: Optional[Callable[[], bool]]) -> None:
+    """Install (or clear, with None) the process-wide graceful-stop check."""
+    global _GLOBAL_STOP
+    _GLOBAL_STOP = fn
+
+
 def run_continuous(
     topology: Topology,
     traces: Sequence[Trace],
@@ -243,6 +429,7 @@ def run_continuous(
     cost_interval_s: float = 3600.0,
     warmup_s: float = 0.0,
     on_epoch: Optional[Callable[[EpochReport, SimulationResult], None]] = None,
+    stop: Optional[Callable[[], bool]] = None,
 ) -> ContinuousResult:
     """Run one heuristic through a sequence of epoch traces.
 
@@ -274,6 +461,12 @@ def run_continuous(
         warmed system.
     on_epoch:
         Optional callback fired after each epoch (progress reporting).
+    stop:
+        Optional zero-argument predicate checked *between* epochs (a signal
+        handler's flag, typically).  When it returns True the run ends at
+        the last completed epoch boundary with ``interrupted=True`` — the
+        completed epochs are intact, nothing mid-epoch is lost, and the
+        runner layer refuses to cache the partial result.
     """
     if not traces:
         raise ValueError("need at least one epoch trace")
@@ -286,70 +479,37 @@ def run_continuous(
     if faults is not None and len(faults) > 0:
         faults.validate_for(topology)
 
-    carried: List[Tuple[int, int]] = []
-    prev_demand: Optional[Dict[Tuple[int, int], float]] = None
-    offset = 0.0
-    epochs: List[EpochReport] = []
-    heuristic_name = ""
-    non_origin = [n for n in topology.nodes() if n != topology.origin]
-
-    for index, trace in enumerate(traces):
-        epoch_faults = None
-        if faults is not None and len(faults) > 0:
-            epoch_faults = faults.slice(offset, offset + trace.duration_s)
-        placement, shed = shed_to_capacity(carried, capacity, prev_demand)
-        heuristic = heuristic_factory()
-        sim = Simulator(
+    if stop is None:
+        stop = _GLOBAL_STOP
+    state = ContinuousState()
+    interrupted = False
+    for trace in traces:
+        if stop is not None and stop():
+            interrupted = True
+            break
+        state, report, result = step_epoch(
             topology,
             trace,
-            heuristic,
+            heuristic_factory,
+            state,
             tlat_ms,
+            faults=faults,
+            slo=slo,
+            capacity=capacity,
+            object_size_bytes=object_size_bytes,
             alpha=alpha,
             beta=beta,
             delta=delta,
             cost_interval_s=cost_interval_s,
-            warmup_s=warmup_s if index == 0 else 0.0,
-            faults=epoch_faults,
-            initial_placement=placement if index > 0 else None,
+            warmup_s=warmup_s,
         )
-        result = sim.run()
-        if index == 0:
-            heuristic_name = result.heuristic
-        if slo is not None:
-            apply_slo(result, slo)
-        final = sorted(
-            (node, obj) for node in non_origin for obj in sim.state.contents(node)
-        )
-        migrated = len(set(final) - set(placement if index > 0 else []))
-        report = EpochReport(
-            index=index,
-            serve_cost=result.total_cost,
-            migration_bytes=migrated * object_size_bytes,
-            reads=result.reads,
-            unavailable_reads=result.unavailable_reads,
-            availability=result.availability,
-            qos=result.qos,
-            slo_violated=result.slo_violated,
-            creations=result.creations,
-            repairs=result.repairs,
-            shed_replicas=shed,
-            placement_size=len(final),
-        )
-        epochs.append(report)
         if on_epoch is not None:
             on_epoch(report, result)
-        carried = final
-        prev_demand = _epoch_demand(trace) if capacity is not None else None
-        offset += trace.duration_s
 
-    # The durable origin counts toward spread — it serves like any replica.
-    spread_nodes = {topology.origin}
-    spread_nodes.update(n for n, _ in carried)
-    return ContinuousResult(
-        heuristic=heuristic_name,
+    return finalize_continuous(
+        topology,
+        state,
         object_size_bytes=object_size_bytes,
-        slo_target=None if slo is None else slo.target,
-        epochs=epochs,
-        final_placement=carried,
-        final_unique_zones=len(topology.zones_of(spread_nodes)),
+        slo=slo,
+        interrupted=interrupted,
     )

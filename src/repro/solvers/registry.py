@@ -148,15 +148,34 @@ register_backend(
 )
 
 
+#: Optional dispatch guard: ``guard(backend_name, solve_thunk) -> result``.
+#: The placement service installs its circuit breaker here so *every* LP
+#: dispatch in the process — bound queries, daemon re-solves — feeds the
+#: breaker's failure accounting and is refused fast while it is open.
+_GUARD: Optional[Callable[[str, Callable[[], object]], object]] = None
+
+
+def install_solve_guard(
+    guard: Optional[Callable[[str, Callable[[], object]], object]],
+) -> None:
+    """Install (or clear, with None) the process-wide LP dispatch guard."""
+    global _GUARD
+    _GUARD = guard
+
+
 def solve_lp(model, backend: str = BACKEND_AUTO, **kwargs):
     """Dispatch ``model`` to the named LP backend.
 
     This is the registry-backed implementation behind
     :meth:`repro.lp.model.LinearProgram.solve`; the historical ``"auto"``
     semantics (try scipy, fall back to the simplex with a warning) are
-    preserved exactly.
+    preserved exactly.  When a guard is installed (the service's circuit
+    breaker), the dispatch routes through it.
     """
-    return get_backend(backend).solve(model, **kwargs)
+    solver = get_backend(backend)
+    if _GUARD is None:
+        return solver.solve(model, **kwargs)
+    return _GUARD(backend, lambda: solver.solve(model, **kwargs))
 
 
 def degrade_backend(backend: Optional[str]) -> Optional[str]:

@@ -1,0 +1,136 @@
+"""Atomic artifact writes, interrupted-result handling, torn-manifest audit."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.runner import make_runner
+from repro.runner.artifacts import atomic_write_text
+from repro.runner.cache import ResultCache
+from repro.runner.tasks import ContinuousTask, HeuristicSpec
+from repro.simulator.continuous import install_stop_check
+from repro.topology.generators import line_topology
+from repro.topology.graph import Topology
+
+
+# -- atomic_write_text --------------------------------------------------------
+
+
+def test_atomic_write_creates_and_replaces(tmp_path):
+    target = tmp_path / "manifest.json"
+    atomic_write_text(target, "first")
+    assert target.read_text() == "first"
+    atomic_write_text(target, "second")
+    assert target.read_text() == "second"
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_atomic_write_failure_leaves_no_droppings(tmp_path):
+    with pytest.raises(OSError):
+        atomic_write_text(tmp_path / "missing" / "out.txt", "data")
+    assert not list(tmp_path.glob("*.tmp"))
+    assert not (tmp_path / "out.txt").exists()
+
+
+def test_manifest_written_atomically_through_runner(tmp_path):
+    """Every manifest on disk parses — there is no observable torn state."""
+    runner = make_runner(run_dir=str(tmp_path / "runs"), label="atomic")
+    task = small_task()
+    runner.map([task])
+    runner.finalize()
+    manifests = list((tmp_path / "runs").glob("*/manifest.json"))
+    assert manifests
+    payload = json.loads(manifests[0].read_text())
+    assert payload["task_records"][0]["status"] == "ok"
+    assert not list((tmp_path / "runs").glob("*/*.tmp"))
+
+
+# -- interrupted results ------------------------------------------------------
+
+
+def zoned_topology():
+    base = line_topology(num_nodes=6, hop_latency_ms=40.0)
+    return Topology(
+        latency=base.latency,
+        origin=base.origin,
+        populations=base.populations,
+        zones=np.asarray([0, 0, 1, 1, 2, 2]),
+    )
+
+
+def small_task(**overrides):
+    params = dict(
+        topology=zoned_topology(),
+        heuristic=HeuristicSpec("qiu", replicas=1, period_s=600.0, tlat_ms=80.0),
+        epochs=3,
+        epoch_s=1800.0,
+        requests_per_epoch=150,
+        num_objects=8,
+        workload_seed=3,
+    )
+    params.update(overrides)
+    return ContinuousTask(**params)
+
+
+def test_interrupted_result_is_never_cached(tmp_path):
+    """A drained partial result must not poison the content-addressed cache."""
+    cache_dir = tmp_path / "cache"
+    run_dir = tmp_path / "runs"
+    task = small_task()
+
+    calls = []
+
+    def stop_after_one():
+        calls.append(None)
+        return len(calls) > 1
+
+    install_stop_check(stop_after_one)
+    try:
+        runner = make_runner(cache_dir=str(cache_dir), run_dir=str(run_dir), label="int")
+        result = runner.map([task])[0]
+        runner.finalize()
+    finally:
+        install_stop_check(None)
+
+    assert result.interrupted is True
+    assert len(result.epochs) == 1
+    cache = ResultCache(str(cache_dir))
+    assert cache.load(task.cache_key(), task.kind) is None, (
+        "interrupted partial result was cached under the full task digest"
+    )
+    manifest = json.loads(next(run_dir.glob("*/manifest.json")).read_text())
+    assert manifest["task_records"][0]["status"] == "interrupted"
+
+    # A clean rerun completes, and only the complete result is cached.
+    runner2 = make_runner(cache_dir=str(cache_dir), label="int2")
+    full = runner2.map([task])[0]
+    runner2.finalize()
+    assert full.interrupted is False
+    assert len(full.epochs) == 3
+    assert cache.load(task.cache_key(), task.kind) is not None
+
+
+# -- torn manifest diagnostics ------------------------------------------------
+
+
+def test_audit_torn_manifest_exits_2(tmp_path, capsys):
+    run_dir = tmp_path / "run"
+    run_dir.mkdir()
+    (run_dir / "manifest.json").write_text('{"task_records": [{"kind": "bou')
+    rc = main(["audit", str(run_dir)])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "corrupt" in err
+    assert "torn or truncated" in err
+
+
+def test_audit_missing_manifest_still_exit_1(tmp_path, capsys):
+    run_dir = tmp_path / "empty-run"
+    run_dir.mkdir()
+    rc = main(["audit", str(run_dir)])
+    capsys.readouterr()
+    assert rc == 1  # audit verdict, not an integrity pre-flight failure

@@ -1,0 +1,65 @@
+"""Bounded admission: shed at capacity, release restores capacity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import AdmissionQueue, QueueFullError
+
+
+def test_admits_up_to_limit_then_sheds():
+    queue = AdmissionQueue(limit=2, retry_after_s=0.5)
+    queue.acquire()
+    queue.acquire()
+    with pytest.raises(QueueFullError) as excinfo:
+        queue.acquire()
+    assert excinfo.value.retry_after_s == 0.5
+    assert queue.in_flight == 2
+    assert queue.shed == 1
+
+
+def test_release_restores_capacity():
+    queue = AdmissionQueue(limit=1)
+    queue.acquire()
+    queue.release()
+    queue.acquire()  # does not raise
+    assert queue.admitted == 2
+    assert queue.shed == 0
+
+
+def test_context_manager_releases_on_error():
+    queue = AdmissionQueue(limit=1)
+    with pytest.raises(RuntimeError):
+        with queue:
+            assert queue.in_flight == 1
+            raise RuntimeError("boom")
+    assert queue.in_flight == 0
+
+
+def test_shed_requests_do_not_consume_capacity():
+    queue = AdmissionQueue(limit=1)
+    queue.acquire()
+    for _ in range(3):
+        with pytest.raises(QueueFullError):
+            queue.acquire()
+    queue.release()
+    queue.acquire()
+    assert queue.shed == 3
+
+
+def test_status_snapshot():
+    queue = AdmissionQueue(limit=4, retry_after_s=2.0)
+    queue.acquire()
+    status = queue.status()
+    assert status == {
+        "limit": 4,
+        "in_flight": 1,
+        "admitted": 1,
+        "shed": 0,
+        "retry_after_s": 2.0,
+    }
+
+
+def test_rejects_nonpositive_limit():
+    with pytest.raises(ValueError):
+        AdmissionQueue(limit=0)

@@ -1,0 +1,107 @@
+"""Checkpoint store: journal, snapshots, torn-write tolerance, recovery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import CheckpointStore
+from repro.service.checkpoint import CheckpointMismatchError
+from repro.simulator.continuous import ContinuousState
+
+
+def state_at(index: int) -> ContinuousState:
+    return ContinuousState(
+        index=index,
+        offset=index * 100.0,
+        carried=[(1, 2), (3, index)],
+        heuristic_name="test-heuristic",
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return CheckpointStore(tmp_path, task_digest="digest-a", snapshot_every=2)
+
+
+def test_cold_start_recovers_nothing(store):
+    assert store.recover() is None
+
+
+def test_journal_roundtrip(store):
+    store.append(state_at(1))
+    store.append(state_at(2))
+    recovered = store.recover()
+    assert recovered is not None
+    assert recovered.index == 2
+    assert recovered.carried == [(1, 2), (3, 2)]
+
+
+def test_snapshot_truncates_journal(store):
+    store.append(state_at(1))
+    store.append(state_at(2))
+    store.snapshot(state_at(2))
+    assert store.journal_path.read_text() == ""
+    recovered = store.recover()
+    assert recovered.index == 2
+
+
+def test_checkpoint_snapshots_on_schedule(store):
+    assert store.checkpoint(state_at(1)) == "journal"
+    assert store.checkpoint(state_at(2)) == "snapshot"
+    assert store.checkpoint(state_at(3)) == "journal"
+    assert store.recover().index == 3
+
+
+def test_torn_journal_tail_is_skipped(store):
+    store.append(state_at(1))
+    store.append(state_at(2))
+    with open(store.journal_path, "a") as fh:
+        fh.write('{"schema": 1, "task": "digest-a", "index": 3, "sta')  # torn
+    assert store.recover().index == 2
+
+
+def test_torn_snapshot_falls_back_to_journal(store):
+    store.append(state_at(3))
+    store.snapshot_path.write_text('{"schema": 1, "task": "digest-a", "ind')  # torn
+    assert store.recover().index == 3
+
+
+def test_journal_wins_when_ahead_of_snapshot(store):
+    """The crash-between-append-and-snapshot window."""
+    store.snapshot(state_at(2))
+    store.append(state_at(3))
+    assert store.recover().index == 3
+
+
+def test_snapshot_wins_when_journal_truncated(store):
+    store.snapshot(state_at(4))
+    assert store.recover().index == 4
+
+
+def test_foreign_task_digest_refuses_recovery(tmp_path):
+    CheckpointStore(tmp_path, task_digest="digest-a").append(state_at(1))
+    other = CheckpointStore(tmp_path, task_digest="digest-b")
+    with pytest.raises(CheckpointMismatchError):
+        other.recover()
+
+
+def test_alien_schema_records_are_ignored(store):
+    with open(store.journal_path, "a") as fh:
+        fh.write(json.dumps({"schema": 99, "task": "digest-a", "index": 9}) + "\n")
+    store.append(state_at(1))
+    assert store.recover().index == 1
+
+
+def test_no_temp_files_left_behind(store, tmp_path):
+    store.snapshot(state_at(1))
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_status(store):
+    store.append(state_at(1))
+    status = store.status()
+    assert status["journal_records"] == 1
+    assert status["has_snapshot"] is False
+    assert status["snapshot_every"] == 2
