@@ -151,6 +151,7 @@ def compute_lower_bound(
     rounding_mode: str = "greedy",
     audit: Optional[str] = None,
     audit_subject: str = "",
+    warm_start: Optional[object] = None,
 ) -> LowerBoundResult:
     """Lower bound (and rounded feasible cost) for one heuristic class.
 
@@ -199,6 +200,13 @@ def compute_lower_bound(
         Identifier recorded on any violations — the runner passes the
         task's content digest so a flagged cell is traceable to its
         cached artifact.
+    warm_start:
+        Basis hint for the LP solve — a :class:`~repro.lp.basis.Basis` or
+        a previous :class:`~repro.lp.solution.LPSolution`.  When omitted,
+        a reused ``formulation`` supplies its own ``last_solution`` (set
+        by the previous call), which is how QoS sweeps warm-start each
+        level from the one before.  Unusable hints silently degrade to a
+        cold solve.
     """
     props = properties or HeuristicProperties()
     if backend == BACKEND_STRUCTURE:
@@ -232,11 +240,13 @@ def compute_lower_bound(
         logger.debug("class %s structurally infeasible: %s", props.describe(), result.reason)
         return result
 
+    warm = warm_start if warm_start is not None else form.last_solution
     t0 = time.perf_counter()
-    solution = form.lp.solve(backend=backend)
+    solution = form.lp.solve(backend=backend, warm_start=warm)
     result.solve_seconds = time.perf_counter() - t0
     result.status = solution.status.value
     result.backend_used = solution.backend
+    form.last_solution = solution if solution.is_optimal else None
 
     if solution.status is SolveStatus.INFEASIBLE:
         result.reason = "LP relaxation infeasible: the class cannot meet the goal"
@@ -253,6 +263,11 @@ def compute_lower_bound(
 
     result.feasible = True
     result.lp_cost = form.bound_cost(solution)
+    # Warm-start handle for callers that re-solve under drift (the service
+    # daemon); never serialized.  The basis is the preferred seed, the full
+    # solution lets basis-less (scipy) optima crash one on demand.
+    result.extras["basis"] = solution.basis
+    result.extras["warm_source"] = solution
 
     # Post-solve audit hook: certify the LP point before anything consumes
     # it.  Lazy import — repro.audit re-exports the certificate layer that

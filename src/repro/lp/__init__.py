@@ -10,8 +10,10 @@ A small, self-contained LP modeling layer used by the MC-PERF formulation in
 * :class:`~repro.lp.solution.LPSolution` — solved values, objective and status.
 * :func:`~repro.lp.scipy_backend.solve_with_scipy` — the production backend,
   built on ``scipy.optimize.linprog`` (HiGHS).
-* :func:`~repro.lp.simplex.solve_with_simplex` — a pure-Python two-phase dense
-  simplex used for differential testing and for environments without scipy.
+* :func:`~repro.lp.simplex.solve_with_simplex` — the scipy-free simplex used
+  for differential testing and for environments without scipy; since ISSUE 9
+  it is a revised simplex over sparse columns (:mod:`repro.lp.revised`) whose
+  :class:`~repro.lp.basis.Basis` handles warm-start every backend's re-solves.
 * :func:`~repro.audit.certificates.check_solution` — an independent
   feasibility checker used by tests and by the rounding algorithm
   (re-exported here; it lives in the audit subsystem).
@@ -27,6 +29,7 @@ available, the pure-Python simplex (with a warning) otherwise.
 from repro.lp.expr import LinExpr
 from repro.lp.model import Constraint, LinearProgram, Sense, Variable
 from repro.lp.solution import LPSolution, SolveStatus
+from repro.lp.basis import Basis
 from repro.lp.scipy_backend import solve_with_scipy
 from repro.lp.simplex import SimplexError, solve_with_simplex
 from repro.lp.branch_bound import IPResult, solve_integer
@@ -41,6 +44,7 @@ __all__ = [
     "Sense",
     "LPSolution",
     "SolveStatus",
+    "Basis",
     "solve_with_scipy",
     "solve_with_simplex",
     "SimplexError",

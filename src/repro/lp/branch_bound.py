@@ -140,7 +140,7 @@ def solve_integer(
         for value in (0.0, 1.0):
             child_fix = dict(fixings)
             child_fix[branch_var] = value
-            child = _solve_with_fixings(model, child_fix)
+            child = _solve_with_fixings(model, child_fix, warm=solution)
             nodes += 1
             if child.status is not SolveStatus.OPTIMAL:
                 continue  # infeasible branch (or numerically dead)
@@ -166,11 +166,18 @@ def solve_integer(
     )
 
 
-def _solve_with_fixings(model: LinearProgram, fixings: Dict[int, float]) -> LPSolution:
+def _solve_with_fixings(
+    model: LinearProgram,
+    fixings: Dict[int, float],
+    warm: Optional[LPSolution] = None,
+) -> LPSolution:
     """Solve the LP with temporary variable fixings (bounds restored after).
 
     Fixings go through the model's patch API so the cached solver arrays
-    stay in sync and every node re-solve is assembly-free.
+    stay in sync and every node re-solve is assembly-free.  ``warm`` is the
+    parent node's relaxation: a child differs from its parent by one
+    bound fixing, so the parent basis stays dual feasible and the dual
+    simplex usually re-certifies it in a few pivots.
     """
     saved = []
     try:
@@ -178,7 +185,7 @@ def _solve_with_fixings(model: LinearProgram, fixings: Dict[int, float]) -> LPSo
             v = model.variables[j]
             saved.append((j, v.lower, v.upper))
             model.fix_var(j, value)
-        return model.solve(backend="scipy")
+        return model.solve(backend="scipy", warm_start=warm)
     finally:
         for j, lower, upper in saved:
             model.set_bound(j, lower, upper)

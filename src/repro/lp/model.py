@@ -54,13 +54,21 @@ def _numpy():
 
 
 def _scipy_sparse():
-    """Lazy module-level scipy.sparse handle (imported once per process)."""
+    """Lazy module-level scipy.sparse handle, or None when scipy is absent.
+
+    The import outcome (module or failure) is cached once per process;
+    without scipy the assembled cache carries RHS/bound vectors but no
+    CSR matrices, which only the scipy backend itself would consume.
+    """
     global _sparse
     if _sparse is None:
-        from scipy import sparse
-
-        _sparse = sparse
-    return _sparse
+        try:
+            from scipy import sparse
+        except ImportError:
+            _sparse = False
+        else:
+            _sparse = sparse
+    return _sparse or None
 
 
 class Sense(str, enum.Enum):
@@ -311,14 +319,23 @@ class _ArrayCache:
     ``row_pos[r]`` is constraint ``r``'s row within its matrix (``a_eq`` when
     ``row_is_eq[r]`` else ``a_ub``); ``row_flip[r]`` marks ``>=`` rows that
     were negated into ``<=`` form, so an RHS patch knows to store ``-rhs``.
+
+    Besides the scipy-shaped split matrices, the cache keeps the *unsplit*
+    view the revised simplex engine reads: ``b_all`` (RHS in model row
+    order, original signs) and ``lb``/``ub`` (dense bound arrays, ``+inf``
+    for unbounded).  The patch API keeps both views in sync, so a warm
+    re-solve sees every ``set_rhs``/``set_bound``/``fix_var`` without any
+    reassembly.
     """
 
     __slots__ = (
         "c", "bounds", "a_ub", "b_ub", "a_eq", "b_eq",
         "row_pos", "row_is_eq", "row_flip", "nvars", "nrows",
+        "b_all", "lb", "ub",
     )
 
-    def __init__(self, c, bounds, a_ub, b_ub, a_eq, b_eq, row_pos, row_is_eq, row_flip):
+    def __init__(self, c, bounds, a_ub, b_ub, a_eq, b_eq, row_pos, row_is_eq,
+                 row_flip, b_all, lb, ub):
         self.c = c
         self.bounds = bounds
         self.a_ub = a_ub
@@ -328,8 +345,41 @@ class _ArrayCache:
         self.row_pos = row_pos
         self.row_is_eq = row_is_eq
         self.row_flip = row_flip
+        self.b_all = b_all
+        self.lb = lb
+        self.ub = ub
         self.nvars = len(bounds)
         self.nrows = len(row_pos)
+
+
+class PatchLog:
+    """Which rows/columns the patch API touched since the last drain.
+
+    The warm-start machinery reads this to attribute counters and decide
+    whether a cached basis is even worth re-certifying; it never affects
+    correctness (the engine re-reads the patched arrays wholesale).
+    """
+
+    __slots__ = ("rows", "bounds", "objective")
+
+    def __init__(self) -> None:
+        self.rows: set = set()
+        self.bounds: set = set()
+        self.objective: set = set()
+
+    def clear(self) -> None:
+        self.rows.clear()
+        self.bounds.clear()
+        self.objective.clear()
+
+    def __bool__(self) -> bool:
+        return bool(self.rows or self.bounds or self.objective)
+
+    def __repr__(self) -> str:
+        return (
+            f"PatchLog(rows={len(self.rows)}, bounds={len(self.bounds)}, "
+            f"objective={len(self.objective)})"
+        )
 
 
 @dataclass
@@ -341,6 +391,11 @@ class LinearProgram:
     constraints: "ConstraintList" = field(default_factory=ConstraintList)
     _names: Dict[str, int] = field(default_factory=dict)
     _arrays: Optional[_ArrayCache] = field(default=None, repr=False, compare=False)
+    #: Patch-API change log (rows / bounds / objective indices touched).
+    patch_log: PatchLog = field(default_factory=PatchLog, repr=False, compare=False)
+    #: Cached revised-simplex engine (see :mod:`repro.lp.revised`); holds an
+    #: LU factor, so it is dropped on pickling/deepcopy and rebuilt lazily.
+    _engine: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         # Accept a plain list of Constraint objects (diagnostics build
@@ -450,11 +505,13 @@ class LinearProgram:
         self.variables[index].objective = float(coeff)
         if self._arrays is not None:
             self._arrays.c[index] = self.variables[index].objective
+        self.patch_log.objective.add(index)
 
     def add_objective(self, index: int, coeff: float) -> None:
         self.variables[index].objective += float(coeff)
         if self._arrays is not None:
             self._arrays.c[index] = self.variables[index].objective
+        self.patch_log.objective.add(index)
 
     def set_bounds(self, index: int, lower: float = 0.0, upper: Optional[float] = None) -> None:
         """Patch a variable's bounds, updating cached arrays in place."""
@@ -463,8 +520,12 @@ class LinearProgram:
         v = self.variables[index]
         v.lower = lower
         v.upper = upper
-        if self._arrays is not None:
-            self._arrays.bounds[index] = (lower, upper)
+        cache = self._arrays
+        if cache is not None:
+            cache.bounds[index] = (lower, upper)
+            cache.lb[index] = lower
+            cache.ub[index] = float("inf") if upper is None else upper
+        self.patch_log.bounds.add(index)
         PERF.count("lp.patch.bound")
 
     # ``set_bound`` is the patch-API name from the performance layer;
@@ -592,6 +653,8 @@ class LinearProgram:
                 cache.b_eq[pos] = rhs
             else:
                 cache.b_ub[pos] = -rhs if cache.row_flip[row] else rhs
+            cache.b_all[row] = rhs
+        self.patch_log.rows.add(row)
         PERF.count("lp.patch.rhs")
 
     # -- assembly ----------------------------------------------------------
@@ -610,7 +673,14 @@ class LinearProgram:
         bounds: List[Tuple[float, Optional[float]]] = [
             (v.lower, v.upper) for v in self.variables
         ]
+        lb = np.fromiter((v.lower for v in self.variables), dtype=np.float64, count=n)
+        ub = np.fromiter(
+            (np.inf if v.upper is None else v.upper for v in self.variables),
+            dtype=np.float64,
+            count=n,
+        )
         lengths, sense_codes, rhs_all, flat_idx, flat_cf = self.constraints.columnar()
+        b_all = np.array(rhs_all, dtype=np.float64)  # own copy; patched in place
         row_is_eq = sense_codes == _SENSE_CODE[Sense.EQ]
         row_flip = sense_codes == _SENSE_CODE[Sense.GE]
         row_pos = np.where(
@@ -625,6 +695,10 @@ class LinearProgram:
             if flip is not None and flip.any():
                 data = np.where(np.repeat(flip, lens), -data, data)
                 rhs = np.where(flip, -rhs, rhs)
+            if sparse is None:
+                # No scipy: the revised simplex keeps its own CSC triple,
+                # so only the (never-reachable) scipy backend misses these.
+                return None, rhs
             indptr = np.zeros(len(lens) + 1, dtype=np.int64)
             np.cumsum(lens, out=indptr[1:])
             mat = sparse.csr_matrix((data, col, indptr), shape=(len(lens), n))
@@ -653,7 +727,10 @@ class LinearProgram:
                 rhs_all[row_is_eq],
                 None,
             )
-        return _ArrayCache(c, bounds, a_ub, b_ub, a_eq, b_eq, row_pos, row_is_eq, row_flip)
+        return _ArrayCache(
+            c, bounds, a_ub, b_ub, a_eq, b_eq, row_pos, row_is_eq, row_flip,
+            b_all, lb, ub,
+        )
 
     def to_arrays(self):
         """Assemble ``(c, A_ub, b_ub, A_eq, b_eq, bounds)`` as scipy-ready data.
@@ -699,6 +776,16 @@ class LinearProgram:
         from repro.solvers.registry import solve_lp
 
         return solve_lp(self, backend, **kwargs)
+
+    def __getstate__(self):
+        """Drop the engine on pickle/deepcopy: it holds an LU factor.
+
+        The assembled arrays travel (they are plain numpy/scipy data); the
+        engine rebuilds lazily on the first solve in the new process.
+        """
+        state = self.__dict__.copy()
+        state["_engine"] = None
+        return state
 
     def __repr__(self) -> str:
         return (

@@ -1,4 +1,4 @@
-"""Pure-Python two-phase dense simplex.
+"""Scipy-free simplex backend — now the revised simplex (ISSUE 9).
 
 This backend exists for two reasons:
 
@@ -7,9 +7,13 @@ This backend exists for two reasons:
    against mis-assembled constraint matrices.
 2. **Portability** — environments without scipy can still solve toy models.
 
-It is a textbook tableau implementation with Bland's anti-cycling rule, and is
-only intended for problems with at most a few hundred variables; the MC-PERF
-driver always uses the scipy backend.
+Historically it was a dense two-phase tableau; it is now a thin wrapper
+over :mod:`repro.lp.revised` — a revised simplex over sparse columns with
+product-form basis updates.  The pivot logic shares *nothing* with
+scipy/HiGHS (only the LU factorization uses ``scipy.sparse.linalg.splu``
+when scipy happens to be importable; a numpy dense-inverse kernel covers
+scipy-less installs), so the differential-testing value is preserved while
+the same engine powers warm-started re-solves for every backend.
 
 Problem form solved::
 
@@ -18,227 +22,54 @@ Problem form solved::
                 A_eq x == b_eq
                 lower <= x <= upper  (upper may be None = +inf)
 
-Bounds are normalized away: each variable is shifted so its lower bound is 0,
-and finite upper bounds become additional ``<=`` rows.
+Unlike the old tableau, bounds are handled natively (no shifting, no extra
+rows) and the solution carries duals and a reusable
+:class:`~repro.lp.basis.Basis` handle.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-from repro.lp.solution import LPSolution, SolveStatus
+# Re-exported: the historical public names of this module.
+from repro.lp.revised import SimplexError, solve_revised
+from repro.lp.solution import LPSolution
 
-_EPS = 1e-9
-
-
-class SimplexError(RuntimeError):
-    """Raised on internal simplex failures (cycling beyond the safety cap)."""
+__all__ = ["SimplexError", "solve_with_simplex"]
 
 
-def solve_with_simplex(model, max_iterations: int = 100_000) -> LPSolution:
-    """Solve a :class:`repro.lp.model.LinearProgram` with the fallback simplex."""
-    from repro.lp.model import Sense
+def solve_with_simplex(
+    model,
+    max_iterations: int = 100_000,
+    warm_start: Optional[object] = None,
+) -> LPSolution:
+    """Solve a :class:`repro.lp.model.LinearProgram` with the fallback simplex.
 
-    nvar = model.num_variables
-    lowers = [v.lower for v in model.variables]
-    uppers = [v.upper for v in model.variables]
-    cost = [v.objective for v in model.variables]
+    ``warm_start`` may be a :class:`~repro.lp.basis.Basis` or an
+    :class:`~repro.lp.solution.LPSolution` carrying one; an unusable basis
+    degrades to a cold solve here (the registry's warm dispatch does its
+    own degrading — this path is for direct ``backend="simplex"`` callers).
+    """
+    basis = _coerce_basis(model, warm_start)
+    if basis is not None:
+        from repro.lp.revised import _SingularBasis
 
-    # Shift x = lower + y so every y >= 0; record the constant objective shift.
-    obj_shift = sum(c * l for c, l in zip(cost, lowers))
-
-    rows: List[List[float]] = []
-    rhs: List[float] = []
-    senses: List[str] = []
-
-    for con in model.constraints:
-        row = [0.0] * nvar
-        shift = 0.0
-        for idx, coeff in zip(con.indices, con.coeffs):
-            row[idx] += coeff
-            shift += coeff * lowers[idx]
-        rows.append(row)
-        rhs.append(con.rhs - shift)
-        senses.append(con.sense.value if isinstance(con.sense, Sense) else str(con.sense))
-
-    for j, (lo, up) in enumerate(zip(lowers, uppers)):
-        if up is not None:
-            row = [0.0] * nvar
-            row[j] = 1.0
-            rows.append(row)
-            rhs.append(up - lo)
-            senses.append("<=")
-
-    y = _two_phase(rows, rhs, senses, cost, nvar, max_iterations)
-    if y is None:
-        return LPSolution(status=SolveStatus.INFEASIBLE, backend="simplex")
-    if y == "unbounded":
-        return LPSolution(status=SolveStatus.UNBOUNDED, backend="simplex")
-
-    values = [lo + yj for lo, yj in zip(lowers, y)]
-    objective = obj_shift + sum(c * yj for c, yj in zip(cost, y))
-    return LPSolution(
-        status=SolveStatus.OPTIMAL,
-        objective=objective,
-        values=values,
-        backend="simplex",
-    )
+        try:
+            return solve_revised(model, warm_basis=basis, max_iterations=max_iterations)
+        except _SingularBasis:
+            pass  # fall through to the cold solve
+    return solve_revised(model, max_iterations=max_iterations)
 
 
-def _two_phase(rows, rhs, senses, cost, nvar, max_iterations):
-    """Run two-phase simplex; return the y vector, None (infeasible) or 'unbounded'."""
-    m = len(rows)
-    # Normalize to equalities with slack/surplus, ensuring rhs >= 0.
-    # Column layout: [y (nvar)] [slacks (one per <=/>= row)] [artificials].
-    slack_cols: List[Optional[int]] = []
-    num_slacks = sum(1 for s in senses if s in ("<=", ">="))
-    total = nvar + num_slacks
-    table: List[List[float]] = []
-    basis: List[int] = []
-    art_cols: List[int] = []
+def _coerce_basis(model, warm_start):
+    """Extract a shape-compatible Basis from a warm-start argument, or None."""
+    if warm_start is None:
+        return None
+    from repro.lp.basis import Basis
 
-    slack_at = 0
-    for i in range(m):
-        row = list(rows[i]) + [0.0] * num_slacks
-        b = rhs[i]
-        sense = senses[i]
-        if sense == "<=":
-            row[nvar + slack_at] = 1.0
-            slack_cols.append(nvar + slack_at)
-            slack_at += 1
-        elif sense == ">=":
-            row[nvar + slack_at] = -1.0
-            slack_cols.append(nvar + slack_at)
-            slack_at += 1
-        elif sense == "==":
-            slack_cols.append(None)
-        else:
-            raise ValueError(f"bad sense {sense!r}")
-        if b < 0:
-            row = [-c for c in row]
-            b = -b
-        table.append(row + [b])
-
-    # Choose initial basis: positive slack if available, else artificial.
-    for i in range(m):
-        sc = slack_cols[i]
-        if sc is not None and table[i][sc] == 1.0:
-            basis.append(sc)
-        else:
-            col = total + len(art_cols)
-            art_cols.append(col)
-            basis.append(col)
-
-    width = total + len(art_cols)
-    art_offset = total
-    for i, row in enumerate(table):
-        b = row.pop()
-        row.extend([0.0] * len(art_cols))
-        if basis[i] >= art_offset:
-            row[basis[i]] = 1.0
-        row.append(b)
-
-    if art_cols:
-        phase1 = [0.0] * width + [0.0]
-        for col in art_cols:
-            phase1[col] = 1.0
-        _price_out(phase1, table, basis)
-        status = _iterate(table, basis, phase1, width, max_iterations)
-        if status == "unbounded":
-            raise SimplexError("phase-1 objective unbounded (internal error)")
-        if phase1[-1] < -_EPS:  # reduced objective value is -(artificial sum)
-            return None
-        _drive_out_artificials(table, basis, art_offset, width)
-
-    phase2 = [0.0] * width + [0.0]
-    for j in range(nvar):
-        phase2[j] = cost[j]
-    # Zero objective on artificial columns; forbid them from re-entering by
-    # leaving their reduced costs at 0 and skipping them in pricing.
-    _price_out(phase2, table, basis)
-    status = _iterate(table, basis, phase2, total, max_iterations)
-    if status == "unbounded":
-        return "unbounded"
-
-    y = [0.0] * nvar
-    for i, bcol in enumerate(basis):
-        if bcol < nvar:
-            y[bcol] = table[i][-1]
-    return y
-
-
-def _price_out(obj_row, table, basis):
-    """Make the objective row consistent with the current basis."""
-    for i, bcol in enumerate(basis):
-        coeff = obj_row[bcol]
-        if abs(coeff) > _EPS:
-            row = table[i]
-            for j in range(len(obj_row)):
-                obj_row[j] -= coeff * row[j]
-
-
-def _iterate(table, basis, obj_row, price_limit, max_iterations):
-    """Primal simplex iterations with Bland's rule over columns < price_limit."""
-    m = len(table)
-    for _ in range(max_iterations):
-        enter = -1
-        for j in range(price_limit):
-            if obj_row[j] < -_EPS:
-                enter = j
-                break
-        if enter < 0:
-            return "optimal"
-        # Ratio test (Bland: smallest basis index breaks ties).
-        leave = -1
-        best = float("inf")
-        for i in range(m):
-            a = table[i][enter]
-            if a > _EPS:
-                ratio = table[i][-1] / a
-                if ratio < best - _EPS or (
-                    abs(ratio - best) <= _EPS and (leave < 0 or basis[i] < basis[leave])
-                ):
-                    best = ratio
-                    leave = i
-        if leave < 0:
-            return "unbounded"
-        _pivot(table, basis, obj_row, leave, enter)
-    raise SimplexError("simplex iteration limit exceeded")
-
-
-def _pivot(table, basis, obj_row, leave, enter):
-    prow = table[leave]
-    piv = prow[enter]
-    inv = 1.0 / piv
-    for j in range(len(prow)):
-        prow[j] *= inv
-    for i, row in enumerate(table):
-        if i == leave:
-            continue
-        factor = row[enter]
-        if abs(factor) > _EPS:
-            for j in range(len(row)):
-                row[j] -= factor * prow[j]
-    factor = obj_row[enter]
-    if abs(factor) > _EPS:
-        for j in range(len(obj_row)):
-            obj_row[j] -= factor * prow[j]
-    basis[leave] = enter
-
-
-def _drive_out_artificials(table, basis, art_offset, width):
-    """Pivot artificial variables out of the basis where possible."""
-    m = len(table)
-    for i in range(m):
-        if basis[i] >= art_offset:
-            row = table[i]
-            pivot_col = -1
-            for j in range(art_offset):
-                if abs(row[j]) > _EPS:
-                    pivot_col = j
-                    break
-            if pivot_col >= 0:
-                dummy = [0.0] * (width + 1)
-                _pivot(table, basis, dummy, i, pivot_col)
-            # Otherwise the row is redundant (all-zero over real columns);
-            # the artificial stays basic at value 0, which is harmless.
+    basis = warm_start if isinstance(warm_start, Basis) else getattr(warm_start, "basis", None)
+    if isinstance(basis, Basis) and basis.matches(
+        model.num_variables, model.num_constraints
+    ):
+        return basis
+    return None

@@ -43,6 +43,10 @@ class LPSolution:
     #: Per-constraint dual values (model row order; d objective / d rhs).
     #: None when the backend does not provide duals.
     duals: Optional[Sequence[float]] = None
+    #: Opaque simplex basis handle (:class:`repro.lp.basis.Basis`) for
+    #: warm-started re-solves; None when the backend exposes no basis
+    #: (scipy/HiGHS) or the payload was produced before warm starts existed.
+    basis: Optional[object] = None
     _name_index: Optional[Dict[str, int]] = None
 
     @property
@@ -73,11 +77,20 @@ class LPSolution:
             "backend": self.backend,
             "message": self.message,
             "duals": None if self.duals is None else [float(d) for d in self.duals],
+            "basis": None if self.basis is None else self.basis.to_dict(),
         }
 
     @staticmethod
     def from_dict(payload: Dict[str, object]) -> "LPSolution":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        The basis handle is decoded tolerantly: an absent, stale or
+        corrupted payload yields ``basis=None``, which downstream means
+        "cold solve" — a cache hit must never error over its warm-start
+        metadata.
+        """
+        from repro.lp.basis import Basis
+
         return LPSolution(
             status=SolveStatus(payload["status"]),
             objective=float(payload["objective"]),
@@ -85,6 +98,7 @@ class LPSolution:
             backend=str(payload.get("backend", "")),
             message=str(payload.get("message", "")),
             duals=None if payload.get("duals") is None else list(payload["duals"]),
+            basis=Basis.from_dict(payload.get("basis")),
         )
 
     def __repr__(self) -> str:

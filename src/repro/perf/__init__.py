@@ -27,6 +27,11 @@ Counter names in use across the tree::
     lp.patch.bound        set_bound() patched cached bounds in place
     lp.patch.rhs          set_rhs() patched a cached RHS entry in place
     lp.solve              LinearProgram.solve() calls
+    lp.simplex.iterations        revised-simplex pivots (all phases)
+    lp.simplex.refactorizations  basis LU rebuilds (incl. the initial one)
+    lp.simplex.warm_starts       solves that ran from a caller-provided basis
+    lp.simplex.basis_crash       bases reconstructed from a basis-less optimum
+    lp.simplex.warm_degraded     warm attempts that fell back to a cold solve
     form.build.vectorized / form.build.legacy   formulation assembly mode
     form.retarget         set_qos_fraction() RHS-only re-target
     round.iterative.fix   LP-guided rounding fixings (== re-solves)

@@ -75,6 +75,14 @@ class BoundTask:
     #: it never changes one, so an audited and an unaudited run must share
     #: cache entries.  Cache hits are re-certified via :meth:`audit_cached`.
     audit: Optional[str] = None
+    #: Warm-start hint for the LP solve (:class:`~repro.lp.basis.Basis` or
+    #: a previous :class:`~repro.lp.solution.LPSolution`).  Like ``audit``,
+    #: not part of the cache key: a warm start accelerates a solve, it never
+    #: changes the optimum.  The service daemon threads its per-class basis
+    #: store through here (``dataclasses.replace(task, warm_basis=...)``).
+    warm_basis: Optional[object] = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
 
     kind = "bound"
 
@@ -135,6 +143,7 @@ class BoundTask:
             rounding_mode=self.rounding_mode,
             audit=self.audit,
             audit_subject=audit_subject,
+            warm_start=self.warm_basis,
         )
 
     def audit_cached(self, result: LowerBoundResult, key: str = ""):

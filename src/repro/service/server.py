@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import asyncio
 import collections
+import dataclasses
 import json
 import time
 from typing import Dict, Optional, Tuple
@@ -116,6 +117,12 @@ class PlacementService:
         self._inflight: Dict[str, asyncio.Future] = {}
         # Last-known-good bound per class name: the degraded-mode answer.
         self._lkg: Dict[str, Dict[str, object]] = {}
+        # Per-class warm-start store: the basis (or basis-less solution)
+        # of the last optimal solve.  Under drift the next epoch's problem
+        # usually differs only in demand numbers, so the old basis
+        # re-certifies in a few dual pivots; a stale/mismatched entry
+        # silently degrades to a cold solve in the registry.
+        self._warm: Dict[str, object] = {}
         self._server: Optional[asyncio.base_events.Server] = None
         self._conn_counter = 0
         self.requests = 0
@@ -302,6 +309,9 @@ class PlacementService:
 
         task = self._bound_task(klass, qos, backend, epoch)
         key = digest_of("service-bound", task.cache_key())
+        warm = self._warm.get(class_name)
+        if warm is not None:
+            task = dataclasses.replace(task, warm_basis=warm)
 
         cached = self._cache_get(key)
         if cached is not None:
@@ -357,6 +367,9 @@ class PlacementService:
                     time.sleep(self.chaos.slow_ms / 1000.0)
                 t0 = time.perf_counter()
                 result = task.run()
+                warm = result.extras.get("basis") or result.extras.get("warm_source")
+                if warm is not None:
+                    self._warm[class_name] = warm
                 return {
                     "kind": "bound",
                     "class": class_name,

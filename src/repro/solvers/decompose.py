@@ -355,6 +355,9 @@ class _ObjectPricer:
         self.form = form
         self.base_obj = np.array([v.objective for v in form.lp.variables])
         self.constant = float(form.objective_constant)
+        #: Last optimal solution — re-pricing only patches objectives, so
+        #: its basis stays primal feasible and warm-starts the next round.
+        self.last: Optional[object] = None
         self.rows: Dict[object, Tuple[np.ndarray, np.ndarray]] = {}
         for key, (row, _denom, _const, _maxp) in form.qos_meta.items():
             if row < 0:
@@ -377,7 +380,8 @@ class _ObjectPricer:
             lam = duals.get(key, 0.0)
             for idx, coeff in zip(indices, coeffs):
                 lp.set_objective(int(idx), self.base_obj[idx] - lam * coeff)
-        solution = lp.solve(backend=BACKEND_AUTO).require_optimal()
+        solution = lp.solve(backend=BACKEND_AUTO, warm_start=self.last).require_optimal()
+        self.last = solution
         values = np.asarray(solution.values, dtype=float)
         cost = float(self.base_obj @ values) + self.constant
         coverage = {
@@ -405,12 +409,70 @@ def _aggregate_requirements(problem: MCPerfProblem, pricers) -> Tuple[dict, dict
     return denom, const, maxp
 
 
-def _solve_master(pricers, columns, required, big_m):
+def _remap_master_warm(prev_solution, prev_counts, counts, num_keys, num_rows):
+    """Lift the previous master round's solution onto the new column layout.
+
+    The master is rebuilt every round with per-object column blocks followed
+    by one slack per scope key; pricing only *appends* columns inside each
+    block, so old variable ``j`` of block ``i`` shifts by the number of new
+    columns in earlier blocks.  Rows (one per key + one convexity per
+    object) are unchanged.  Returns a warm-start hint for the new model —
+    a remapped :class:`~repro.lp.basis.Basis` when the previous round
+    carried one, else a values-remapped solution the registry can crash a
+    basis from — or None when the layouts cannot be reconciled.
+    """
+    import numpy as np
+
+    from repro.lp.basis import AT_LOWER, Basis
+    from repro.lp.solution import LPSolution, SolveStatus
+
+    if prev_solution is None or prev_counts is None:
+        return None
+    if len(prev_counts) != len(counts) or any(
+        o > n for o, n in zip(prev_counts, counts)
+    ):
+        return None
+    n_old = sum(prev_counts) + num_keys
+    n_new = sum(counts) + num_keys
+    # old var index -> new var index (block-wise shift; slacks at the end).
+    index_map = np.empty(n_old, dtype=np.int64)
+    old_at = new_at = 0
+    for old_cnt, new_cnt in zip(prev_counts, counts):
+        index_map[old_at : old_at + old_cnt] = new_at + np.arange(old_cnt)
+        old_at += old_cnt
+        new_at += new_cnt
+    index_map[old_at:] = new_at + np.arange(num_keys)
+
+    basis = getattr(prev_solution, "basis", None)
+    if isinstance(basis, Basis) and basis.matches(n_old, num_rows):
+        statuses = np.full(n_new + num_rows, AT_LOWER, dtype=np.int8)
+        statuses[index_map] = basis.statuses[:n_old]
+        statuses[n_new:] = basis.statuses[n_old:]
+        return Basis(statuses=statuses, nvars=n_new, nrows=num_rows)
+    if (
+        prev_solution.status is SolveStatus.OPTIMAL
+        and len(prev_solution.values) == n_old
+    ):
+        values = np.zeros(n_new)
+        values[index_map] = np.asarray(prev_solution.values, dtype=float)
+        return LPSolution(
+            status=SolveStatus.OPTIMAL,
+            objective=float(prev_solution.objective),
+            values=values,
+            backend=prev_solution.backend,
+        )
+    return None
+
+
+def _solve_master(pricers, columns, required, big_m, warm=None):
     """Build and solve the restricted master; return (solution, key rows, conv rows).
 
     ``columns[i]`` maps its object to a list of ``(cost, coverage)`` pairs;
     the master picks a convex combination per object subject to the
     aggregate coverage rows, with big-M slacks keeping it always feasible.
+    ``warm`` is the previous round's remapped hint
+    (:func:`_remap_master_warm`); new columns enter at their lower bound
+    and the dual simplex re-prices them in a few pivots.
     """
     from repro.lp.model import LinearProgram
     from repro.solvers.registry import BACKEND_SCIPY
@@ -444,7 +506,7 @@ def _solve_master(pricers, columns, required, big_m):
         lp.add_row(vars_, [1.0] * len(vars_), "==", 1.0, name=f"convex[{len(conv_rows)}]")
         conv_rows.append(lp.num_constraints - 1)
 
-    solution = lp.solve(backend=BACKEND_SCIPY).require_optimal()
+    solution = lp.solve(backend=BACKEND_SCIPY, warm_start=warm).require_optimal()
     slack_used = sum(float(solution.values[idx]) for idx in slack_vars.values())
     slack_cost = big_m * slack_used
     return solution, key_rows, conv_rows, slack_used, slack_cost
@@ -474,9 +536,11 @@ def _solve_dantzig_wolfe(
         # object can meet the target alone: if every object can, their sum
         # meets the aggregate target and the master starts feasible.
         seeds: List[Tuple[float, Dict[object, float]]] = []
+        seed_solution = None
         if not form.structurally_infeasible:
             solution = form.lp.solve(backend=BACKEND_AUTO)
             if solution.status is SolveStatus.OPTIMAL:
+                seed_solution = solution
                 values = np.asarray(solution.values, dtype=float)
                 base = np.array([v.objective for v in form.lp.variables])
                 cov = {}
@@ -489,6 +553,7 @@ def _solve_dantzig_wolfe(
                     cov[key] = float(cf @ values[idx])
                 seeds.append((float(base @ values) + float(form.objective_constant), cov))
         pricer = _ObjectPricer(k, form)  # relaxes the QoS rows in place
+        pricer.last = seed_solution  # warm seed for the first pricing round
         seeds.append((pricer.constant, {}))  # the empty placement, always valid
         pricers.append(pricer)
         columns.append(seeds)
@@ -516,12 +581,20 @@ def _solve_dantzig_wolfe(
     rounds = 0
     converged = False
     master_obj = None
+    prev_master = None
+    prev_counts = None
     try:
         while rounds < MAX_PRICING_ROUNDS:
             rounds += 1
-            solution, key_rows, conv_rows, slack_used, slack_cost = _solve_master(
-                pricers, columns, required, big_m
+            counts = [len(cols) for cols in columns]
+            warm = _remap_master_warm(
+                prev_master, prev_counts, counts,
+                num_keys=len(required), num_rows=len(required) + len(pricers),
             )
+            solution, key_rows, conv_rows, slack_used, slack_cost = _solve_master(
+                pricers, columns, required, big_m, warm=warm
+            )
+            prev_master, prev_counts = solution, counts
             if solution.duals is None:
                 return None
             duals = {

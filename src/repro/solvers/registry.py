@@ -143,7 +143,7 @@ register_backend(
     SolverBackend(
         name=BACKEND_SIMPLEX,
         solve=_solve_simplex,
-        description="pure-Python two-phase dense simplex",
+        description="revised simplex over sparse columns (warm-startable)",
     )
 )
 
@@ -163,7 +163,89 @@ def install_solve_guard(
     _GUARD = guard
 
 
-def solve_lp(model, backend: str = BACKEND_AUTO, **kwargs):
+def warm_starts_enabled() -> bool:
+    """Warm-started re-solves are on unless ``REPRO_LP_WARM=0``.
+
+    The kill switch exists for benchmarking cold baselines and as an
+    operational escape hatch; with it off every solve is a cold solve.
+    """
+    import os
+
+    return os.environ.get("REPRO_LP_WARM", "1") not in ("0", "off", "no")
+
+
+def _try_warm_solve(model, warm_start, **kwargs):
+    """Attempt a warm revised-simplex solve; None means "cold solve instead".
+
+    Accepts a :class:`~repro.lp.basis.Basis` or an
+    :class:`~repro.lp.solution.LPSolution` (using its basis when present,
+    else crashing one from its optimal point).  *Any* failure — stale
+    shape, singular basis, iteration cap, non-optimal outcome — degrades
+    to the cold path and counts ``lp.simplex.warm_degraded``; a warm start
+    is a performance hint, never a correctness dependency.
+    """
+    from repro.lp.basis import Basis
+    from repro.lp.solution import LPSolution, SolveStatus
+
+    basis = None
+    crashed_from = None
+    if isinstance(warm_start, Basis):
+        basis = warm_start
+    elif isinstance(warm_start, LPSolution):
+        basis = warm_start.basis if isinstance(warm_start.basis, Basis) else None
+        if basis is None and warm_start.status is SolveStatus.OPTIMAL and len(
+            warm_start.values
+        ) == model.num_variables:
+            from repro.lp.revised import crash_basis_from_values
+
+            crashed_from = warm_start
+            basis = crash_basis_from_values(
+                model, warm_start.values, duals=warm_start.duals
+            )
+    if basis is None or not basis.matches(model.num_variables, model.num_constraints):
+        return None
+    try:
+        from repro.lp.revised import SimplexError, _SingularBasis, solve_revised
+
+        max_iterations = kwargs.get("max_iterations", _WARM_ITERATION_LIMIT)
+        try:
+            solution = solve_revised(
+                model, warm_basis=basis, max_iterations=max_iterations
+            )
+        except _SingularBasis:
+            # A complementarity crash can be singular under degeneracy;
+            # retry once with the triangular (nonsingular-by-construction)
+            # crash before giving up on the warm path.
+            if crashed_from is None:
+                raise
+            from repro.lp.revised import crash_basis_from_values
+
+            basis = crash_basis_from_values(model, crashed_from.values, strict=True)
+            if basis is None:
+                raise
+            solution = solve_revised(
+                model, warm_basis=basis, max_iterations=max_iterations
+            )
+    except (SimplexError, _SingularBasis):
+        solution = None
+    except Exception:  # pragma: no cover - defensive: never block the cold path
+        solution = None
+    if solution is not None and solution.status is SolveStatus.OPTIMAL:
+        return solution
+    # Non-optimal warm outcomes (infeasible/unbounded) are re-established by
+    # a cold solve rather than trusted from a recycled basis.
+    from repro.perf import PERF
+
+    PERF.count("lp.simplex.warm_degraded")
+    return None
+
+
+#: Iteration cap for warm re-solves: past this, a cold solve is a better
+#: bet than continuing to repair a stale basis.
+_WARM_ITERATION_LIMIT = 20_000
+
+
+def solve_lp(model, backend: str = BACKEND_AUTO, warm_start=None, **kwargs):
     """Dispatch ``model`` to the named LP backend.
 
     This is the registry-backed implementation behind
@@ -171,11 +253,32 @@ def solve_lp(model, backend: str = BACKEND_AUTO, **kwargs):
     semantics (try scipy, fall back to the simplex with a warning) are
     preserved exactly.  When a guard is installed (the service's circuit
     breaker), the dispatch routes through it.
+
+    ``warm_start`` (a :class:`~repro.lp.basis.Basis` or a previous
+    :class:`~repro.lp.solution.LPSolution`) routes the solve through the
+    revised simplex's dual warm start first — the basis is re-certified
+    against the patched arrays, and any problem with it falls back to the
+    named backend's cold solve.  Only the stock LP backends
+    (:data:`LP_BACKENDS`) are intercepted: a custom registered backend was
+    named for a reason, and a warm shortcut would mask its behaviour (and
+    its failures) from callers like the service's circuit breaker.
     """
     solver = get_backend(backend)
-    if _GUARD is None:
+
+    def thunk():
+        if (
+            warm_start is not None
+            and backend in LP_BACKENDS
+            and warm_starts_enabled()
+        ):
+            solution = _try_warm_solve(model, warm_start, **kwargs)
+            if solution is not None:
+                return solution
         return solver.solve(model, **kwargs)
-    return _GUARD(backend, lambda: solver.solve(model, **kwargs))
+
+    if _GUARD is None:
+        return thunk()
+    return _GUARD(backend, thunk)
 
 
 def degrade_backend(backend: Optional[str]) -> Optional[str]:

@@ -1,0 +1,100 @@
+"""Warm-started QoS sweeps (ISSUE 9): counter wiring, exactness, auditing.
+
+Fine (drift-sized) re-targets must reuse the previous basis; coarse jumps
+must drop the hint (a warm attempt there costs more than a cold solve);
+and a warm-started sweep must survive the full audit — the certificates
+cannot tell (and must not care) how the optimum was reached.
+"""
+
+import numpy as np
+import pytest
+
+from repro.audit.certificates import audit_bound_result
+from repro.core.bounds import compute_lower_bound
+from repro.core.formulation import WARM_RETARGET_DELTA, build_formulation
+from repro.core.goals import QoSGoal
+from repro.core.problem import MCPerfProblem
+from repro.perf import PERF
+from repro.topology.generators import star_topology
+from repro.workload.demand import DemandMatrix
+
+
+def tiny_problem(fraction=0.5):
+    topo = star_topology(num_leaves=3, hub_latency_ms=200.0)
+    reads = np.zeros((4, 2, 2))
+    reads[1, :, 0] = 2
+    reads[2, 1, 0] = 1
+    reads[3, :, 1] = 1
+    return MCPerfProblem(
+        topology=topo,
+        demand=DemandMatrix(reads=reads),
+        goal=QoSGoal(tlat_ms=150.0, fraction=fraction),
+    )
+
+
+def fine_levels(base=0.5, steps=4):
+    return [round(base + i * 0.001, 6) for i in range(steps)]
+
+
+def test_fine_sweep_fires_warm_starts():
+    form = build_formulation(tiny_problem(0.5))
+    before = PERF.get("lp.simplex.warm_starts")
+    costs = []
+    for level in fine_levels():
+        form.set_qos_fraction(level)
+        result = compute_lower_bound(
+            form.problem, None, do_rounding=False, formulation=form
+        )
+        assert result.feasible
+        costs.append(result.lp_cost)
+    assert PERF.get("lp.simplex.warm_starts") > before
+    # Exactness: each warm level must equal a fresh cold build.
+    for level, cost in zip(fine_levels(), costs):
+        fresh = compute_lower_bound(tiny_problem(level), None, do_rounding=False)
+        assert cost == pytest.approx(fresh.lp_cost, abs=1e-8)
+
+
+def test_coarse_retarget_drops_warm_hint():
+    form = build_formulation(tiny_problem(0.5))
+    compute_lower_bound(form.problem, None, do_rounding=False, formulation=form)
+    assert form.last_solution is not None
+    form.set_qos_fraction(0.5 + 10 * WARM_RETARGET_DELTA)
+    assert form.last_solution is None
+
+
+def test_fine_retarget_keeps_warm_hint():
+    form = build_formulation(tiny_problem(0.5))
+    compute_lower_bound(form.problem, None, do_rounding=False, formulation=form)
+    assert form.last_solution is not None
+    form.set_qos_fraction(0.5 + WARM_RETARGET_DELTA / 2)
+    assert form.last_solution is not None
+
+
+def test_warm_sweep_passes_full_audit():
+    form = build_formulation(tiny_problem(0.5))
+    before = PERF.get("lp.simplex.warm_starts")
+    for level in fine_levels():
+        form.set_qos_fraction(level)
+        result = compute_lower_bound(
+            form.problem, None, do_rounding=True, formulation=form, audit="full"
+        )
+        assert result.feasible
+        assert result.audit is not None and result.audit.ok, result.audit.violations
+        # Post-hoc artifact audit agrees with the in-solve one.
+        report = audit_bound_result(form.problem, None, result, mode="full")
+        assert report.ok, report.violations
+    assert PERF.get("lp.simplex.warm_starts") > before
+
+
+def test_non_optimal_outcome_clears_warm_hint():
+    form = build_formulation(tiny_problem(0.5))
+    compute_lower_bound(form.problem, None, do_rounding=False, formulation=form)
+    assert form.last_solution is not None
+    # An unreachable fraction makes the LP infeasible; the stored hint must
+    # not survive a non-optimal solve.
+    form.set_qos_fraction(1.0)
+    result = compute_lower_bound(
+        form.problem, None, do_rounding=False, formulation=form
+    )
+    if not result.feasible:
+        assert form.last_solution is None

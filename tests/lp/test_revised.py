@@ -1,0 +1,148 @@
+"""Revised-simplex engine tests (ISSUE 9): cold contract, duals,
+anti-cycling, the pure-Python kernel, and basis crashing."""
+
+import numpy as np
+import pytest
+
+from repro.audit.certificates import check_solution
+from repro.lp.basis import BASIC, Basis
+from repro.lp.model import LinearProgram
+from repro.lp.revised import (
+    crash_basis_from_values,
+    get_engine,
+    solve_revised,
+)
+from repro.lp.solution import SolveStatus
+from repro.perf import PERF
+
+
+def mixed_lp():
+    """4 vars, all three senses, one negative lower bound; optimum -1.0."""
+    lp = LinearProgram(name="revised-mixed")
+    lp.var("a", upper=2.0, obj=1.0)
+    lp.var("b", lower=-1.0, upper=1.0, obj=-0.5)
+    lp.var("c", upper=3.0, obj=0.25)
+    lp.var("d", upper=1.0, obj=-1.0)
+    lp.add_row([0, 1], [1.0, 1.0], ">=", 0.5)
+    lp.add_row([1, 2], [1.0, 2.0], "<=", 4.0)
+    lp.add_row([0, 3], [1.0, 1.0], "==", 1.5)
+    return lp
+
+
+def test_cold_solve_matches_scipy():
+    lp = mixed_lp()
+    got = solve_revised(lp)
+    want = lp.solve(backend="scipy")
+    assert got.status is SolveStatus.OPTIMAL
+    assert got.objective == pytest.approx(want.objective, abs=1e-8)
+    assert check_solution(lp, got.values).feasible
+
+
+def test_duals_match_scipy():
+    lp = mixed_lp()
+    got = solve_revised(lp)
+    want = lp.solve(backend="scipy")
+    assert got.duals is not None and want.duals is not None
+    np.testing.assert_allclose(got.duals, want.duals, atol=1e-7)
+
+
+def test_solution_carries_wellformed_basis():
+    lp = mixed_lp()
+    sol = solve_revised(lp)
+    assert isinstance(sol.basis, Basis)
+    assert sol.basis.matches(lp.num_variables, lp.num_constraints)
+    assert sol.basis.is_wellformed()
+
+
+def test_beale_cycling_instance_terminates():
+    # Beale (1955): cycles forever under naive Dantzig pricing with
+    # fixed tie-breaks.  The Bland switch must drive it to the optimum.
+    lp = LinearProgram(name="beale")
+    lp.var("x1", obj=-0.75)
+    lp.var("x2", obj=150.0)
+    lp.var("x3", obj=-0.02)
+    lp.var("x4", obj=6.0)
+    lp.add_row([0, 1, 2, 3], [0.25, -60.0, -0.04, 9.0], "<=", 0.0)
+    lp.add_row([0, 1, 2, 3], [0.5, -90.0, -0.02, 3.0], "<=", 0.0)
+    lp.add_row([2], [1.0], "<=", 1.0)
+    sol = solve_revised(lp, max_iterations=1_000)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol.objective == pytest.approx(-0.05, abs=1e-9)
+
+
+def test_degenerate_ties_terminate():
+    # Many identical rows -> heavy ratio-test degeneracy.
+    lp = LinearProgram(name="degenerate")
+    for j in range(4):
+        lp.var(f"x{j}", upper=1.0, obj=-1.0)
+    for _ in range(6):
+        lp.add_row([0, 1, 2, 3], [1.0, 1.0, 1.0, 1.0], "<=", 2.0)
+    sol = solve_revised(lp, max_iterations=1_000)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol.objective == pytest.approx(-2.0, abs=1e-8)
+
+
+def test_pure_python_kernel(monkeypatch):
+    monkeypatch.setenv("REPRO_LP_PURE", "1")
+    lp = mixed_lp()
+    sol = solve_revised(lp)
+    engine = get_engine(lp)
+    assert engine._sparse is None  # the numpy kernel really is in charge
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol.objective == pytest.approx(lp.solve(backend="scipy").objective, abs=1e-8)
+
+
+def test_assembly_without_scipy(monkeypatch):
+    # The engine reads the model's array cache, and assembly must not
+    # require scipy: without it the cache carries RHS/bound vectors but
+    # no CSR matrices (only the unreachable scipy backend misses them).
+    import repro.lp.model as model_mod
+
+    monkeypatch.setattr(model_mod, "_sparse", False)
+    monkeypatch.setenv("REPRO_LP_PURE", "1")
+    lp = mixed_lp()
+    c, a_ub, b_ub, a_eq, b_eq, bounds = lp.to_arrays()
+    assert a_ub is None and a_eq is None
+    assert b_ub is not None and b_eq is not None
+    sol = solve_revised(lp)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol.objective == pytest.approx(-1.0, abs=1e-8)
+    # The patch API still lands on the cached RHS vectors.
+    lp.set_rhs(1, 3.0)
+    patched = solve_revised(lp)
+    assert patched.status is SolveStatus.OPTIMAL
+    assert check_solution(lp, patched.values).feasible
+
+
+def test_iteration_and_refactorization_counters():
+    lp = mixed_lp()
+    before_iter = PERF.get("lp.simplex.iterations")
+    before_refac = PERF.get("lp.simplex.refactorizations")
+    solve_revised(lp)
+    assert PERF.get("lp.simplex.iterations") > before_iter
+    assert PERF.get("lp.simplex.refactorizations") > before_refac
+
+
+def test_crash_basis_from_scipy_point():
+    lp = mixed_lp()
+    sol = lp.solve(backend="scipy")
+    assert sol.basis is None  # scipy exposes no basis: the crash earns one
+    basis = crash_basis_from_values(lp, sol.values, duals=sol.duals)
+    assert basis is not None
+    assert basis.matches(lp.num_variables, lp.num_constraints)
+    warm = solve_revised(lp, warm_basis=basis)
+    assert warm.status is SolveStatus.OPTIMAL
+    assert warm.objective == pytest.approx(sol.objective, abs=1e-8)
+
+
+def test_crash_rejects_wrong_length():
+    lp = mixed_lp()
+    assert crash_basis_from_values(lp, np.zeros(lp.num_variables + 1)) is None
+
+
+def test_crash_without_duals_is_triangular():
+    lp = mixed_lp()
+    sol = lp.solve(backend="scipy")
+    basis = crash_basis_from_values(lp, sol.values)
+    assert basis is not None
+    assert int(np.count_nonzero(basis.statuses == BASIC)) == lp.num_constraints
