@@ -1,0 +1,44 @@
+"""The seeded fault-campaign engine.
+
+One :class:`~repro.chaos.plan.ChaosPlan` — parsed from a composable clause
+grammar (``crash``, ``slow``, ``drop``, ``zoneout``, ``flashcrowd``,
+``corrupt_checkpoint``, ``clock_skew``, …) — routes deterministic fault
+injection to every layer that can fail:
+
+* the runner scheduler (injected task-attempt failures),
+* the service front-end (dropped connections, slow solves, crashes),
+* the checkpoint store (torn journal records, garbled snapshots),
+* the topology fault schedule (zone outages/partitions, node crashes),
+* the workload emulator (flash crowds, diurnal cycles, clock skew).
+
+The legacy ``REPRO_CHAOS`` / ``REPRO_SERVICE_CHAOS`` env grammars parse
+through the same plan (:func:`~repro.chaos.plan.plan_from_task_env`,
+:func:`~repro.chaos.plan.plan_from_service_env`), so old specs keep
+working while new code composes scenarios the old hooks could not.
+
+:mod:`repro.chaos.campaign` executes a plan end-to-end — baseline run,
+supervised chaos run under closed-loop load, invariant checks, report
+artifact — behind ``repro chaos <plan>``.  Grammar reference:
+``docs/CHAOS.md``.
+"""
+
+from repro.chaos.campaign import CampaignReport, run_campaign
+from repro.chaos.plan import (
+    ChaosPlan,
+    TaskChaos,
+    chaos_draw,
+    parse_plan,
+    plan_from_service_env,
+    plan_from_task_env,
+)
+
+__all__ = [
+    "CampaignReport",
+    "ChaosPlan",
+    "TaskChaos",
+    "chaos_draw",
+    "parse_plan",
+    "plan_from_service_env",
+    "plan_from_task_env",
+    "run_campaign",
+]

@@ -10,6 +10,8 @@ Gives system designers the paper's workflow without writing Python::
     repro simulate  -t topo.json -w trace.json --heuristic lru --capacity 20
     repro continuous -t topo.json --heuristic qiu --epochs 4 --drift 0.25 \
                      --zones 3 --faults 'zoneout:mtbf=21600,mttr=1800' --slo 0.99
+    repro chaos 'flashcrowd:epochs=2-3,object=0,mult=8;zonepart:zone=1,at=900,down=900;crash:epoch=3;corrupt_checkpoint:at=1' \
+                --workdir out/campaign
 
 Every subcommand prints a human-readable report; ``--json`` switches to a
 machine-readable dump.  Entry point: ``python -m repro.cli`` (also installed
@@ -317,6 +319,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0, help="seed for generated fault schedules"
     )
     cont.add_argument(
+        "--workload",
+        default=None,
+        metavar="SPEC",
+        help="workload-emulation spec layered on the drift stream "
+             "(diurnal/flashcrowd/burst/writes/clock_skew clauses; see docs/CHAOS.md)",
+    )
+    cont.add_argument(
         "--heal", action="store_true",
         help="wrap the heuristic in a re-replicating HealingPolicy",
     )
@@ -392,6 +401,26 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--period", type=float, default=None)
     serve.add_argument("--faults", default=None, metavar="SPEC")
     serve.add_argument("--fault-seed", type=int, default=0)
+    serve.add_argument(
+        "--workload", default=None, metavar="SPEC",
+        help="workload-emulation spec (see `repro continuous --help`)",
+    )
+    serve.add_argument(
+        "--heal", action="store_true",
+        help="wrap the heuristic in a re-replicating HealingPolicy",
+    )
+    serve.add_argument(
+        "--heal-copies", type=int, default=2,
+        help="live replicas HealingPolicy restores",
+    )
+    serve.add_argument(
+        "--heal-zones", type=int, default=1,
+        help="minimum distinct zones replicas must span (needs a zone map)",
+    )
+    serve.add_argument(
+        "--heal-budget", type=int, default=None, metavar="N",
+        help="max healing creations per budget window (default: unlimited)",
+    )
     serve.add_argument("--shed-capacity", type=int, default=None, metavar="N")
     serve.add_argument("--object-size", type=float, default=1.0, metavar="BYTES")
     serve.add_argument(
@@ -428,9 +457,64 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--chaos", default=None, metavar="SPEC",
-        help="fault-injection spec (overrides $REPRO_SERVICE_CHAOS); see docs/SERVICE.md",
+        help="fault-injection spec (overrides $REPRO_SERVICE_CHAOS); see docs/CHAOS.md",
+    )
+    serve.add_argument(
+        "--brownout-depth", type=float, default=0.5, metavar="FRACTION",
+        help="admission-queue fill fraction past which bound solves degrade "
+             "to the approximate path (marked approx:true)",
+    )
+    serve.add_argument(
+        "--stale-ttl", type=float, default=60.0, metavar="S",
+        help="max age of a last-known-good answer served while shedding or "
+             "with the breaker open",
     )
     serve.add_argument("--json", action="store_true", help="machine-readable output")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault campaign end-to-end and check its invariants",
+    )
+    chaos.add_argument(
+        "plan",
+        help="chaos plan: semicolon-separated clauses like "
+             "'flashcrowd:epochs=2-3,object=0,mult=8;zonepart:zone=1,at=900,"
+             "down=900;crash:epoch=3;corrupt_checkpoint:at=1' (docs/CHAOS.md)",
+    )
+    chaos.add_argument(
+        "--workdir", required=True, metavar="DIR",
+        help="campaign artifacts: topology, state dir, serve logs, report.json",
+    )
+    chaos.add_argument(
+        "--heuristic", default="qiu",
+        choices=["lru", "lfu", "coop-lru", "greedy-global", "qiu", "random"],
+    )
+    chaos.add_argument("--epochs", type=int, default=6)
+    chaos.add_argument(
+        "--epoch-interval", type=float, default=0.25, metavar="S",
+        help="wall-clock pacing of the chaos run's epochs (load needs time to land)",
+    )
+    chaos.add_argument("--requests", type=int, default=300, help="requests per epoch")
+    chaos.add_argument("--objects", type=int, default=12)
+    chaos.add_argument("--seed", type=int, default=3)
+    chaos.add_argument(
+        "--slo", type=float, default=0.9, metavar="FRACTION",
+        help="availability SLO the healed plan must meet (checked as an invariant)",
+    )
+    chaos.add_argument(
+        "--no-heal", action="store_true",
+        help="run the bare heuristic instead of the healing wrapper",
+    )
+    chaos.add_argument(
+        "--max-restarts", type=int, default=5,
+        help="supervised relaunches of the serve subprocess after injected crashes",
+    )
+    chaos.add_argument(
+        "--admission-limit", type=int, default=2, metavar="N",
+        help="small on purpose: the campaign must push the service into brownout",
+    )
+    chaos.add_argument("--load-workers", type=int, default=6, metavar="N")
+    chaos.add_argument("--json", action="store_true", help="machine-readable output")
 
     sweep = sub.add_parser("sweep", help="Figure-1 style QoS sweep of class bounds")
     problem_args(sweep)
@@ -798,6 +882,7 @@ def _cmd_continuous(args) -> int:
         num_objects=args.objects,
         drift=args.drift,
         workload_seed=args.seed,
+        workload=args.workload or None,
         tlat_ms=args.tlat,
         cost_interval_s=args.epoch_length,
         alpha=args.alpha,
@@ -939,6 +1024,10 @@ def _cmd_serve(args) -> int:
         replicas=args.replicas,
         period_s=period,
         tlat_ms=args.tlat,
+        heal=args.heal,
+        heal_copies=args.heal_copies,
+        heal_zones=args.heal_zones,
+        heal_budget=args.heal_budget,
     )
     task = ContinuousTask(
         topology=topology,
@@ -949,6 +1038,7 @@ def _cmd_serve(args) -> int:
         num_objects=args.objects,
         drift=args.drift,
         workload_seed=args.seed,
+        workload=args.workload or None,
         tlat_ms=args.tlat,
         cost_interval_s=args.epoch_length,
         alpha=args.alpha,
@@ -975,14 +1065,29 @@ def _cmd_serve(args) -> int:
     if resumed_at:
         print(f"serve: recovered checkpoint, resuming at epoch {resumed_at}", file=sys.stderr)
     supervisor = Supervisor(daemon, max_restarts=args.max_restarts)
+    from repro.service import BrownoutController
+
+    admission = AdmissionQueue(
+        limit=args.admission_limit, retry_after_s=args.retry_after
+    )
+    try:
+        brownout = BrownoutController(
+            admission,
+            brownout_depth=args.brownout_depth,
+            stale_ttl_s=args.stale_ttl,
+        )
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
     service = PlacementService(
         daemon,
-        admission=AdmissionQueue(limit=args.admission_limit, retry_after_s=args.retry_after),
+        admission=admission,
         breaker=CircuitBreaker(
             failure_threshold=args.breaker_failures, cooldown_s=args.breaker_cooldown
         ),
         supervisor=supervisor,
         chaos=chaos,
+        brownout=brownout,
         solve_timeout_s=args.solve_timeout,
     )
 
@@ -1066,6 +1171,42 @@ def _cmd_serve(args) -> int:
             )
         )
     return code
+
+
+def _cmd_chaos(args) -> int:
+    """Run one fault campaign end-to-end and check its invariants.
+
+    Exit codes: 0 — every invariant held; 1 — at least one invariant
+    failed (details in <workdir>/report.json and the serve logs); 2 — the
+    plan itself is malformed.
+    """
+    from repro.chaos import run_campaign
+    from repro.errors import ValidationError
+
+    try:
+        report = run_campaign(
+            args.plan,
+            args.workdir,
+            heuristic=args.heuristic,
+            epochs=args.epochs,
+            epoch_interval_s=args.epoch_interval,
+            requests_per_epoch=args.requests,
+            num_objects=args.objects,
+            seed=args.seed,
+            slo=args.slo,
+            heal=not args.no_heal,
+            max_restarts=args.max_restarts,
+            admission_limit=args.admission_limit,
+            load_workers=args.load_workers,
+        )
+    except ValidationError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict()))
+    else:
+        print(report.render())
+    return 0 if report.passed else 1
 
 
 def _cmd_sweep(args) -> int:
@@ -1237,6 +1378,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "continuous": _cmd_continuous,
         "serve": _cmd_serve,
+        "chaos": _cmd_chaos,
         "sweep": _cmd_sweep,
         "audit": _cmd_audit,
         "cache": _cmd_cache,

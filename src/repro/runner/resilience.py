@@ -20,24 +20,33 @@ the historical behavior (first exception sinks the whole batch):
 Timeouts are enforced with ``SIGALRM`` (``signal.setitimer``), which works
 both in-process and inside ``ProcessPoolExecutor`` workers (each worker runs
 tasks on its main thread).  On platforms without ``SIGALRM``, or off the main
-thread, the timeout is silently not enforced — the task still runs.
+thread, the timeout degrades to a one-time ``RuntimeWarning`` and the task
+runs unbounded — better a slow answer (with a visible warning) than a crash
+from installing a signal handler where that is illegal.
 
-The ``REPRO_CHAOS`` environment variable (``fail=<probability>,seed=<int>``)
-deterministically injects :class:`ChaosError` into execution attempts; CI's
-chaos smoke job uses it to prove a sweep survives an intermittently-failing
-backend and that ``--resume`` converges the run afterwards.
+The ``REPRO_CHAOS`` environment variable deterministically injects
+:class:`ChaosError` into execution attempts; CI's chaos smoke job uses it to
+prove a sweep survives an intermittently-failing backend and that
+``--resume`` converges the run afterwards.  The legacy grammar
+(``fail=<probability>,seed=<int>``) and unified chaos-plan clauses
+(``crash:p=…,seed=…``; see :mod:`repro.chaos`) both work — parsing routes
+through :func:`repro.chaos.plan.plan_from_task_env`, is cached per raw
+string (not re-parsed every attempt), and raises
+:class:`~repro.errors.ValidationError` naming the offending clause.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import os
 import signal
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ValidationError
 
 #: Recognized ``on_error`` modes (see :class:`RetryPolicy`).
 ON_ERROR_MODES = ("fail", "skip", "degrade")
@@ -190,25 +199,52 @@ class TaskOutcome:
 # -- timeouts ----------------------------------------------------------------
 
 
+#: One warning per process when a timeout cannot be enforced — a silently
+#: skipped budget looks exactly like a healthy run until something hangs.
+_TIMEOUT_UNENFORCEABLE_WARNED = False
+
+
+def _warn_no_timeout(why: str) -> None:
+    global _TIMEOUT_UNENFORCEABLE_WARNED
+    if _TIMEOUT_UNENFORCEABLE_WARNED:
+        return
+    _TIMEOUT_UNENFORCEABLE_WARNED = True
+    warnings.warn(
+        f"task_timeout cannot be enforced ({why}); tasks run unbounded",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def call_with_timeout(fn, timeout: Optional[float]):
     """Run ``fn()`` under a SIGALRM wall-clock budget.
 
-    Enforcement needs a POSIX main thread; anywhere else the call runs
-    unbounded (better a slow answer than a broken one).  Workers of a
-    ``ProcessPoolExecutor`` execute tasks on their main thread, so the
-    budget holds there too.
+    Enforcement needs a POSIX main thread; anywhere else — a service
+    executor thread, a platform without ``SIGALRM``, an embedded
+    interpreter that refuses signal handlers — the budget degrades to a
+    one-time :class:`RuntimeWarning` and the call runs unbounded (better a
+    slow answer than a broken one).  Workers of a ``ProcessPoolExecutor``
+    execute tasks on their main thread, so the budget holds there too.
     """
-    if (
-        not timeout
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if not timeout:
+        return fn()
+    if not hasattr(signal, "SIGALRM"):
+        _warn_no_timeout("no SIGALRM on this platform")
+        return fn()
+    if threading.current_thread() is not threading.main_thread():
+        _warn_no_timeout("running off the main thread")
         return fn()
 
     def _alarm(signum, frame):
         raise TaskTimeoutError(f"task exceeded its {timeout:g}s wall-clock budget")
 
-    previous = signal.signal(signal.SIGALRM, _alarm)
+    try:
+        previous = signal.signal(signal.SIGALRM, _alarm)
+    except ValueError as exc:
+        # Raised where installing handlers is illegal despite the thread
+        # check (e.g. a subinterpreter): degrade, don't crash the task.
+        _warn_no_timeout(str(exc))
+        return fn()
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
         return fn()
@@ -220,30 +256,45 @@ def call_with_timeout(fn, timeout: Optional[float]):
 # -- chaos injection ---------------------------------------------------------
 
 
-def _chaos_spec() -> Optional[Dict[str, float]]:
+#: Parse-once cache: (raw env string, parsed injector).  A sweep checks the
+#: spec on every task attempt; re-parsing the same string thousands of
+#: times was pure waste, and the cache also de-duplicates the validation
+#: error a bad spec raises.
+_CHAOS_CACHE: Tuple[str, Optional[object]] = ("", None)
+
+
+def _chaos_spec():
+    """The active :class:`~repro.chaos.plan.TaskChaos`, or None when unset.
+
+    Parsed once per distinct ``REPRO_CHAOS`` value (workers inherit the
+    env, so each process pays a single parse).  Both the legacy
+    ``fail=<p>,seed=<n>`` grammar and unified plan clauses
+    (``crash:p=…``) are accepted; errors raise
+    :class:`~repro.errors.ValidationError` naming the offending clause.
+    """
+    global _CHAOS_CACHE
     raw = os.environ.get(CHAOS_ENV, "").strip()
     if not raw:
         return None
-    spec = {"fail": 0.0, "seed": 0.0}
-    for clause in raw.split(","):
-        name, _, value = clause.partition("=")
-        name = name.strip()
-        if name in spec and value:
-            try:
-                spec[name] = float(value)
-            except ValueError:
-                raise ValueError(f"bad {CHAOS_ENV} clause: {clause!r}") from None
-    return spec
+    cached_raw, cached = _CHAOS_CACHE
+    if raw == cached_raw:
+        return cached
+    from repro.chaos.plan import plan_from_task_env
+
+    try:
+        chaos = plan_from_task_env(raw).task_chaos()
+    except ValidationError as exc:
+        raise ValidationError(f"{CHAOS_ENV}: {exc}") from None
+    _CHAOS_CACHE = (raw, chaos)
+    return chaos
 
 
 def chaos_should_fail(identity: str, attempt: int) -> bool:
     """Deterministic injected-failure draw for (task identity, attempt)."""
-    spec = _chaos_spec()
-    if spec is None or spec["fail"] <= 0.0:
+    chaos = _chaos_spec()
+    if chaos is None:
         return False
-    token = f"{int(spec['seed'])}:{identity}:{attempt}".encode()
-    draw = int.from_bytes(hashlib.sha256(token).digest()[:4], "big") / 2**32
-    return draw < spec["fail"]
+    return chaos.should_fail(identity, attempt)
 
 
 # -- the attempt loop --------------------------------------------------------

@@ -397,6 +397,13 @@ class ContinuousTask:
     drift: float = 0.25
     zipf_exponent: float = 0.9
     workload_seed: int = 0
+    #: Optional workload-emulation spec (:func:`repro.workload.emulate.
+    #: parse_emulation` grammar, e.g. ``"diurnal:amp=0.5;flashcrowd:
+    #: start=2,end=3,obj=0,mult=8"``).  When set, traces come from
+    #: :func:`~repro.workload.emulate.emulated_traces` layered on the same
+    #: drift substreams; when None, plain :func:`~repro.workload.drift.
+    #: drifting_traces`.
+    workload: Optional[str] = None
     tlat_ms: float = 150.0
     warmup_s: float = 0.0
     cost_interval_s: float = 3600.0
@@ -427,6 +434,7 @@ class ContinuousTask:
             self.drift,
             self.zipf_exponent,
             self.workload_seed,
+            self.workload,
             self.tlat_ms,
             self.warmup_s,
             self.cost_interval_s,
@@ -466,17 +474,34 @@ class ContinuousTask:
                 zones=self.topology.zones,
             )
             schedule.validate_for(self.topology)
-        traces = drifting_traces(
-            self.topology.num_nodes,
-            self.num_objects,
-            epochs=self.epochs,
-            epoch_s=self.epoch_s,
-            requests_per_epoch=self.requests_per_epoch,
-            drift=self.drift,
-            zipf_exponent=self.zipf_exponent,
-            populations=self.topology.populations,
-            seed=self.workload_seed,
-        )
+        if self.workload:
+            from repro.workload.emulate import emulated_traces
+
+            traces = emulated_traces(
+                self.topology.num_nodes,
+                self.num_objects,
+                epochs=self.epochs,
+                epoch_s=self.epoch_s,
+                requests_per_epoch=self.requests_per_epoch,
+                spec=self.workload,
+                drift=self.drift,
+                zipf_exponent=self.zipf_exponent,
+                populations=self.topology.populations,
+                zones=self.topology.zones,
+                seed=self.workload_seed,
+            )
+        else:
+            traces = drifting_traces(
+                self.topology.num_nodes,
+                self.num_objects,
+                epochs=self.epochs,
+                epoch_s=self.epoch_s,
+                requests_per_epoch=self.requests_per_epoch,
+                drift=self.drift,
+                zipf_exponent=self.zipf_exponent,
+                populations=self.topology.populations,
+                seed=self.workload_seed,
+            )
         slo = None if self.slo is None else AvailabilitySLO(self.slo)
         return traces, schedule, slo
 
@@ -518,6 +543,7 @@ class ContinuousTask:
             "epochs": self.epochs,
             "epoch_s": self.epoch_s,
             "drift": self.drift,
+            "workload": self.workload,
             "tlat_ms": self.tlat_ms,
             "faults": self.faults,
             "slo": self.slo,

@@ -18,9 +18,14 @@ This package keeps answering — robustness-first:
   429-style rejections, and a circuit breaker around the solver tier
   (:mod:`repro.solvers.registry`) that trips on repeated timeouts and
   degrades to serving last-known-good answers marked ``stale``;
+* :mod:`repro.service.brownout` — tiered overload adaptation above the
+  admission queue: past a pressure threshold bound solves degrade to a
+  cheap approximation (``approx: true``), and shed requests are answered
+  from a TTL-bounded last-known-good store before the 429 goes out;
 * :mod:`repro.service.chaos` — deterministic ``REPRO_SERVICE_CHAOS`` fault
-  injection (dropped connections, slow solves, crash-on-checkpoint) so
-  every recovery path is testable;
+  injection (dropped connections, slow solves, crash-on-checkpoint, torn
+  checkpoints), one injector of the unified :mod:`repro.chaos` plan
+  grammar, so every recovery path is testable;
 * :mod:`repro.service.loadgen` — a closed-loop load generator (used by
   ``benchmarks/test_service_load.py`` and CI's service-smoke job) that
   accounts for every request it issues, so a silently dropped response is
@@ -34,6 +39,7 @@ from __future__ import annotations
 
 from repro.service.admission import AdmissionQueue, QueueFullError
 from repro.service.breaker import BreakerOpenError, CircuitBreaker
+from repro.service.brownout import BrownoutController
 from repro.service.chaos import SERVICE_CHAOS_ENV, ServiceChaos, parse_service_chaos
 from repro.service.checkpoint import CheckpointStore
 from repro.service.client import ServiceClient
@@ -44,6 +50,7 @@ from repro.service.server import PlacementService
 __all__ = [
     "AdmissionQueue",
     "BreakerOpenError",
+    "BrownoutController",
     "CheckpointStore",
     "CircuitBreaker",
     "PlacementDaemon",

@@ -1,46 +1,60 @@
 """Deterministic fault injection for the placement service.
 
 Every recovery path the service claims to have must be drivable from a
-test, so the failure modes are injected, not hoped for.  The
-``REPRO_SERVICE_CHAOS`` environment variable configures the injection with
-comma-separated clauses, mirroring the runner's ``REPRO_CHAOS`` grammar
-(:mod:`repro.runner.resilience`)::
+test, so the failure modes are injected, not hoped for.  Injection is
+configured by the ``REPRO_SERVICE_CHAOS`` environment variable (or the
+``--chaos`` flag), which accepts both grammars:
 
-    REPRO_SERVICE_CHAOS="drop=0.1,slow=0.5,slow_ms=200,seed=7"
-    REPRO_SERVICE_CHAOS="crash_at_epoch=2"
-    REPRO_SERVICE_CHAOS="crash_checkpoint_at=3"
+* the legacy comma grammar::
 
-Clauses:
+      REPRO_SERVICE_CHAOS="drop=0.1,slow=0.5,slow_ms=200,seed=7"
+      REPRO_SERVICE_CHAOS="crash_at_epoch=2"
+      REPRO_SERVICE_CHAOS="crash_checkpoint_at=3"
 
-``drop=<p>``
-    Probability of closing an accepted connection without responding —
-    the load generator must account these as connection errors, never as
-    silent losses.
-``slow=<p>`` / ``slow_ms=<n>``
-    Probability of sleeping ``slow_ms`` inside a solver-tier solve; with a
-    short ``--solve-timeout`` this deterministically trips the circuit
-    breaker.
-``crash_at_epoch=<n>``
-    ``os._exit`` the process while epoch ``n`` is being computed, *before*
-    its journal record is written — the "kill -9 mid-epoch" case; recovery
-    replays epoch ``n`` from the previous boundary.
-``crash_checkpoint_at=<n>``
+* unified chaos-plan clauses (:mod:`repro.chaos`), restricted to the
+  service/checkpoint layers::
+
+      REPRO_SERVICE_CHAOS="drop:p=0.1,seed=7;slow:p=0.5,ms=200"
+      REPRO_SERVICE_CHAOS="crash:epoch=2;corrupt_checkpoint:at=1"
+
+Both parse through one :class:`~repro.chaos.plan.ChaosPlan`
+(:func:`repro.chaos.plan.plan_from_service_env`), so a spec that works
+here composes unchanged into a ``repro chaos`` campaign.
+
+Injection sites:
+
+``drop`` / ``slow``
+    Probabilistic connection drops and solve slowdowns (optionally
+    windowed to an epoch range with ``epochs=a-b`` in plan grammar).  A
+    dropped connection must surface to clients as a connection error,
+    never a hang; a slowdown sleeps ``slow_ms`` inside the solver tier.
+``crash:epoch=<n>`` (legacy ``crash_at_epoch``)
+    ``os._exit`` while epoch ``n`` is being computed, *before* its journal
+    record is written — the "kill -9 mid-epoch" case; recovery replays
+    epoch ``n`` from the previous boundary.
+``crash:checkpoint=<n>`` (legacy ``crash_checkpoint_at``)
     ``os._exit`` after epoch ``n``'s journal append but *before* the
     snapshot is rewritten — the torn-checkpoint case; recovery must take
     the journal record over the stale snapshot.
-``seed=<n>``
-    Seed for the probabilistic draws (deterministic per site + counter).
+``corrupt_checkpoint:at=<n>[,mode=tail|snapshot]``
+    Garble epoch ``n``'s durable bytes without crashing: ``tail`` tears
+    the just-appended journal record (a disk that lied about the fsync),
+    ``snapshot`` garbles the snapshot file after its rewrite.  Recovery
+    must skip the damage and replay — byte-identical convergence is the
+    invariant the chaos campaign asserts.
 
-All probabilistic draws are a SHA-256 of ``(seed, site, counter)``, so a
-run with a fixed seed injects the same faults every time.
+All probabilistic draws are a SHA-256 of ``(seed, site, counter)``
+(:func:`repro.chaos.plan.chaos_draw`), so a run with a fixed seed injects
+the same faults every time.
 """
 
 from __future__ import annotations
 
-import hashlib
 import os
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
+
+from repro.chaos.plan import chaos_draw, plan_from_service_env
 
 #: Environment hook configuring service-level fault injection.
 SERVICE_CHAOS_ENV = "REPRO_SERVICE_CHAOS"
@@ -52,24 +66,39 @@ CHAOS_EXIT_CODE = 57
 
 @dataclass(frozen=True)
 class ServiceChaos:
-    """Parsed ``REPRO_SERVICE_CHAOS`` configuration."""
+    """The service-layer injector of one chaos plan."""
 
     drop: float = 0.0
     slow: float = 0.0
     slow_ms: float = 100.0
     crash_at_epoch: int = -1
     crash_checkpoint_at: int = -1
+    corrupt_checkpoint_at: int = -1
+    corrupt_mode: str = "tail"
+    drop_window: Optional[Tuple[int, int]] = None
+    slow_window: Optional[Tuple[int, int]] = None
     seed: int = 0
 
     def _draw(self, site: str, counter: int) -> float:
-        token = f"{self.seed}:{site}:{counter}".encode()
-        return int.from_bytes(hashlib.sha256(token).digest()[:4], "big") / 2**32
+        return chaos_draw(self.seed, site, counter)
 
-    def should_drop(self, counter: int) -> bool:
-        return self.drop > 0.0 and self._draw("drop", counter) < self.drop
+    @staticmethod
+    def _in_window(window: Optional[Tuple[int, int]], epoch: Optional[int]) -> bool:
+        if window is None:
+            return True
+        if epoch is None:
+            return False
+        return window[0] <= epoch <= window[1]
 
-    def should_slow(self, counter: int) -> bool:
-        return self.slow > 0.0 and self._draw("slow", counter) < self.slow
+    def should_drop(self, counter: int, epoch: Optional[int] = None) -> bool:
+        if self.drop <= 0.0 or not self._in_window(self.drop_window, epoch):
+            return False
+        return self._draw("drop", counter) < self.drop
+
+    def should_slow(self, counter: int, epoch: Optional[int] = None) -> bool:
+        if self.slow <= 0.0 or not self._in_window(self.slow_window, epoch):
+            return False
+        return self._draw("slow", counter) < self.slow
 
     def maybe_crash_epoch(self, index: int) -> None:
         """Die mid-epoch (before the journal record) when configured."""
@@ -81,6 +110,10 @@ class ServiceChaos:
         if index == self.crash_checkpoint_at:
             _crash(f"checkpoint after epoch {index}")
 
+    def should_corrupt_checkpoint(self, index: int) -> bool:
+        """True when epoch ``index``'s durable bytes should be garbled."""
+        return index == self.corrupt_checkpoint_at
+
 
 def _crash(where: str) -> None:
     """Simulate a hard crash: no cleanup, no flushes, no excuses."""
@@ -89,34 +122,15 @@ def _crash(where: str) -> None:
 
 
 def parse_service_chaos(raw: Optional[str] = None) -> Optional[ServiceChaos]:
-    """Parse a chaos spec string (default: the env var); None when unset."""
+    """Parse a chaos spec string (default: the env var); None when unset.
+
+    Accepts the legacy comma grammar and service-layer plan clauses alike;
+    both route through :mod:`repro.chaos.plan`.  Raises
+    :class:`~repro.errors.ValidationError` naming the offending clause.
+    """
     if raw is None:
         raw = os.environ.get(SERVICE_CHAOS_ENV, "")
     raw = raw.strip()
     if not raw:
         return None
-    fields = {
-        "drop": 0.0,
-        "slow": 0.0,
-        "slow_ms": 100.0,
-        "crash_at_epoch": -1.0,
-        "crash_checkpoint_at": -1.0,
-        "seed": 0.0,
-    }
-    for clause in raw.split(","):
-        name, _, value = clause.partition("=")
-        name = name.strip()
-        if name not in fields or not value:
-            raise ValueError(f"bad {SERVICE_CHAOS_ENV} clause: {clause!r}")
-        try:
-            fields[name] = float(value)
-        except ValueError:
-            raise ValueError(f"bad {SERVICE_CHAOS_ENV} clause: {clause!r}") from None
-    return ServiceChaos(
-        drop=fields["drop"],
-        slow=fields["slow"],
-        slow_ms=fields["slow_ms"],
-        crash_at_epoch=int(fields["crash_at_epoch"]),
-        crash_checkpoint_at=int(fields["crash_checkpoint_at"]),
-        seed=int(fields["seed"]),
-    )
+    return plan_from_service_env(raw).service_chaos()

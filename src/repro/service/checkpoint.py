@@ -114,6 +114,49 @@ class CheckpointStore:
             return "snapshot"
         return "journal"
 
+    # -- fault injection (chaos campaigns) -----------------------------------
+
+    def corrupt_tail(self) -> bool:
+        """Tear the newest journal record in place; True if bytes changed.
+
+        Cuts the final record roughly in half with no trailing newline —
+        the shape a crash mid-append (or a disk that lied about the fsync)
+        actually leaves behind.  Recovery must stop at the torn line and
+        replay from the last intact state.
+        """
+        try:
+            data = self.journal_path.read_bytes()
+        except (OSError, FileNotFoundError):
+            return False
+        stripped = data.rstrip(b"\n")
+        if not stripped:
+            return False
+        start = stripped.rfind(b"\n") + 1
+        last = stripped[start:]
+        torn = stripped[:start] + last[: max(1, len(last) // 2)]
+        with open(self.journal_path, "wb") as fh:
+            fh.write(torn)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return True
+
+    def corrupt_snapshot(self) -> bool:
+        """Garble the snapshot file in place; True if bytes changed.
+
+        Models bit-rot discovered at read time: the file exists but no
+        longer parses, so recovery must fall back to the journal.
+        """
+        try:
+            data = self.snapshot_path.read_bytes()
+        except (OSError, FileNotFoundError):
+            return False
+        garbled = b"\x00corrupt\x00" + data[: len(data) // 2]
+        with open(self.snapshot_path, "wb") as fh:
+            fh.write(garbled)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return True
+
     # -- read path -----------------------------------------------------------
 
     def _decode(self, payload: Dict[str, object], where: str) -> Optional[ContinuousState]:
@@ -128,27 +171,61 @@ class CheckpointStore:
         return ContinuousState.from_dict(payload["state"])
 
     def _journal_states(self) -> List[ContinuousState]:
+        states, _ = self._scan_journal()
+        return states
+
+    def _scan_journal(self) -> tuple:
+        """Parse the journal; returns ``(states, intact_byte_length)``.
+
+        ``intact_byte_length`` is where the durable prefix ends — the
+        offset past the last newline-terminated, parseable record.  A torn
+        tail from a crash mid-append sits beyond it; everything durable
+        precedes it, so scanning stops there rather than guessing.
+        """
         states: List[ContinuousState] = []
         try:
-            raw = self.journal_path.read_text()
+            raw = self.journal_path.read_bytes()
         except (OSError, FileNotFoundError):
-            return states
-        for line in raw.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-                state = self._decode(payload, where=str(self.journal_path))
-            except CheckpointMismatchError:
-                raise
-            except Exception:
-                # A torn tail from a crash mid-append: everything durable
-                # precedes it, so stop here rather than guessing.
-                break
-            if state is not None:
-                states.append(state)
-        return states
+            return states, 0
+        pos = 0
+        intact = 0
+        while pos < len(raw):
+            newline = raw.find(b"\n", pos)
+            if newline == -1:
+                break  # unterminated tail: the record never became durable
+            line = raw[pos:newline].strip()
+            pos = newline + 1
+            if line:
+                try:
+                    payload = json.loads(line)
+                    state = self._decode(payload, where=str(self.journal_path))
+                except CheckpointMismatchError:
+                    raise
+                except Exception:
+                    break
+                if state is not None:
+                    states.append(state)
+            intact = pos
+        return states, intact
+
+    def _repair_journal(self, intact: int) -> None:
+        """Truncate the journal to its durable prefix.
+
+        Run at recovery time, before the daemon appends anything: a torn
+        tail left in place would otherwise merge with the next append into
+        one unparseable line, silently orphaning every record after it
+        until a snapshot truncates the file.
+        """
+        try:
+            size = os.path.getsize(self.journal_path)
+        except OSError:
+            return
+        if intact >= size:
+            return
+        with open(self.journal_path, "rb+") as fh:
+            fh.truncate(intact)
+            fh.flush()
+            os.fsync(fh.fileno())
 
     def _snapshot_state(self) -> Optional[ContinuousState]:
         try:
@@ -170,9 +247,11 @@ class CheckpointStore:
         Takes whichever of snapshot / journal reaches the higher epoch
         index — after a crash between journal append and snapshot rewrite
         the journal is ahead; after a clean snapshot the (truncated)
-        journal is behind.
+        journal is behind.  Also repairs the journal in place: a torn tail
+        is truncated away so subsequent appends start on a clean line.
         """
-        candidates = self._journal_states()
+        candidates, intact = self._scan_journal()
+        self._repair_journal(intact)
         snap = self._snapshot_state()
         if snap is not None:
             candidates.append(snap)

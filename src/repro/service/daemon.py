@@ -154,10 +154,17 @@ class PlacementDaemon:
                 warmup_s=self.task.warmup_s,
             )
         self.store.append(new_state)
+        corrupt = self.chaos is not None and self.chaos.should_corrupt_checkpoint(idx)
+        if corrupt and self.chaos.corrupt_mode == "tail":
+            if self.store.corrupt_tail():
+                PERF.count("service.chaos.corrupt")
         if self.chaos is not None:
             self.chaos.maybe_crash_checkpoint(idx)
         if new_state.index % self.store.snapshot_every == 0:
             self.store.snapshot(new_state)
+        if corrupt and self.chaos.corrupt_mode == "snapshot":
+            if self.store.corrupt_snapshot():
+                PERF.count("service.chaos.corrupt")
         self._publish(new_state)
         PERF.count("service.epoch")
         return True

@@ -46,6 +46,13 @@ Hardening on the ``bound`` path, in order:
 5. **circuit breaker** — while open, solves are refused instantly and the
    service degrades to the last-known-good answer for that class, marked
    ``"stale": true``, or 503 when none exists yet.
+
+Overload adaptation (:mod:`repro.service.brownout`) sits across 1–3:
+when admission-queue depth crosses the brownout threshold, bound solves
+switch to a cheap approximation (one demand interval, ``structure``
+backend) marked ``"approx": true``; when admission sheds, a
+last-known-good answer within the staleness TTL is served before the
+429 goes out.  Both are counted under ``service.brownout.*``.
 """
 
 from __future__ import annotations
@@ -65,9 +72,10 @@ from repro.perf import PERF
 from repro.runner.digest import digest_of
 from repro.service.admission import AdmissionQueue, QueueFullError
 from repro.service.breaker import OPEN, BreakerOpenError, CircuitBreaker
+from repro.service.brownout import BrownoutController
 from repro.service.chaos import ServiceChaos
 from repro.service.daemon import PlacementDaemon, Supervisor
-from repro.solvers.registry import install_solve_guard
+from repro.solvers.registry import BACKEND_STRUCTURE, install_solve_guard
 from repro.workload.demand import DemandMatrix
 
 _MAX_BODY = 1 << 20  # 1 MiB: placement queries are small; anything bigger is abuse
@@ -99,6 +107,7 @@ class PlacementService:
         breaker: Optional[CircuitBreaker] = None,
         supervisor: Optional[Supervisor] = None,
         chaos: Optional[ServiceChaos] = None,
+        brownout: Optional[BrownoutController] = None,
         solve_timeout_s: float = 30.0,
         cache_size: int = 256,
         bound_intervals: int = 4,
@@ -108,6 +117,7 @@ class PlacementService:
         self.breaker = breaker or CircuitBreaker()
         self.supervisor = supervisor
         self.chaos = chaos
+        self.brownout = brownout or BrownoutController(self.admission)
         self.solve_timeout_s = solve_timeout_s
         self.bound_intervals = bound_intervals
         self._cache: "collections.OrderedDict[str, Dict[str, object]]" = (
@@ -115,8 +125,6 @@ class PlacementService:
         )
         self._cache_size = cache_size
         self._inflight: Dict[str, asyncio.Future] = {}
-        # Last-known-good bound per class name: the degraded-mode answer.
-        self._lkg: Dict[str, Dict[str, object]] = {}
         # Per-class warm-start store: the basis (or basis-less solution)
         # of the last optimal solve.  Under drift the next epoch's problem
         # usually differs only in demand numbers, so the old basis
@@ -159,7 +167,9 @@ class PlacementService:
         self._conn_counter += 1
         conn_id = self._conn_counter
         try:
-            if self.chaos is not None and self.chaos.should_drop(conn_id):
+            if self.chaos is not None and self.chaos.should_drop(
+                conn_id, epoch=self.daemon.state.index
+            ):
                 # The injected network fault: vanish without a response.
                 # Clients must see a connection error, never a hang.
                 self.dropped += 1
@@ -307,11 +317,17 @@ class PlacementService:
             except (TypeError, ValueError):
                 return 400, {"error": "deadline_ms must be a number"}
 
-        task = self._bound_task(klass, qos, backend, epoch)
+        # Brownout: past the pressure threshold the solve is downgraded to
+        # a cheap approximation.  The approx task has its own cache key
+        # (different demand resolution + backend), so exact and approximate
+        # answers never alias in the cache.
+        approx = self.brownout.wants_approx()
+        task = self._bound_task(klass, qos, backend, epoch, approx=approx)
         key = digest_of("service-bound", task.cache_key())
-        warm = self._warm.get(class_name)
-        if warm is not None:
-            task = dataclasses.replace(task, warm_basis=warm)
+        if not approx:
+            warm = self._warm.get(class_name)
+            if warm is not None:
+                task = dataclasses.replace(task, warm_basis=warm)
 
         cached = self._cache_get(key)
         if cached is not None:
@@ -349,27 +365,40 @@ class PlacementService:
             else:
                 payload = task_future.result()
                 self._cache_put(key, payload)
-                self._lkg[class_name] = payload
+                self.brownout.note_result(class_name, payload)
                 future.set_result(payload)
 
         try:
             self.admission.acquire()
         except QueueFullError as exc:
             self._inflight.pop(key, None)
+            # Shed tier: a bounded-staleness answer beats a refusal.
+            stale = self.brownout.stale_answer(class_name)
+            if stale is not None:
+                return 200, dict(stale, cached=True, stale=True, shed=True)
+            self.brownout.note_shed()
             return 429, {
                 "error": "overloaded, request shed",
                 "retry_after_s": exc.retry_after_s,
             }
 
+        if approx:
+            self.brownout.note_approx()
+
         def _solve() -> Dict[str, object]:
             try:
-                if self.chaos is not None and self.chaos.should_slow(self._conn_counter):
+                if self.chaos is not None and self.chaos.should_slow(
+                    self._conn_counter, epoch=self.daemon.state.index
+                ):
                     time.sleep(self.chaos.slow_ms / 1000.0)
                 t0 = time.perf_counter()
                 result = task.run()
-                warm = result.extras.get("basis") or result.extras.get("warm_source")
-                if warm is not None:
-                    self._warm[class_name] = warm
+                if not approx:
+                    warm = result.extras.get("basis") or result.extras.get(
+                        "warm_source"
+                    )
+                    if warm is not None:
+                        self._warm[class_name] = warm
                 return {
                     "kind": "bound",
                     "class": class_name,
@@ -379,6 +408,7 @@ class PlacementService:
                     "lp_cost": result.lp_cost,
                     "feasible_cost": result.feasible_cost,
                     "backend": result.backend_used,
+                    "approx": approx,
                     "solve_s": time.perf_counter() - t0,
                     "digest": key[:16],
                 }
@@ -409,11 +439,16 @@ class PlacementService:
             return 500, {"error": f"{type(exc).__name__}: {exc}", "class": class_name}
 
     def _degraded(self, class_name: str) -> Tuple[int, Dict[str, object]]:
-        """Answer from last-known-good while the breaker is open."""
-        lkg = self._lkg.get(class_name)
+        """Answer from last-known-good while the breaker is open.
+
+        The LKG must be within the brownout controller's staleness TTL —
+        an unbounded-staleness answer would silently serve yesterday's
+        placement long after the solver tier died.
+        """
+        lkg = self.brownout.stale_answer(class_name)
         if lkg is None:
             return 503, {
-                "error": "solver circuit open and no last-known-good result",
+                "error": "solver circuit open and no fresh last-known-good result",
                 "class": class_name,
                 "breaker": self.breaker.state,
             }
@@ -421,11 +456,20 @@ class PlacementService:
         PERF.count("service.stale")
         return 200, dict(lkg, cached=True, stale=True, breaker=self.breaker.state)
 
-    def _bound_task(self, klass, qos: float, backend: str, epoch: int):
+    def _bound_task(
+        self, klass, qos: float, backend: str, epoch: int, approx: bool = False
+    ):
         from repro.runner.tasks import BoundTask
 
+        if approx:
+            # Brownout approximation: one demand interval (coarsest
+            # resolution) and the structure backend, which picks the exact
+            # tree DP / decomposition when applicable and never costs more
+            # than the monolithic LP it replaces.
+            backend = BACKEND_STRUCTURE
+        intervals = 1 if approx else self.bound_intervals
         trace = self.daemon._traces[epoch]
-        demand = DemandMatrix.from_trace(trace, num_intervals=self.bound_intervals)
+        demand = DemandMatrix.from_trace(trace, num_intervals=intervals)
         problem = MCPerfProblem(
             topology=self.daemon.task.topology,
             demand=demand,
@@ -438,11 +482,12 @@ class PlacementService:
                 alpha=self.daemon.task.alpha, beta=self.daemon.task.beta
             ),
         )
+        label = f"service:{klass.name}@{epoch}"
         return BoundTask(
             problem=problem,
             properties=klass.properties,
             backend=backend,
-            label=f"service:{klass.name}@{epoch}",
+            label=label + "+approx" if approx else label,
         )
 
     # -- cache ---------------------------------------------------------------
@@ -472,6 +517,7 @@ class PlacementService:
             "dropped_by_chaos": self.dropped,
             "admission": self.admission.status(),
             "breaker": self.breaker.status(),
+            "brownout": self.brownout.status(),
             "cache": {
                 "size": len(self._cache),
                 "capacity": self._cache_size,

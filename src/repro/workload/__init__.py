@@ -25,6 +25,12 @@ from repro.workload.generators import (
     web_workload,
 )
 from repro.workload.drift import drifting_traces, epoch_slices
+from repro.workload.emulate import (
+    EmulationPlan,
+    emulated_traces,
+    emulation_envelope,
+    parse_emulation,
+)
 from repro.workload.stats import (
     WorkloadStats,
     characterize,
@@ -49,6 +55,10 @@ __all__ = [
     "synthetic_workload",
     "drifting_traces",
     "epoch_slices",
+    "EmulationPlan",
+    "emulated_traces",
+    "emulation_envelope",
+    "parse_emulation",
     "WorkloadStats",
     "characterize",
     "fit_zipf_exponent",

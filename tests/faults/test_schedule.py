@@ -99,7 +99,81 @@ def test_schedules_compose_with_plus():
         FaultSchedule([NodeCrash(10.0, 1)]) + FaultSchedule([NodeCrash(15.0, 1)])
 
 
-# -- topology validation ---------------------------------------------------
+# -- epoch slicing boundaries ----------------------------------------------
+
+
+def test_slice_rejects_bad_windows():
+    sched = FaultSchedule([NodeCrash(10.0, 1)])
+    with pytest.raises(ValueError):
+        sched.slice(-1.0, 10.0)
+    with pytest.raises(ValueError):
+        sched.slice(10.0, 10.0)
+    with pytest.raises(ValueError):
+        sched.slice(10.0, 5.0)
+
+
+def test_slice_event_exactly_at_window_start_is_included():
+    sched = FaultSchedule([NodeCrash(100.0, 1), NodeRecover(150.0, 1)])
+    window = sched.slice(100.0, 200.0)
+    assert [(type(ev).__name__, ev.time_s) for ev in window] == [
+        ("NodeCrash", 0.0),
+        ("NodeRecover", 50.0),
+    ]
+
+
+def test_slice_event_exactly_at_window_end_is_dropped():
+    sched = FaultSchedule([NodeCrash(200.0, 1), NodeRecover(250.0, 1)])
+    assert sched.slice(100.0, 200.0).empty
+    # ...but the next epoch's slice picks it up at its own t=0.
+    nxt = sched.slice(200.0, 300.0)
+    assert [(type(ev).__name__, ev.time_s) for ev in nxt] == [
+        ("NodeCrash", 0.0),
+        ("NodeRecover", 50.0),
+    ]
+
+
+def test_slice_carries_open_crash_in_as_t0_event():
+    sched = FaultSchedule([NodeCrash(50.0, 2), NodeRecover(250.0, 2)])
+    window = sched.slice(100.0, 200.0)
+    assert window.crash_intervals() == {2: [(0.0, math.inf)]}  # stays open
+
+
+def test_slice_drops_zero_length_pair_when_recovery_lands_on_boundary():
+    """A fault healing exactly at the window start must not resurrect."""
+    sched = FaultSchedule([NodeCrash(50.0, 1), NodeRecover(100.0, 1)])
+    assert sched.slice(100.0, 200.0).empty
+    link = FaultSchedule([LinkDegrade(50.0, 1, 2), LinkRestore(100.0, 1, 2)])
+    assert link.slice(100.0, 200.0).empty
+
+
+def test_slice_carries_open_link_degradation():
+    sched = FaultSchedule([LinkDegrade(50.0, 1, 2, factor=3.0)])
+    window = sched.slice(100.0, 200.0)
+    assert len(window) == 1
+    ev = window.events[0]
+    assert isinstance(ev, LinkDegrade)
+    assert ev.time_s == 0.0 and ev.factor == 3.0
+
+
+def test_epoch_slices_tile_the_full_schedule():
+    """Boundary epochs: slicing at every epoch edge loses no downtime."""
+    sched = FaultSchedule(
+        [
+            NodeCrash(0.0, 1),
+            NodeRecover(100.0, 1),  # heals exactly at epoch edge 100
+            NodeCrash(150.0, 2),
+            NodeRecover(250.0, 2),  # spans the 200 edge
+            NodeCrash(300.0, 3),  # opens exactly at the final edge, never heals
+        ]
+    )
+    epoch_s = 100.0
+    down = {1: 0.0, 2: 0.0, 3: 0.0}
+    for epoch in range(4):
+        window = sched.slice(epoch * epoch_s, (epoch + 1) * epoch_s)
+        for node, intervals in window.crash_intervals().items():
+            for start, end in intervals:
+                down[node] += min(end, epoch_s) - start
+    assert down == {1: 100.0, 2: 100.0, 3: 100.0}
 
 
 def test_validate_for_rejects_origin_faults_and_bad_ids():

@@ -295,6 +295,80 @@ def test_chaos_rejects_garbage_spec(monkeypatch):
         chaos_should_fail("task-x", 0)
 
 
+def test_chaos_accepts_unified_plan_grammar(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CHAOS", "crash:p=1.0,seed=1")
+    runner = ExperimentRunner(
+        policy=RetryPolicy(retries=1, backoff_s=0.0, on_error="skip")
+    )
+    failure = runner.map([probe(tmp_path, "victim")])[0]
+    assert isinstance(failure, TaskFailure)
+    assert failure.error_type == "ChaosError"
+
+
+def test_legacy_and_plan_grammars_draw_identically(monkeypatch):
+    monkeypatch.setenv("REPRO_CHAOS", "fail=0.5,seed=7")
+    legacy = [chaos_should_fail("task-x", a) for a in range(32)]
+    monkeypatch.setenv("REPRO_CHAOS", "crash:p=0.5,seed=7")
+    assert [chaos_should_fail("task-x", a) for a in range(32)] == legacy
+
+
+def test_chaos_validation_error_names_the_clause(monkeypatch):
+    from repro.errors import ValidationError
+
+    monkeypatch.setenv("REPRO_CHAOS", "crash:p=2.0")
+    with pytest.raises(ValidationError, match="crash:p=2.0") as excinfo:
+        chaos_should_fail("task-x", 0)
+    assert "REPRO_CHAOS" in str(excinfo.value)
+
+
+def test_chaos_spec_is_parsed_once_per_value(monkeypatch):
+    """The spec is checked on every attempt; parsing must not be."""
+    import repro.chaos.plan as plan_mod
+
+    monkeypatch.setenv("REPRO_CHAOS", "fail=0.5,seed=7")
+    first = chaos_should_fail("task-x", 0)
+
+    def exploding(raw):
+        raise AssertionError("re-parsed a cached chaos spec")
+
+    monkeypatch.setattr(plan_mod, "plan_from_task_env", exploding)
+    assert chaos_should_fail("task-x", 0) == first  # served from cache
+
+    # A *changed* value must re-parse (and here, trip the sentinel).
+    monkeypatch.setenv("REPRO_CHAOS", "fail=0.9,seed=7")
+    with pytest.raises(AssertionError, match="re-parsed"):
+        chaos_should_fail("task-x", 0)
+
+
+def test_timeout_off_main_thread_degrades_to_one_warning(monkeypatch):
+    """No SIGALRM off the main thread: warn once, run unbounded, don't crash."""
+    import threading
+    import warnings
+
+    import repro.runner.resilience as res
+
+    monkeypatch.setattr(res, "_TIMEOUT_UNENFORCEABLE_WARNED", False)
+    out = {}
+
+    def work():
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            out["first"] = call_with_timeout(lambda: 7, 0.01)
+            out["second"] = call_with_timeout(lambda: 8, 0.01)
+            out["warnings"] = [
+                w for w in caught if issubclass(w.category, RuntimeWarning)
+            ]
+
+    thread = threading.Thread(target=work)
+    thread.start()
+    thread.join()
+    assert out["first"] == 7 and out["second"] == 8
+    messages = [str(w.message) for w in out["warnings"]]
+    assert len(messages) == 1  # once per process, not per call
+    assert "cannot be enforced" in messages[0]
+    assert "main thread" in messages[0]
+
+
 def test_chaos_survivors_are_cached_not_chaos_tainted(tmp_path, monkeypatch):
     """A chaos-failed task leaves no cache entry; survivors do."""
     monkeypatch.setenv("REPRO_CHAOS", "fail=1.0,seed=1")

@@ -1,0 +1,124 @@
+"""Brownout controller: tiers, TTL-bounded staleness, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import AdmissionQueue, BrownoutController
+from repro.service.brownout import TIER_BROWNOUT, TIER_NORMAL, TIER_SHED
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def controller(limit=4, **kwargs) -> BrownoutController:
+    return BrownoutController(AdmissionQueue(limit=limit), **kwargs)
+
+
+# -- validation -------------------------------------------------------------
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        controller(brownout_depth=0.0)
+    with pytest.raises(ValueError):
+        controller(brownout_depth=1.5)
+    with pytest.raises(ValueError):
+        controller(stale_ttl_s=-1.0)
+    controller(brownout_depth=1.0, stale_ttl_s=0.0)  # boundary values legal
+
+
+# -- tier transitions -------------------------------------------------------
+
+
+def test_tiers_track_admission_depth():
+    ctrl = controller(limit=4, brownout_depth=0.5)
+    assert ctrl.tier() == TIER_NORMAL and not ctrl.wants_approx()
+    ctrl.admission.acquire()
+    assert ctrl.tier() == TIER_NORMAL  # 1/4 < 0.5
+    ctrl.admission.acquire()
+    assert ctrl.tier() == TIER_BROWNOUT and ctrl.wants_approx()  # 2/4 >= 0.5
+    ctrl.admission.acquire()
+    ctrl.admission.acquire()
+    assert ctrl.tier() == TIER_SHED  # at capacity
+    assert ctrl.pressure() == 1.0
+    ctrl.admission.release()
+    assert ctrl.tier() == TIER_BROWNOUT
+    for _ in range(3):
+        ctrl.admission.release()
+    assert ctrl.tier() == TIER_NORMAL
+
+
+def test_depth_one_browns_out_only_at_capacity_minus_one():
+    ctrl = controller(limit=2, brownout_depth=1.0)
+    ctrl.admission.acquire()
+    assert ctrl.tier() == TIER_NORMAL  # 1/2 < 1.0
+    ctrl.admission.acquire()
+    assert ctrl.tier() == TIER_SHED
+
+
+# -- last-known-good store with TTL -----------------------------------------
+
+
+def test_stale_answer_respects_the_ttl(clock):
+    ctrl = controller(stale_ttl_s=30.0, clock=clock)
+    assert ctrl.stale_answer("general") is None  # nothing recorded yet
+    ctrl.note_result("general", {"cost": 1.5})
+    clock.advance(29.0)
+    assert ctrl.stale_answer("general") == {"cost": 1.5}
+    clock.advance(2.0)  # now 31s old
+    assert ctrl.stale_answer("general") is None
+    assert ctrl.stale_served == 1
+    assert ctrl.stale_expired == 1
+
+
+def test_fresh_result_resets_the_ttl_clock(clock):
+    ctrl = controller(stale_ttl_s=30.0, clock=clock)
+    ctrl.note_result("general", {"cost": 1.0})
+    clock.advance(25.0)
+    ctrl.note_result("general", {"cost": 2.0})
+    clock.advance(25.0)  # 50s after the first, 25s after the newest
+    assert ctrl.stale_answer("general") == {"cost": 2.0}
+
+
+def test_lkg_is_per_class(clock):
+    ctrl = controller(clock=clock)
+    ctrl.note_result("gold", {"cost": 1.0})
+    assert ctrl.stale_answer("bronze") is None
+    assert ctrl.stale_answer("gold") == {"cost": 1.0}
+
+
+# -- accounting -------------------------------------------------------------
+
+
+def test_status_reports_counters_and_lkg_classes(clock):
+    ctrl = controller(limit=2, brownout_depth=0.5, stale_ttl_s=10.0, clock=clock)
+    ctrl.note_result("general", {"cost": 1.0})
+    ctrl.note_approx()
+    ctrl.note_approx()
+    ctrl.note_shed()
+    ctrl.stale_answer("general")
+    clock.advance(11.0)
+    ctrl.stale_answer("general")
+    status = ctrl.status()
+    assert status["tier"] == TIER_NORMAL
+    assert status["approx_served"] == 2
+    assert status["shed_hard"] == 1
+    assert status["stale_served"] == 1
+    assert status["stale_expired"] == 1
+    assert status["lkg_classes"] == ["general"]
+    assert status["brownout_depth"] == 0.5
+    assert status["stale_ttl_s"] == 10.0

@@ -94,6 +94,85 @@ def test_alien_schema_records_are_ignored(store):
     assert store.recover().index == 1
 
 
+# -- injected corruption (chaos campaigns) ----------------------------------
+
+
+def test_corrupt_tail_with_no_journal_is_a_noop(store):
+    assert store.corrupt_tail() is False
+    assert store.corrupt_snapshot() is False
+
+
+def test_corrupt_tail_tears_only_the_newest_record(store):
+    store.append(state_at(1))
+    store.append(state_at(2))
+    assert store.corrupt_tail() is True
+    assert not store.journal_path.read_bytes().endswith(b"\n")
+    assert store.recover().index == 1
+
+
+def test_corrupt_tail_of_single_record_journal_recovers_cold(store):
+    store.append(state_at(1))
+    assert store.corrupt_tail() is True
+    assert store.recover() is None
+
+
+def test_corrupt_snapshot_falls_back_to_journal(store):
+    store.append(state_at(1))
+    store.append(state_at(2))
+    store.snapshot(state_at(2))  # truncates the journal
+    store.append(state_at(3))
+    assert store.corrupt_snapshot() is True
+    assert store.recover().index == 3
+
+
+def test_snapshot_truncation_removes_the_torn_record(store):
+    """The satellite boundary case: corruption at a snapshot epoch.
+
+    The daemon's chaos ordering is append → corrupt_tail → snapshot; when
+    the corrupted epoch is also a snapshot epoch, the snapshot (written
+    from in-memory state, not the torn journal) must win and the
+    truncation must wipe the torn bytes so later appends start clean.
+    """
+    store.append(state_at(1))
+    store.append(state_at(2))
+    assert store.corrupt_tail() is True
+    store.snapshot(state_at(2))
+    assert store.journal_path.read_text() == ""
+    assert store.recover().index == 2
+    # The next epoch journals on top of the clean file as usual.
+    store.append(state_at(3))
+    assert store.recover().index == 3
+
+
+def test_recover_repairs_the_torn_tail_in_place(store):
+    """Recovery truncates torn bytes so the next append starts clean.
+
+    Without the repair, the restarted daemon's first append would merge
+    with the torn tail into one unparseable line, orphaning every record
+    after it until the next snapshot.
+    """
+    store.append(state_at(1))
+    store.append(state_at(2))
+    store.corrupt_tail()
+    assert store.recover().index == 1
+    assert store.journal_path.read_bytes().endswith(b"\n")
+    assert store.recover().index == 1  # repair lost nothing intact
+
+
+def test_torn_record_before_crash_replays_from_last_intact_state(store):
+    """Corruption + crash-before-snapshot: replay from the intact prefix."""
+    store.append(state_at(1))
+    store.append(state_at(2))
+    store.corrupt_tail()
+    # Daemon dies here (crash:checkpoint=2); the restart recovers 1 and
+    # replays epoch 2 — its re-append must coexist with the torn bytes
+    # gone-or-present semantics of a fresh append.
+    recovered = store.recover()
+    assert recovered.index == 1
+    store.append(state_at(2))
+    assert store.recover().index == 2
+
+
 def test_no_temp_files_left_behind(store, tmp_path):
     store.snapshot(state_at(1))
     assert not list(tmp_path.glob("*.tmp"))
